@@ -1,0 +1,55 @@
+//! Table 5 benchmark: compression and reconstruction timings for every
+//! evaluated method on U (3-D) and FSDSC (2-D).
+//!
+//! The paper's Table 5 rows (compress seconds, reconstruct seconds, CR)
+//! are regenerated as criterion benchmark groups; CRs are printed once at
+//! setup. The paper's headline: APAX is fastest by up to two orders of
+//! magnitude, ISABELA slowest to compress (sorting dominates).
+
+use cc_codecs::{Layout, Variant};
+use cc_grid::Resolution;
+use cc_model::Model;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_codecs(c: &mut Criterion) {
+    let model = Model::new(Resolution::reduced(6, 6), 2014);
+    let member = model.member(0);
+
+    for name in ["U", "FSDSC"] {
+        let var = model.var_id(name).unwrap();
+        let field = model.synthesize(&member, var);
+        let layout = Layout::for_grid(model.grid(), field.nlev);
+        let raw = field.data.len() * 4;
+
+        let mut group = c.benchmark_group(format!("table5/{name}"));
+        group.sample_size(10);
+        for variant in Variant::paper_set() {
+            let codec = variant.codec();
+            let bytes = codec.compress(&field.data, layout);
+            eprintln!(
+                "table5 {name} {}: CR {:.3} ({} -> {} bytes)",
+                variant.name(),
+                bytes.len() as f64 / raw as f64,
+                raw,
+                bytes.len()
+            );
+            group.bench_with_input(
+                BenchmarkId::new("compress", variant.name()),
+                &field.data,
+                |b, data| b.iter(|| black_box(codec.compress(black_box(data), layout))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("reconstruct", variant.name()),
+                &bytes,
+                |b, bytes| {
+                    b.iter(|| black_box(codec.decompress(black_box(bytes), layout).unwrap()))
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Lossless substrate benchmarks: the NetCDF-4 path (shuffle + deflate)
+//! that supplies Table 2's "CR" column and the hybrids' fallback, at the
+//! three effort levels, plus the shuffle filter itself.
+
+use cc_grid::Resolution;
+use cc_lossless::{compress, decompress, shuffle, unshuffle, Level};
+use cc_model::Model;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn climate_bytes() -> Vec<u8> {
+    let model = Model::new(Resolution::reduced(5, 6), 7);
+    let member = model.member(0);
+    let field = model.synthesize(&member, model.var_id("T").unwrap());
+    field.data.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+fn bench_deflate(c: &mut Criterion) {
+    let data = climate_bytes();
+    let shuffled = shuffle(&data, 4);
+
+    let mut group = c.benchmark_group("deflate");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for (label, level) in [("fast", Level::Fast), ("default", Level::Default), ("best", Level::Best)]
+    {
+        let z = compress(&shuffled, level);
+        eprintln!(
+            "deflate {label} on shuffled T: CR {:.3}",
+            z.len() as f64 / data.len() as f64
+        );
+        group.bench_with_input(BenchmarkId::new("compress", label), &shuffled, |b, d| {
+            b.iter(|| black_box(compress(black_box(d), level)))
+        });
+        group.bench_with_input(BenchmarkId::new("decompress", label), &z, |b, z| {
+            b.iter(|| black_box(decompress(black_box(z)).unwrap()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("shuffle");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("forward", |b| b.iter(|| black_box(shuffle(black_box(&data), 4))));
+    group.bench_function("inverse", |b| {
+        b.iter(|| black_box(unshuffle(black_box(&shuffled), 4)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_deflate);
+criterion_main!(benches);

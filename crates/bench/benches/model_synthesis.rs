@@ -1,0 +1,37 @@
+//! Climate-emulator benchmarks: grid construction, member dynamics
+//! (spin-up + chaotic decorrelation), and per-variable field synthesis —
+//! the data-generation cost under every experiment.
+
+use cc_grid::{Grid, Resolution};
+use cc_model::Model;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid_build");
+    group.sample_size(10);
+    for ne in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(ne), &ne, |b, &ne| {
+            b.iter(|| black_box(Grid::build(Resolution::reduced(ne, 4))))
+        });
+    }
+    group.finish();
+
+    let model = Model::new(Resolution::reduced(6, 6), 1);
+    let mut group = c.benchmark_group("model");
+    group.sample_size(10);
+    group.bench_function("member_dynamics", |b| {
+        b.iter(|| black_box(model.member(black_box(5))))
+    });
+    let member = model.member(0);
+    for name in ["TS", "U"] {
+        let var = model.var_id(name).unwrap();
+        group.bench_with_input(BenchmarkId::new("synthesize", name), &var, |b, &var| {
+            b.iter(|| black_box(model.synthesize(black_box(&member), var)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! CESM-PVT kernel benchmarks: the streaming ensemble-statistics
+//! accumulation and the leave-one-out RMSZ / E_nmax queries that dominate
+//! Table 6-scale sweeps (170 variables × 101 members × 9 variants).
+
+use cc_pvt::EnsembleStats;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn member_field(m: usize, npts: usize) -> Vec<f32> {
+    (0..npts)
+        .map(|p| {
+            let base = (p as f32 * 0.11).sin() * 10.0;
+            let w = ((m * 7919 + p * 104_729) % 1000) as f32 / 1000.0 - 0.5;
+            base + w
+        })
+        .collect()
+}
+
+fn bench_pvt(c: &mut Criterion) {
+    for npts in [10_000usize, 100_000] {
+        let fields: Vec<Vec<f32>> = (0..32).map(|m| member_field(m, npts)).collect();
+
+        let mut group = c.benchmark_group(format!("pvt/{npts}pts"));
+        group.throughput(Throughput::Elements(npts as u64));
+        group.sample_size(20);
+
+        group.bench_function(BenchmarkId::new("add_member", npts), |b| {
+            b.iter(|| {
+                let mut stats = EnsembleStats::new(npts);
+                for f in &fields[..8] {
+                    stats.add_member(black_box(f));
+                }
+                black_box(stats)
+            })
+        });
+
+        let mut stats = EnsembleStats::new(npts);
+        for f in &fields {
+            stats.add_member(f);
+        }
+        group.bench_function(BenchmarkId::new("rmsz_excluding", npts), |b| {
+            b.iter(|| black_box(stats.rmsz_excluding(black_box(&fields[0]), black_box(&fields[0]))))
+        });
+        group.bench_function(BenchmarkId::new("enmax_excluding", npts), |b| {
+            b.iter(|| black_box(stats.enmax_excluding(black_box(&fields[0]))))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_pvt);
+criterion_main!(benches);

@@ -1,0 +1,719 @@
+//! Regenerate every table and figure of Baker et al. (HPDC'14).
+//!
+//! ```text
+//! repro [EXPERIMENTS] [FLAGS]
+//!
+//! EXPERIMENTS  any of: table1 table2 table3 table4 table5 table6 table7
+//!              table8 fig1 fig2 fig3 fig4 scaling calibration ssim
+//!              scorecard | all | focus (tables 2-5 + figs 2-4) |
+//!              sweep (table 6 + fig 1 + tables 7-8) |
+//!              extensions (scaling + calibration + ssim)
+//! FLAGS        --quick | --full | --paper-scale   preset configurations
+//!              --members N  --ne N  --nlev N  --seed S  --out DIR
+//! ```
+//!
+//! `scorecard` re-reads the CSV artifacts of earlier experiments and
+//! machine-checks the paper's shape claims (exits non-zero on a required
+//! failure), so a full reproduction is `repro all extensions scorecard`.
+//!
+//! Each experiment prints the same rows/series the paper reports and
+//! writes text + CSV artifacts under the output directory.
+
+use cc_bench::{RunConfig, FOCUS};
+use cc_codecs::{Codec, Variant};
+use cc_core::evaluation::{verdict_for, Evaluation, VariableContext};
+use cc_core::report::{cr_fmt, render_boxplot, render_histogram, sci, BoxStats, Table};
+use cc_core::{build_hybrid, build_nc_baseline, HybridResult};
+use cc_grid::Resolution;
+use cc_metrics::FieldStats;
+use cc_ncdf::{DType, Dataset, FilterPipeline};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+fn main() {
+    let (experiments, cfg) = parse_args();
+    let mut runner = Runner { cfg, eval: None, focus_ctx: BTreeMap::new() };
+    for exp in &experiments {
+        let t0 = Instant::now();
+        eprintln!(">>> running {exp} ...");
+        match exp.as_str() {
+            "table1" => runner.table1(),
+            "table2" => runner.table2(),
+            "table3" => runner.table3_4(true),
+            "table4" => runner.table3_4(false),
+            "table5" => runner.table5(),
+            "table6" => runner.table6(),
+            "table7" => runner.table7_8(),
+            "table8" => runner.table7_8(),
+            "fig1" => runner.fig1(),
+            "fig2" => runner.fig2(),
+            "fig3" => runner.fig3(),
+            "fig4" => runner.fig4(),
+            "scaling" => runner.scaling(),
+            "calibration" => runner.calibration(),
+            "ssim" => runner.ssim(),
+            "scorecard" => {
+                let claims = cc_bench::scorecard::evaluate(&runner.cfg.out_dir);
+                let (fails, text) = cc_bench::scorecard::render(&claims);
+                println!("{text}");
+                runner.cfg.write_artifact("scorecard.txt", &text);
+                if fails > 0 {
+                    eprintln!("{fails} required claims FAILED");
+                    std::process::exit(1);
+                }
+            }
+            other => {
+                eprintln!("unknown experiment: {other}");
+                std::process::exit(2);
+            }
+        }
+        eprintln!(">>> {exp} done in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+}
+
+fn parse_args() -> (Vec<String>, RunConfig) {
+    let mut cfg = RunConfig::default();
+    let mut exps: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1).peekable();
+    let next_val = |args: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>| {
+        args.next().unwrap_or_else(|| {
+            eprintln!("flag needs a value");
+            std::process::exit(2);
+        })
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => {
+                cfg = RunConfig { out_dir: cfg.out_dir.clone(), ..RunConfig::quick() };
+            }
+            "--full" => {
+                cfg = RunConfig { out_dir: cfg.out_dir.clone(), ..RunConfig::full() };
+            }
+            "--paper-scale" => {
+                cfg = RunConfig { out_dir: cfg.out_dir.clone(), ..RunConfig::paper_scale() };
+            }
+            "--members" => cfg.members = next_val(&mut args).parse().expect("--members N"),
+            "--ne" => {
+                let ne: usize = next_val(&mut args).parse().expect("--ne N");
+                cfg.resolution = Resolution::reduced(ne, cfg.resolution.nlev);
+            }
+            "--nlev" => {
+                let nlev: usize = next_val(&mut args).parse().expect("--nlev N");
+                cfg.resolution = Resolution::reduced(cfg.resolution.ne, nlev);
+            }
+            "--seed" => cfg.seed = next_val(&mut args).parse().expect("--seed S"),
+            "--out" => cfg.out_dir = next_val(&mut args).into(),
+            "all" => exps.extend(
+                [
+                    "table1", "table2", "table3", "table4", "table5", "table6", "table7",
+                    "fig1", "fig2", "fig3", "fig4",
+                ]
+                .map(String::from),
+            ),
+            "focus" => exps.extend(
+                ["table1", "table2", "table3", "table4", "table5", "fig2", "fig3", "fig4"]
+                    .map(String::from),
+            ),
+            "sweep" => exps.extend(["table6", "fig1", "table7"].map(String::from)),
+            "extensions" => {
+                exps.extend(["scaling", "calibration", "ssim"].map(String::from))
+            }
+            other => exps.push(other.to_string()),
+        }
+    }
+    if exps.is_empty() {
+        exps = vec!["focus".into()];
+        return parse_args_fallback(exps, cfg);
+    }
+    // table7 implies table8 (same computation); dedupe.
+    exps.dedup();
+    (exps, cfg)
+}
+
+fn parse_args_fallback(mut exps: Vec<String>, cfg: RunConfig) -> (Vec<String>, RunConfig) {
+    // Default run = the focus set.
+    exps.clear();
+    exps.extend(
+        ["table1", "table2", "table3", "table4", "table5", "fig2", "fig3", "fig4"]
+            .map(String::from),
+    );
+    (exps, cfg)
+}
+
+struct Runner {
+    cfg: RunConfig,
+    eval: Option<Evaluation>,
+    focus_ctx: BTreeMap<String, VariableContext>,
+}
+
+impl Runner {
+    fn eval(&mut self) -> &Evaluation {
+        if self.eval.is_none() {
+            eprintln!(
+                "    building model: ne={} nlev={} ({} horizontal points), {} members",
+                self.cfg.resolution.ne,
+                self.cfg.resolution.nlev,
+                self.cfg.resolution.horiz_points(),
+                self.cfg.members
+            );
+            self.eval = Some(self.cfg.evaluation());
+        }
+        self.eval.as_ref().unwrap()
+    }
+
+    fn focus_context(&mut self, name: &str) -> &VariableContext {
+        if !self.focus_ctx.contains_key(name) {
+            let eval = self.cfg.evaluation();
+            if self.eval.is_none() {
+                self.eval = Some(eval);
+            }
+            let eval = self.eval.as_ref().unwrap();
+            let var = eval.model.var_id(name).unwrap_or_else(|| {
+                eprintln!("unknown focus variable {name}");
+                std::process::exit(2);
+            });
+            eprintln!("    building ensemble context for {name} ...");
+            let ctx = eval.context(var);
+            self.focus_ctx.insert(name.to_string(), ctx);
+        }
+        &self.focus_ctx[name]
+    }
+
+    fn emit(&self, name: &str, text: &str, csv: Option<&str>) {
+        println!("{text}");
+        self.cfg.write_artifact(&format!("{name}.txt"), text);
+        if let Some(csv) = csv {
+            self.cfg.write_artifact(&format!("{name}.csv"), csv);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Table 1: algorithm properties.
+    // ------------------------------------------------------------------
+    fn table1(&mut self) {
+        let mut t = Table::new(
+            "Table 1: Algorithm properties",
+            &["Method", "lossless", "special", "free", "fixed-qual", "fixed-CR", "32&64"],
+        );
+        let yn = |b: bool| if b { "Y" } else { "N" }.to_string();
+        let rows: Vec<(&str, Box<dyn Codec>)> = vec![
+            ("GRIB2 + jpeg2000", Box::new(cc_codecs::grib2::Grib2::auto())),
+            ("APAX", Box::new(cc_codecs::apax::Apax::fixed_rate(2.0))),
+            ("fpzip", Box::new(cc_codecs::fpzip::Fpzip::lossless())),
+            ("ISABELA", Box::new(cc_codecs::isabela::Isabela::new(0.01))),
+        ];
+        for (name, codec) in rows {
+            let p = codec.properties();
+            t.row(vec![
+                name.to_string(),
+                yn(p.lossless_mode),
+                yn(p.special_values),
+                yn(p.freely_available),
+                yn(p.fixed_quality),
+                yn(p.fixed_cr),
+                yn(p.bits_32_and_64),
+            ]);
+        }
+        self.emit("table1", &t.render(), Some(&t.to_csv()));
+    }
+
+    // ------------------------------------------------------------------
+    // Table 2: dataset characteristics for the focus variables.
+    // ------------------------------------------------------------------
+    fn table2(&mut self) {
+        let mut t = Table::new(
+            "Table 2: Characteristics of the focus variable datasets",
+            &["Variable", "units", "x_min", "x_max", "mean", "std", "CR"],
+        );
+        for name in FOCUS {
+            // Stats from the first sampled member; CR via shuffle+deflate
+            // in the ncdf container (the NetCDF-4 measurement of §4.1).
+            let (stats, cr, units) = {
+                let eval = self.eval();
+                let var = eval.model.var_id(name).unwrap();
+                let member = eval.model.member(0);
+                let field = eval.model.synthesize(&member, var);
+                let stats = FieldStats::compute(&field.data).expect("non-degenerate");
+                let mut ds = Dataset::new();
+                let dim = ds.add_dim("n", field.data.len());
+                let v = ds
+                    .def_var(name, DType::F32, &[dim], FilterPipeline::shuffle_deflate())
+                    .unwrap();
+                ds.put_f32(v, &field.data).unwrap();
+                let cr = ds.var_stored_bytes(v) as f64 / ds.var_raw_bytes(v) as f64;
+                (stats, cr, eval.model.registry()[var].units)
+            };
+            t.row(vec![
+                name.to_string(),
+                units.to_string(),
+                sci(stats.min),
+                sci(stats.max),
+                sci(stats.mean),
+                sci(stats.std),
+                cr_fmt(cr),
+            ]);
+        }
+        self.emit("table2", &t.render(), Some(&t.to_csv()));
+    }
+
+    // ------------------------------------------------------------------
+    // Tables 3 & 4: NRMSE (CR) and e_nmax (CR), 9 variants × 4 variables.
+    // ------------------------------------------------------------------
+    fn table3_4(&mut self, nrmse: bool) {
+        let (label, title) = if nrmse {
+            ("table3", "Table 3: NRMSE (CR) between original and reconstructed datasets")
+        } else {
+            ("table4", "Table 4: Max normalized pointwise errors e_nmax (CR)")
+        };
+        let mut t = Table::new(title, &["Method", "U", "FSDSC", "Z3", "CCN3"]);
+        let variants = Variant::paper_set();
+        let mut rows: Vec<Vec<String>> =
+            variants.iter().map(|v| vec![v.name()]).collect();
+        for name in FOCUS {
+            let ctx_cells: Vec<String> = {
+                let ctx = self.focus_context(name);
+                variants
+                    .iter()
+                    .map(|&variant| {
+                        let verdict = verdict_for(ctx, variant);
+                        let val = verdict
+                            .metrics
+                            .map(|m| if nrmse { m.nrmse } else { m.e_nmax })
+                            .unwrap_or(0.0);
+                        format!("{} ({})", sci(val), cr_fmt(verdict.cr))
+                    })
+                    .collect()
+            };
+            for (row, cell) in rows.iter_mut().zip(ctx_cells) {
+                row.push(cell);
+            }
+        }
+        for row in rows {
+            t.row(row);
+        }
+        self.emit(label, &t.render(), Some(&t.to_csv()));
+    }
+
+    // ------------------------------------------------------------------
+    // Table 5: compression/reconstruction timings + CR for U and FSDSC.
+    // ------------------------------------------------------------------
+    fn table5(&mut self) {
+        let mut t = Table::new(
+            "Table 5: Compression and reconstruction timings (seconds) and CR",
+            &[
+                "Method", "U comp.", "U reconst.", "U CR", "FSDSC comp.", "FSDSC reconst.",
+                "FSDSC CR",
+            ],
+        );
+        let variants = Variant::paper_set();
+        let mut cells: Vec<Vec<String>> = variants.iter().map(|v| vec![v.name()]).collect();
+        for name in ["U", "FSDSC"] {
+            let ctx = self.focus_context(name);
+            let field = &ctx.fields[ctx.sample_idx[0]];
+            for (i, &variant) in variants.iter().enumerate() {
+                let codec = variant.codec();
+                // Median-of-3 wall-clock timings.
+                let mut comp_times = Vec::new();
+                let mut reco_times = Vec::new();
+                let mut bytes = Vec::new();
+                for _ in 0..3 {
+                    let t0 = Instant::now();
+                    bytes = codec.compress(field, ctx.layout);
+                    comp_times.push(t0.elapsed().as_secs_f64());
+                    let t1 = Instant::now();
+                    let _ = codec.decompress(&bytes, ctx.layout).expect("own stream");
+                    reco_times.push(t1.elapsed().as_secs_f64());
+                }
+                comp_times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                reco_times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let cr = bytes.len() as f64 / ctx.raw_bytes() as f64;
+                // Flag variants whose quality fails the tests, as the
+                // paper's (*) footnote does for FSDSC.
+                let verdict = verdict_for(ctx, variant);
+                let star = if verdict.all_pass() { "" } else { "(*)" };
+                cells[i].push(format!("{:.4}", comp_times[1]));
+                cells[i].push(format!("{:.4}", reco_times[1]));
+                cells[i].push(format!("{}{}", cr_fmt(cr), star));
+            }
+        }
+        for row in cells {
+            t.row(row);
+        }
+        self.emit("table5", &t.render(), Some(&t.to_csv()));
+    }
+
+    // ------------------------------------------------------------------
+    // Table 6: number of passes over all 170 variables per test.
+    // ------------------------------------------------------------------
+    fn table6(&mut self) {
+        let mut t = Table::new(
+            "Table 6: Number of passes for all compression methods on 170 variables",
+            &["Method", "rho", "RMSZ ens.", "Enmax ens.", "bias", "all"],
+        );
+        let nvars = { self.eval().model.registry().len() };
+        let variants = Variant::paper_set();
+        // One context per variable, scored against all variants, streamed.
+        let mut tallies: Vec<[usize; 5]> = vec![[0; 5]; variants.len()];
+        for var in 0..nvars {
+            let ctx = { self.eval().context(var) };
+            if var % 17 == 0 {
+                eprintln!("    table6: variable {var}/{nvars} ({})", ctx.spec.name);
+            }
+            for (vi, &variant) in variants.iter().enumerate() {
+                let v = verdict_for(&ctx, variant);
+                tallies[vi][0] += v.pearson_pass as usize;
+                tallies[vi][1] += v.rmsz_pass as usize;
+                tallies[vi][2] += v.enmax_pass as usize;
+                tallies[vi][3] += v.bias_pass as usize;
+                tallies[vi][4] += v.all_pass() as usize;
+            }
+        }
+        for (vi, variant) in variants.iter().enumerate() {
+            t.row(vec![
+                variant.name(),
+                tallies[vi][0].to_string(),
+                tallies[vi][1].to_string(),
+                tallies[vi][2].to_string(),
+                tallies[vi][3].to_string(),
+                tallies[vi][4].to_string(),
+            ]);
+        }
+        self.emit("table6", &t.render(), Some(&t.to_csv()));
+    }
+
+    // ------------------------------------------------------------------
+    // Tables 7 & 8: hybrid customization results and composition.
+    // ------------------------------------------------------------------
+    fn table7_8(&mut self) {
+        let eval = self.cfg.evaluation();
+        let mut hybrids: Vec<HybridResult> = Vec::new();
+        for family in cc_codecs::Family::all() {
+            eprintln!("    building hybrid for {} ...", family.name());
+            hybrids.push(build_hybrid(&eval, family));
+        }
+        eprintln!("    building NC baseline ...");
+        hybrids.push(build_nc_baseline(&eval));
+
+        let mut t7 = Table::new(
+            "Table 7: Customizing each method by variable (hybrid methods)",
+            &["Metric", "GRIB2", "ISABELA", "fpzip", "APAX", "NC"],
+        );
+        let row = |label: &str, f: &dyn Fn(&HybridResult) -> String| -> Vec<String> {
+            let mut r = vec![label.to_string()];
+            r.extend(hybrids.iter().map(|h| f(h)));
+            r
+        };
+        t7.row(row("avg. CR", &|h| cr_fmt(h.cr_stats().0)));
+        t7.row(row("best CR", &|h| cr_fmt(h.cr_stats().1)));
+        t7.row(row("worst CR", &|h| cr_fmt(h.cr_stats().2)));
+        t7.row(row("avg. rho", &|h| format!("{:.7}", h.avg_pearson())));
+        t7.row(row("avg. nrmse", &|h| sci(h.avg_nrmse())));
+        t7.row(row("avg. e_nmax", &|h| sci(h.avg_enmax())));
+        self.emit("table7", &t7.render(), Some(&t7.to_csv()));
+
+        let mut t8 = Table::new(
+            "Table 8: Variables per variant in each hybrid method",
+            &["Method", "Variant", "Number of Variables"],
+        );
+        for h in &hybrids[..4] {
+            for (variant, count) in h.composition() {
+                t8.row(vec![h.label.clone(), variant, count.to_string()]);
+            }
+        }
+        self.emit("table8", &t8.render(), Some(&t8.to_csv()));
+    }
+
+    // ------------------------------------------------------------------
+    // Figure 1: box plots of e_nmax and NRMSE over all 170 variables.
+    // ------------------------------------------------------------------
+    fn fig1(&mut self) {
+        let nvars = { self.eval().model.registry().len() };
+        let variants = Variant::paper_set();
+        let mut enmax_samples: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
+        let mut nrmse_samples: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
+        for var in 0..nvars {
+            let ctx = { self.eval().context(var) };
+            if var % 17 == 0 {
+                eprintln!("    fig1: variable {var}/{nvars} ({})", ctx.spec.name);
+            }
+            for (vi, &variant) in variants.iter().enumerate() {
+                // Only the sample metrics are needed — skip the bias pass
+                // by scoring a single member directly.
+                let codec = variant.codec();
+                let orig = &ctx.fields[ctx.sample_idx[0]];
+                let bytes = codec.compress(orig, ctx.layout);
+                let recon = codec.decompress(&bytes, ctx.layout).expect("own stream");
+                if let Some(m) = cc_metrics::ErrorMetrics::compare(orig, &recon) {
+                    enmax_samples[vi].push(m.e_nmax.max(1e-12));
+                    nrmse_samples[vi].push(m.nrmse.max(1e-12));
+                }
+            }
+        }
+        let boxes = |samples: &[Vec<f64>]| -> Vec<(String, BoxStats)> {
+            variants
+                .iter()
+                .zip(samples)
+                .map(|(v, s)| (v.name(), BoxStats::from_samples(s)))
+                .collect()
+        };
+        let a = render_boxplot(
+            "Figure 1a: normalized maximum pointwise error over 170 variables",
+            &boxes(&enmax_samples),
+            true,
+        );
+        let b = render_boxplot(
+            "Figure 1b: normalized RMSE over 170 variables",
+            &boxes(&nrmse_samples),
+            true,
+        );
+        let text = format!("{a}\n{b}");
+        // CSV of the five-number summaries.
+        let mut csv = String::from("figure,method,min,q1,median,q3,max\n");
+        for (tag, samples) in [("enmax", &enmax_samples), ("nrmse", &nrmse_samples)] {
+            for (v, s) in variants.iter().zip(samples) {
+                let b = BoxStats::from_samples(s);
+                csv.push_str(&format!(
+                    "{tag},{},{:e},{:e},{:e},{:e},{:e}\n",
+                    v.name(),
+                    b.min,
+                    b.q1,
+                    b.median,
+                    b.q3,
+                    b.max
+                ));
+            }
+        }
+        self.emit("fig1", &text, Some(&csv));
+    }
+
+    // ------------------------------------------------------------------
+    // Figure 2: RMSZ ensemble histograms + reconstructed markers.
+    // ------------------------------------------------------------------
+    fn fig2(&mut self) {
+        let mut text = String::new();
+        let mut csv = String::from("variable,method,rmsz_orig,rmsz_recon,pass\n");
+        for name in FOCUS {
+            let (scores, markers, rows) = {
+                let ctx = self.focus_context(name);
+                let scores = ctx.rmsz_orig.scores().to_vec();
+                let mut markers = Vec::new();
+                let mut rows = Vec::new();
+                for variant in Variant::paper_set() {
+                    let v = verdict_for(ctx, variant);
+                    if let Some(&(zo, zr)) = v.sample_rmsz.first() {
+                        markers.push((variant.name(), zr));
+                        rows.push(format!(
+                            "{name},{},{zo},{zr},{}\n",
+                            variant.name(),
+                            v.rmsz_pass
+                        ));
+                    }
+                }
+                (scores, markers, rows)
+            };
+            text.push_str(&render_histogram(
+                &format!("Figure 2: RMSZ-Ensemble test, variable {name}"),
+                &scores,
+                &markers,
+                12,
+            ));
+            text.push('\n');
+            for r in rows {
+                csv.push_str(&r);
+            }
+        }
+        self.emit("fig2", &text, Some(&csv));
+    }
+
+    // ------------------------------------------------------------------
+    // Figure 3: E_nmax ensemble box plots + per-method markers.
+    // ------------------------------------------------------------------
+    fn fig3(&mut self) {
+        let mut text = String::new();
+        let mut csv = String::from("variable,method,e_nmax,dist_min,dist_max,pass\n");
+        for name in FOCUS {
+            let (mut boxes, rows) = {
+                let ctx = self.focus_context(name);
+                let dist = BoxStats::from_samples(ctx.enmax_dist.scores());
+                let mut boxes = vec![("ensemble".to_string(), dist)];
+                let mut rows = Vec::new();
+                for variant in Variant::paper_set() {
+                    let v = verdict_for(ctx, variant);
+                    if let Some(&e) = v.sample_enmax.first() {
+                        // A marker renders as a degenerate box.
+                        boxes.push((
+                            variant.name(),
+                            BoxStats { min: e, q1: e, median: e, q3: e, max: e },
+                        ));
+                        rows.push(format!(
+                            "{name},{},{e},{},{},{}\n",
+                            variant.name(),
+                            ctx.enmax_dist.min(),
+                            ctx.enmax_dist.max(),
+                            v.enmax_pass
+                        ));
+                    }
+                }
+                (boxes, rows)
+            };
+            // Guard against zero markers leaving a single box.
+            if boxes.len() == 1 {
+                boxes.push(("(none)".to_string(), boxes[0].1));
+            }
+            text.push_str(&render_boxplot(
+                &format!("Figure 3: E_nmax ensemble, variable {name}"),
+                &boxes,
+                true,
+            ));
+            text.push('\n');
+            for r in rows {
+                csv.push_str(&r);
+            }
+        }
+        self.emit("fig3", &text, Some(&csv));
+    }
+
+    // ------------------------------------------------------------------
+    // Extension: resolution scaling (the paper's "exploring different grid
+    // resolutions, particularly finer ones, is critical").
+    // ------------------------------------------------------------------
+    fn scaling(&mut self) {
+        let mut t = Table::new(
+            "Extension: codec behaviour vs grid resolution (variable U)",
+            &["ne", "points", "fpzip-24 CR", "GRIB2 CR", "APAX-4 NRMSE", "ISA-0.5 CR"],
+        );
+        for ne in [3usize, 6, 9, 12] {
+            let model = cc_model::Model::new(Resolution::reduced(ne, 6), self.cfg.seed);
+            let member = model.member(0);
+            let var = model.var_id("U").unwrap();
+            let field = model.synthesize(&member, var);
+            let layout = cc_codecs::Layout::for_grid(model.grid(), field.nlev);
+            let raw = field.data.len() * 4;
+            let cr = |v: Variant| -> f64 {
+                v.codec().compress(&field.data, layout).len() as f64 / raw as f64
+            };
+            let nrmse = |v: Variant| -> f64 {
+                let codec = v.codec();
+                let bytes = codec.compress(&field.data, layout);
+                let recon = codec.decompress(&bytes, layout).unwrap();
+                cc_metrics::ErrorMetrics::compare(&field.data, &recon)
+                    .map(|m| m.nrmse)
+                    .unwrap_or(0.0)
+            };
+            t.row(vec![
+                ne.to_string(),
+                model.grid().len().to_string(),
+                cr_fmt(cr(Variant::Fpzip { bits: 24 })),
+                cr_fmt(cr(Variant::Grib2 { decimal_scale: None })),
+                sci(nrmse(Variant::Apax { rate: 4.0 })),
+                cr_fmt(cr(Variant::Isabela { rel_err: 0.005 })),
+            ]);
+        }
+        self.emit("scaling", &t.render(), Some(&t.to_csv()));
+    }
+
+    // ------------------------------------------------------------------
+    // Extension: operating characteristics of the test battery.
+    // ------------------------------------------------------------------
+    fn calibration(&mut self) {
+        let mut t = Table::new(
+            "Extension: methodology calibration (false positives / detection)",
+            &["Variable", "RMSZ FP rate", "Enmax FP rate", "detect bias (sigma)"],
+        );
+        for name in FOCUS {
+            let row = {
+                let ctx = self.focus_context(name);
+                let c = cc_core::calibration::calibrate(ctx);
+                vec![
+                    name.to_string(),
+                    format!("{:.3}", c.rmsz_false_positive),
+                    format!("{:.3}", c.enmax_false_positive),
+                    c.rmsz_detection_sigma
+                        .map(|e| format!("{e}"))
+                        .unwrap_or_else(|| ">3.0".into()),
+                ]
+            };
+            t.row(row);
+        }
+        self.emit("calibration", &t.render(), Some(&t.to_csv()));
+    }
+
+    // ------------------------------------------------------------------
+    // Extension: SSIM visual-quality check (the paper's future work).
+    // ------------------------------------------------------------------
+    fn ssim(&mut self) {
+        let mut t = Table::new(
+            "Extension: SSIM of reconstructed fields (threshold 0.999)",
+            &["Method", "U", "FSDSC", "Z3", "CCN3"],
+        );
+        let variants = Variant::paper_set();
+        let mut rows: Vec<Vec<String>> = variants.iter().map(|v| vec![v.name()]).collect();
+        for name in FOCUS {
+            let cells: Vec<String> = {
+                let ctx = self.focus_context(name);
+                variants
+                    .iter()
+                    .map(|&v| {
+                        cc_core::visual::ssim_report(ctx, v)
+                            .map(|r| {
+                                format!("{:.5}{}", r.mean, if r.pass { "" } else { "(*)" })
+                            })
+                            .unwrap_or_else(|| "-".into())
+                    })
+                    .collect()
+            };
+            for (row, cell) in rows.iter_mut().zip(cells) {
+                row.push(cell);
+            }
+        }
+        for row in rows {
+            t.row(row);
+        }
+        self.emit("ssim", &t.render(), Some(&t.to_csv()));
+    }
+
+    // ------------------------------------------------------------------
+    // Figure 4: bias slope-vs-intercept with 95% confidence rectangles.
+    // ------------------------------------------------------------------
+    fn fig4(&mut self) {
+        let mut text = String::new();
+        let mut csv =
+            String::from("variable,method,slope,intercept,slope_lo,slope_hi,int_lo,int_hi,pass\n");
+        for name in FOCUS {
+            let rows: Vec<String> = {
+                let ctx = self.focus_context(name);
+                let mut rows = Vec::new();
+                for variant in Variant::paper_set() {
+                    let v = verdict_for(ctx, variant);
+                    if let Some(reg) = v.bias {
+                        let (slo, shi, ilo, ihi) = reg.confidence_rect();
+                        rows.push(format!(
+                            "{:<10} slope {:7.4} [{:7.4},{:7.4}]  intercept {:+8.5} [{:+8.5},{:+8.5}]  contains(1,0)={} eq9-pass={}",
+                            variant.name(), reg.slope, slo, shi, reg.intercept, ilo, ihi,
+                            reg.contains_ideal(), v.bias_pass
+                        ));
+                        csv.push_str(&format!(
+                            "{name},{},{},{},{},{},{},{},{}\n",
+                            variant.name(),
+                            reg.slope,
+                            reg.intercept,
+                            slo,
+                            shi,
+                            ilo,
+                            ihi,
+                            v.bias_pass
+                        ));
+                    }
+                }
+                rows
+            };
+            text.push_str(&format!("== Figure 4: bias regression, variable {name} ==\n"));
+            for r in rows {
+                text.push_str(&r);
+                text.push('\n');
+            }
+            text.push('\n');
+        }
+        self.emit("fig4", &text, Some(&csv));
+    }
+}

@@ -1,0 +1,266 @@
+//! fpzip for double-precision data — the restart-file path.
+//!
+//! CESM restart files are written in full 8-byte precision and the paper
+//! defers them to future work with *lossless* techniques; Table 1 credits
+//! fpzip with both 32- and 64-bit support. This module supplies the 64-bit
+//! variant: the same monotone integer mapping + 2-D Lorenzo prediction +
+//! Rice-coded residuals as [`crate::fpzip`], over `u64` words with
+//! wrapping prediction arithmetic (differences wrap; decoding wraps back,
+//! so reconstruction is exact at full precision).
+
+use crate::{CodecError, Layout};
+use cc_lossless::bitio::{BitReader, BitWriter};
+
+/// fpzip over `f64` with `p` retained bits (multiple of 8, up to 64;
+/// 64 = lossless).
+#[derive(Debug, Clone, Copy)]
+pub struct Fpzip64 {
+    precision: u8,
+}
+
+impl Fpzip64 {
+    /// Create with `precision ∈ {8, 16, ..., 64}`.
+    pub fn new(precision: u8) -> Self {
+        assert!(
+            precision % 8 == 0 && (8..=64).contains(&precision),
+            "fpzip64 precision must be a multiple of 8 in 8..=64, got {precision}"
+        );
+        Fpzip64 { precision }
+    }
+
+    /// Lossless 64-bit configuration.
+    pub fn lossless() -> Self {
+        Fpzip64::new(64)
+    }
+
+    fn dropped_bits(&self) -> u32 {
+        64 - self.precision as u32
+    }
+
+    /// Compress a double-precision field.
+    pub fn compress(&self, data: &[f64], layout: Layout) -> Vec<u8> {
+        assert_eq!(data.len(), layout.len(), "data length must match layout");
+        let drop = self.dropped_bits();
+        let mask = if drop == 0 { u64::MAX } else { u64::MAX << drop };
+        let npts = layout.npts;
+        let ints: Vec<u64> = data.iter().map(|&v| forward_map64(v) & mask).collect();
+
+        let mut w = BitWriter::new();
+        w.write_bits(self.precision as u64, 8);
+        let mut block: Vec<u64> = Vec::with_capacity(RICE_BLOCK);
+        let flush = |w: &mut BitWriter, block: &mut Vec<u64>| {
+            if block.is_empty() {
+                return;
+            }
+            let k = rice_k_for(block);
+            w.write_bits(k as u64, 6);
+            for &r in block.iter() {
+                w.write_rice(r, k);
+            }
+            block.clear();
+        };
+        for (i, &cur) in ints.iter().enumerate() {
+            let pred = predict(&ints, i, npts);
+            // Wrapping difference, shifted down by the truncation amount
+            // (all values share the 2^drop divisibility).
+            let r = (cur.wrapping_sub(pred)) >> drop;
+            // Interpret as signed in the reduced width for zigzag.
+            let width = 64 - drop;
+            let signed = if width == 64 {
+                r as i64
+            } else {
+                // Sign-extend from `width` bits.
+                ((r << drop) as i64) >> drop
+            };
+            block.push(zigzag(signed));
+            if block.len() == RICE_BLOCK {
+                flush(&mut w, &mut block);
+            }
+        }
+        flush(&mut w, &mut block);
+        w.finish()
+    }
+
+    /// Reconstruct a double-precision field.
+    pub fn decompress(&self, bytes: &[u8], layout: Layout) -> Result<Vec<f64>, CodecError> {
+        let mut r = BitReader::new(bytes);
+        let precision = r.read_bits(8)? as u8;
+        if precision != self.precision {
+            return Err(CodecError::Corrupt("precision header mismatch"));
+        }
+        let drop = self.dropped_bits();
+        let n = layout.len();
+        let npts = layout.npts;
+        let mut ints = vec![0u64; n];
+        let mut i = 0usize;
+        while i < n {
+            let len = RICE_BLOCK.min(n - i);
+            let k = r.read_bits(6)? as u32;
+            if k > 48 {
+                return Err(CodecError::Corrupt("bad rice parameter"));
+            }
+            for _ in 0..len {
+                let signed = unzigzag(r.read_rice(k)?);
+                // The residual's significant bits live above the truncation
+                // point; wrapping shift restores divisibility by 2^drop.
+                let res = (signed as u64).wrapping_shl(drop);
+                let pred = predict(&ints, i, npts);
+                ints[i] = pred.wrapping_add(res);
+                i += 1;
+            }
+        }
+        Ok(ints.into_iter().map(inverse_map64).collect())
+    }
+}
+
+const RICE_BLOCK: usize = 512;
+
+#[inline]
+fn predict(ints: &[u64], i: usize, npts: usize) -> u64 {
+    let lev = i / npts;
+    let p = i % npts;
+    match (lev > 0, p > 0) {
+        (true, true) => ints[i - 1]
+            .wrapping_add(ints[i - npts])
+            .wrapping_sub(ints[i - npts - 1]),
+        (true, false) => ints[i - npts],
+        (false, true) => ints[i - 1],
+        (false, false) => 0,
+    }
+}
+
+#[inline]
+fn forward_map64(v: f64) -> u64 {
+    let bits = v.to_bits();
+    if bits & 0x8000_0000_0000_0000 == 0 {
+        bits | 0x8000_0000_0000_0000
+    } else {
+        !bits
+    }
+}
+
+#[inline]
+fn inverse_map64(m: u64) -> f64 {
+    let bits = if m & 0x8000_0000_0000_0000 != 0 { m & 0x7FFF_FFFF_FFFF_FFFF } else { !m };
+    f64::from_bits(bits)
+}
+
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn rice_k_for(values: &[u64]) -> u32 {
+    let mean = values.iter().map(|&v| v as u128).sum::<u128>() / values.len().max(1) as u128;
+    let mut k = 0u32;
+    while (1u128 << (k + 1)) <= mean + 1 && k < 48 {
+        k += 1;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth(n: usize) -> Vec<f64> {
+        (0..n).map(|i| 250.0 + 30.0 * (i as f64 * 0.01).sin()).collect()
+    }
+
+    #[test]
+    fn map64_roundtrip_and_monotone() {
+        let vals = [-1e300, -1.0, -1e-300, -0.0, 0.0, 1e-300, 1.0, 1e300];
+        let mut prev = None;
+        for &v in &vals {
+            assert_eq!(inverse_map64(forward_map64(v)).to_bits(), v.to_bits());
+            let m = forward_map64(v);
+            if let Some(p) = prev {
+                assert!(m >= p, "monotone at {v}");
+            }
+            prev = Some(m);
+        }
+    }
+
+    #[test]
+    fn lossless_roundtrip_exact() {
+        let data = smooth(3000);
+        let layout = Layout::linear(3000);
+        let codec = Fpzip64::lossless();
+        let bytes = codec.compress(&data, layout);
+        let back = codec.decompress(&bytes, layout).unwrap();
+        for (a, b) in data.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(bytes.len() < data.len() * 8, "smooth f64 should compress");
+    }
+
+    #[test]
+    fn random_doubles_lossless() {
+        let mut state = 9u64;
+        let data: Vec<f64> = (0..5000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                f64::from_bits((state >> 2) | 0x3FF0_0000_0000_0000)
+            })
+            .collect();
+        let layout = Layout::linear(data.len());
+        let codec = Fpzip64::lossless();
+        let back = codec.decompress(&codec.compress(&data, layout), layout).unwrap();
+        for (a, b) in data.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn truncation_bounds_relative_error() {
+        let data = smooth(2000);
+        let layout = Layout::linear(2000);
+        for precision in [32u8, 48] {
+            let codec = Fpzip64::new(precision);
+            let back = codec.decompress(&codec.compress(&data, layout), layout).unwrap();
+            let bound = 2f64.powi(64 - precision as i32 - 52);
+            for (&a, &b) in data.iter().zip(&back) {
+                let rel = ((a - b) / a.abs().max(1e-300)).abs();
+                assert!(rel <= bound, "p={precision}: {a} -> {b} rel {rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn lower_precision_smaller_stream() {
+        let data = smooth(4000);
+        let layout = Layout::linear(4000);
+        let n32 = Fpzip64::new(32).compress(&data, layout).len();
+        let n64 = Fpzip64::new(64).compress(&data, layout).len();
+        assert!(n32 < n64);
+    }
+
+    #[test]
+    fn negative_and_mixed() {
+        let data: Vec<f64> = (0..2000).map(|i| ((i as f64) * 0.03).sin() * 1e5 - 3e4).collect();
+        let layout = Layout::linear(2000);
+        let codec = Fpzip64::lossless();
+        let back = codec.decompress(&codec.compress(&data, layout), layout).unwrap();
+        assert_eq!(data, back);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let data = smooth(1000);
+        let layout = Layout::linear(1000);
+        let codec = Fpzip64::lossless();
+        let bytes = codec.compress(&data, layout);
+        assert!(codec.decompress(&bytes[..bytes.len() / 3], layout).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn bad_precision_rejected() {
+        Fpzip64::new(63);
+    }
+}

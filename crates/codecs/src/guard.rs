@@ -1,0 +1,239 @@
+//! Special-value pre/post-processing for codecs without native support.
+//!
+//! fpzip, ISABELA, and APAX all lack special-value handling (Table 1); the
+//! paper assumes the capability "could be either easily incorporated into
+//! the algorithm or handled through our pre- and post-processing". This is
+//! that pre/post-processing: the 1e35 fill points are recorded in a
+//! run-length-encoded bitmap, replaced by the field's mean (keeping the
+//! stream smooth for the inner codec), and restored exactly after
+//! decompression.
+
+use crate::{Codec, CodecError, CodecProperties, Layout};
+use cc_lossless::bitio::{BitReader, BitWriter};
+
+/// Magnitude at which a value counts as special.
+const SPECIAL_THRESHOLD: f32 = 1.0e30;
+/// The fill value restored on decode.
+const FILL: f32 = 1.0e35;
+
+/// Wrap `inner` with special-value masking/restoration.
+#[derive(Debug, Clone)]
+pub struct SpecialValueGuard<C> {
+    inner: C,
+}
+
+impl<C: Codec> SpecialValueGuard<C> {
+    /// Guard `inner`.
+    pub fn new(inner: C) -> Self {
+        SpecialValueGuard { inner }
+    }
+
+    /// The wrapped codec.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+fn is_special(v: f32) -> bool {
+    !v.is_finite() || v.abs() >= SPECIAL_THRESHOLD
+}
+
+/// RLE-encode a bitmap: alternating run lengths (Rice-coded, k=6) starting
+/// with the "not special" state.
+fn write_bitmap(w: &mut BitWriter, mask: &[bool]) {
+    let mut state = false;
+    let mut run = 0u64;
+    for &m in mask {
+        if m == state {
+            run += 1;
+        } else {
+            w.write_rice(run, 6);
+            state = m;
+            run = 1;
+        }
+    }
+    w.write_rice(run, 6);
+}
+
+fn read_bitmap(r: &mut BitReader<'_>, n: usize) -> Result<Vec<bool>, CodecError> {
+    let mut mask = Vec::with_capacity(n);
+    let mut state = false;
+    while mask.len() < n {
+        let run = r.read_rice(6)? as usize;
+        if run > n - mask.len() {
+            return Err(CodecError::Corrupt("bitmap run overflows field"));
+        }
+        mask.extend(std::iter::repeat_n(state, run));
+        state = !state;
+    }
+    Ok(mask)
+}
+
+impl<C: Codec> Codec for SpecialValueGuard<C> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn properties(&self) -> CodecProperties {
+        // The guard supplies the special-value capability.
+        CodecProperties { special_values: true, ..self.inner.properties() }
+    }
+
+    fn compress(&self, data: &[f32], layout: Layout) -> Vec<u8> {
+        let mask: Vec<bool> = data.iter().map(|&v| is_special(v)).collect();
+        let n_special = mask.iter().filter(|&&m| m).count();
+        let mut w = BitWriter::new();
+        if n_special == 0 {
+            w.write_bit(false);
+            w.align_byte();
+            let mut out = w.finish();
+            out.extend(self.inner.compress(data, layout));
+            return out;
+        }
+        w.write_bit(true);
+        write_bitmap(&mut w, &mask);
+        w.align_byte();
+        // Replace special points with the mean of the rest so the inner
+        // codec sees a smooth, in-range field.
+        let mut sum = 0.0f64;
+        for (&v, &m) in data.iter().zip(&mask) {
+            if !m {
+                sum += v as f64;
+            }
+        }
+        let filler = if n_special == data.len() {
+            0.0f32
+        } else {
+            (sum / (data.len() - n_special) as f64) as f32
+        };
+        let cleaned: Vec<f32> = data
+            .iter()
+            .zip(&mask)
+            .map(|(&v, &m)| if m { filler } else { v })
+            .collect();
+        let mut out = w.finish();
+        out.extend(self.inner.compress(&cleaned, layout));
+        out
+    }
+
+    fn decompress(&self, bytes: &[u8], layout: Layout) -> Result<Vec<f32>, CodecError> {
+        let mut r = BitReader::new(bytes);
+        let has_special = r.read_bit()?;
+        if !has_special {
+            r.align_byte();
+            let offset = r.bits_consumed() / 8;
+            return self.inner.decompress(&bytes[offset..], layout);
+        }
+        let mask = read_bitmap(&mut r, layout.len())?;
+        r.align_byte();
+        let offset = r.bits_consumed() / 8;
+        let mut data = self.inner.decompress(&bytes[offset..], layout)?;
+        if data.len() != mask.len() {
+            return Err(CodecError::LayoutMismatch);
+        }
+        for (v, &m) in data.iter_mut().zip(&mask) {
+            if m {
+                *v = FILL;
+            }
+        }
+        Ok(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apax::Apax;
+    use crate::fpzip::Fpzip;
+    use crate::isabela::Isabela;
+    use crate::roundtrip;
+    use crate::testdata::smooth_field;
+
+    fn with_fills(mut data: Vec<f32>, step: usize) -> Vec<f32> {
+        for i in (0..data.len()).step_by(step) {
+            data[i] = 1.0e35;
+        }
+        data
+    }
+
+    #[test]
+    fn guard_restores_fill_positions_exactly() {
+        let (base, layout) = smooth_field(3000, 1);
+        let data = with_fills(base, 11);
+        let codec = SpecialValueGuard::new(Fpzip::new(16));
+        let (back, _) = roundtrip(&codec, &data, layout);
+        for (i, (&a, &b)) in data.iter().zip(&back).enumerate() {
+            if a == 1.0e35 {
+                assert_eq!(b, 1.0e35, "fill lost at {i}");
+            } else {
+                assert!(b.abs() < 1.0e30, "spurious special at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn guard_transparent_without_specials() {
+        let (data, layout) = smooth_field(2000, 2);
+        let plain = Fpzip::lossless();
+        let guarded = SpecialValueGuard::new(Fpzip::lossless());
+        let (a, na) = roundtrip(&plain, &data, layout);
+        let (b, nb) = roundtrip(&guarded, &data, layout);
+        assert_eq!(a, b);
+        assert!(nb <= na + 8, "guard overhead {nb} vs {na}");
+    }
+
+    #[test]
+    fn guard_works_for_all_inner_codecs() {
+        let (base, layout) = smooth_field(2048, 1);
+        let data = with_fills(base, 17);
+        let check = |codec: &dyn Codec| {
+            let (back, _) = roundtrip(codec, &data, layout);
+            for (&a, &b) in data.iter().zip(&back) {
+                if a == 1.0e35 {
+                    assert_eq!(b, 1.0e35, "{}", codec.name());
+                }
+            }
+        };
+        check(&SpecialValueGuard::new(Fpzip::new(24)));
+        check(&SpecialValueGuard::new(Isabela::new(0.01)));
+        check(&SpecialValueGuard::new(Apax::fixed_rate(4.0)));
+    }
+
+    #[test]
+    fn all_special_field() {
+        let data = vec![1.0e35f32; 600];
+        let layout = Layout::linear(600);
+        let codec = SpecialValueGuard::new(Apax::fixed_rate(2.0));
+        let (back, _) = roundtrip(&codec, &data, layout);
+        assert!(back.iter().all(|&v| v == 1.0e35));
+    }
+
+    #[test]
+    fn guard_reports_special_capability() {
+        let codec = SpecialValueGuard::new(Fpzip::new(16));
+        assert!(codec.properties().special_values);
+        assert!(!codec.inner().properties().special_values);
+    }
+
+    #[test]
+    fn bitmap_rle_roundtrip() {
+        let mask: Vec<bool> = (0..997).map(|i| i % 13 == 0 || (300..350).contains(&i)).collect();
+        let mut w = BitWriter::new();
+        write_bitmap(&mut w, &mask);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(read_bitmap(&mut r, mask.len()).unwrap(), mask);
+    }
+
+    #[test]
+    fn nan_and_inf_treated_as_special() {
+        let (mut data, layout) = smooth_field(1000, 1);
+        data[5] = f32::NAN;
+        data[6] = f32::INFINITY;
+        let codec = SpecialValueGuard::new(Fpzip::lossless());
+        let (back, _) = roundtrip(&codec, &data, layout);
+        // NaN/Inf normalize to the canonical fill on reconstruction.
+        assert_eq!(back[5], 1.0e35);
+        assert_eq!(back[6], 1.0e35);
+    }
+}

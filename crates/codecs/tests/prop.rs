@@ -1,0 +1,157 @@
+//! Property tests for the four lossy codec families: error bounds, exact
+//! rates, special-value preservation, and wavelet invertibility under
+//! arbitrary inputs.
+
+use cc_codecs::apax::Apax;
+use cc_codecs::fpzip::Fpzip;
+use cc_codecs::grib2::Grib2;
+use cc_codecs::guard::SpecialValueGuard;
+use cc_codecs::isabela::Isabela;
+use cc_codecs::wavelet::{fwd53_2d, inv53_2d};
+use cc_codecs::{Codec, Layout};
+use proptest::prelude::*;
+
+fn finite_field(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(
+        prop_oneof![
+            6 => (-1.0e5f32..1.0e5f32),
+            2 => (-1.0f32..1.0f32),
+            1 => (1.0e-12f32..1.0e-8f32),
+            1 => Just(0.0f32),
+        ],
+        1..max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fpzip_lossless_any_finite_field(data in finite_field(3000)) {
+        let layout = Layout::linear(data.len());
+        let codec = Fpzip::lossless();
+        let bytes = codec.compress(&data, layout);
+        let back = codec.decompress(&bytes, layout).unwrap();
+        for (a, b) in data.iter().zip(&back) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn fpzip_truncation_relative_error(data in finite_field(2000), bits in prop::sample::select(vec![16u8, 24])) {
+        let layout = Layout::linear(data.len());
+        let codec = Fpzip::new(bits);
+        let bytes = codec.compress(&data, layout);
+        let back = codec.decompress(&bytes, layout).unwrap();
+        let bound = 2f64.powi(32 - bits as i32 - 23);
+        for (&a, &b) in data.iter().zip(&back) {
+            let rel = ((a as f64 - b as f64) / (a as f64).abs().max(1e-300)).abs();
+            prop_assert!(rel <= bound, "{} -> {} (rel {})", a, b, rel);
+        }
+    }
+
+    #[test]
+    fn isabela_error_bound_any_field(data in finite_field(2500), pct in prop::sample::select(vec![0.001f64, 0.005, 0.01])) {
+        let layout = Layout::linear(data.len());
+        let codec = Isabela::new(pct);
+        let bytes = codec.compress(&data, layout);
+        let back = codec.decompress(&bytes, layout).unwrap();
+        for (&a, &b) in data.iter().zip(&back) {
+            let rel = ((a as f64 - b as f64) / (a as f64).abs().max(1e-30)).abs();
+            prop_assert!(rel <= pct + 1e-9, "{} -> {} (rel {})", a, b, rel);
+        }
+    }
+
+    #[test]
+    fn apax_rate_is_exact_and_decodes(data in finite_field(4000), rate in prop::sample::select(vec![2.0f64, 4.0, 5.0, 6.0, 7.0])) {
+        let layout = Layout::linear(data.len());
+        let codec = Apax::fixed_rate(rate);
+        let bytes = codec.compress(&data, layout);
+        let back = codec.decompress(&bytes, layout).unwrap();
+        prop_assert_eq!(back.len(), data.len());
+        // Full blocks hit the budget exactly; the trailing block has a floor.
+        let full_blocks = data.len() / cc_codecs::apax::BLOCK;
+        if full_blocks > 0 {
+            let expect_full = (cc_codecs::apax::BLOCK as f64 * 32.0 / rate).floor() as usize;
+            prop_assert!(bytes.len() * 8 >= full_blocks * expect_full);
+        }
+    }
+
+    #[test]
+    fn grib2_absolute_error_bound(data in finite_field(2000), d in -1i32..4) {
+        let layout = Layout::linear(data.len());
+        let codec = Grib2::fixed(d);
+        let bytes = codec.compress(&data, layout);
+        let back = codec.decompress(&bytes, layout).unwrap();
+        let bound = 0.5 * 10f64.powi(-d);
+        for (&a, &b) in data.iter().zip(&back) {
+            // f32 casts at 1e5 magnitudes cost a few ulps beyond the bound.
+            let slack = (a.abs() as f64) * 1e-6 + 1e-6;
+            prop_assert!(
+                ((a as f64) - (b as f64)).abs() <= bound + slack,
+                "D={} {} -> {}", d, a, b
+            );
+        }
+    }
+
+    #[test]
+    fn guard_preserves_fill_positions(
+        data in finite_field(2000),
+        fills in prop::collection::vec(any::<prop::sample::Index>(), 0..64),
+    ) {
+        let mut data = data;
+        for ix in &fills {
+            let i = ix.index(data.len());
+            data[i] = 1.0e35;
+        }
+        let codec = SpecialValueGuard::new(Apax::fixed_rate(4.0));
+        let layout = Layout::linear(data.len());
+        let bytes = codec.compress(&data, layout);
+        let back = codec.decompress(&bytes, layout).unwrap();
+        for (i, (&a, &b)) in data.iter().zip(&back).enumerate() {
+            if a == 1.0e35 {
+                prop_assert_eq!(b, 1.0e35, "lost fill at {}", i);
+            } else {
+                prop_assert!(b.abs() < 1.0e30, "spurious fill at {}", i);
+            }
+        }
+    }
+
+    #[test]
+    fn wavelet_2d_is_perfectly_invertible(
+        rows in 1usize..40,
+        cols in 1usize..40,
+        levels in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed | 1;
+        let data: Vec<i64> = (0..rows * cols)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 40) as i64) - (1 << 23)
+            })
+            .collect();
+        let mut t = data.clone();
+        fwd53_2d(&mut t, rows, cols, levels);
+        inv53_2d(&mut t, rows, cols, levels);
+        prop_assert_eq!(t, data);
+    }
+
+    #[test]
+    fn corrupt_streams_error_not_panic(
+        data in finite_field(1200),
+        corrupt_at in any::<prop::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let layout = Layout::linear(data.len());
+        for variant in cc_codecs::Variant::paper_set() {
+            let codec = variant.codec();
+            let mut bytes = codec.compress(&data, layout);
+            if bytes.is_empty() { continue; }
+            let i = corrupt_at.index(bytes.len());
+            bytes[i] ^= xor;
+            // Must terminate without panicking; wrong data or Err both fine.
+            let _ = codec.decompress(&bytes, layout);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Analysis diagnostics for comparing original and reconstructed fields —
+//! the post-processing views climate scientists actually look at (zonal
+//! means, vertical profiles), in the spirit of NCAR's later `ldcpy`
+//! package that grew out of this paper's line of work.
+//!
+//! "If the reconstructed and the original climate simulation data are
+//! indistinguishable during the post-processing analysis, which includes
+//! both visualization and analytics, then the effects of compression fit
+//! within the natural variability of the system" (Section 1). These
+//! diagnostics are that analytics side: if compression moved a zonal mean
+//! or a vertical profile visibly, it shows up here first.
+
+use cc_grid::Grid;
+use cc_metrics::is_special;
+
+/// Area-weighted zonal (latitude-band) means of a horizontal field.
+/// Returns `nbands` values from south to north; bands with no valid data
+/// are NaN.
+pub fn zonal_mean(grid: &Grid, field: &[f32], nbands: usize) -> Vec<f64> {
+    assert_eq!(field.len(), grid.len(), "field/grid mismatch");
+    assert!(nbands >= 1);
+    let mut num = vec![0.0f64; nbands];
+    let mut den = vec![0.0f64; nbands];
+    let half_pi = std::f64::consts::FRAC_PI_2;
+    for (i, p) in grid.points().iter().enumerate() {
+        if is_special(field[i]) {
+            continue;
+        }
+        let band = (((p.lat + half_pi) / std::f64::consts::PI) * nbands as f64) as usize;
+        let band = band.min(nbands - 1);
+        num[band] += p.area * field[i] as f64;
+        den[band] += p.area;
+    }
+    num.iter()
+        .zip(&den)
+        .map(|(&n, &d)| if d > 0.0 { n / d } else { f64::NAN })
+        .collect()
+}
+
+/// Per-level horizontal means of a level-major 3-D field (vertical
+/// profile), area-weighted, special values skipped.
+pub fn vertical_profile(grid: &Grid, field: &[f32], nlev: usize) -> Vec<f64> {
+    assert_eq!(field.len(), grid.len() * nlev, "field/levels mismatch");
+    (0..nlev)
+        .map(|lev| {
+            let level = &field[lev * grid.len()..(lev + 1) * grid.len()];
+            grid.weighted_mean(level, |i| !is_special(level[i]))
+        })
+        .collect()
+}
+
+/// Worst absolute difference between two diagnostic series (NaN bands are
+/// skipped — both sides must be NaN together or the band counts as a
+/// difference of infinity).
+pub fn series_max_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let mut worst = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        match (x.is_nan(), y.is_nan()) {
+            (true, true) => {}
+            (false, false) => worst = worst.max((x - y).abs()),
+            _ => return f64::INFINITY,
+        }
+    }
+    worst
+}
+
+/// Compare original and reconstructed fields through the analyst's lenses:
+/// returns `(zonal_mean_max_diff, vertical_profile_max_diff)` for a 3-D
+/// field (vertical diff is 0.0 for `nlev == 1`).
+pub fn analysis_drift(
+    grid: &Grid,
+    orig: &[f32],
+    recon: &[f32],
+    nlev: usize,
+    nbands: usize,
+) -> (f64, f64) {
+    let zo = zonal_mean(grid, &orig[..grid.len()], nbands);
+    let zr = zonal_mean(grid, &recon[..grid.len()], nbands);
+    let zdiff = series_max_diff(&zo, &zr);
+    let vdiff = if nlev > 1 {
+        let po = vertical_profile(grid, orig, nlev);
+        let pr = vertical_profile(grid, recon, nlev);
+        series_max_diff(&po, &pr)
+    } else {
+        0.0
+    };
+    (zdiff, vdiff)
+}
+
+/// Relative change in the spherical-gradient RMS introduced by
+/// compression, per level; the "field gradients" verification metric from
+/// the paper's future work, computed with the tangent-plane operator from
+/// `cc_grid::operators` rather than scan-order differences.
+pub fn gradient_drift(
+    grid: &Grid,
+    orig: &[f32],
+    recon: &[f32],
+    nlev: usize,
+    neighbors: &[Vec<u32>],
+) -> Vec<f64> {
+    assert_eq!(orig.len(), recon.len());
+    assert_eq!(orig.len(), grid.len() * nlev);
+    (0..nlev)
+        .map(|lev| {
+            let a = &orig[lev * grid.len()..(lev + 1) * grid.len()];
+            let b = &recon[lev * grid.len()..(lev + 1) * grid.len()];
+            let ga = cc_grid::operators::gradient_rms(grid, a, neighbors, |i| is_special(a[i]));
+            let gb = cc_grid::operators::gradient_rms(grid, b, neighbors, |i| is_special(a[i]));
+            if ga == 0.0 {
+                0.0
+            } else {
+                (gb - ga) / ga
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_grid::Resolution;
+
+    fn grid() -> Grid {
+        Grid::build(Resolution::reduced(3, 3))
+    }
+
+    #[test]
+    fn zonal_mean_of_constant_field() {
+        let g = grid();
+        let field = vec![5.0f32; g.len()];
+        for (band, m) in zonal_mean(&g, &field, 8).iter().enumerate() {
+            assert!((m - 5.0).abs() < 1e-9, "band {band}: {m}");
+        }
+    }
+
+    #[test]
+    fn zonal_mean_tracks_latitude_gradient() {
+        let g = grid();
+        let field: Vec<f32> = g.points().iter().map(|p| p.lat.sin() as f32).collect();
+        let zm = zonal_mean(&g, &field, 6);
+        // Monotone increasing from south to north.
+        for w in zm.windows(2) {
+            assert!(w[1] > w[0], "zonal means not monotone: {zm:?}");
+        }
+    }
+
+    #[test]
+    fn zonal_mean_skips_specials() {
+        let g = grid();
+        let mut field = vec![1.0f32; g.len()];
+        for i in (0..g.len()).step_by(3) {
+            field[i] = 1.0e35;
+        }
+        for m in zonal_mean(&g, &field, 4) {
+            assert!((m - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn vertical_profile_per_level() {
+        let g = grid();
+        let nlev = 3;
+        let mut field = Vec::new();
+        for lev in 0..nlev {
+            field.extend(std::iter::repeat_n(lev as f32 * 10.0, g.len()));
+        }
+        let p = vertical_profile(&g, &field, nlev);
+        assert_eq!(p.len(), 3);
+        for (lev, v) in p.iter().enumerate() {
+            assert!((v - lev as f64 * 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn series_diff_semantics() {
+        assert_eq!(series_max_diff(&[1.0, 2.0], &[1.0, 2.5]), 0.5);
+        assert_eq!(series_max_diff(&[f64::NAN], &[f64::NAN]), 0.0);
+        assert_eq!(series_max_diff(&[1.0], &[f64::NAN]), f64::INFINITY);
+    }
+
+    #[test]
+    fn analysis_drift_zero_for_identical() {
+        let g = grid();
+        let nlev = 2;
+        let field: Vec<f32> =
+            (0..g.len() * nlev).map(|i| (i as f32 * 0.01).sin() * 50.0).collect();
+        let (z, v) = analysis_drift(&g, &field, &field, nlev, 8);
+        assert_eq!(z, 0.0);
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn analysis_drift_detects_offset() {
+        let g = grid();
+        let field: Vec<f32> = (0..g.len()).map(|i| i as f32 * 0.1).collect();
+        let shifted: Vec<f32> = field.iter().map(|&v| v + 2.0).collect();
+        let (z, _) = analysis_drift(&g, &field, &shifted, 1, 8);
+        assert!((z - 2.0).abs() < 1e-5, "zonal drift {z}");
+    }
+
+    #[test]
+    fn gradient_drift_zero_for_exact_and_positive_for_noise() {
+        let g = grid();
+        let nb = cc_grid::operators::neighbor_lists(&g, 6);
+        let field: Vec<f32> = g.points().iter().map(|p| (2.0 * p.lat).sin() as f32).collect();
+        let d = gradient_drift(&g, &field, &field, 1, &nb);
+        assert_eq!(d, vec![0.0]);
+        // Additive high-frequency noise inflates gradients.
+        let mut state = 5u64;
+        let noisy: Vec<f32> = field
+            .iter()
+            .map(|&v| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                v + ((state >> 40) as f32 / 1.6e7 - 0.5) * 1.0
+            })
+            .collect();
+        let d = gradient_drift(&g, &field, &noisy, 1, &nb);
+        assert!(d[0] > 0.15, "noise must inflate gradients: {}", d[0]);
+    }
+}

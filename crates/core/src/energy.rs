@@ -1,0 +1,135 @@
+//! Global energy-budget verification (the paper's stated future work).
+//!
+//! "We plan to extend our verification metrics to evaluate the impact of
+//! compression on global energy budget calculations as well as on field
+//! gradients." This module implements a simplified version of both:
+//!
+//! * the **top-of-atmosphere energy balance** — the area-weighted global
+//!   residual `FSNT − FLNT` (net shortwave in minus net longwave out),
+//!   the headline number of a climate model's energy budget. Compression
+//!   passes when the reconstructed budget moves by less than a threshold;
+//! * a **field-gradient check** — the RMS of nearest-index differences
+//!   (a proxy for horizontal gradients on the latitude-major ordering),
+//!   which lossy compression can inflate through blocking artifacts.
+
+use cc_grid::Grid;
+use cc_metrics::is_special;
+
+/// Area-weighted global mean of a 2-D field, skipping special values.
+pub fn global_mean(grid: &Grid, field: &[f32]) -> f64 {
+    grid.weighted_mean(field, |i| !is_special(field[i]))
+}
+
+/// Top-of-atmosphere energy residual: `mean(FSNT) − mean(FLNT)` in W/m².
+pub fn toa_residual(grid: &Grid, fsnt: &[f32], flnt: &[f32]) -> f64 {
+    global_mean(grid, fsnt) - global_mean(grid, flnt)
+}
+
+/// Energy-budget drift between original and reconstructed flux fields.
+/// Returns `(original_residual, reconstructed_residual, drift)`.
+pub fn budget_drift(
+    grid: &Grid,
+    fsnt: &[f32],
+    flnt: &[f32],
+    fsnt_recon: &[f32],
+    flnt_recon: &[f32],
+) -> (f64, f64, f64) {
+    let orig = toa_residual(grid, fsnt, flnt);
+    let recon = toa_residual(grid, fsnt_recon, flnt_recon);
+    (orig, recon, (recon - orig).abs())
+}
+
+/// Acceptance threshold for budget drift: 0.1 W/m² — an order of magnitude
+/// below the ~1 W/m² imbalance climate scientists track.
+pub const BUDGET_DRIFT_MAX: f64 = 0.1;
+
+/// RMS of consecutive-point differences along the latitude-major scan —
+/// a cheap proxy for horizontal gradient magnitude.
+pub fn gradient_rms(field: &[f32]) -> f64 {
+    let mut acc = 0.0f64;
+    let mut n = 0usize;
+    for w in field.windows(2) {
+        if is_special(w[0]) || is_special(w[1]) {
+            continue;
+        }
+        let d = (w[1] - w[0]) as f64;
+        acc += d * d;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (acc / n as f64).sqrt()
+    }
+}
+
+/// Relative change in gradient RMS introduced by compression.
+pub fn gradient_inflation(orig: &[f32], recon: &[f32]) -> f64 {
+    let g0 = gradient_rms(orig);
+    let g1 = gradient_rms(recon);
+    if g0 == 0.0 {
+        0.0
+    } else {
+        (g1 - g0) / g0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_grid::Resolution;
+
+    fn grid() -> Grid {
+        Grid::build(Resolution::reduced(2, 2))
+    }
+
+    #[test]
+    fn toa_residual_of_constant_fluxes() {
+        let g = grid();
+        let fsnt = vec![240.0f32; g.len()];
+        let flnt = vec![235.0f32; g.len()];
+        let r = toa_residual(&g, &fsnt, &flnt);
+        assert!((r - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lossless_reconstruction_has_zero_drift() {
+        let g = grid();
+        let fsnt: Vec<f32> = (0..g.len()).map(|i| 240.0 + (i as f32 * 0.1).sin()).collect();
+        let flnt: Vec<f32> = (0..g.len()).map(|i| 235.0 + (i as f32 * 0.2).cos()).collect();
+        let (o, r, d) = budget_drift(&g, &fsnt, &flnt, &fsnt, &flnt);
+        assert_eq!(o, r);
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn biased_reconstruction_detected() {
+        let g = grid();
+        let fsnt = vec![240.0f32; g.len()];
+        let flnt = vec![235.0f32; g.len()];
+        let fsnt_biased: Vec<f32> = fsnt.iter().map(|v| v + 0.5).collect();
+        let (_, _, d) = budget_drift(&g, &fsnt, &flnt, &fsnt_biased, &flnt);
+        assert!((d - 0.5).abs() < 1e-6);
+        assert!(d > BUDGET_DRIFT_MAX);
+    }
+
+    #[test]
+    fn gradient_rms_detects_smoothing_and_noise() {
+        let smooth: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.01).sin()).collect();
+        let g0 = gradient_rms(&smooth);
+        // Quantized (blocky) version has different gradient content.
+        let blocky: Vec<f32> = smooth.iter().map(|v| (v * 10.0).round() / 10.0).collect();
+        let g1 = gradient_rms(&blocky);
+        assert!(g0 > 0.0 && g1 > 0.0);
+        assert!(gradient_inflation(&smooth, &blocky).abs() > 0.01);
+        assert_eq!(gradient_inflation(&smooth, &smooth), 0.0);
+    }
+
+    #[test]
+    fn special_values_skipped_in_gradients() {
+        let field = vec![1.0f32, 1.0e35, 2.0, 3.0];
+        let g = gradient_rms(&field);
+        // Only the (2,3) pair is usable.
+        assert!((g - 1.0).abs() < 1e-9);
+    }
+}

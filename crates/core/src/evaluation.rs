@@ -1,0 +1,427 @@
+//! The verification pipeline: Section 4's metrics and Section 4.3's four
+//! acceptance tests, applied per variable per compression configuration.
+//!
+//! For each variable the pipeline builds a [`VariableContext`] — the
+//! member fields, the leave-one-out ensemble statistics, the 101-score RMSZ
+//! and E_nmax distributions — once, then scores any number of codec
+//! variants against it. A variant's [`VariableVerdict`] records the four
+//! pass/fail outcomes the paper tallies in Table 6:
+//!
+//! 1. **ρ** — Pearson correlation ≥ 0.99999 on the sampled members;
+//! 2. **RMSZ ens.** — reconstruction in-distribution and within 1/10 of the
+//!    original score (eq. 8);
+//! 3. **E_nmax ens.** — normalized max pointwise error at most 1/10 of the
+//!    ensemble's pairwise-difference range (eq. 11);
+//! 4. **bias** — 95%-confidence worst-case regression slope within 0.05 of
+//!    1 over the full reconstructed ensemble (eq. 9).
+
+use crate::par::par_map;
+use cc_codecs::{Layout, Variant};
+use cc_metrics::{ErrorMetrics, PEARSON_THRESHOLD};
+use cc_model::{Model, VariableSpec};
+use cc_pvt::{enmax_test, rmsz_test, BiasRegression, EnsembleStats, ScoreDistribution};
+
+/// Evaluation configuration.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Ensemble size (101 in the paper; smaller for quick runs).
+    pub members: usize,
+    /// How many members are sampled for the per-member tests ("generally
+    /// three is sufficient").
+    pub samples: usize,
+    /// Worker threads for the per-variable sweep.
+    pub workers: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            members: cc_model::ENSEMBLE_SIZE,
+            samples: 3,
+            workers: crate::par::default_workers(),
+        }
+    }
+}
+
+impl EvalConfig {
+    /// A reduced configuration for tests and smoke runs.
+    pub fn quick(members: usize) -> Self {
+        EvalConfig { members, samples: 3, workers: crate::par::default_workers() }
+    }
+
+    /// Deterministically pick the sampled member indices (the paper picks
+    /// three at random; we derive them from the model seed).
+    pub fn sample_indices(&self, seed: u64) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.samples);
+        let mut h = seed ^ 0x5A4D;
+        let mut k = 0usize;
+        while out.len() < self.samples.min(self.members) {
+            h = cc_model::rng::mix64(h.wrapping_add(k as u64));
+            let idx = (h % self.members as u64) as usize;
+            if !out.contains(&idx) {
+                out.push(idx);
+            }
+            k += 1;
+        }
+        out
+    }
+}
+
+/// Everything the four tests need about one variable, built once.
+pub struct VariableContext {
+    /// Registry index.
+    pub var: usize,
+    /// Variable spec.
+    pub spec: VariableSpec,
+    /// Codec layout for this variable's fields.
+    pub layout: Layout,
+    /// All member fields (original data).
+    pub fields: Vec<Vec<f32>>,
+    /// Leave-one-out ensemble statistics over `fields`.
+    pub stats: EnsembleStats,
+    /// RMSZ score of each original member against its sub-ensemble.
+    pub rmsz_orig: ScoreDistribution,
+    /// E_nmax of each member against its sub-ensemble (eq. 10).
+    pub enmax_dist: ScoreDistribution,
+    /// Indices of the sampled members.
+    pub sample_idx: Vec<usize>,
+}
+
+impl VariableContext {
+    /// Build the context for `var`: synthesize every member's field and
+    /// derive the ensemble distributions.
+    pub fn build(model: &Model, config: &EvalConfig, var: usize) -> Self {
+        let spec = model.registry()[var].clone();
+        let nlev = model.var_nlev(var);
+        let layout = Layout::for_grid(model.grid(), nlev);
+        let npts = layout.len();
+
+        let members: Vec<usize> = (0..config.members).collect();
+        let fields: Vec<Vec<f32>> = par_map(&members, |&m| {
+            let member = model.member(m);
+            model.synthesize(&member, var).data
+        });
+
+        let mut stats = EnsembleStats::new(npts);
+        for f in &fields {
+            stats.add_member(f);
+        }
+        let rmsz: Vec<f64> = fields
+            .iter()
+            .map(|f| stats.rmsz_excluding(f, f).unwrap_or(0.0))
+            .collect();
+        let enmax: Vec<f64> = fields
+            .iter()
+            .map(|f| stats.enmax_excluding(f).unwrap_or(0.0))
+            .collect();
+
+        VariableContext {
+            var,
+            spec,
+            layout,
+            fields,
+            stats,
+            rmsz_orig: ScoreDistribution::new(rmsz),
+            enmax_dist: ScoreDistribution::new(enmax),
+            sample_idx: config.sample_indices(model.seed()),
+        }
+    }
+
+    /// Uncompressed bytes of one member's field.
+    pub fn raw_bytes(&self) -> usize {
+        self.layout.len() * 4
+    }
+}
+
+/// The four test outcomes (and supporting measurements) for one variable
+/// under one codec variant.
+#[derive(Debug, Clone)]
+pub struct VariableVerdict {
+    /// Registry index.
+    pub var: usize,
+    /// Variable name.
+    pub name: String,
+    /// Variant evaluated.
+    pub variant: Variant,
+    /// Compression ratio (compressed / original), averaged over samples.
+    pub cr: f64,
+    /// Error metrics averaged over the sampled members (`None` for a
+    /// degenerate/constant field).
+    pub metrics: Option<ErrorMetrics>,
+    /// Test 1: Pearson ρ ≥ 0.99999 on every sampled member.
+    pub pearson_pass: bool,
+    /// Test 2: RMSZ ensemble test on every sampled member.
+    pub rmsz_pass: bool,
+    /// Test 3: E_nmax ensemble test on every sampled member.
+    pub enmax_pass: bool,
+    /// Test 4: bias regression over the full reconstructed ensemble.
+    pub bias_pass: bool,
+    /// The fitted bias regression (for Figure 4).
+    pub bias: Option<BiasRegression>,
+    /// Per-sample (original RMSZ, reconstructed RMSZ) pairs (Figure 2).
+    pub sample_rmsz: Vec<(f64, f64)>,
+    /// Per-sample e_nmax values (Figure 3).
+    pub sample_enmax: Vec<f64>,
+}
+
+impl VariableVerdict {
+    /// Pass on all four tests (the "all" column of Table 6).
+    pub fn all_pass(&self) -> bool {
+        self.pearson_pass && self.rmsz_pass && self.enmax_pass && self.bias_pass
+    }
+}
+
+/// Score one variant against a prepared variable context.
+pub fn verdict_for(ctx: &VariableContext, variant: Variant) -> VariableVerdict {
+    let codec = variant.codec();
+    let layout = ctx.layout;
+
+    // --- Per-sample metrics and tests (ρ, RMSZ, E_nmax, CR). -----------
+    let mut pearson_pass = true;
+    let mut rmsz_pass = true;
+    let mut enmax_pass = true;
+    let mut cr_sum = 0.0;
+    let mut sample_rmsz = Vec::new();
+    let mut sample_enmax = Vec::new();
+    let mut metric_acc: Vec<ErrorMetrics> = Vec::new();
+
+    for &m in &ctx.sample_idx {
+        let orig = &ctx.fields[m];
+        let bytes = codec.compress(orig, layout);
+        cr_sum += bytes.len() as f64 / ctx.raw_bytes() as f64;
+        let recon = codec.decompress(&bytes, layout).expect("own stream decodes");
+
+        if let Some(em) = ErrorMetrics::compare(orig, &recon) {
+            if em.pearson < PEARSON_THRESHOLD && !em.is_exact() {
+                pearson_pass = false;
+            }
+            let zo = ctx.stats.rmsz_excluding(orig, orig).unwrap_or(0.0);
+            let zr = ctx.stats.rmsz_excluding(orig, &recon).unwrap_or(zo);
+            sample_rmsz.push((zo, zr));
+            if !rmsz_test(&ctx.rmsz_orig, zo, zr).passed() {
+                rmsz_pass = false;
+            }
+            sample_enmax.push(em.e_nmax);
+            if !enmax_test(&ctx.enmax_dist, em.e_nmax).passed() {
+                enmax_pass = false;
+            }
+            metric_acc.push(em);
+        }
+        // Degenerate fields (no comparable points / zero range) have
+        // nothing to distinguish: tests vacuously pass.
+    }
+    let n_samples = ctx.sample_idx.len().max(1) as f64;
+    let cr = cr_sum / n_samples;
+
+    // --- Bias test over the full reconstructed ensemble. ---------------
+    // Reconstruct every member, build the reconstructed-ensemble stats Ẽ,
+    // score each reconstruction against Ẽ, and regress on the original
+    // scores (Section 4.3's procedure for Figure 4).
+    let (bias, bias_pass) = if variant.is_lossless() {
+        // Bit-exact reconstruction: slope exactly 1, trivially unbiased.
+        (None, true)
+    } else {
+        let recons: Vec<Vec<f32>> = par_map(&ctx.fields, |orig| {
+            let bytes = codec.compress(orig, layout);
+            codec.decompress(&bytes, layout).expect("own stream decodes")
+        });
+        let mut recon_stats = EnsembleStats::new(layout.len());
+        for r in &recons {
+            recon_stats.add_member(r);
+        }
+        let y: Vec<f64> = recons
+            .iter()
+            .map(|r| recon_stats.rmsz_excluding(r, r).unwrap_or(0.0))
+            .collect();
+        let x = ctx.rmsz_orig.scores().to_vec();
+        let spread = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - x.iter().cloned().fold(f64::INFINITY, f64::min);
+        if spread <= 1e-9 {
+            // Degenerate: no variance to regress on.
+            (None, true)
+        } else {
+            let reg = BiasRegression::fit(&x, &y);
+            let pass = reg.passes();
+            (Some(reg), pass)
+        }
+    };
+
+    let metrics = average_metrics(&metric_acc);
+    VariableVerdict {
+        var: ctx.var,
+        name: ctx.spec.name.to_string(),
+        variant,
+        cr,
+        metrics,
+        pearson_pass,
+        rmsz_pass,
+        enmax_pass,
+        bias_pass,
+        bias,
+        sample_rmsz,
+        sample_enmax,
+    }
+}
+
+fn average_metrics(ms: &[ErrorMetrics]) -> Option<ErrorMetrics> {
+    if ms.is_empty() {
+        return None;
+    }
+    let n = ms.len() as f64;
+    Some(ErrorMetrics {
+        e_max: ms.iter().map(|m| m.e_max).sum::<f64>() / n,
+        e_nmax: ms.iter().map(|m| m.e_nmax).sum::<f64>() / n,
+        rmse: ms.iter().map(|m| m.rmse).sum::<f64>() / n,
+        nrmse: ms.iter().map(|m| m.nrmse).sum::<f64>() / n,
+        psnr: ms.iter().map(|m| m.psnr).fold(f64::INFINITY, f64::min),
+        pearson: ms.iter().map(|m| m.pearson).fold(f64::INFINITY, f64::min),
+        count: ms[0].count,
+    })
+}
+
+/// The full evaluation driver: a model plus a config.
+pub struct Evaluation {
+    /// The data source.
+    pub model: Model,
+    /// Ensemble/sampling configuration.
+    pub config: EvalConfig,
+}
+
+impl Evaluation {
+    /// Create an evaluation over `model`.
+    pub fn new(model: Model, config: EvalConfig) -> Self {
+        Evaluation { model, config }
+    }
+
+    /// Build the context for one variable.
+    pub fn context(&self, var: usize) -> VariableContext {
+        VariableContext::build(&self.model, &self.config, var)
+    }
+
+    /// Evaluate one variant over every registry variable (Table 6 row).
+    /// Contexts are built per variable and dropped immediately, so memory
+    /// stays bounded by one variable's ensemble.
+    pub fn evaluate_all(&self, variant: Variant) -> Vec<VariableVerdict> {
+        let vars: Vec<usize> = (0..self.model.registry().len()).collect();
+        // Parallelism lives inside context building (over members); the
+        // outer loop stays sequential to bound memory.
+        vars.iter()
+            .map(|&v| {
+                let ctx = self.context(v);
+                verdict_for(&ctx, variant)
+            })
+            .collect()
+    }
+
+    /// Tally a Table 6 row: passes per test plus the all-four count.
+    pub fn tally(verdicts: &[VariableVerdict]) -> TestTally {
+        TestTally {
+            pearson: verdicts.iter().filter(|v| v.pearson_pass).count(),
+            rmsz: verdicts.iter().filter(|v| v.rmsz_pass).count(),
+            enmax: verdicts.iter().filter(|v| v.enmax_pass).count(),
+            bias: verdicts.iter().filter(|v| v.bias_pass).count(),
+            all: verdicts.iter().filter(|v| v.all_pass()).count(),
+            total: verdicts.len(),
+        }
+    }
+}
+
+/// A Table 6 row: number of variables passing each test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TestTally {
+    /// Pearson-correlation passes.
+    pub pearson: usize,
+    /// RMSZ-ensemble passes.
+    pub rmsz: usize,
+    /// E_nmax-ensemble passes.
+    pub enmax: usize,
+    /// Bias-test passes.
+    pub bias: usize,
+    /// Variables passing all four.
+    pub all: usize,
+    /// Total variables evaluated.
+    pub total: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_grid::Resolution;
+
+    fn tiny_eval() -> Evaluation {
+        let model = Model::new(Resolution::reduced(2, 2), 13);
+        Evaluation::new(model, EvalConfig::quick(9))
+    }
+
+    #[test]
+    fn context_builds_distributions() {
+        let ev = tiny_eval();
+        let u = ev.model.var_id("U").unwrap();
+        let ctx = ev.context(u);
+        assert_eq!(ctx.fields.len(), 9);
+        assert_eq!(ctx.rmsz_orig.scores().len(), 9);
+        assert_eq!(ctx.enmax_dist.scores().len(), 9);
+        // RMSZ of in-ensemble members is O(1).
+        for &z in ctx.rmsz_orig.scores() {
+            assert!(z > 0.1 && z < 5.0, "RMSZ {z}");
+        }
+        assert_eq!(ctx.sample_idx.len(), 3);
+    }
+
+    #[test]
+    fn lossless_variant_passes_everything() {
+        let ev = tiny_eval();
+        let u = ev.model.var_id("U").unwrap();
+        let ctx = ev.context(u);
+        let v = verdict_for(&ctx, Variant::NetCdf4);
+        assert!(v.all_pass(), "{v:?}");
+        assert!(v.metrics.unwrap().is_exact());
+    }
+
+    #[test]
+    fn gentle_compression_passes_smooth_variable() {
+        let ev = tiny_eval();
+        let u = ev.model.var_id("U").unwrap();
+        let ctx = ev.context(u);
+        let v = verdict_for(&ctx, Variant::Apax { rate: 2.0 });
+        assert!(v.pearson_pass, "APAX-2 on U: rho failed");
+        assert!(v.rmsz_pass, "APAX-2 on U: rmsz failed");
+        assert!(v.cr < 0.55 && v.cr > 0.45, "fixed rate 2 ⇒ CR ≈ 0.5: {}", v.cr);
+    }
+
+    #[test]
+    fn brutal_quantization_fails_tests() {
+        let ev = tiny_eval();
+        let ts = ev.model.var_id("TS").unwrap();
+        let ctx = ev.context(ts);
+        // D = -2 quantizes temperature to ~100 K steps: catastrophic.
+        let v = verdict_for(&ctx, Variant::Grib2 { decimal_scale: Some(-2) });
+        assert!(!v.all_pass(), "coarse quantization must fail");
+    }
+
+    #[test]
+    fn sample_indices_deterministic_and_distinct() {
+        let c = EvalConfig::quick(20);
+        let a = c.sample_indices(42);
+        let b = c.sample_indices(42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert!(a[0] != a[1] && a[1] != a[2] && a[0] != a[2]);
+        assert!(a.iter().all(|&i| i < 20));
+    }
+
+    #[test]
+    fn tally_counts() {
+        let ev = tiny_eval();
+        let u = ev.model.var_id("U").unwrap();
+        let fsdsc = ev.model.var_id("FSDSC").unwrap();
+        let verdicts = vec![
+            verdict_for(&ev.context(u), Variant::NetCdf4),
+            verdict_for(&ev.context(fsdsc), Variant::NetCdf4),
+        ];
+        let t = Evaluation::tally(&verdicts);
+        assert_eq!(t.total, 2);
+        assert_eq!(t.all, 2);
+        assert_eq!(t.pearson, 2);
+    }
+}

@@ -1,0 +1,226 @@
+//! Section 5.4: per-variable customization into "hybrid" methods.
+//!
+//! "We choose the variant of each method (i.e., level of compression) for
+//! each variable that yields the best CR and passes all of our tests,
+//! choosing a lossless variant if necessary." Each family walks its ladder
+//! from the most aggressive variant towards the lossless fallback
+//! (fpzip-32 for fpzip; NetCDF-4 for ISABELA, GRIB2, and APAX), stopping
+//! at the first variant whose [`VariableVerdict`] passes all four tests.
+//!
+//! The output reproduces Table 7 (per-method aggregate statistics, plus
+//! the all-lossless "NC" column) and Table 8 (how many variables each
+//! variant serves).
+
+use crate::evaluation::{verdict_for, Evaluation, VariableVerdict};
+use cc_codecs::{Family, Variant};
+use std::collections::BTreeMap;
+
+/// The variant chosen for one variable by one family's ladder.
+#[derive(Debug, Clone)]
+pub struct HybridChoice {
+    /// Variable name.
+    pub name: String,
+    /// The chosen variant (always the family's lossless fallback if
+    /// nothing else passes).
+    pub variant: Variant,
+    /// The verdict that justified the choice.
+    pub verdict: VariableVerdict,
+}
+
+/// A full hybrid method: one choice per variable.
+#[derive(Debug, Clone)]
+pub struct HybridResult {
+    /// The method family.
+    pub family: Option<Family>,
+    /// Display name ("GRIB2", "ISABELA", "fpzip", "APAX", or "NC").
+    pub label: String,
+    /// Per-variable choices.
+    pub choices: Vec<HybridChoice>,
+}
+
+impl HybridResult {
+    /// Table 7 row: average / best / worst CR over all variables.
+    pub fn cr_stats(&self) -> (f64, f64, f64) {
+        let crs: Vec<f64> = self.choices.iter().map(|c| c.verdict.cr).collect();
+        let avg = crs.iter().sum::<f64>() / crs.len().max(1) as f64;
+        let best = crs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let worst = crs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        (avg, best, worst)
+    }
+
+    /// Table 7: average Pearson ρ (exact reconstructions count as 1).
+    pub fn avg_pearson(&self) -> f64 {
+        let vals: Vec<f64> = self
+            .choices
+            .iter()
+            .map(|c| c.verdict.metrics.map(|m| m.pearson).unwrap_or(1.0))
+            .collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    }
+
+    /// Table 7: average NRMSE.
+    pub fn avg_nrmse(&self) -> f64 {
+        let vals: Vec<f64> = self
+            .choices
+            .iter()
+            .map(|c| c.verdict.metrics.map(|m| m.nrmse).unwrap_or(0.0))
+            .collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    }
+
+    /// Table 7: average e_nmax.
+    pub fn avg_enmax(&self) -> f64 {
+        let vals: Vec<f64> = self
+            .choices
+            .iter()
+            .map(|c| c.verdict.metrics.map(|m| m.e_nmax).unwrap_or(0.0))
+            .collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    }
+
+    /// Table 8: how many variables each variant serves, in ladder order.
+    pub fn composition(&self) -> Vec<(String, usize)> {
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        for c in &self.choices {
+            *counts.entry(c.variant.name()).or_insert(0) += 1;
+        }
+        // Order by the family ladder (then the fallback).
+        let order: Vec<String> = match self.family {
+            Some(f) => Variant::ladder(f).iter().map(|v| v.name()).collect(),
+            None => vec!["NetCDF-4".to_string()],
+        };
+        order
+            .into_iter()
+            .filter_map(|name| counts.remove(&name).map(|n| (name, n)))
+            .collect()
+    }
+
+    /// Every chosen variant passed all four tests (hybrid invariant).
+    pub fn all_choices_pass(&self) -> bool {
+        self.choices.iter().all(|c| c.verdict.all_pass())
+    }
+}
+
+/// Build the hybrid method for one family over every variable.
+pub fn build_hybrid(eval: &Evaluation, family: Family) -> HybridResult {
+    let ladder = Variant::ladder(family);
+    let nvars = eval.model.registry().len();
+    let mut choices = Vec::with_capacity(nvars);
+    for var in 0..nvars {
+        let ctx = eval.context(var);
+        let mut chosen: Option<(Variant, VariableVerdict)> = None;
+        for &variant in &ladder {
+            let verdict = verdict_for(&ctx, variant);
+            let ok = verdict.all_pass();
+            chosen = Some((variant, verdict));
+            if ok {
+                break;
+            }
+        }
+        let (variant, verdict) = chosen.expect("ladder is never empty");
+        choices.push(HybridChoice { name: verdict.name.clone(), variant, verdict });
+    }
+    HybridResult { family: Some(family), label: family.name().to_string(), choices }
+}
+
+/// The "NC" column of Table 7: NetCDF-4 lossless on every variable.
+pub fn build_nc_baseline(eval: &Evaluation) -> HybridResult {
+    let nvars = eval.model.registry().len();
+    let mut choices = Vec::with_capacity(nvars);
+    for var in 0..nvars {
+        let ctx = eval.context(var);
+        let verdict = verdict_for(&ctx, Variant::NetCdf4);
+        choices.push(HybridChoice {
+            name: verdict.name.clone(),
+            variant: Variant::NetCdf4,
+            verdict,
+        });
+    }
+    HybridResult { family: None, label: "NC".to_string(), choices }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluation::EvalConfig;
+    use cc_grid::Resolution;
+    use cc_model::Model;
+
+    fn tiny_eval() -> Evaluation {
+        Evaluation::new(Model::new(Resolution::reduced(2, 2), 13), EvalConfig::quick(9))
+    }
+
+    /// Restrict an evaluation to a few variables by building per-variable
+    /// hybrids manually (full 170-variable hybrids are exercised by the
+    /// repro harness; tests keep runtime sane).
+    fn mini_hybrid(eval: &Evaluation, family: Family, vars: &[&str]) -> HybridResult {
+        let ladder = Variant::ladder(family);
+        let mut choices = Vec::new();
+        for name in vars {
+            let var = eval.model.var_id(name).unwrap();
+            let ctx = eval.context(var);
+            let mut chosen = None;
+            for &variant in &ladder {
+                let verdict = verdict_for(&ctx, variant);
+                let ok = verdict.all_pass();
+                chosen = Some((variant, verdict));
+                if ok {
+                    break;
+                }
+            }
+            let (variant, verdict) = chosen.unwrap();
+            choices.push(HybridChoice { name: name.to_string(), variant, verdict });
+        }
+        HybridResult { family: Some(family), label: family.name().to_string(), choices }
+    }
+
+    #[test]
+    fn fpzip_hybrid_always_passes() {
+        let eval = tiny_eval();
+        let h = mini_hybrid(&eval, Family::Fpzip, &["U", "FSDSC", "PRECT"]);
+        // fpzip's ladder ends at lossless fpzip-32, so every choice passes.
+        assert!(h.all_choices_pass());
+        let (avg, best, worst) = h.cr_stats();
+        assert!(best <= avg && avg <= worst);
+        assert!(avg < 1.0, "hybrid must actually compress: {avg}");
+    }
+
+    #[test]
+    fn isabela_hybrid_falls_back_to_netcdf_when_needed() {
+        let eval = tiny_eval();
+        let h = mini_hybrid(&eval, Family::Isabela, &["U", "CLDTOT"]);
+        assert!(h.all_choices_pass());
+        for c in &h.choices {
+            assert!(
+                matches!(c.variant, Variant::Isabela { .. } | Variant::NetCdf4),
+                "{:?}",
+                c.variant
+            );
+        }
+    }
+
+    #[test]
+    fn composition_sums_to_choice_count() {
+        let eval = tiny_eval();
+        let h = mini_hybrid(&eval, Family::Apax, &["U", "FSDSC", "TS"]);
+        let total: usize = h.composition().iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn nc_baseline_is_lossless_everywhere() {
+        let eval = tiny_eval();
+        // Subset for speed: reuse mini pattern with the NC "ladder".
+        let mut choices = Vec::new();
+        for name in ["U", "SST"] {
+            let var = eval.model.var_id(name).unwrap();
+            let ctx = eval.context(var);
+            let verdict = verdict_for(&ctx, Variant::NetCdf4);
+            choices.push(HybridChoice { name: name.into(), variant: Variant::NetCdf4, verdict });
+        }
+        let h = HybridResult { family: None, label: "NC".into(), choices };
+        assert!(h.all_choices_pass());
+        assert!((h.avg_pearson() - 1.0).abs() < 1e-12);
+        assert_eq!(h.avg_nrmse(), 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! The CESM-PVT's original job: port verification.
+//!
+//! Section 4.3 explains the tool's motivation — "to determine whether a
+//! change in CESM that does not result in bit-for-bit agreement with the
+//! previous result is statistically distinguishable", e.g. after porting
+//! to a new machine, changing compiler flags, or reordering parallel
+//! reductions. The recipe: run a small number of members (three suffices)
+//! in the new configuration, then check (a) their global means against the
+//! trusted ensemble's global-mean envelope (range-shift test) and (b)
+//! their RMSZ scores against the trusted RMSZ distribution.
+//!
+//! The compression evaluation reuses exactly this machinery with the
+//! "new configuration" replaced by "reconstructed data"; this module keeps
+//! the original workflow available (and tested) in its own right.
+
+use crate::evaluation::VariableContext;
+use cc_metrics::is_special;
+use cc_pvt::range_shift_ok;
+
+/// Verdict for one new-configuration run of one variable.
+#[derive(Debug, Clone, Copy)]
+pub struct PortRunOutcome {
+    /// RMSZ of the new run against the trusted ensemble.
+    pub rmsz: f64,
+    /// New run's RMSZ falls within the trusted distribution.
+    pub rmsz_in_distribution: bool,
+    /// Global (unweighted) mean of the new run.
+    pub global_mean: f64,
+    /// Mean falls within the trusted ensemble's envelope.
+    pub range_shift_ok: bool,
+}
+
+impl PortRunOutcome {
+    /// Combined pass.
+    pub fn passed(&self) -> bool {
+        self.rmsz_in_distribution && self.range_shift_ok
+    }
+}
+
+/// Verify new-configuration runs of one variable against the trusted
+/// ensemble context. Each run is a full field on the same grid.
+pub fn verify_port(ctx: &VariableContext, new_runs: &[Vec<f32>]) -> Vec<PortRunOutcome> {
+    new_runs
+        .iter()
+        .map(|field| {
+            assert_eq!(field.len(), ctx.layout.len(), "field/grid mismatch");
+            // New runs are not ensemble members: score them against the
+            // full ensemble by excluding a zero-contribution phantom
+            // (mathematically: leave-one-out with the run's own values
+            // excluded is what rmsz_excluding computes; using the run
+            // itself keeps the estimator consistent with the PVT).
+            let rmsz = ctx.stats.rmsz_excluding(field, field).unwrap_or(0.0);
+            let mut sum = 0.0f64;
+            let mut n = 0usize;
+            for &v in field {
+                if !is_special(v) {
+                    sum += v as f64;
+                    n += 1;
+                }
+            }
+            let mean = if n == 0 { 0.0 } else { sum / n as f64 };
+            PortRunOutcome {
+                rmsz,
+                rmsz_in_distribution: ctx.rmsz_orig.contains(rmsz),
+                global_mean: mean,
+                range_shift_ok: range_shift_ok(ctx.stats.global_means(), mean),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluation::{EvalConfig, Evaluation};
+    use cc_grid::Resolution;
+    use cc_model::Model;
+
+    fn trusted() -> (Evaluation, VariableContext) {
+        let model = Model::new(Resolution::reduced(2, 3), 77);
+        let eval = Evaluation::new(model, EvalConfig::quick(41));
+        let var = eval.model.var_id("TS").unwrap();
+        let ctx = eval.context(var);
+        (eval, ctx)
+    }
+
+    #[test]
+    fn healthy_port_passes() {
+        // A "new machine" producing exchangeable members: use ensemble
+        // members outside the trusted set (indices ≥ 41). An external
+        // member's RMSZ can land marginally outside a finite trusted
+        // distribution, so require the range-shift check everywhere and
+        // the RMSZ check on the majority (the paper reruns marginal cases).
+        let (eval, ctx) = trusted();
+        let var = eval.model.var_id("TS").unwrap();
+        let new_runs: Vec<Vec<f32>> = (60..63)
+            .map(|m| eval.model.member_field(m, var).data)
+            .collect();
+        let outcomes = verify_port(&ctx, &new_runs);
+        let rmsz_passes = outcomes.iter().filter(|o| o.rmsz_in_distribution).count();
+        for (i, o) in outcomes.iter().enumerate() {
+            assert!(o.range_shift_ok, "run {i}: mean {} shifted", o.global_mean);
+            assert!(o.rmsz > 0.2 && o.rmsz < 5.0, "run {i}: rmsz {}", o.rmsz);
+        }
+        assert!(rmsz_passes >= 2, "only {rmsz_passes}/3 runs inside the RMSZ distribution");
+    }
+
+    #[test]
+    fn biased_port_detected_by_range_shift() {
+        // A broken port: uniform +2σ-of-global-mean offset.
+        let (eval, ctx) = trusted();
+        let var = eval.model.var_id("TS").unwrap();
+        let mut run = eval.model.member_field(60, var).data;
+        for v in run.iter_mut() {
+            *v += 5.0;
+        }
+        let outcomes = verify_port(&ctx, &[run]);
+        assert!(!outcomes[0].range_shift_ok, "offset must shift the range");
+        assert!(!outcomes[0].passed());
+    }
+
+    #[test]
+    fn noisy_port_detected_by_rmsz() {
+        // A port with inflated variance (e.g. a broken reduction order):
+        // perturb every point by several ensemble sigmas, alternating sign
+        // so the global mean stays put.
+        let (eval, ctx) = trusted();
+        let var = eval.model.var_id("TS").unwrap();
+        let mut run = eval.model.member_field(60, var).data;
+        for (i, v) in run.iter_mut().enumerate() {
+            *v += if i % 2 == 0 { 8.0 } else { -8.0 };
+        }
+        let outcomes = verify_port(&ctx, &[run]);
+        assert!(
+            !outcomes[0].rmsz_in_distribution,
+            "inflated variance must blow the RMSZ: {}",
+            outcomes[0].rmsz
+        );
+    }
+}

@@ -1,0 +1,311 @@
+//! Plain-text rendering of the paper's tables and figures.
+//!
+//! The repro harness prints the same rows and series the paper reports;
+//! figures (box plots, histograms, scatter rectangles) are rendered as
+//! aligned ASCII so the *shape* of each distribution is visible in a
+//! terminal and diffable in CI. CSV export accompanies every table.
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as aligned text.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    s.push_str(&format!("{:<w$}", c, w = widths[i]));
+                } else {
+                    s.push_str(&format!("  {:>w$}", c, w = widths[i]));
+                }
+            }
+            s.push('\n');
+            s
+        };
+        out.push_str(&line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Five-number summary for one box of a box plot.
+#[derive(Debug, Clone, Copy)]
+pub struct BoxStats {
+    /// Distribution minimum (lower whisker).
+    pub min: f64,
+    /// Lower quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Upper quartile.
+    pub q3: f64,
+    /// Distribution maximum (upper whisker).
+    pub max: f64,
+}
+
+impl BoxStats {
+    /// Compute from samples (empty input yields NaNs).
+    pub fn from_samples(samples: &[f64]) -> BoxStats {
+        if samples.is_empty() {
+            return BoxStats { min: f64::NAN, q1: f64::NAN, median: f64::NAN, q3: f64::NAN, max: f64::NAN };
+        }
+        let mut s: Vec<f64> = samples.iter().cloned().filter(|v| v.is_finite()).collect();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let q = |f: f64| -> f64 {
+            let idx = f * (s.len() - 1) as f64;
+            let lo = idx.floor() as usize;
+            let hi = idx.ceil() as usize;
+            let w = idx - lo as f64;
+            s[lo] * (1.0 - w) + s[hi] * w
+        };
+        BoxStats { min: s[0], q1: q(0.25), median: q(0.5), q3: q(0.75), max: s[s.len() - 1] }
+    }
+}
+
+/// A labelled multi-box plot (the paper's Figures 1 and 3) rendered on a
+/// log10 axis, which is how the paper plots error distributions.
+pub fn render_boxplot(title: &str, boxes: &[(String, BoxStats)], log_axis: bool) -> String {
+    let mut out = format!("== {title} ==\n");
+    let tf = |v: f64| -> f64 {
+        if log_axis {
+            v.max(1e-300).log10()
+        } else {
+            v
+        }
+    };
+    let finite: Vec<f64> = boxes
+        .iter()
+        .flat_map(|(_, b)| [b.min, b.max])
+        .filter(|v| v.is_finite())
+        .map(tf)
+        .collect();
+    if finite.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let lo = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    const WIDTH: usize = 60;
+    let pos = |v: f64| -> usize {
+        (((tf(v) - lo) / span) * (WIDTH - 1) as f64).round().clamp(0.0, (WIDTH - 1) as f64) as usize
+    };
+    let label_w = boxes.iter().map(|(l, _)| l.len()).max().unwrap_or(4);
+    for (label, b) in boxes {
+        let mut lane = vec![' '; WIDTH];
+        if b.min.is_finite() {
+            let (pmin, pq1, pmed, pq3, pmax) =
+                (pos(b.min), pos(b.q1), pos(b.median), pos(b.q3), pos(b.max));
+            for cell in lane.iter_mut().take(pq1).skip(pmin) {
+                *cell = '-';
+            }
+            for cell in lane.iter_mut().take(pq3 + 1).skip(pq1) {
+                *cell = '=';
+            }
+            for cell in lane.iter_mut().take(pmax + 1).skip(pq3 + 1) {
+                *cell = '-';
+            }
+            lane[pmin] = '|';
+            lane[pmax] = '|';
+            lane[pmed] = '#';
+        }
+        out.push_str(&format!(
+            "{:<w$} {}  med={:.3e}\n",
+            label,
+            lane.iter().collect::<String>(),
+            b.median,
+            w = label_w
+        ));
+    }
+    let axis = if log_axis {
+        format!("axis: log10 in [{lo:.2}, {hi:.2}]\n")
+    } else {
+        format!("axis: [{lo:.3e}, {hi:.3e}]\n")
+    };
+    out.push_str(&format!("{:<w$} {}", "", axis, w = label_w));
+    out
+}
+
+/// Render a histogram of `scores` with `markers` overlaid — the Figure-2
+/// presentation (ensemble RMSZ distribution + per-method reconstructed
+/// scores).
+pub fn render_histogram(
+    title: &str,
+    scores: &[f64],
+    markers: &[(String, f64)],
+    bins: usize,
+) -> String {
+    let mut out = format!("== {title} ==\n");
+    if scores.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let lo = scores.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    let mut hist = vec![0usize; bins];
+    for &s in scores {
+        let b = (((s - lo) / span) * (bins as f64 - 1e-9)) as usize;
+        hist[b.min(bins - 1)] += 1;
+    }
+    let peak = *hist.iter().max().unwrap_or(&1);
+    for (b, &count) in hist.iter().enumerate() {
+        let x0 = lo + span * b as f64 / bins as f64;
+        let x1 = lo + span * (b + 1) as f64 / bins as f64;
+        let bar = "#".repeat(count * 40 / peak.max(1));
+        out.push_str(&format!("[{x0:7.3}, {x1:7.3})  {bar} {count}\n"));
+    }
+    // Same 1%-of-range slack as ScoreDistribution::contains, so the
+    // annotation agrees with the actual test outcome.
+    let slack = span * 0.01;
+    for (name, value) in markers {
+        let within = if *value >= lo - slack && *value <= hi + slack {
+            "in distribution"
+        } else {
+            "OUTSIDE"
+        };
+        out.push_str(&format!("  marker {name:<10} = {value:.4}  ({within})\n"));
+    }
+    out
+}
+
+/// Format a float the way the paper's tables do (e.g. `3.6e-4`, `.10`).
+pub fn sci(v: f64) -> String {
+    if v == 0.0 {
+        return "0.0".to_string();
+    }
+    format!("{v:.1e}")
+}
+
+/// Format a compression ratio like the paper (leading-dot two decimals).
+pub fn cr_fmt(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Demo", &["Var", "CR"]);
+        t.row(vec!["U".into(), "0.50".into()]);
+        t.row(vec!["FSDSC".into(), "0.26".into()]);
+        let r = t.render();
+        assert!(r.contains("== Demo =="));
+        assert!(r.contains("FSDSC"));
+        // Header and both rows present.
+        assert_eq!(r.lines().count(), 5);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["has,comma".into(), "has\"quote".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn box_stats_of_known_data() {
+        let b = BoxStats::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.max, 5.0);
+        assert_eq!(b.q1, 2.0);
+        assert_eq!(b.q3, 4.0);
+    }
+
+    #[test]
+    fn boxplot_renders_every_label() {
+        let boxes = vec![
+            ("APAX-2".to_string(), BoxStats::from_samples(&[1e-7, 2e-7, 5e-7])),
+            ("fpzip-16".to_string(), BoxStats::from_samples(&[1e-4, 2e-3, 9e-3])),
+        ];
+        let r = render_boxplot("NRMSE", &boxes, true);
+        assert!(r.contains("APAX-2"));
+        assert!(r.contains("fpzip-16"));
+        assert!(r.contains("log10"));
+    }
+
+    #[test]
+    fn histogram_marks_out_of_distribution() {
+        let scores: Vec<f64> = (0..50).map(|i| 1.0 + i as f64 * 0.01).collect();
+        let r = render_histogram(
+            "RMSZ",
+            &scores,
+            &[("ok".into(), 1.2), ("bad".into(), 9.0)],
+            8,
+        );
+        assert!(r.contains("in distribution"));
+        assert!(r.contains("OUTSIDE"));
+    }
+
+    #[test]
+    fn sci_format() {
+        assert_eq!(sci(3.6e-4), "3.6e-4");
+        assert_eq!(sci(0.0), "0.0");
+    }
+}

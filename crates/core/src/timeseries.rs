@@ -1,0 +1,180 @@
+//! The paper's integration target: converting time-slice history files to
+//! per-variable time-series files with compression applied on the way.
+//!
+//! "We examine compression with the intention of integrating it into a
+//! post-processing step that converts the CESM time-slice data history
+//! files to time series data files for each variable" (Section 1). This
+//! module implements that converter on top of the `cc-ncdf` container:
+//! each output file holds one variable's compressed time slices plus the
+//! metadata needed to reconstruct any slice independently (codec variant,
+//! per-slice stream length, grid shape).
+
+use cc_codecs::{CodecError, Layout, Variant};
+use cc_model::Model;
+use cc_ncdf::{AttrValue, DType, Dataset, FilterPipeline};
+
+/// Write `nslices` time slices of `var` from member `m`'s trajectory into
+/// a per-variable time-series dataset, compressing each slice with
+/// `variant`.
+pub fn write_timeseries(
+    model: &Model,
+    member: usize,
+    var: usize,
+    nslices: usize,
+    interval: f64,
+    variant: Variant,
+) -> Dataset {
+    let spec = &model.registry()[var];
+    let nlev = model.var_nlev(var);
+    let layout = Layout::for_grid(model.grid(), nlev);
+    let codec = variant.codec();
+
+    let mut ds = Dataset::new();
+    ds.put_attr_text(None, "variable", spec.name);
+    ds.put_attr_text(None, "units", spec.units);
+    ds.put_attr_text(None, "codec", &variant.name());
+    ds.put_attr_f64(None, "nslices", nslices as f64);
+    ds.put_attr_f64(None, "nlev", nlev as f64);
+    ds.put_attr_f64(None, "npts", model.grid().len() as f64);
+    ds.put_attr_f64(None, "member", member as f64);
+
+    for (t, slice_member) in model.trajectory(member, nslices, interval).iter().enumerate() {
+        let field = model.synthesize(slice_member, var);
+        let stream = codec.compress(&field.data, layout);
+        let words: Vec<i32> = stream
+            .chunks(4)
+            .map(|c| {
+                let mut b = [0u8; 4];
+                b[..c.len()].copy_from_slice(c);
+                i32::from_le_bytes(b)
+            })
+            .collect();
+        let dim = ds.add_dim(&format!("w{t}"), words.len());
+        let v = ds
+            .def_var(&format!("slice{t}"), DType::I32, &[dim], FilterPipeline::none())
+            .expect("slice names unique");
+        ds.put_attr_f64(Some(v), "stream_bytes", stream.len() as f64);
+        ds.put_i32(v, &words).expect("shape matches");
+    }
+    ds
+}
+
+/// Errors from time-series reads.
+#[derive(Debug)]
+pub enum TsError {
+    /// Missing variable/attribute or malformed metadata.
+    Meta(&'static str),
+    /// Container-level failure.
+    Container(cc_ncdf::Error),
+    /// Codec-level failure.
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for TsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TsError::Meta(m) => write!(f, "time-series metadata error: {m}"),
+            TsError::Container(e) => write!(f, "container error: {e}"),
+            TsError::Codec(e) => write!(f, "codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TsError {}
+
+fn attr_f64(ds: &Dataset, name: &'static str) -> Result<f64, TsError> {
+    match ds.attr(None, name) {
+        Some(AttrValue::F64(v)) => Ok(*v),
+        _ => Err(TsError::Meta(name)),
+    }
+}
+
+/// Read one slice back from a time-series dataset written by
+/// [`write_timeseries`]. Slices decode independently (the random-access
+/// property the workflow needs).
+pub fn read_slice(
+    ds: &Dataset,
+    model: &Model,
+    variant: Variant,
+    t: usize,
+) -> Result<Vec<f32>, TsError> {
+    let nlev = attr_f64(ds, "nlev")? as usize;
+    let layout = Layout::for_grid(model.grid(), nlev);
+    let v = ds
+        .var_id(&format!("slice{t}"))
+        .ok_or(TsError::Meta("slice index out of range"))?;
+    let words = ds.get_i32(v).map_err(TsError::Container)?;
+    let nbytes = match ds.attr(Some(v), "stream_bytes") {
+        Some(AttrValue::F64(b)) => *b as usize,
+        _ => return Err(TsError::Meta("stream_bytes")),
+    };
+    let mut stream: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+    if nbytes > stream.len() {
+        return Err(TsError::Meta("stream_bytes exceeds payload"));
+    }
+    stream.truncate(nbytes);
+    variant.codec().decompress(&stream, layout).map_err(TsError::Codec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_grid::Resolution;
+    use cc_metrics::ErrorMetrics;
+
+    fn model() -> Model {
+        Model::new(Resolution::reduced(2, 3), 31)
+    }
+
+    #[test]
+    fn lossless_timeseries_roundtrip() {
+        let model = model();
+        let var = model.var_id("T").unwrap();
+        let ds = write_timeseries(&model, 0, var, 4, 0.5, Variant::NetCdf4);
+        let slices = model.trajectory(0, 4, 0.5);
+        for (t, m) in slices.iter().enumerate() {
+            let expect = model.synthesize(m, var).data;
+            let got = read_slice(&ds, &model, Variant::NetCdf4, t).unwrap();
+            assert_eq!(got, expect, "slice {t}");
+        }
+    }
+
+    #[test]
+    fn lossy_timeseries_stays_close_and_small() {
+        let model = model();
+        let var = model.var_id("TS").unwrap();
+        let variant = Variant::Apax { rate: 4.0 };
+        let ds = write_timeseries(&model, 1, var, 3, 0.5, variant);
+        let raw = model.var_points(var) * 4 * 3;
+        let stored: usize = (0..ds.vars().len()).map(|v| ds.var_stored_bytes(v)).sum();
+        assert!(stored < raw / 2, "APAX-4 series should be < half size: {stored} vs {raw}");
+        let slices = model.trajectory(1, 3, 0.5);
+        for (t, m) in slices.iter().enumerate() {
+            let expect = model.synthesize(m, var).data;
+            let got = read_slice(&ds, &model, variant, t).unwrap();
+            let em = ErrorMetrics::compare(&expect, &got).unwrap();
+            assert!(em.pearson > 0.999, "slice {t}: rho {}", em.pearson);
+        }
+    }
+
+    #[test]
+    fn trajectory_slices_differ_but_share_climate() {
+        let model = model();
+        let var = model.var_id("U").unwrap();
+        let slices = model.trajectory(0, 3, 1.0);
+        let f0 = model.synthesize(&slices[0], var);
+        let f1 = model.synthesize(&slices[1], var);
+        assert_ne!(f0.data, f1.data, "time slices must evolve");
+        let m0: f64 = f0.data.iter().map(|&v| v as f64).sum::<f64>() / f0.data.len() as f64;
+        let m1: f64 = f1.data.iter().map(|&v| v as f64).sum::<f64>() / f1.data.len() as f64;
+        assert!((m0 - m1).abs() < 10.0, "climate drifts: {m0} vs {m1}");
+    }
+
+    #[test]
+    fn out_of_range_slice_is_error() {
+        let model = model();
+        let var = model.var_id("TS").unwrap();
+        let ds = write_timeseries(&model, 0, var, 2, 0.5, Variant::NetCdf4);
+        assert!(read_slice(&ds, &model, Variant::NetCdf4, 5).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! GRIB2 decimal-scale tuning guided by the RMSZ ensemble test.
+//!
+//! Section 5.4: "we were only able to achieve the more competitive results
+//! presented here for GRIB2 by using the RMSZ ensemble test as a guide for
+//! choosing an optimal D". This module implements that search: starting
+//! from the magnitude-based `D`, scan a window of decimal scales and return
+//! the smallest `D` (fewest digits kept, best compression) whose verdict
+//! passes all four tests.
+
+use crate::evaluation::{verdict_for, VariableContext, VariableVerdict};
+use cc_codecs::{grib2::Grib2, Variant};
+use cc_metrics::FieldStats;
+
+/// Result of the ensemble-guided search for one variable.
+#[derive(Debug, Clone)]
+pub struct TunedD {
+    /// The magnitude-based starting point.
+    pub auto_d: i32,
+    /// The selected decimal scale, or `None` when no `D` in the window
+    /// passes (the variable must fall back to lossless).
+    pub best_d: Option<i32>,
+    /// The verdict at `best_d` (or at the last tried `D`).
+    pub verdict: VariableVerdict,
+}
+
+/// How far around the magnitude-based `D` the search scans.
+const SEARCH_BELOW: i32 = 2;
+const SEARCH_ABOVE: i32 = 6;
+
+/// Run the ensemble-guided decimal-scale search on a prepared variable
+/// context.
+pub fn tune_decimal_scale(ctx: &VariableContext) -> TunedD {
+    // Magnitude-based starting point from the first sampled member.
+    let sample = &ctx.fields[ctx.sample_idx[0]];
+    let range = FieldStats::compute(sample).map(|s| s.range()).unwrap_or(0.0);
+    let auto_d = Grib2::auto_decimal_scale(range);
+
+    let mut last: Option<VariableVerdict> = None;
+    for d in (auto_d - SEARCH_BELOW)..=(auto_d + SEARCH_ABOVE) {
+        let d = d.clamp(-30, 30);
+        let verdict = verdict_for(ctx, Variant::Grib2 { decimal_scale: Some(d) });
+        let pass = verdict.all_pass();
+        if pass {
+            return TunedD { auto_d, best_d: Some(d), verdict };
+        }
+        last = Some(verdict);
+    }
+    TunedD {
+        auto_d,
+        best_d: None,
+        verdict: last.expect("search window is never empty"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluation::{EvalConfig, Evaluation};
+    use cc_grid::Resolution;
+    use cc_model::Model;
+
+    #[test]
+    fn tuning_finds_a_passing_d_for_smooth_variable() {
+        let model = Model::new(Resolution::reduced(2, 2), 13);
+        let eval = Evaluation::new(model, EvalConfig::quick(9));
+        let u = eval.model.var_id("U").unwrap();
+        let ctx = eval.context(u);
+        let tuned = tune_decimal_scale(&ctx);
+        // U is smooth with modest range; some D must pass.
+        let d = tuned.best_d.expect("expected a passing D for U");
+        assert!(tuned.verdict.all_pass());
+        // More precision than auto may be needed, never drastically less.
+        assert!(d >= tuned.auto_d - SEARCH_BELOW && d <= tuned.auto_d + SEARCH_ABOVE);
+    }
+
+    #[test]
+    fn tuned_d_improves_or_matches_rmsz_closeness() {
+        let model = Model::new(Resolution::reduced(2, 2), 17);
+        let eval = Evaluation::new(model, EvalConfig::quick(9));
+        let v = eval.model.var_id("FSDSC").unwrap();
+        let ctx = eval.context(v);
+        let tuned = tune_decimal_scale(&ctx);
+        if let Some(_d) = tuned.best_d {
+            for &(zo, zr) in &tuned.verdict.sample_rmsz {
+                assert!((zo - zr).abs() <= cc_pvt::RMSZ_DIFF_MAX + 1e-12);
+            }
+        }
+    }
+}

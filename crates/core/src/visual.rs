@@ -1,0 +1,99 @@
+//! Visual-quality verification via SSIM (the paper's stated future work).
+//!
+//! "Because climate scientists visualize subsets of their simulation data
+//! as part of the post-processing analysis workflow, it is important that
+//! the reconstructed data produces quality images. We intend to utilize
+//! the structural similarity (SSIM) index" (Section 6). This module wires
+//! `cc-metrics`' SSIM into the evaluation pipeline: each level of a
+//! reconstructed field is compared against the original as a 2-D image in
+//! the grid's latitude-major embedding.
+
+use crate::evaluation::VariableContext;
+use cc_codecs::Variant;
+
+/// SSIM acceptance threshold: visually indistinguishable reconstructions
+/// score ≥ 0.999 at climate-data dynamic ranges.
+pub const SSIM_THRESHOLD: f64 = 0.999;
+
+/// Per-variant SSIM summary for one variable.
+#[derive(Debug, Clone, Copy)]
+pub struct SsimReport {
+    /// Mean SSIM over all levels of the sampled member.
+    pub mean: f64,
+    /// Worst single-level SSIM.
+    pub worst: f64,
+    /// `worst ≥ SSIM_THRESHOLD`.
+    pub pass: bool,
+}
+
+/// Compute the SSIM report for `variant` on the context's first sampled
+/// member. Returns `None` for degenerate (constant / all-special) fields.
+pub fn ssim_report(ctx: &VariableContext, variant: Variant) -> Option<SsimReport> {
+    let codec = variant.codec();
+    let orig = &ctx.fields[ctx.sample_idx[0]];
+    let bytes = codec.compress(orig, ctx.layout);
+    let recon = codec.decompress(&bytes, ctx.layout).ok()?;
+
+    let (rows, cols) = (ctx.layout.rows, ctx.layout.cols);
+    let npts = ctx.layout.npts;
+    let mut sum = 0.0;
+    let mut worst = f64::INFINITY;
+    let mut levels = 0usize;
+    for lev in 0..ctx.layout.nlev {
+        let a = &orig[lev * npts..(lev + 1) * npts];
+        let b = &recon[lev * npts..(lev + 1) * npts];
+        if let Some(s) = cc_metrics::ssim(a, b, rows, cols) {
+            sum += s;
+            worst = worst.min(s);
+            levels += 1;
+        }
+    }
+    if levels == 0 {
+        return None;
+    }
+    let mean = sum / levels as f64;
+    Some(SsimReport { mean, worst, pass: worst >= SSIM_THRESHOLD })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluation::{EvalConfig, Evaluation};
+    use cc_grid::Resolution;
+    use cc_model::Model;
+
+    #[test]
+    fn lossless_reconstruction_has_perfect_ssim() {
+        let eval = Evaluation::new(Model::new(Resolution::reduced(2, 2), 5), EvalConfig::quick(5));
+        let ctx = eval.context(eval.model.var_id("TS").unwrap());
+        let r = ssim_report(&ctx, Variant::NetCdf4).unwrap();
+        assert!((r.mean - 1.0).abs() < 1e-9, "mean {}", r.mean);
+        assert!(r.pass);
+    }
+
+    #[test]
+    fn gentle_compression_passes_visual_check() {
+        let eval = Evaluation::new(Model::new(Resolution::reduced(3, 2), 5), EvalConfig::quick(5));
+        let ctx = eval.context(eval.model.var_id("U").unwrap());
+        let r = ssim_report(&ctx, Variant::Apax { rate: 2.0 }).unwrap();
+        assert!(r.pass, "APAX-2 SSIM {} / {}", r.mean, r.worst);
+    }
+
+    #[test]
+    fn brutal_quantization_fails_visual_check() {
+        let eval = Evaluation::new(Model::new(Resolution::reduced(3, 2), 5), EvalConfig::quick(5));
+        let ctx = eval.context(eval.model.var_id("TS").unwrap());
+        // 100-K quantization steps destroy spatial structure.
+        let r = ssim_report(&ctx, Variant::Grib2 { decimal_scale: Some(-2) }).unwrap();
+        assert!(!r.pass, "coarse quantization SSIM {} should fail", r.worst);
+    }
+
+    #[test]
+    fn ssim_orders_with_aggressiveness() {
+        let eval = Evaluation::new(Model::new(Resolution::reduced(3, 2), 5), EvalConfig::quick(5));
+        let ctx = eval.context(eval.model.var_id("FSDSC").unwrap());
+        let gentle = ssim_report(&ctx, Variant::Apax { rate: 2.0 }).unwrap();
+        let harsh = ssim_report(&ctx, Variant::Apax { rate: 7.0 }).unwrap();
+        assert!(gentle.mean >= harsh.mean, "{} vs {}", gentle.mean, harsh.mean);
+    }
+}

@@ -1,0 +1,137 @@
+//! Gauss-Lobatto-Legendre quadrature nodes and weights on `[-1, 1]`.
+//!
+//! CAM-SE places `np` GLL nodes along each element edge; `np = 4` in all
+//! production configurations. We support `np` in `2..=8` with nodes computed
+//! by Newton iteration on the derivative of the Legendre polynomial
+//! `P'_{np-1}` (interior nodes) plus the endpoints `±1`.
+
+/// GLL nodes for `np` points on `[-1, 1]`, ascending.
+pub fn gll_nodes(np: usize) -> Vec<f64> {
+    assert!((2..=8).contains(&np), "np must be in 2..=8");
+    let n = np - 1; // polynomial degree
+    let mut nodes = vec![0.0f64; np];
+    nodes[0] = -1.0;
+    nodes[n] = 1.0;
+    // Interior nodes: roots of P'_n. Chebyshev-Gauss-Lobatto initial guess.
+    for k in 1..n {
+        let mut x = -(std::f64::consts::PI * k as f64 / n as f64).cos();
+        for _ in 0..100 {
+            let (_p, dp, ddp) = legendre_with_derivs(n, x);
+            let step = dp / ddp;
+            x -= step;
+            if step.abs() < 1e-15 {
+                break;
+            }
+        }
+        nodes[k] = x;
+    }
+    nodes
+}
+
+/// GLL quadrature weights matching [`gll_nodes`]: `w_i = 2 / (n(n+1) P_n(x_i)²)`.
+pub fn gll_weights(np: usize) -> Vec<f64> {
+    let n = np - 1;
+    gll_nodes(np)
+        .iter()
+        .map(|&x| {
+            let (p, _, _) = legendre_with_derivs(n, x);
+            2.0 / ((n * (n + 1)) as f64 * p * p)
+        })
+        .collect()
+}
+
+/// Legendre polynomial `P_n(x)` with first and second derivatives, via the
+/// three-term recurrence.
+fn legendre_with_derivs(n: usize, x: f64) -> (f64, f64, f64) {
+    if n == 0 {
+        return (1.0, 0.0, 0.0);
+    }
+    let (mut p0, mut p1) = (1.0f64, x);
+    let (mut d0, mut d1) = (0.0f64, 1.0);
+    let (mut s0, mut s1) = (0.0f64, 0.0);
+    for k in 2..=n {
+        let kf = k as f64;
+        let p2 = ((2.0 * kf - 1.0) * x * p1 - (kf - 1.0) * p0) / kf;
+        let d2 = ((2.0 * kf - 1.0) * (p1 + x * d1) - (kf - 1.0) * d0) / kf;
+        let s2 = ((2.0 * kf - 1.0) * (2.0 * d1 + x * s1) - (kf - 1.0) * s0) / kf;
+        p0 = p1;
+        p1 = p2;
+        d0 = d1;
+        d1 = d2;
+        s0 = s1;
+        s1 = s2;
+    }
+    (p1, d1, s1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn np4_nodes_are_known_values() {
+        // np=4 GLL nodes: ±1, ±1/√5.
+        let nodes = gll_nodes(4);
+        let r5 = 1.0 / 5.0f64.sqrt();
+        let expect = [-1.0, -r5, r5, 1.0];
+        for (a, b) in nodes.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn np4_weights_are_known_values() {
+        // np=4 GLL weights: 1/6, 5/6, 5/6, 1/6.
+        let w = gll_weights(4);
+        let expect = [1.0 / 6.0, 5.0 / 6.0, 5.0 / 6.0, 1.0 / 6.0];
+        for (a, b) in w.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_two() {
+        for np in 2..=8 {
+            let s: f64 = gll_weights(np).iter().sum();
+            assert!((s - 2.0).abs() < 1e-12, "np={np}: sum {s}");
+        }
+    }
+
+    #[test]
+    fn nodes_symmetric_and_sorted() {
+        for np in 2..=8 {
+            let nodes = gll_nodes(np);
+            for i in 1..np {
+                assert!(nodes[i] > nodes[i - 1], "np={np} not sorted");
+            }
+            for i in 0..np {
+                assert!(
+                    (nodes[i] + nodes[np - 1 - i]).abs() < 1e-12,
+                    "np={np} not symmetric"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quadrature_integrates_polynomials_exactly() {
+        // GLL with np points is exact for degree ≤ 2np-3.
+        for np in 3..=8 {
+            let nodes = gll_nodes(np);
+            let weights = gll_weights(np);
+            let deg = 2 * np - 3;
+            for d in 0..=deg {
+                let quad: f64 = nodes
+                    .iter()
+                    .zip(&weights)
+                    .map(|(&x, &w)| w * x.powi(d as i32))
+                    .sum();
+                let exact = if d % 2 == 1 { 0.0 } else { 2.0 / (d as f64 + 1.0) };
+                assert!(
+                    (quad - exact).abs() < 1e-10,
+                    "np={np} degree {d}: {quad} vs {exact}"
+                );
+            }
+        }
+    }
+}

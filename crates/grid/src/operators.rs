@@ -1,0 +1,214 @@
+//! Discrete differential operators on the unstructured grid.
+//!
+//! The paper's future work includes verifying compression's impact "on
+//! field gradients"; doing that properly on a cubed-sphere point cloud
+//! needs real neighbour geometry, not scan-order differences. This module
+//! provides k-nearest-neighbour lists (latitude-band accelerated) and a
+//! tangent-plane least-squares gradient estimate per point.
+
+use crate::{great_circle_distance, Grid, LatLon};
+
+/// k-nearest-neighbour lists for every grid point.
+///
+/// Built with the latitude-major ordering: candidates are drawn from a
+/// window of neighbouring latitude bands, so construction is
+/// `O(n · window)` rather than `O(n²)`.
+pub fn neighbor_lists(grid: &Grid, k: usize) -> Vec<Vec<u32>> {
+    assert!(k >= 1, "k must be >= 1");
+    let n = grid.len();
+    let (_, cols) = grid.shape_2d();
+    let window = 3 * cols.max(8);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let target = LatLon { lat: grid.lat(i), lon: grid.lon(i) };
+        let lo = i.saturating_sub(window);
+        let hi = (i + window).min(n);
+        // Collect (distance, index) and keep the k smallest (excluding i).
+        let mut cands: Vec<(f64, u32)> = (lo..hi)
+            .filter(|&j| j != i)
+            .map(|j| {
+                let d = great_circle_distance(
+                    target,
+                    LatLon { lat: grid.lat(j), lon: grid.lon(j) },
+                );
+                (d, j as u32)
+            })
+            .collect();
+        cands.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        cands.truncate(k);
+        out.push(cands.into_iter().map(|(_, j)| j).collect());
+    }
+    out
+}
+
+/// Per-point gradient magnitude of a horizontal field (units of the field
+/// per radian of arc), via a least-squares plane fit over each point's
+/// neighbours in local tangent coordinates. Points whose neighbourhood is
+/// degenerate (or masked by `skip`) get 0.
+pub fn gradient_magnitude<F>(
+    grid: &Grid,
+    field: &[f32],
+    neighbors: &[Vec<u32>],
+    skip: F,
+) -> Vec<f64>
+where
+    F: Fn(usize) -> bool,
+{
+    assert_eq!(field.len(), grid.len());
+    assert_eq!(neighbors.len(), grid.len());
+    let mut out = vec![0.0f64; grid.len()];
+    for (i, nbrs) in neighbors.iter().enumerate() {
+        if skip(i) {
+            continue;
+        }
+        let lat0 = grid.lat(i);
+        let lon0 = grid.lon(i);
+        let f0 = field[i] as f64;
+        // Normal equations for df ≈ gx·dx + gy·dy over the neighbours,
+        // with dx = cos(lat)·Δlon, dy = Δlat (local tangent coordinates).
+        let (mut sxx, mut sxy, mut syy, mut sxf, mut syf) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
+        let mut used = 0usize;
+        for &j in nbrs {
+            let j = j as usize;
+            if skip(j) {
+                continue;
+            }
+            let mut dlon = grid.lon(j) - lon0;
+            if dlon > std::f64::consts::PI {
+                dlon -= 2.0 * std::f64::consts::PI;
+            } else if dlon < -std::f64::consts::PI {
+                dlon += 2.0 * std::f64::consts::PI;
+            }
+            let dx = lat0.cos() * dlon;
+            let dy = grid.lat(j) - lat0;
+            let df = field[j] as f64 - f0;
+            sxx += dx * dx;
+            sxy += dx * dy;
+            syy += dy * dy;
+            sxf += dx * df;
+            syf += dy * df;
+            used += 1;
+        }
+        if used < 2 {
+            continue;
+        }
+        let det = sxx * syy - sxy * sxy;
+        if det.abs() < 1e-18 {
+            continue;
+        }
+        let gx = (syy * sxf - sxy * syf) / det;
+        let gy = (sxx * syf - sxy * sxf) / det;
+        out[i] = (gx * gx + gy * gy).sqrt();
+    }
+    out
+}
+
+/// RMS gradient magnitude over unmasked points — the scalar the gradient
+/// verification metric compares between original and reconstruction.
+pub fn gradient_rms<F>(grid: &Grid, field: &[f32], neighbors: &[Vec<u32>], skip: F) -> f64
+where
+    F: Fn(usize) -> bool + Copy,
+{
+    let g = gradient_magnitude(grid, field, neighbors, skip);
+    let vals: Vec<f64> = g
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| !skip(i))
+        .map(|(_, &v)| v)
+        .collect();
+    if vals.is_empty() {
+        return 0.0;
+    }
+    (vals.iter().map(|v| v * v).sum::<f64>() / vals.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Resolution;
+
+    fn grid() -> Grid {
+        Grid::build(Resolution::reduced(4, 4))
+    }
+
+    #[test]
+    fn neighbor_lists_shape_and_sanity() {
+        let g = grid();
+        let nb = neighbor_lists(&g, 6);
+        assert_eq!(nb.len(), g.len());
+        for (i, list) in nb.iter().enumerate() {
+            assert_eq!(list.len(), 6, "point {i}");
+            assert!(!list.contains(&(i as u32)), "self-neighbour at {i}");
+            // Neighbours should be within a couple of element widths.
+            let elem = std::f64::consts::FRAC_PI_2 / 4.0;
+            for &j in list {
+                let d = great_circle_distance(
+                    LatLon { lat: g.lat(i), lon: g.lon(i) },
+                    LatLon { lat: g.lat(j as usize), lon: g.lon(j as usize) },
+                );
+                assert!(d < 2.0 * elem, "point {i} neighbour {j} at {d} rad");
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_of_constant_is_zero() {
+        let g = grid();
+        let nb = neighbor_lists(&g, 6);
+        let field = vec![7.0f32; g.len()];
+        let grad = gradient_magnitude(&g, &field, &nb, |_| false);
+        for (i, &v) in grad.iter().enumerate() {
+            assert!(v.abs() < 1e-9, "point {i}: {v}");
+        }
+    }
+
+    #[test]
+    fn gradient_of_sin_lat_matches_analytics() {
+        // f = sin(lat) ⇒ |∇f| = |cos(lat)|. Check away from the poles
+        // where the tangent-plane fit is well-conditioned.
+        let g = grid();
+        let nb = neighbor_lists(&g, 8);
+        let field: Vec<f32> = g.points().iter().map(|p| p.lat.sin() as f32).collect();
+        let grad = gradient_magnitude(&g, &field, &nb, |_| false);
+        let mut checked = 0usize;
+        for (i, p) in g.points().iter().enumerate() {
+            if p.lat.abs() < 1.0 {
+                let expect = p.lat.cos();
+                let rel = (grad[i] - expect).abs() / expect;
+                assert!(rel < 0.25, "point {i} lat {:.2}: {} vs {expect}", p.lat, grad[i]);
+                checked += 1;
+            }
+        }
+        assert!(checked > 100, "too few points checked: {checked}");
+    }
+
+    #[test]
+    fn gradient_rms_orders_rough_vs_smooth() {
+        let g = grid();
+        let nb = neighbor_lists(&g, 6);
+        let smooth: Vec<f32> = g.points().iter().map(|p| p.lat.sin() as f32).collect();
+        let mut state = 3u64;
+        let rough: Vec<f32> = (0..g.len())
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 40) as f32 / 1.6e7
+            })
+            .collect();
+        let gs = gradient_rms(&g, &smooth, &nb, |_| false);
+        let gr = gradient_rms(&g, &rough, &nb, |_| false);
+        assert!(gr > 2.0 * gs, "rough {gr} vs smooth {gs}");
+    }
+
+    #[test]
+    fn skip_mask_respected() {
+        let g = grid();
+        let nb = neighbor_lists(&g, 6);
+        let field: Vec<f32> = (0..g.len()).map(|i| i as f32).collect();
+        let grad = gradient_magnitude(&g, &field, &nb, |i| i % 2 == 0);
+        for (i, &v) in grad.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(v, 0.0, "masked point {i} has gradient");
+            }
+        }
+    }
+}

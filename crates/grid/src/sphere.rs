@@ -1,0 +1,148 @@
+//! Sphere geometry: gnomonic cube-face mapping and great-circle distances.
+
+/// A (latitude, longitude) pair in radians.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatLon {
+    /// Latitude in radians, `[-π/2, π/2]`.
+    pub lat: f64,
+    /// Longitude in radians, `[0, 2π)`.
+    pub lon: f64,
+}
+
+/// Map equiangular face coordinates `(α, β) ∈ [-π/4, π/4]²` on cube face
+/// `face ∈ 0..6` to a unit vector on the sphere.
+///
+/// Face layout (axis the face is centred on):
+/// 0:+x, 1:+y, 2:−x, 3:−y (the four equatorial faces), 4:+z (north), 5:−z.
+pub fn cube_to_sphere(face: usize, alpha: f64, beta: f64) -> [f64; 3] {
+    let x = alpha.tan();
+    let y = beta.tan();
+    let v = match face {
+        0 => [1.0, x, y],
+        1 => [-x, 1.0, y],
+        2 => [-1.0, -x, y],
+        3 => [x, -1.0, y],
+        4 => [-y, x, 1.0],
+        5 => [y, x, -1.0],
+        _ => panic!("face index {face} out of range 0..6"),
+    };
+    normalize(v)
+}
+
+/// Convert a unit vector to latitude/longitude.
+pub fn to_latlon(v: [f64; 3]) -> LatLon {
+    let lat = v[2].asin();
+    let mut lon = v[1].atan2(v[0]);
+    if lon < 0.0 {
+        lon += 2.0 * std::f64::consts::PI;
+    }
+    LatLon { lat, lon }
+}
+
+/// Great-circle distance between two points on the unit sphere (radians),
+/// computed with the numerically stable haversine form.
+pub fn great_circle_distance(a: LatLon, b: LatLon) -> f64 {
+    let dlat = b.lat - a.lat;
+    let dlon = b.lon - a.lon;
+    let h = (dlat / 2.0).sin().powi(2)
+        + a.lat.cos() * b.lat.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * h.sqrt().min(1.0).asin()
+}
+
+fn normalize(v: [f64; 3]) -> [f64; 3] {
+    let n = (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt();
+    [v[0] / n, v[1] / n, v[2] / n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn face_centers_map_to_axes() {
+        let axes = [
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [-1.0, 0.0, 0.0],
+            [0.0, -1.0, 0.0],
+            [0.0, 0.0, 1.0],
+            [0.0, 0.0, -1.0],
+        ];
+        for (face, axis) in axes.iter().enumerate() {
+            let v = cube_to_sphere(face, 0.0, 0.0);
+            for k in 0..3 {
+                assert!((v[k] - axis[k]).abs() < 1e-14, "face {face}");
+            }
+        }
+    }
+
+    #[test]
+    fn mapped_vectors_are_unit() {
+        for face in 0..6 {
+            for &a in &[-0.7, -0.3, 0.0, 0.4, 0.78] {
+                for &b in &[-0.78, 0.1, 0.6] {
+                    let v = cube_to_sphere(face, a, b);
+                    let n = (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt();
+                    assert!((n - 1.0).abs() < 1e-14);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_faces_share_edges() {
+        // The +x face at α = π/4 meets the +y face at α = -π/4,
+        // at equal β.
+        for &beta in &[-0.5, 0.0, 0.5] {
+            let a = cube_to_sphere(0, std::f64::consts::FRAC_PI_4, beta);
+            let b = cube_to_sphere(1, -std::f64::consts::FRAC_PI_4, beta);
+            for k in 0..3 {
+                assert!((a[k] - b[k]).abs() < 1e-12, "beta={beta}");
+            }
+        }
+    }
+
+    #[test]
+    fn latlon_roundtrip() {
+        let cases = [
+            LatLon { lat: 0.0, lon: 0.0 },
+            LatLon { lat: 0.7, lon: 3.0 },
+            LatLon { lat: -1.2, lon: 5.9 },
+        ];
+        for c in cases {
+            let v = [
+                c.lat.cos() * c.lon.cos(),
+                c.lat.cos() * c.lon.sin(),
+                c.lat.sin(),
+            ];
+            let ll = to_latlon(v);
+            assert!((ll.lat - c.lat).abs() < 1e-12);
+            assert!((ll.lon - c.lon).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn distance_properties() {
+        let p = LatLon { lat: 0.3, lon: 1.0 };
+        let q = LatLon { lat: -0.4, lon: 4.0 };
+        assert_eq!(great_circle_distance(p, p), 0.0);
+        let d1 = great_circle_distance(p, q);
+        let d2 = great_circle_distance(q, p);
+        assert!((d1 - d2).abs() < 1e-14);
+        assert!(d1 > 0.0 && d1 <= std::f64::consts::PI);
+    }
+
+    #[test]
+    fn distance_antipodal() {
+        let p = LatLon { lat: 0.0, lon: 0.0 };
+        let q = LatLon { lat: 0.0, lon: std::f64::consts::PI };
+        let d = great_circle_distance(p, q);
+        assert!((d - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "face index")]
+    fn bad_face_panics() {
+        cube_to_sphere(6, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests for the cubed-sphere grid.
+
+use cc_grid::{great_circle_distance, Grid, LatLon, Resolution};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn point_count_formula_holds(ne in 1usize..7) {
+        let g = Grid::build(Resolution::reduced(ne, 2));
+        prop_assert_eq!(g.len(), 6 * ne * ne * 9 + 2);
+    }
+
+    #[test]
+    fn areas_positive_and_sum_to_sphere(ne in 1usize..6) {
+        let g = Grid::build(Resolution::reduced(ne, 2));
+        let total: f64 = g.points().iter().map(|p| p.area).sum();
+        let sphere = 4.0 * std::f64::consts::PI;
+        prop_assert!(g.points().iter().all(|p| p.area > 0.0));
+        prop_assert!((total - sphere).abs() < 1e-5 * sphere);
+    }
+
+    #[test]
+    fn nearest_returns_closest_in_window(
+        lat in -1.4f64..1.4,
+        lon in 0.0f64..6.28,
+    ) {
+        let g = Grid::build(Resolution::reduced(3, 2));
+        let i = g.nearest(lat, lon);
+        let d_found = great_circle_distance(
+            LatLon { lat, lon },
+            LatLon { lat: g.lat(i), lon: g.lon(i) },
+        );
+        // The true nearest by brute force must not beat it by more than a
+        // hair (the banded search can in principle miss across the seam,
+        // but never by more than an element width).
+        let mut best = f64::INFINITY;
+        for j in 0..g.len() {
+            let d = great_circle_distance(
+                LatLon { lat, lon },
+                LatLon { lat: g.lat(j), lon: g.lon(j) },
+            );
+            best = best.min(d);
+        }
+        let elem = std::f64::consts::FRAC_PI_2 / 3.0;
+        prop_assert!(d_found <= best + elem, "found {} vs best {}", d_found, best);
+    }
+
+    #[test]
+    fn weighted_mean_within_field_bounds(
+        values in prop::collection::vec(-1000.0f32..1000.0, 218..219),
+    ) {
+        // ne=2 grid has 218 points.
+        let g = Grid::build(Resolution::reduced(2, 2));
+        prop_assume!(values.len() == g.len());
+        let m = g.weighted_mean(&values, |_| true);
+        let lo = values.iter().cloned().fold(f32::INFINITY, f32::min) as f64;
+        let hi = values.iter().cloned().fold(f32::NEG_INFINITY, f32::max) as f64;
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    #[test]
+    fn shape_2d_always_covers(ne in 1usize..8) {
+        let g = Grid::build(Resolution::reduced(ne, 2));
+        let (r, c) = g.shape_2d();
+        prop_assert!(r * c >= g.len());
+        prop_assert!((r - 1) * c < g.len());
+    }
+}

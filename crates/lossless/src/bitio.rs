@@ -1,0 +1,263 @@
+//! LSB-first bit-level I/O.
+//!
+//! Shared by the deflate implementation here and by every lossy codec in
+//! `cc-codecs` (fpzip residual coding, APAX block payloads, GRIB2 packing,
+//! ISABELA index/correction streams). Bits are packed least-significant
+//! first within each byte, deflate-style.
+
+use crate::Error;
+
+/// Accumulates bits LSB-first into a byte vector.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits pending in `acc` (0..8).
+    nbits: u32,
+    acc: u8,
+}
+
+impl BitWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write the low `n` bits of `value` (`n ≤ 57` per call).
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 57, "write_bits supports at most 57 bits per call");
+        debug_assert!(n == 64 || value < (1u64 << n), "value {value} wider than {n} bits");
+        let mut acc = self.acc as u64 | (value << self.nbits);
+        let mut total = self.nbits + n;
+        while total >= 8 {
+            self.buf.push((acc & 0xFF) as u8);
+            acc >>= 8;
+            total -= 8;
+        }
+        self.acc = acc as u8;
+        self.nbits = total;
+    }
+
+    /// Write a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(bit as u64, 1);
+    }
+
+    /// Write an Elias-gamma-style unary prefix + binary remainder
+    /// (Golomb-Rice with parameter `k`): quotient in unary, remainder in
+    /// `k` bits. Suited to geometrically distributed residuals.
+    pub fn write_rice(&mut self, value: u64, k: u32) {
+        let q = value >> k;
+        // Escape very large quotients so pathological inputs stay O(bits).
+        if q < 48 {
+            for _ in 0..q {
+                self.write_bit(true);
+            }
+            self.write_bit(false);
+            if k > 0 {
+                self.write_bits(value & ((1u64 << k) - 1), k);
+            }
+        } else {
+            // Escape: 48 ones (no terminator — the reader switches to the
+            // escape branch as soon as it counts 48), then the full 64-bit
+            // value in two 32-bit halves.
+            for _ in 0..48 {
+                self.write_bit(true);
+            }
+            self.write_bits(value & 0xFFFF_FFFF, 32);
+            self.write_bits(value >> 32, 32);
+        }
+    }
+
+    /// Align to the next byte boundary with zero bits.
+    pub fn align_byte(&mut self) {
+        if self.nbits > 0 {
+            self.buf.push(self.acc);
+            self.acc = 0;
+            self.nbits = 0;
+        }
+    }
+
+    /// Number of complete bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.buf.len() * 8 + self.nbits as usize
+    }
+
+    /// Finish, flushing any partial byte (zero-padded).
+    pub fn finish(mut self) -> Vec<u8> {
+        self.align_byte();
+        self.buf
+    }
+}
+
+/// Reads bits LSB-first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Next byte index.
+    pos: usize,
+    acc: u64,
+    /// Bits available in `acc`.
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Read from `data` starting at its first byte.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0, acc: 0, nbits: 0 }
+    }
+
+    fn refill(&mut self) {
+        while self.nbits <= 56 && self.pos < self.data.len() {
+            self.acc |= (self.data[self.pos] as u64) << self.nbits;
+            self.pos += 1;
+            self.nbits += 8;
+        }
+    }
+
+    /// Read `n ≤ 57` bits; errors if the stream is exhausted.
+    pub fn read_bits(&mut self, n: u32) -> Result<u64, Error> {
+        debug_assert!(n <= 57);
+        if self.nbits < n {
+            self.refill();
+            if self.nbits < n {
+                return Err(Error::UnexpectedEof);
+            }
+        }
+        let v = if n == 0 { 0 } else { self.acc & ((1u64 << n) - 1) };
+        self.acc >>= n;
+        self.nbits -= n;
+        Ok(v)
+    }
+
+    /// Read one bit.
+    pub fn read_bit(&mut self) -> Result<bool, Error> {
+        Ok(self.read_bits(1)? != 0)
+    }
+
+    /// Inverse of [`BitWriter::write_rice`].
+    pub fn read_rice(&mut self, k: u32) -> Result<u64, Error> {
+        let mut q = 0u64;
+        while self.read_bit()? {
+            q += 1;
+            if q == 48 {
+                let lo = self.read_bits(32)?;
+                let hi = self.read_bits(32)?;
+                return Ok(lo | (hi << 32));
+            }
+        }
+        let r = if k > 0 { self.read_bits(k)? } else { 0 };
+        Ok((q << k) | r)
+    }
+
+    /// Push the low `n` bits of `value` back onto the stream so the next
+    /// read returns them first. Used by table-driven Huffman decoding,
+    /// which peeks the maximum code length and returns the excess.
+    ///
+    /// The caller must not unread more bits than it has just read (the
+    /// accumulator holds at most 64 bits).
+    pub fn unread_bits(&mut self, value: u64, n: u32) {
+        debug_assert!(self.nbits + n <= 64, "unread overflow");
+        self.acc = (self.acc << n) | (value & if n == 0 { 0 } else { u64::MAX >> (64 - n) });
+        self.nbits += n;
+    }
+
+    /// Discard bits up to the next byte boundary.
+    pub fn align_byte(&mut self) {
+        let drop = self.nbits % 8;
+        self.acc >>= drop;
+        self.nbits -= drop;
+    }
+
+    /// Number of bits consumed so far.
+    pub fn bits_consumed(&self) -> usize {
+        self.pos * 8 - self.nbits as usize
+    }
+
+    /// True when every bit (up to byte padding) has been consumed.
+    pub fn is_exhausted(&mut self) -> bool {
+        self.refill();
+        self.nbits == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xDEAD, 16);
+        w.write_bit(true);
+        w.write_bits(0x1FFFFF, 21);
+        w.write_bits(0, 0);
+        w.write_bits(0x0FFF_FFFF_FFFF, 44);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(16).unwrap(), 0xDEAD);
+        assert!(r.read_bit().unwrap());
+        assert_eq!(r.read_bits(21).unwrap(), 0x1FFFFF);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+        assert_eq!(r.read_bits(44).unwrap(), 0x0FFF_FFFF_FFFF);
+    }
+
+    #[test]
+    fn rice_roundtrip() {
+        for k in 0..12u32 {
+            let mut w = BitWriter::new();
+            let values = [0u64, 1, 2, 7, 100, 1023, 1 << 20, u32::MAX as u64, u64::MAX >> 8];
+            for &v in &values {
+                w.write_rice(v, k);
+            }
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            for &v in &values {
+                assert_eq!(r.read_rice(k).unwrap(), v, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn eof_is_error() {
+        let bytes = BitWriter::new().finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(1), Err(Error::UnexpectedEof));
+    }
+
+    #[test]
+    fn align_byte_writer_reader_agree() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        w.align_byte();
+        w.write_bits(0xAB, 8);
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(2).unwrap(), 0b11);
+        r.align_byte();
+        assert_eq!(r.read_bits(8).unwrap(), 0xAB);
+    }
+
+    #[test]
+    fn bit_len_counts() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0, 5);
+        assert_eq!(w.bit_len(), 5);
+        w.write_bits(0, 11);
+        assert_eq!(w.bit_len(), 16);
+    }
+
+    #[test]
+    fn exhaustion_detection() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xFF, 8);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert!(!r.is_exhausted());
+        r.read_bits(8).unwrap();
+        assert!(r.is_exhausted());
+    }
+}

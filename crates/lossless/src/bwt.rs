@@ -1,0 +1,378 @@
+//! A bzip2-class block-sorting compressor: Burrows-Wheeler transform +
+//! move-to-front + run-length + canonical Huffman.
+//!
+//! The paper's related-work section observes that "traditional
+//! general-purpose lossless compression techniques … such as gzip, bzip2,
+//! and lmza, for example, are relatively ineffective on most scientific
+//! data". Having a block-sorting compressor alongside the LZ77 deflate
+//! lets the ablation benchmarks *show* that claim on the emulator's data
+//! instead of citing it: both general-purpose families plateau at similar
+//! ratios on float mantissa bytes.
+//!
+//! Pipeline per block (≤ [`BLOCK_SIZE`] bytes):
+//!
+//! ```text
+//! BWT (suffix-array based, sentinel-free with stored primary index)
+//!   → move-to-front → zero run-length encoding (RUNA/RUNB style)
+//!   → canonical Huffman over the MTF/RLE symbol alphabet
+//! ```
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::huffman::{Decoder, Encoder, MAX_CODE_LEN};
+use crate::Error;
+
+/// Maximum bytes per BWT block (bzip2 uses 100k-900k; 256 KiB here).
+pub const BLOCK_SIZE: usize = 256 * 1024;
+
+/// Compress `data` with the block-sorting pipeline.
+pub fn bwt_compress(data: &[u8]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    w.write_bits(data.len() as u64 & 0xFFFF_FFFF, 32);
+    w.write_bits((data.len() as u64) >> 32, 32);
+    for block in data.chunks(BLOCK_SIZE) {
+        compress_block(block, &mut w);
+    }
+    w.finish()
+}
+
+/// Decompress a stream produced by [`bwt_compress`].
+pub fn bwt_decompress(bytes: &[u8]) -> Result<Vec<u8>, Error> {
+    let mut r = BitReader::new(bytes);
+    let lo = r.read_bits(32)?;
+    let hi = r.read_bits(32)?;
+    let total = (lo | (hi << 32)) as usize;
+    if total > (1usize << 40) {
+        return Err(Error::Corrupt("implausible length"));
+    }
+    let mut out = Vec::with_capacity(total.min(1 << 26));
+    while out.len() < total {
+        let n = BLOCK_SIZE.min(total - out.len());
+        decompress_block(&mut r, n, &mut out)?;
+    }
+    Ok(out)
+}
+
+// --------------------------------------------------------------------
+// Burrows-Wheeler transform via suffix array (SA-IS would be fancier; a
+// doubling sort is O(n log² n) and dependency-free).
+// --------------------------------------------------------------------
+
+/// Forward BWT over the *rotations* of `data`. Returns the transformed
+/// bytes plus the primary index (row of the original string).
+pub fn bwt_forward(data: &[u8]) -> (Vec<u8>, usize) {
+    let n = data.len();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    // Sort rotation indices with a doubled key built on the cyclic string.
+    // rank[i] = rank of rotation starting at i by the first `width` chars.
+    let mut sa: Vec<u32> = (0..n as u32).collect();
+    let mut rank: Vec<i64> = data.iter().map(|&b| b as i64).collect();
+    let mut tmp = vec![0i64; n];
+    let mut width = 1usize;
+    loop {
+        let key = |i: u32| -> (i64, i64) {
+            let i = i as usize;
+            (rank[i], rank[(i + width) % n])
+        };
+        sa.sort_unstable_by_key(|&i| key(i));
+        tmp[sa[0] as usize] = 0;
+        for w in 1..n {
+            let prev = sa[w - 1];
+            let cur = sa[w];
+            tmp[cur as usize] =
+                tmp[prev as usize] + if key(cur) != key(prev) { 1 } else { 0 };
+        }
+        rank.copy_from_slice(&tmp);
+        if rank[sa[n - 1] as usize] as usize == n - 1 {
+            break;
+        }
+        // Periodic inputs (period p | n) have genuinely equal rotations:
+        // ranks stop refining once width ≥ n. Ties are harmless — equal
+        // rotations are identical rows of the sort matrix, and the LF
+        // inverse walks their (shorter) cycle n/p times, reproducing the
+        // original string.
+        if width >= n {
+            break;
+        }
+        width *= 2;
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut primary = 0usize;
+    for (row, &start) in sa.iter().enumerate() {
+        let start = start as usize;
+        if start == 0 {
+            primary = row;
+        }
+        out.push(data[(start + n - 1) % n]);
+    }
+    (out, primary)
+}
+
+/// Inverse BWT.
+pub fn bwt_inverse(bwt: &[u8], primary: usize) -> Result<Vec<u8>, Error> {
+    let n = bwt.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    if primary >= n {
+        return Err(Error::Corrupt("BWT primary index out of range"));
+    }
+    // Standard LF-mapping reconstruction.
+    let mut counts = [0usize; 256];
+    for &b in bwt {
+        counts[b as usize] += 1;
+    }
+    let mut starts = [0usize; 256];
+    let mut acc = 0usize;
+    for (b, &c) in counts.iter().enumerate() {
+        starts[b] = acc;
+        acc += c;
+    }
+    let mut next = vec![0u32; n];
+    let mut seen = [0usize; 256];
+    for (i, &b) in bwt.iter().enumerate() {
+        next[starts[b as usize] + seen[b as usize]] = i as u32;
+        seen[b as usize] += 1;
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut row = primary;
+    for _ in 0..n {
+        row = next[row] as usize;
+        out.push(bwt[row]);
+    }
+    Ok(out)
+}
+
+// --------------------------------------------------------------------
+// Move-to-front + zero-run-length coding.
+// --------------------------------------------------------------------
+
+/// Symbol alphabet after MTF/RLE: RUNA(0), RUNB(1), literals 2..=256
+/// (MTF value `m ∈ 1..=255` maps to symbol `m + 1`; MTF 0 is always
+/// run-coded).
+const SYM_RUNA: usize = 0;
+const SYM_RUNB: usize = 1;
+const NSYM: usize = 257;
+
+/// MTF + zero-RLE encode.
+pub fn mtf_rle_encode(data: &[u8]) -> Vec<u16> {
+    let mut table: Vec<u8> = (0..=255).collect();
+    let mut out = Vec::with_capacity(data.len());
+    let mut zero_run = 0usize;
+    let flush = |run: &mut usize, out: &mut Vec<u16>| {
+        // bzip2's bijective base-2 run coding with RUNA/RUNB.
+        let mut r = *run;
+        while r > 0 {
+            if r & 1 == 1 {
+                out.push(SYM_RUNA as u16);
+                r = (r - 1) >> 1;
+            } else {
+                out.push(SYM_RUNB as u16);
+                r = (r - 2) >> 1;
+            }
+        }
+        *run = 0;
+    };
+    for &b in data {
+        let pos = table.iter().position(|&x| x == b).expect("byte in table");
+        if pos == 0 {
+            zero_run += 1;
+            continue;
+        }
+        flush(&mut zero_run, &mut out);
+        out.push((pos + 1) as u16); // literal symbol = mtf + 1, mtf ≥ 1
+        table.copy_within(0..pos, 1);
+        table[0] = b;
+    }
+    flush(&mut zero_run, &mut out);
+    out
+}
+
+/// Inverse of [`mtf_rle_encode`].
+pub fn mtf_rle_decode(symbols: &[u16], out_len: usize) -> Result<Vec<u8>, Error> {
+    let mut table: Vec<u8> = (0..=255).collect();
+    let mut out = Vec::with_capacity(out_len);
+    let mut i = 0usize;
+    while i < symbols.len() {
+        let s = symbols[i] as usize;
+        if s == SYM_RUNA || s == SYM_RUNB {
+            // Collect the whole run group.
+            let mut run = 0usize;
+            let mut place = 1usize;
+            while i < symbols.len() {
+                match symbols[i] as usize {
+                    SYM_RUNA => run += place,
+                    SYM_RUNB => run += 2 * place,
+                    _ => break,
+                }
+                place <<= 1;
+                i += 1;
+            }
+            if out.len() + run > out_len {
+                return Err(Error::Corrupt("run overflows block"));
+            }
+            let b = table[0];
+            out.extend(std::iter::repeat_n(b, run));
+        } else {
+            let mtf = s - 1;
+            if mtf > 255 {
+                return Err(Error::Corrupt("bad MTF symbol"));
+            }
+            let b = table[mtf];
+            table.copy_within(0..mtf, 1);
+            table[0] = b;
+            out.push(b);
+            i += 1;
+        }
+    }
+    if out.len() != out_len {
+        return Err(Error::Corrupt("block length mismatch after MTF/RLE"));
+    }
+    Ok(out)
+}
+
+// --------------------------------------------------------------------
+// Block framing: primary index + Huffman-coded symbol stream.
+// --------------------------------------------------------------------
+
+fn compress_block(block: &[u8], w: &mut BitWriter) {
+    let (bwt, primary) = bwt_forward(block);
+    let symbols = mtf_rle_encode(&bwt);
+    let mut freqs = vec![0u64; NSYM];
+    for &s in &symbols {
+        freqs[s as usize] += 1;
+    }
+    let enc = Encoder::from_freqs(&freqs, MAX_CODE_LEN);
+    w.write_bits(primary as u64, 32);
+    w.write_bits(symbols.len() as u64, 32);
+    for &l in enc.lengths() {
+        w.write_bits(l as u64, 4);
+    }
+    for &s in &symbols {
+        enc.write_symbol(w, s as usize);
+    }
+}
+
+fn decompress_block(r: &mut BitReader<'_>, n: usize, out: &mut Vec<u8>) -> Result<(), Error> {
+    let primary = r.read_bits(32)? as usize;
+    let nsym = r.read_bits(32)? as usize;
+    if nsym > 2 * n + 64 {
+        return Err(Error::Corrupt("implausible symbol count"));
+    }
+    let mut lengths = vec![0u32; NSYM];
+    for l in lengths.iter_mut() {
+        *l = r.read_bits(4)? as u32;
+    }
+    let dec = Decoder::from_lengths(&lengths)?;
+    let mut symbols = Vec::with_capacity(nsym);
+    for _ in 0..nsym {
+        symbols.push(dec.read_symbol(r)? as u16);
+    }
+    let bwt = mtf_rle_decode(&symbols, n)?;
+    out.extend(bwt_inverse(&bwt, primary)?);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let z = bwt_compress(data);
+        assert_eq!(bwt_decompress(&z).unwrap(), data, "roundtrip failed");
+        z.len()
+    }
+
+    #[test]
+    fn bwt_known_example() {
+        // The classic: "banana" rotations sorted give BWT "nnbaaa".
+        let (bwt, primary) = bwt_forward(b"banana");
+        assert_eq!(&bwt, b"nnbaaa");
+        assert_eq!(bwt_inverse(&bwt, primary).unwrap(), b"banana");
+    }
+
+    #[test]
+    fn bwt_inverse_of_forward_various() {
+        for data in [
+            b"".as_slice(),
+            b"a",
+            b"aaaa",
+            b"abracadabra",
+            b"mississippi",
+        ] {
+            let (bwt, primary) = bwt_forward(data);
+            assert_eq!(bwt_inverse(&bwt, primary).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn mtf_rle_roundtrip() {
+        let data = b"aaaabbbcccdddaaaa___zzzz";
+        let symbols = mtf_rle_encode(data);
+        assert_eq!(mtf_rle_decode(&symbols, data.len()).unwrap(), data);
+        // Runs shrink the stream.
+        assert!(symbols.len() < data.len());
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        roundtrip(b"");
+        roundtrip(b"x");
+        roundtrip(b"xy");
+    }
+
+    #[test]
+    fn text_compresses_well() {
+        let data = "the community earth system model writes history files. ".repeat(100);
+        let n = roundtrip(data.as_bytes());
+        assert!(n < data.len() / 4, "{n} vs {}", data.len());
+    }
+
+    #[test]
+    fn random_bytes_roundtrip() {
+        let mut state = 123u64;
+        let data: Vec<u8> = (0..50_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn float_bytes_roundtrip() {
+        let floats: Vec<f32> = (0..8192).map(|i| (i as f32 * 0.01).sin() * 300.0).collect();
+        let data: Vec<u8> = floats.iter().flat_map(|v| v.to_le_bytes()).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn multi_block_input() {
+        let data: Vec<u8> = (0..BLOCK_SIZE + 1000).map(|i| (i % 251) as u8).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let data = b"hello hello hello hello".repeat(20);
+        let z = bwt_compress(&data);
+        for cut in [0usize, 4, 8, z.len() / 2] {
+            assert!(bwt_decompress(&z[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_primary_index_detected() {
+        let data = b"some data to transform and compress".repeat(10);
+        let mut z = bwt_compress(&data);
+        // Corrupt the primary index field (first block header after the
+        // 8-byte length).
+        z[9] ^= 0xFF;
+        match bwt_decompress(&z) {
+            Err(_) => {}
+            Ok(out) => assert_ne!(out, data, "corruption silently ignored"),
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! A DEFLATE-like compressed container over the LZ77 token stream.
+//!
+//! The framing is custom (we only need self-interoperability), but the
+//! coding machinery is DEFLATE's: dynamic canonical-Huffman blocks over a
+//! literal/length alphabet plus a distance alphabet with extra bits, and a
+//! stored-block fallback for incompressible stretches.
+//!
+//! Stream layout:
+//!
+//! ```text
+//! u64 LE  uncompressed length
+//! blocks: 1 bit final, 1 bit kind (0 = stored, 1 = huffman)
+//!   stored : byte-align, u32 LE length, raw bytes
+//!   huffman: 286×4-bit lit/len code lengths, 30×4-bit dist code lengths,
+//!            tokens..., end-of-block symbol (256)
+//! ```
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::huffman::{Decoder, Encoder};
+use crate::lz77::{self, Effort, Token};
+use crate::Error;
+
+/// Compression effort level (mirrors zlib's fast/default/best).
+pub type Level = Effort;
+
+/// Literal/length alphabet size: 256 literals + EOB + 29 length codes.
+const NLIT: usize = 286;
+/// End-of-block symbol.
+const EOB: usize = 256;
+/// Distance alphabet size.
+const NDIST: usize = 30;
+/// Tokens per dynamic block.
+const BLOCK_TOKENS: usize = 1 << 15;
+
+/// DEFLATE length-code table: `(base, extra_bits)` for codes 257..=285.
+const LEN_TABLE: [(u16, u8); 29] = [
+    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
+    (11, 1), (13, 1), (15, 1), (17, 1),
+    (19, 2), (23, 2), (27, 2), (31, 2),
+    (35, 3), (43, 3), (51, 3), (59, 3),
+    (67, 4), (83, 4), (99, 4), (115, 4),
+    (131, 5), (163, 5), (195, 5), (227, 5),
+    (258, 0),
+];
+
+/// DEFLATE distance-code table: `(base, extra_bits)` for codes 0..=29.
+const DIST_TABLE: [(u16, u8); 30] = [
+    (1, 0), (2, 0), (3, 0), (4, 0),
+    (5, 1), (7, 1), (9, 2), (13, 2),
+    (17, 3), (25, 3), (33, 4), (49, 4),
+    (65, 5), (97, 5), (129, 6), (193, 6),
+    (257, 7), (385, 7), (513, 8), (769, 8),
+    (1025, 9), (1537, 9), (2049, 10), (3073, 10),
+    (4097, 11), (6145, 11), (8193, 12), (12289, 12),
+    (16385, 13), (24577, 13),
+];
+
+/// Map a match length (3..=258) to `(code_index, extra_value, extra_bits)`.
+fn length_code(len: u16) -> (usize, u16, u8) {
+    debug_assert!((3..=258).contains(&len));
+    // Binary search the last base ≤ len.
+    let idx = LEN_TABLE.partition_point(|&(base, _)| base <= len) - 1;
+    let (base, extra) = LEN_TABLE[idx];
+    (257 + idx, len - base, extra)
+}
+
+/// Map a distance (1..=32768) to `(code_index, extra_value, extra_bits)`.
+fn dist_code(dist: u16) -> (usize, u16, u8) {
+    debug_assert!(dist >= 1);
+    let idx = DIST_TABLE.partition_point(|&(base, _)| base <= dist) - 1;
+    let (base, extra) = DIST_TABLE[idx];
+    (idx, dist - base, extra)
+}
+
+/// Compress `data` at the given effort level.
+pub fn compress(data: &[u8], level: Level) -> Vec<u8> {
+    let tokens = lz77::tokenize(data, level);
+    let mut w = BitWriter::new();
+    // Length header, byte-aligned by construction.
+    w.write_bits(data.len() as u64 & 0xFFFF_FFFF, 32);
+    w.write_bits((data.len() as u64) >> 32, 32);
+
+    if tokens.is_empty() {
+        // Zero-length payload still needs one (final, stored, empty) block.
+        w.write_bit(true);
+        w.write_bit(false);
+        w.align_byte();
+        w.write_bits(0, 32);
+        return w.finish();
+    }
+
+    // Chunk tokens into blocks; remember the byte extent of each chunk so a
+    // stored fallback can copy the exact range.
+    let mut start_byte = 0usize;
+    let mut t0 = 0usize;
+    while t0 < tokens.len() {
+        let t1 = (t0 + BLOCK_TOKENS).min(tokens.len());
+        let chunk = &tokens[t0..t1];
+        let nbytes: usize = chunk
+            .iter()
+            .map(|t| match t {
+                Token::Literal(_) => 1,
+                Token::Match { len, .. } => *len as usize,
+            })
+            .sum();
+        let is_final = t1 == tokens.len();
+        write_block(&mut w, chunk, &data[start_byte..start_byte + nbytes], is_final);
+        start_byte += nbytes;
+        t0 = t1;
+    }
+    w.finish()
+}
+
+fn write_block(w: &mut BitWriter, tokens: &[Token], raw: &[u8], is_final: bool) {
+    // Gather symbol frequencies.
+    let mut lit_freq = [0u64; NLIT];
+    let mut dist_freq = [0u64; NDIST];
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => lit_freq[b as usize] += 1,
+            Token::Match { len, dist } => {
+                lit_freq[length_code(len).0] += 1;
+                dist_freq[dist_code(dist).0] += 1;
+            }
+        }
+    }
+    lit_freq[EOB] += 1;
+
+    let lit_enc = Encoder::from_freqs(&lit_freq, crate::huffman::MAX_CODE_LEN);
+    let dist_enc = Encoder::from_freqs(&dist_freq, crate::huffman::MAX_CODE_LEN);
+
+    // Estimate the dynamic-block cost and compare with stored.
+    let header_bits = 2 + (NLIT + NDIST) * 4;
+    let mut body_bits = lit_enc.symbol_len(EOB) as u64;
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => body_bits += lit_enc.symbol_len(b as usize) as u64,
+            Token::Match { len, dist } => {
+                let (lc, _, le) = length_code(len);
+                let (dc, _, de) = dist_code(dist);
+                body_bits += (lit_enc.symbol_len(lc) + le as u32) as u64;
+                body_bits += (dist_enc.symbol_len(dc) + de as u32) as u64;
+            }
+        }
+    }
+    let dynamic_bits = header_bits as u64 + body_bits;
+    let stored_bits = 2 + 8 + 32 + raw.len() as u64 * 8; // worst-case align
+
+    w.write_bit(is_final);
+    if stored_bits < dynamic_bits {
+        w.write_bit(false); // stored
+        w.align_byte();
+        w.write_bits(raw.len() as u64, 32);
+        for &b in raw {
+            w.write_bits(b as u64, 8);
+        }
+        return;
+    }
+    w.write_bit(true); // huffman
+    for &l in lit_enc.lengths() {
+        w.write_bits(l as u64, 4);
+    }
+    for &l in dist_enc.lengths() {
+        w.write_bits(l as u64, 4);
+    }
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => lit_enc.write_symbol(w, b as usize),
+            Token::Match { len, dist } => {
+                let (lc, lv, le) = length_code(len);
+                lit_enc.write_symbol(w, lc);
+                if le > 0 {
+                    w.write_bits(lv as u64, le as u32);
+                }
+                let (dc, dv, de) = dist_code(dist);
+                dist_enc.write_symbol(w, dc);
+                if de > 0 {
+                    w.write_bits(dv as u64, de as u32);
+                }
+            }
+        }
+    }
+    lit_enc.write_symbol(w, EOB);
+}
+
+/// Decompress a stream produced by [`compress`].
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, Error> {
+    let mut r = BitReader::new(data);
+    let lo = r.read_bits(32)?;
+    let hi = r.read_bits(32)?;
+    let total = (lo | (hi << 32)) as usize;
+    // Refuse absurd headers before allocating.
+    if total > (1usize << 40) {
+        return Err(Error::Corrupt("implausible uncompressed length"));
+    }
+    let mut out: Vec<u8> = Vec::with_capacity(total.min(1 << 26));
+
+    loop {
+        let is_final = r.read_bit()?;
+        let is_huffman = r.read_bit()?;
+        if !is_huffman {
+            r.align_byte();
+            let len = r.read_bits(32)? as usize;
+            if out.len() + len > total {
+                return Err(Error::Corrupt("stored block overruns declared length"));
+            }
+            for _ in 0..len {
+                out.push(r.read_bits(8)? as u8);
+            }
+        } else {
+            let mut lit_lengths = [0u32; NLIT];
+            for l in lit_lengths.iter_mut() {
+                *l = r.read_bits(4)? as u32;
+            }
+            let mut dist_lengths = [0u32; NDIST];
+            for l in dist_lengths.iter_mut() {
+                *l = r.read_bits(4)? as u32;
+            }
+            let lit_dec = Decoder::from_lengths(&lit_lengths)?;
+            let dist_dec = Decoder::from_lengths(&dist_lengths)?;
+            loop {
+                let sym = lit_dec.read_symbol(&mut r)?;
+                if sym == EOB {
+                    break;
+                }
+                if sym < 256 {
+                    if out.len() >= total {
+                        return Err(Error::Corrupt("literal overruns declared length"));
+                    }
+                    out.push(sym as u8);
+                } else {
+                    let li = sym - 257;
+                    if li >= LEN_TABLE.len() {
+                        return Err(Error::Corrupt("invalid length code"));
+                    }
+                    let (base, extra) = LEN_TABLE[li];
+                    let len = base as usize + r.read_bits(extra as u32)? as usize;
+                    let dsym = dist_dec.read_symbol(&mut r)?;
+                    if dsym >= DIST_TABLE.len() {
+                        return Err(Error::Corrupt("invalid distance code"));
+                    }
+                    let (dbase, dextra) = DIST_TABLE[dsym];
+                    let dist = dbase as usize + r.read_bits(dextra as u32)? as usize;
+                    if dist == 0 || dist > out.len() {
+                        return Err(Error::Corrupt("distance exceeds output"));
+                    }
+                    if out.len() + len > total {
+                        return Err(Error::Corrupt("match overruns declared length"));
+                    }
+                    let start = out.len() - dist;
+                    for k in 0..len {
+                        let b = out[start + k];
+                        out.push(b);
+                    }
+                }
+            }
+        }
+        if is_final {
+            break;
+        }
+    }
+    if out.len() != total {
+        return Err(Error::Corrupt("declared length mismatch"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let z = compress(data, Level::Default);
+        let back = decompress(&z).unwrap();
+        assert_eq!(data, &back[..]);
+        z.len()
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(roundtrip(b"") > 0);
+    }
+
+    #[test]
+    fn short_inputs() {
+        roundtrip(b"a");
+        roundtrip(b"climate");
+        roundtrip(&[0u8; 3]);
+    }
+
+    #[test]
+    fn text_compresses() {
+        let data = "the community earth system model ".repeat(200);
+        let n = roundtrip(data.as_bytes());
+        assert!(n < data.len() / 4, "{n} vs {}", data.len());
+    }
+
+    #[test]
+    fn incompressible_data_falls_back_to_stored() {
+        let mut state = 0xDEADBEEFu64;
+        let data: Vec<u8> = (0..70_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as u8
+            })
+            .collect();
+        let n = roundtrip(&data);
+        // Stored fallback bounds expansion to a tiny framing overhead.
+        assert!(n < data.len() + data.len() / 100 + 64, "{n} vs {}", data.len());
+    }
+
+    #[test]
+    fn all_levels_roundtrip() {
+        let data = b"abcabcabcabc_the_rest_is_different_xyzxyzxyz".repeat(50);
+        for level in [Level::Fast, Level::Default, Level::Best] {
+            let z = compress(&data, level);
+            assert_eq!(decompress(&z).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn multi_block_input() {
+        // Force several blocks (> BLOCK_TOKENS tokens of literals).
+        let mut state = 7u64;
+        let data: Vec<u8> = (0..200_000)
+            .map(|i| {
+                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                ((state >> 40) as u8).wrapping_add((i / 1000) as u8)
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn zeros_compress_hugely() {
+        let data = vec![0u8; 100_000];
+        let n = roundtrip(&data);
+        assert!(n < 1000, "zeros compressed to {n}");
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let data = b"hello world hello world hello world".repeat(10);
+        let z = compress(&data, Level::Default);
+        for cut in [0usize, 4, 8, z.len() / 2, z.len() - 1] {
+            let r = decompress(&z[..cut]);
+            assert!(r.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn corrupt_header_errors() {
+        let mut z = compress(b"some data to compress", Level::Default);
+        // Implausible length.
+        for b in z.iter_mut().take(8) {
+            *b = 0xFF;
+        }
+        assert!(decompress(&z).is_err());
+    }
+
+    #[test]
+    fn length_code_table_is_exhaustive() {
+        for len in 3..=258u16 {
+            let (code, extra_v, extra_b) = length_code(len);
+            assert!((257..286).contains(&code));
+            let (base, eb) = LEN_TABLE[code - 257];
+            assert_eq!(eb, extra_b);
+            assert_eq!(base + extra_v, len);
+            assert!(extra_v < (1 << extra_b.max(1)) || extra_b == 0 && extra_v == 0);
+        }
+    }
+
+    #[test]
+    fn dist_code_table_is_exhaustive() {
+        for dist in 1..=32768u16 {
+            let (code, extra_v, extra_b) = dist_code(dist);
+            assert!(code < 30);
+            let (base, eb) = DIST_TABLE[code];
+            assert_eq!(eb, extra_b);
+            assert_eq!(base as u32 + extra_v as u32, dist as u32);
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! Canonical Huffman coding with length-limited codes.
+//!
+//! Code lengths are derived from symbol frequencies with the package-merge
+//! algorithm (optimal under a maximum-length constraint), then assigned
+//! canonically so only the length vector needs to be transmitted. Decoding
+//! uses a flat lookup table over [`MAX_CODE_LEN`] bits.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::Error;
+
+/// Maximum code length; 15 matches DEFLATE and keeps the decode table at
+/// 32,768 entries.
+pub const MAX_CODE_LEN: u32 = 15;
+
+/// Compute length-limited Huffman code lengths for `freqs` (zero frequency →
+/// zero length, i.e. symbol absent). Lengths never exceed `max_len`.
+pub fn code_lengths(freqs: &[u64], max_len: u32) -> Vec<u32> {
+    assert!(max_len >= 1 && max_len <= MAX_CODE_LEN);
+    let n = freqs.len();
+    let active: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+    let mut lengths = vec![0u32; n];
+    match active.len() {
+        0 => return lengths,
+        1 => {
+            // A single symbol still needs a 1-bit code to be decodable.
+            lengths[active[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+    assert!(
+        (1usize << max_len) >= active.len(),
+        "alphabet of {} symbols cannot fit in {max_len}-bit codes",
+        active.len()
+    );
+
+    // Package-merge. Items are (weight, bitset-of-original-symbols) but we
+    // only need per-symbol counts; represent packages as weight + list of
+    // leaf indices (indices into `active`). For our alphabet sizes
+    // (≤ 320 symbols) the simple O(L·n log n)形 is plenty fast.
+    #[derive(Clone)]
+    struct Pkg {
+        weight: u64,
+        leaves: Vec<u32>,
+    }
+    let leaf_pkgs: Vec<Pkg> = active
+        .iter()
+        .enumerate()
+        .map(|(j, &i)| Pkg { weight: freqs[i], leaves: vec![j as u32] })
+        .collect();
+
+    let mut prev: Vec<Pkg> = Vec::new();
+    for _level in 0..max_len {
+        // Merge leaf packages with pairings from the previous level.
+        let mut merged: Vec<Pkg> = leaf_pkgs.clone();
+        let mut pairs: Vec<Pkg> = Vec::with_capacity(prev.len() / 2);
+        let mut it = prev.chunks_exact(2);
+        for pair in &mut it {
+            let mut leaves = pair[0].leaves.clone();
+            leaves.extend_from_slice(&pair[1].leaves);
+            pairs.push(Pkg { weight: pair[0].weight + pair[1].weight, leaves });
+        }
+        merged.extend(pairs);
+        merged.sort_by_key(|p| p.weight);
+        prev = merged;
+    }
+
+    // Take the cheapest 2(n-1) packages; each occurrence of a leaf adds one
+    // to that symbol's code length.
+    let take = 2 * (active.len() - 1);
+    for pkg in prev.iter().take(take) {
+        for &j in &pkg.leaves {
+            lengths[active[j as usize]] += 1;
+        }
+    }
+    debug_assert!(lengths.iter().all(|&l| l <= max_len));
+    lengths
+}
+
+/// Assign canonical codes to `lengths`. Returns `codes[i]` = bit-reversed
+/// code ready for LSB-first writing (length `lengths[i]`).
+pub fn canonical_codes(lengths: &[u32]) -> Vec<u32> {
+    let max = lengths.iter().copied().max().unwrap_or(0);
+    let mut bl_count = vec![0u32; (max + 1) as usize];
+    for &l in lengths {
+        if l > 0 {
+            bl_count[l as usize] += 1;
+        }
+    }
+    let mut next_code = vec![0u32; (max + 2) as usize];
+    let mut code = 0u32;
+    for bits in 1..=max {
+        code = (code + bl_count[(bits - 1) as usize]) << 1;
+        next_code[bits as usize] = code;
+    }
+    lengths
+        .iter()
+        .map(|&l| {
+            if l == 0 {
+                0
+            } else {
+                let c = next_code[l as usize];
+                next_code[l as usize] += 1;
+                c.reverse_bits() >> (32 - l)
+            }
+        })
+        .collect()
+}
+
+/// Encoder: canonical codes + lengths for an alphabet.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    codes: Vec<u32>,
+    lengths: Vec<u32>,
+}
+
+impl Encoder {
+    /// Build an encoder from symbol frequencies.
+    pub fn from_freqs(freqs: &[u64], max_len: u32) -> Self {
+        let lengths = code_lengths(freqs, max_len);
+        let codes = canonical_codes(&lengths);
+        Encoder { codes, lengths }
+    }
+
+    /// Build from explicit code lengths (as read from a stream header).
+    pub fn from_lengths(lengths: &[u32]) -> Self {
+        let codes = canonical_codes(lengths);
+        Encoder { codes, lengths: lengths.to_vec() }
+    }
+
+    /// The code lengths (what a container format serializes).
+    pub fn lengths(&self) -> &[u32] {
+        &self.lengths
+    }
+
+    /// Emit `symbol`'s code. Panics if the symbol has no code.
+    pub fn write_symbol(&self, w: &mut BitWriter, symbol: usize) {
+        let len = self.lengths[symbol];
+        debug_assert!(len > 0, "symbol {symbol} has no code");
+        w.write_bits(self.codes[symbol] as u64, len);
+    }
+
+    /// Length in bits of `symbol`'s code (0 if absent).
+    pub fn symbol_len(&self, symbol: usize) -> u32 {
+        self.lengths[symbol]
+    }
+}
+
+/// Table-driven decoder for canonical codes.
+#[derive(Debug)]
+pub struct Decoder {
+    /// `table[bits] = (symbol, code_len)`; index is the next `max` stream
+    /// bits (LSB-first).
+    table: Vec<(u16, u8)>,
+    max: u32,
+}
+
+impl Decoder {
+    /// Build a decoder from code lengths. Returns an error for
+    /// over-subscribed (invalid) codes; incomplete codes are accepted and
+    /// undefined entries decode to an error at read time.
+    pub fn from_lengths(lengths: &[u32]) -> Result<Self, Error> {
+        let max = lengths.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return Ok(Decoder { table: Vec::new(), max: 0 });
+        }
+        if max > MAX_CODE_LEN {
+            return Err(Error::Corrupt("code length exceeds maximum"));
+        }
+        // Kraft check for over-subscription.
+        let kraft: u64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u64 << (MAX_CODE_LEN - l))
+            .sum();
+        if kraft > 1u64 << MAX_CODE_LEN {
+            return Err(Error::Corrupt("over-subscribed Huffman code"));
+        }
+        let codes = canonical_codes(lengths);
+        let mut table = vec![(u16::MAX, 0u8); 1usize << max];
+        for (sym, (&len, &code)) in lengths.iter().zip(&codes).enumerate() {
+            if len == 0 {
+                continue;
+            }
+            // The code occupies every table slot whose low `len` bits equal
+            // `code` (code is already bit-reversed for LSB-first order).
+            let step = 1usize << len;
+            let mut idx = code as usize;
+            while idx < table.len() {
+                table[idx] = (sym as u16, len as u8);
+                idx += step;
+            }
+        }
+        Ok(Decoder { table, max })
+    }
+
+    /// Decode one symbol.
+    pub fn read_symbol(&self, r: &mut BitReader<'_>) -> Result<usize, Error> {
+        if self.max == 0 {
+            return Err(Error::Corrupt("empty Huffman alphabet"));
+        }
+        // Peek up to `max` bits; near stream end fewer may remain, so fall
+        // back to bit-by-bit narrowing.
+        let avail = self.max;
+        match r.read_bits(avail) {
+            Ok(bits) => {
+                let (sym, len) = self.table[bits as usize];
+                if sym == u16::MAX {
+                    return Err(Error::Corrupt("invalid Huffman code"));
+                }
+                // Push back the unconsumed bits by re-reading: BitReader has
+                // no unread; instead we re-buffer via a small shim below.
+                // To keep the hot path allocation-free, BitReader exposes
+                // exact consumption through read_bits only, so we emulate
+                // unread with the `unread` helper.
+                r.unread_bits(bits >> len, avail - len as u32);
+                Ok(sym as usize)
+            }
+            Err(_) => {
+                // Slow path: narrow bit by bit.
+                let mut code = 0u64;
+                for n in 0..self.max {
+                    code |= (r.read_bit()? as u64) << n;
+                    // Check if any symbol matches at this length by probing
+                    // the table with zero padding: valid iff the entry's
+                    // length equals n+1.
+                    let probe = code as usize & ((1usize << self.max) - 1);
+                    let (sym, len) = self.table[probe];
+                    if sym != u16::MAX && len as u32 == n + 1 {
+                        return Ok(sym as usize);
+                    }
+                }
+                Err(Error::Corrupt("invalid Huffman code at stream end"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitio::{BitReader, BitWriter};
+
+    fn roundtrip(freqs: &[u64], message: &[usize]) {
+        let enc = Encoder::from_freqs(freqs, MAX_CODE_LEN);
+        let mut w = BitWriter::new();
+        for &s in message {
+            enc.write_symbol(&mut w, s);
+        }
+        let bytes = w.finish();
+        let dec = Decoder::from_lengths(enc.lengths()).unwrap();
+        let mut r = BitReader::new(&bytes);
+        for &s in message {
+            assert_eq!(dec.read_symbol(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn simple_alphabet_roundtrip() {
+        let freqs = [45u64, 13, 12, 16, 9, 5];
+        let msg: Vec<usize> = (0..6).cycle().take(100).collect();
+        roundtrip(&freqs, &msg);
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        let freqs = [0u64, 100, 0];
+        roundtrip(&freqs, &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn skewed_frequencies_respect_length_limit() {
+        // Fibonacci-like frequencies force long codes in unlimited Huffman.
+        let mut freqs = vec![0u64; 24];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let lengths = code_lengths(&freqs, 15);
+        assert!(lengths.iter().all(|&l| l <= 15 && l > 0));
+        // Kraft equality for a complete code.
+        let kraft: f64 = lengths.iter().map(|&l| 2f64.powi(-(l as i32))).sum();
+        assert!((kraft - 1.0).abs() < 1e-12, "kraft {kraft}");
+    }
+
+    #[test]
+    fn package_merge_is_optimal_when_unconstrained() {
+        // For frequencies 1,1,2,4: optimal lengths 3,3,2,1 (cost 14 bits).
+        let lengths = code_lengths(&[1, 1, 2, 4], 15);
+        let cost: u64 = [1u64, 1, 2, 4]
+            .iter()
+            .zip(&lengths)
+            .map(|(f, &l)| f * l as u64)
+            .sum();
+        assert_eq!(cost, 14);
+    }
+
+    #[test]
+    fn oversubscribed_lengths_rejected() {
+        // Three 1-bit codes cannot exist.
+        assert!(Decoder::from_lengths(&[1, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn zero_freq_symbols_get_no_code() {
+        let lengths = code_lengths(&[5, 0, 3, 0], 15);
+        assert_eq!(lengths[1], 0);
+        assert_eq!(lengths[3], 0);
+        assert!(lengths[0] > 0 && lengths[2] > 0);
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let lengths = code_lengths(&[10, 9, 8, 7, 6, 5, 4, 3, 2, 1], 15);
+        let codes = canonical_codes(&lengths);
+        // Reverse back to MSB-first and check prefix-freeness pairwise.
+        let msb: Vec<(u32, u32)> = lengths
+            .iter()
+            .zip(&codes)
+            .filter(|(&l, _)| l > 0)
+            .map(|(&l, &c)| (l, c.reverse_bits() >> (32 - l)))
+            .collect();
+        for (i, &(li, ci)) in msb.iter().enumerate() {
+            for (j, &(lj, cj)) in msb.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let (short, long) = if li <= lj { ((li, ci), (lj, cj)) } else { ((lj, cj), (li, ci)) };
+                assert!(
+                    long.1 >> (long.0 - short.0) != short.1,
+                    "code {i} prefixes {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_random_alphabet_roundtrip() {
+        // Deterministic pseudo-random frequencies.
+        let mut state = 0x12345678u64;
+        let mut freqs = vec![0u64; 300];
+        for f in freqs.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *f = state >> 50; // some zeros likely
+        }
+        freqs[0] = 1; // ensure at least one active symbol
+        let active: Vec<usize> = (0..300).filter(|&i| freqs[i] > 0).collect();
+        let msg: Vec<usize> = active.iter().cycle().take(5000).copied().collect();
+        roundtrip(&freqs, &msg);
+    }
+}

@@ -1,0 +1,100 @@
+//! HDF5-style byte shuffle filter.
+//!
+//! Transposes an array of `elem_size`-byte elements so that byte 0 of every
+//! element comes first, then byte 1 of every element, and so on. For IEEE
+//! floats this groups the (highly correlated) sign/exponent bytes together
+//! and the (noisy) low-mantissa bytes together, dramatically improving the
+//! downstream LZ/Huffman stage — the reason NetCDF-4 enables shuffle in
+//! front of deflate.
+
+/// Shuffle `data` as `elem_size`-byte elements. A trailing partial element
+/// (if `data.len()` is not a multiple of `elem_size`) is passed through
+/// unchanged at the end, matching HDF5's behaviour.
+pub fn shuffle(data: &[u8], elem_size: usize) -> Vec<u8> {
+    assert!(elem_size >= 1, "element size must be >= 1");
+    if elem_size == 1 {
+        return data.to_vec();
+    }
+    let n = data.len() / elem_size;
+    let body = n * elem_size;
+    let mut out = Vec::with_capacity(data.len());
+    for b in 0..elem_size {
+        for e in 0..n {
+            out.push(data[e * elem_size + b]);
+        }
+    }
+    out.extend_from_slice(&data[body..]);
+    out
+}
+
+/// Inverse of [`shuffle`].
+pub fn unshuffle(data: &[u8], elem_size: usize) -> Vec<u8> {
+    assert!(elem_size >= 1, "element size must be >= 1");
+    if elem_size == 1 {
+        return data.to_vec();
+    }
+    let n = data.len() / elem_size;
+    let body = n * elem_size;
+    let mut out = vec![0u8; data.len()];
+    let mut idx = 0usize;
+    for b in 0..elem_size {
+        for e in 0..n {
+            out[e * elem_size + b] = data[idx];
+            idx += 1;
+        }
+    }
+    out[body..].copy_from_slice(&data[body..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_exact_multiple() {
+        let data: Vec<u8> = (0..64u8).collect();
+        for es in [1usize, 2, 4, 8] {
+            assert_eq!(unshuffle(&shuffle(&data, es), es), data, "elem {es}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_remainder() {
+        let data: Vec<u8> = (0..67u8).collect();
+        for es in [2usize, 4, 8] {
+            assert_eq!(unshuffle(&shuffle(&data, es), es), data, "elem {es}");
+        }
+    }
+
+    #[test]
+    fn known_small_case() {
+        // Elements [a0 a1][b0 b1] shuffle to [a0 b0 a1 b1].
+        assert_eq!(shuffle(&[1, 2, 3, 4], 2), vec![1, 3, 2, 4]);
+    }
+
+    #[test]
+    fn shuffle_preserves_length_and_bytes() {
+        let data: Vec<u8> = (0..255u8).map(|i| i.wrapping_mul(37)).collect();
+        let s = shuffle(&data, 4);
+        assert_eq!(s.len(), data.len());
+        let mut a = data.clone();
+        let mut b = s.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "shuffle must be a permutation");
+    }
+
+    #[test]
+    fn elem_size_one_is_identity() {
+        let data = vec![9u8, 8, 7];
+        assert_eq!(shuffle(&data, 1), data);
+        assert_eq!(unshuffle(&data, 1), data);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(shuffle(&[], 4).is_empty());
+        assert!(unshuffle(&[], 4).is_empty());
+    }
+}

@@ -1,0 +1,198 @@
+//! Smooth spherical basis functions for field synthesis.
+//!
+//! Large-scale atmospheric fields are well described by a modest number of
+//! smooth global modes (the rationale behind spectral models). The emulator
+//! synthesizes every variable as a variable-specific mixture of `K` fixed
+//! basis functions whose amplitudes are driven by the chaotic dynamics.
+//! Basis `k` pairs a zonal wavenumber `m` with a meridional wavenumber `l`:
+//!
+//! ```text
+//! B_k(lat, lon) = cos^max(m,1)(lat) · cos(m·lon + φ_k) · cos(l·lat + ψ_k)
+//! ```
+//!
+//! The `cos^m(lat)` taper removes the pole discontinuity that a bare
+//! `cos(m·lon)` would create. Each basis function is normalized to unit RMS
+//! over the grid so mixing amplitudes are directly comparable.
+
+use crate::rng::{hash_coords, unit_f64};
+use cc_grid::Grid;
+
+/// Number of basis functions.
+pub const NBASIS: usize = 24;
+
+/// A precomputed set of basis functions evaluated on a grid.
+#[derive(Debug)]
+pub struct BasisSet {
+    /// `values[k][p]` = basis `k` at horizontal point `p`, unit RMS.
+    values: Vec<Vec<f32>>,
+}
+
+impl BasisSet {
+    /// Evaluate all [`NBASIS`] basis functions on `grid`.
+    ///
+    /// The (l, m, φ, ψ) assignment is a fixed function of `k` — the basis is
+    /// part of the model definition, identical for every member and every
+    /// variable.
+    pub fn build(grid: &Grid) -> Self {
+        let npts = grid.len();
+        // Raw (non-orthogonal) tapered trigonometric modes in f64.
+        let mut raw: Vec<Vec<f64>> = Vec::with_capacity(NBASIS);
+        for k in 0..NBASIS {
+            // Wavenumbers sweep (m, l) pairs: m ∈ 0..4, l ∈ 1..6.
+            let m = k % 4;
+            let l = 1 + (k / 4) % 6;
+            let phi = 2.0 * std::f64::consts::PI * unit_f64(hash_coords(&[0xBA5E, k as u64, 1]));
+            let psi = 2.0 * std::f64::consts::PI * unit_f64(hash_coords(&[0xBA5E, k as u64, 2]));
+            let mut b = vec![0.0f64; npts];
+            for (p, val) in b.iter_mut().enumerate() {
+                let lat = grid.lat(p);
+                let lon = grid.lon(p);
+                let taper = lat.cos().powi(m.max(1) as i32);
+                *val = taper * (m as f64 * lon + phi).cos() * (l as f64 * lat + psi).cos();
+            }
+            raw.push(b);
+        }
+        // Modified Gram-Schmidt with unit-RMS normalization: raw modes with
+        // equal zonal wavenumber can correlate strongly (the meridional
+        // factors are not orthogonal under the cos-taper), and downstream
+        // variance accounting assumes near-orthonormal modes.
+        let inv_n = 1.0 / npts as f64;
+        let mut values: Vec<Vec<f32>> = Vec::with_capacity(NBASIS);
+        let mut ortho: Vec<Vec<f64>> = Vec::with_capacity(NBASIS);
+        for mut b in raw {
+            for prev in &ortho {
+                let dot: f64 = b.iter().zip(prev).map(|(x, y)| x * y).sum::<f64>() * inv_n;
+                for (x, y) in b.iter_mut().zip(prev) {
+                    *x -= dot * y;
+                }
+            }
+            let rms = (b.iter().map(|x| x * x).sum::<f64>() * inv_n).sqrt();
+            assert!(
+                rms > 1e-8,
+                "basis mode linearly dependent on predecessors; adjust (m, l) table"
+            );
+            let inv = 1.0 / rms;
+            for x in b.iter_mut() {
+                *x *= inv;
+            }
+            values.push(b.iter().map(|&x| x as f32).collect());
+            ortho.push(b);
+        }
+        BasisSet { values }
+    }
+
+    /// Basis function `k` over all grid points.
+    pub fn basis(&self, k: usize) -> &[f32] {
+        &self.values[k]
+    }
+
+    /// Number of basis functions.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Always false: the set is never empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Accumulate `Σ_k amps[k]·B_k` into `out` (adds to existing content).
+    pub fn accumulate(&self, amps: &[f64], out: &mut [f64]) {
+        assert_eq!(amps.len(), self.values.len());
+        for (k, b) in self.values.iter().enumerate() {
+            let a = amps[k];
+            if a == 0.0 {
+                continue;
+            }
+            assert_eq!(b.len(), out.len());
+            for (o, &v) in out.iter_mut().zip(b) {
+                *o += a * v as f64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_grid::Resolution;
+
+    fn grid() -> Grid {
+        Grid::build(Resolution::reduced(3, 4))
+    }
+
+    #[test]
+    fn basis_count_and_size() {
+        let g = grid();
+        let b = BasisSet::build(&g);
+        assert_eq!(b.len(), NBASIS);
+        for k in 0..NBASIS {
+            assert_eq!(b.basis(k).len(), g.len());
+        }
+    }
+
+    #[test]
+    fn unit_rms_normalization() {
+        let g = grid();
+        let b = BasisSet::build(&g);
+        for k in 0..NBASIS {
+            let sumsq: f64 = b.basis(k).iter().map(|&v| (v as f64).powi(2)).sum();
+            let rms = (sumsq / g.len() as f64).sqrt();
+            assert!((rms - 1.0).abs() < 1e-5, "basis {k} rms {rms}");
+        }
+    }
+
+    #[test]
+    fn basis_functions_are_distinct() {
+        let g = grid();
+        let b = BasisSet::build(&g);
+        for i in 0..NBASIS {
+            for j in i + 1..NBASIS {
+                let dot: f64 = b
+                    .basis(i)
+                    .iter()
+                    .zip(b.basis(j))
+                    .map(|(&x, &y)| x as f64 * y as f64)
+                    .sum::<f64>()
+                    / g.len() as f64;
+                assert!(dot.abs() < 0.01, "basis {i} and {j} not orthogonal: {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_is_linear() {
+        let g = grid();
+        let b = BasisSet::build(&g);
+        let amps: Vec<f64> = (0..NBASIS).map(|k| (k as f64 * 0.37).sin()).collect();
+        let mut out1 = vec![0.0f64; g.len()];
+        b.accumulate(&amps, &mut out1);
+        // Accumulating half the amps twice must equal the whole once.
+        let half: Vec<f64> = amps.iter().map(|a| a / 2.0).collect();
+        let mut out2 = vec![0.0f64; g.len()];
+        b.accumulate(&half, &mut out2);
+        b.accumulate(&half, &mut out2);
+        for (a, b) in out1.iter().zip(&out2) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn values_finite_everywhere() {
+        let g = Grid::build(Resolution::reduced(2, 4));
+        let b = BasisSet::build(&g);
+        for k in 0..NBASIS {
+            assert!(b.basis(k).iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        let g = grid();
+        let b1 = BasisSet::build(&g);
+        let b2 = BasisSet::build(&g);
+        for k in 0..NBASIS {
+            assert_eq!(b1.basis(k), b2.basis(k));
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Chaotic large-scale dynamics: a two-scale Lorenz-96 cascade.
+//!
+//! The CESM-PVT ensemble relies on two properties of the atmosphere model
+//! (Section 4.3 of the paper): an `O(1e-14)` perturbation of the initial
+//! temperature state (i) leaves the *statistics* of a one-year run
+//! unchanged but (ii) fully decorrelates the *trajectory*. The two-scale
+//! Lorenz-96 system is the canonical minimal model with exactly these
+//! properties (leading Lyapunov exponent ≈ 1.7/time-unit at `F = 10`,
+//! exchangeable long-run statistics), so it drives the emulator's
+//! large-scale mode amplitudes.
+//!
+//! ```text
+//! dX_k/dt = -X_{k-1}(X_{k-2} - X_{k+1}) - X_k + F - (hc/b) Σ_j Y_{j,k}
+//! dY_j/dt = -c b Y_{j+1}(Y_{j+2} - Y_{j-1}) - c Y_j + (hc/b) X_{k(j)}
+//! ```
+
+use crate::rng::SplitMix64;
+
+/// Number of slow (large-scale) modes.
+pub const NX: usize = 36;
+/// Fast modes per slow mode.
+pub const NY_PER_X: usize = 8;
+
+/// Standard parameter set (Lorenz 1996).
+#[derive(Debug, Clone, Copy)]
+pub struct L96Params {
+    /// Forcing; 10 puts the system well into chaos.
+    pub forcing: f64,
+    /// Coupling strength h.
+    pub h: f64,
+    /// Time-scale ratio c.
+    pub c: f64,
+    /// Space-scale ratio b.
+    pub b: f64,
+}
+
+impl Default for L96Params {
+    fn default() -> Self {
+        L96Params { forcing: 10.0, h: 1.0, c: 10.0, b: 10.0 }
+    }
+}
+
+/// The two-scale Lorenz-96 state, integrated with classical RK4.
+#[derive(Debug, Clone)]
+pub struct L96Cascade {
+    /// Slow modes.
+    pub x: Vec<f64>,
+    /// Fast modes (`NX * NY_PER_X`).
+    pub y: Vec<f64>,
+    params: L96Params,
+    /// RK4 scratch buffers (k1..k4 and the trial state), reused across
+    /// steps to keep the integrator allocation-free on the hot path.
+    scratch: Vec<f64>,
+}
+
+impl L96Cascade {
+    /// Initialize from a seed: small random perturbations around the
+    /// unstable fixed point `X = F`.
+    pub fn new(seed: u64, params: L96Params) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let x = (0..NX).map(|_| params.forcing * (0.8 + 0.4 * rng.next_f64())).collect();
+        let y = (0..NX * NY_PER_X).map(|_| 0.1 * (rng.next_f64() - 0.5)).collect();
+        let dim = NX + NX * NY_PER_X;
+        L96Cascade { x, y, params, scratch: vec![0.0; 5 * dim] }
+    }
+
+    /// Apply the CESM-PVT-style initial-condition perturbation: add
+    /// `epsilon` to the first slow mode ("the initial atmospheric
+    /// temperature condition", perturbed at `O(1e-14)` in the paper).
+    pub fn perturb(&mut self, epsilon: f64) {
+        self.x[0] += epsilon;
+    }
+
+    fn deriv(&self, x: &[f64], y: &[f64], dx: &mut [f64], dy: &mut [f64]) {
+        let p = self.params;
+        let n = NX;
+        let hcb = p.h * p.c / p.b;
+        for k in 0..n {
+            let km1 = (k + n - 1) % n;
+            let km2 = (k + n - 2) % n;
+            let kp1 = (k + 1) % n;
+            let ysum: f64 = y[k * NY_PER_X..(k + 1) * NY_PER_X].iter().sum();
+            dx[k] = -x[km1] * (x[km2] - x[kp1]) - x[k] + p.forcing - hcb * ysum;
+        }
+        let m = n * NY_PER_X;
+        for j in 0..m {
+            let jp1 = (j + 1) % m;
+            let jp2 = (j + 2) % m;
+            let jm1 = (j + m - 1) % m;
+            let k = j / NY_PER_X;
+            dy[j] = -p.c * p.b * y[jp1] * (y[jp2] - y[jm1]) - p.c * y[j] + hcb * x[k];
+        }
+    }
+
+    /// One RK4 step of size `dt` (allocation-free; uses internal scratch).
+    pub fn step(&mut self, dt: f64) {
+        let n = NX;
+        let m = NX * NY_PER_X;
+        let dim = n + m;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let (k1, rest) = scratch.split_at_mut(dim);
+        let (k2, rest) = rest.split_at_mut(dim);
+        let (k3, rest) = rest.split_at_mut(dim);
+        let (k4, trial) = rest.split_at_mut(dim);
+
+        {
+            let (k1x, k1y) = k1.split_at_mut(n);
+            self.deriv(&self.x, &self.y, k1x, k1y);
+        }
+        for i in 0..n {
+            trial[i] = self.x[i] + 0.5 * dt * k1[i];
+        }
+        for j in 0..m {
+            trial[n + j] = self.y[j] + 0.5 * dt * k1[n + j];
+        }
+        {
+            let (tx, ty) = trial.split_at(n);
+            let (k2x, k2y) = k2.split_at_mut(n);
+            self.deriv(tx, ty, k2x, k2y);
+        }
+        for i in 0..n {
+            trial[i] = self.x[i] + 0.5 * dt * k2[i];
+        }
+        for j in 0..m {
+            trial[n + j] = self.y[j] + 0.5 * dt * k2[n + j];
+        }
+        {
+            let (tx, ty) = trial.split_at(n);
+            let (k3x, k3y) = k3.split_at_mut(n);
+            self.deriv(tx, ty, k3x, k3y);
+        }
+        for i in 0..n {
+            trial[i] = self.x[i] + dt * k3[i];
+        }
+        for j in 0..m {
+            trial[n + j] = self.y[j] + dt * k3[n + j];
+        }
+        {
+            let (tx, ty) = trial.split_at(n);
+            let (k4x, k4y) = k4.split_at_mut(n);
+            self.deriv(tx, ty, k4x, k4y);
+        }
+        let w = dt / 6.0;
+        for i in 0..n {
+            self.x[i] += w * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+        for j in 0..m {
+            self.y[j] += w * (k1[n + j] + 2.0 * k2[n + j] + 2.0 * k3[n + j] + k4[n + j]);
+        }
+        self.scratch = scratch;
+    }
+
+    /// Integrate for `t` time units with steps of `dt`.
+    pub fn run(&mut self, t: f64, dt: f64) {
+        let steps = (t / dt).round() as usize;
+        for _ in 0..steps {
+            self.step(dt);
+        }
+    }
+
+    /// Feature vector for field synthesis: slow modes plus quadratic and
+    /// neighbour-product terms (3·NX features), normalized to O(1).
+    pub fn features(&self) -> Vec<f64> {
+        let f = self.params.forcing;
+        let mut out = Vec::with_capacity(3 * NX);
+        for k in 0..NX {
+            out.push(self.x[k] / f);
+        }
+        for k in 0..NX {
+            out.push((self.x[k] / f).powi(2) - 0.3);
+        }
+        for k in 0..NX {
+            out.push(self.x[k] * self.x[(k + 1) % NX] / (f * f));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spun_up(seed: u64) -> L96Cascade {
+        let mut sys = L96Cascade::new(seed, L96Params::default());
+        sys.run(5.0, 0.005);
+        sys
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = spun_up(1);
+        let b = spun_up(1);
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.y, b.y);
+    }
+
+    #[test]
+    fn stays_bounded() {
+        let sys = spun_up(2);
+        for &v in &sys.x {
+            assert!(v.is_finite() && v.abs() < 50.0, "x = {v}");
+        }
+        for &v in &sys.y {
+            assert!(v.is_finite() && v.abs() < 50.0, "y = {v}");
+        }
+    }
+
+    #[test]
+    fn tiny_perturbation_diverges() {
+        // The chaos property the CESM-PVT depends on: 1e-14 grows to O(1).
+        let mut a = spun_up(3);
+        let mut b = a.clone();
+        b.perturb(1e-14);
+        a.run(25.0, 0.005);
+        b.run(25.0, 0.005);
+        let dist: f64 = a
+            .x
+            .iter()
+            .zip(&b.x)
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt();
+        assert!(dist > 1.0, "trajectories must decorrelate, dist = {dist}");
+    }
+
+    #[test]
+    fn perturbed_statistics_match() {
+        // Long-run mean of X must be perturbation-independent (exchangeable
+        // members). Compare time-averaged means of two perturbed copies.
+        let run_mean = |eps: f64| -> f64 {
+            let mut sys = spun_up(4);
+            sys.perturb(eps);
+            sys.run(10.0, 0.005);
+            let mut acc = 0.0;
+            let mut n = 0;
+            for _ in 0..400 {
+                sys.step(0.005);
+                acc += sys.x.iter().sum::<f64>() / NX as f64;
+                n += 1;
+            }
+            acc / n as f64
+        };
+        let m1 = run_mean(0.0);
+        let m2 = run_mean(1e-13);
+        assert!(
+            (m1 - m2).abs() < 0.8,
+            "long-run means should agree: {m1} vs {m2}"
+        );
+    }
+
+    #[test]
+    fn features_are_bounded_and_sized() {
+        let sys = spun_up(5);
+        let f = sys.features();
+        assert_eq!(f.len(), 3 * NX);
+        for &v in &f {
+            assert!(v.is_finite() && v.abs() < 10.0);
+        }
+    }
+
+    #[test]
+    fn energy_is_finite_over_long_run() {
+        let mut sys = spun_up(6);
+        sys.run(20.0, 0.005);
+        let e: f64 = sys.x.iter().map(|v| v * v).sum();
+        assert!(e.is_finite() && e > 0.0);
+    }
+}

@@ -1,0 +1,506 @@
+//! The climate emulator: a CESM/CAM stand-in generating history-file data
+//! with climate-like statistics and CESM-PVT-style perturbation ensembles.
+//!
+//! The paper's experiments consume one thing: CAM history files — 83 2-D and
+//! 87 3-D single-precision variables on the ne=30 spectral-element grid —
+//! for each member of a 101-member ensemble whose members differ only by an
+//! `O(1e-14)` perturbation of the initial atmospheric temperature state
+//! (Section 4.3). This crate reproduces that data source:
+//!
+//! * [`dynamics`] — a two-scale Lorenz-96 cascade supplies chaos: tiny
+//!   initial perturbations grow into fully decorrelated large-scale states
+//!   with identical statistics, exactly the property the CESM-PVT exploits.
+//! * [`mod@registry`] — the 170-variable catalogue with per-variable magnitude,
+//!   distribution family, smoothness, vertical structure, and special-value
+//!   masks.
+//! * [`basis`] + [`synth`] — smooth spherical modes project the chaotic
+//!   state onto the grid; per-variable transforms produce physical values,
+//!   truncated to `f32` as CESM does when writing history files.
+//!
+//! ```
+//! use cc_model::{Model, ENSEMBLE_SIZE};
+//! use cc_grid::Resolution;
+//!
+//! let model = Model::new(Resolution::reduced(2, 3), 42);
+//! let member = model.member(0);
+//! let u = model.var_id("U").unwrap();
+//! let field = model.synthesize(&member, u);
+//! assert_eq!(field.data.len(), model.grid().len() * 3);
+//! assert!(ENSEMBLE_SIZE == 101);
+//! ```
+
+pub mod basis;
+pub mod dynamics;
+pub mod registry;
+pub mod rng;
+pub mod synth;
+
+pub use registry::{
+    registry, Distribution, Mask, Pattern, VarDims, VariableSpec, Vertical, FOCUS_VARIABLES, N2D,
+    N3D, NVARS,
+};
+
+use basis::BasisSet;
+use cc_grid::{Grid, Resolution};
+use dynamics::{L96Cascade, L96Params};
+use std::sync::Arc;
+
+/// Size of the CESM-PVT ensemble (101 one-year simulations, Section 4.3).
+pub const ENSEMBLE_SIZE: usize = 101;
+
+/// The perturbation magnitude applied to the initial temperature state.
+pub const PERTURBATION: f64 = 1.0e-14;
+
+/// A synthesized field: one variable of one member, level-major layout
+/// (`data[lev * npts + p]`), single precision as written to history files.
+#[derive(Debug, Clone)]
+pub struct Field {
+    /// Variable name.
+    pub name: String,
+    /// Values, level-major.
+    pub data: Vec<f32>,
+    /// Number of vertical levels (1 for 2-D variables).
+    pub nlev: usize,
+    /// Horizontal points per level.
+    pub npts: usize,
+}
+
+impl Field {
+    /// One level as a slice.
+    pub fn level(&self, lev: usize) -> &[f32] {
+        &self.data[lev * self.npts..(lev + 1) * self.npts]
+    }
+}
+
+/// One ensemble member's dynamical state, ready for field synthesis.
+#[derive(Debug, Clone)]
+pub struct Member {
+    /// Member index in `0..ENSEMBLE_SIZE`.
+    pub index: usize,
+    /// Noise epoch: distinguishes time slices of the same member so the
+    /// small-scale weather decorrelates along a trajectory (equals `index`
+    /// for plain ensemble members).
+    pub epoch: u64,
+    features: Vec<f64>,
+}
+
+impl Member {
+    /// The feature vector driving this member's field synthesis.
+    pub fn features(&self) -> &[f64] {
+        &self.features
+    }
+}
+
+/// The emulator: grid + basis + registry + seed.
+#[derive(Debug, Clone)]
+pub struct Model {
+    grid: Arc<Grid>,
+    basis: Arc<BasisSet>,
+    registry: Arc<Vec<VariableSpec>>,
+    seed: u64,
+    /// Cached post-spin-up dynamics state (identical for every member),
+    /// shared across clones so 101 `member()` calls pay for one spin-up.
+    spun_up: Arc<std::sync::OnceLock<L96Cascade>>,
+}
+
+impl Model {
+    /// Build a model at `resolution` with a base `seed`. Building the grid
+    /// and basis is the expensive part; clone the model to share them.
+    pub fn new(resolution: Resolution, seed: u64) -> Self {
+        let grid = Arc::new(Grid::build(resolution));
+        let basis = Arc::new(BasisSet::build(&grid));
+        Model {
+            grid,
+            basis,
+            registry: Arc::new(registry()),
+            seed,
+            spun_up: Arc::new(std::sync::OnceLock::new()),
+        }
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The variable registry (170 entries).
+    pub fn registry(&self) -> &[VariableSpec] {
+        &self.registry
+    }
+
+    /// The base seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Index of a variable by name.
+    pub fn var_id(&self, name: &str) -> Option<usize> {
+        self.registry.iter().position(|s| s.name == name)
+    }
+
+    /// Number of levels a variable occupies.
+    pub fn var_nlev(&self, var: usize) -> usize {
+        match self.registry[var].dims {
+            VarDims::D2 => 1,
+            VarDims::D3 => self.grid.resolution().nlev,
+        }
+    }
+
+    /// Points in a variable's field.
+    pub fn var_points(&self, var: usize) -> usize {
+        self.var_nlev(var) * self.grid.len()
+    }
+
+    /// Run the dynamics for ensemble member `m`: common spin-up, an
+    /// `m`-dependent `O(1e-14)` perturbation of the initial temperature
+    /// state, then integration long enough for chaotic decorrelation —
+    /// the CESM-PVT recipe (Section 4.3).
+    pub fn member(&self, m: usize) -> Member {
+        assert!(m < ENSEMBLE_SIZE, "member index {m} out of range");
+        // Spin up onto the attractor once (identical for every member).
+        let base = self.spun_up.get_or_init(|| {
+            let mut sys = L96Cascade::new(self.seed, L96Params::default());
+            sys.run(4.0, 0.005);
+            sys
+        });
+        let mut sys = base.clone();
+        // Member-specific tiny perturbation (member 0 = unperturbed control).
+        sys.perturb(m as f64 * PERTURBATION);
+        // Integrate past the decorrelation horizon: with λ ≈ 1.7 the gap
+        // ln(1e14)/λ ≈ 19 time units; run 24 to be safely decorrelated.
+        sys.run(24.0, 0.005);
+        Member { index: m, epoch: m as u64, features: sys.features() }
+    }
+
+    /// Stable per-variable seed for mixing matrices and noise.
+    fn var_seed(&self, var: usize) -> u64 {
+        let name = self.registry[var].name;
+        let mut h = rng::mix64(self.seed ^ 0xC11A_7E00);
+        for b in name.bytes() {
+            h = rng::mix64(h ^ b as u64);
+        }
+        h
+    }
+
+    /// Synthesize one variable for one member.
+    pub fn synthesize(&self, member: &Member, var: usize) -> Field {
+        let spec = &self.registry[var];
+        let nlev = self.var_nlev(var);
+        let npts = self.grid.len();
+        let mut data = vec![0.0f32; nlev * npts];
+        let vseed = self.var_seed(var);
+        for lev in 0..nlev {
+            synth::synthesize_level(
+                &self.grid,
+                &self.basis,
+                spec,
+                vseed,
+                member.epoch,
+                &member.features,
+                lev,
+                nlev,
+                &mut data[lev * npts..(lev + 1) * npts],
+            );
+        }
+        Field { name: spec.name.to_string(), data, nlev, npts }
+    }
+
+    /// Convenience: run the dynamics and synthesize in one call.
+    pub fn member_field(&self, m: usize, var: usize) -> Field {
+        let member = self.member(m);
+        self.synthesize(&member, var)
+    }
+
+    /// A trajectory of `nslices` history time slices for member `m`,
+    /// sampled every `interval` model-time units after the member's
+    /// decorrelation run. This is the "time-slice history file" sequence
+    /// the paper's post-processing workflow converts into per-variable
+    /// time-series files.
+    pub fn trajectory(&self, m: usize, nslices: usize, interval: f64) -> Vec<Member> {
+        assert!(m < ENSEMBLE_SIZE, "member index {m} out of range");
+        assert!(interval > 0.0, "interval must be positive");
+        let base = self.spun_up.get_or_init(|| {
+            let mut sys = L96Cascade::new(self.seed, L96Params::default());
+            sys.run(4.0, 0.005);
+            sys
+        });
+        let mut sys = base.clone();
+        sys.perturb(m as f64 * PERTURBATION);
+        sys.run(24.0, 0.005);
+        let mut out = Vec::with_capacity(nslices);
+        for _ in 0..nslices {
+            out.push(Member {
+                index: m,
+                epoch: (m as u64) | ((out.len() as u64 + 1) << 32),
+                features: sys.features(),
+            });
+            sys.run(interval, 0.005);
+        }
+        out
+    }
+
+    /// CAM-style hybrid vertical-coordinate coefficients `(hyam, hybm)`:
+    /// mid-level pressure is `p(k) = hyam(k)·P0 + hybm(k)·PS`, transitioning
+    /// from pure-pressure levels aloft to terrain-following near the
+    /// surface. `P0 = 1e5 Pa`.
+    pub fn hybrid_coefficients(&self) -> (Vec<f64>, Vec<f64>) {
+        let nlev = self.grid.resolution().nlev;
+        let mut hyam = Vec::with_capacity(nlev);
+        let mut hybm = Vec::with_capacity(nlev);
+        for k in 0..nlev {
+            // ζ = 0 at the top (p ≈ 3 hPa), 1 at the surface.
+            let zeta = if nlev <= 1 { 1.0 } else { k as f64 / (nlev - 1) as f64 };
+            let sigma = (zeta.powf(1.6)).clamp(0.0, 1.0); // terrain-following weight
+            let p_target = 300.0 + (100_000.0 - 300.0) * zeta.powf(1.4);
+            hybm.push(sigma);
+            hyam.push(((p_target - sigma * 100_000.0) / 100_000.0).max(0.0));
+        }
+        (hyam, hybm)
+    }
+
+    /// Write one member's full history file (all 170 variables) as a
+    /// `cc-ncdf` dataset with NetCDF-4-style shuffle+deflate — what the
+    /// paper's Table 2 "CR" column measures. Includes the coordinate
+    /// variables (`lat`, `lon`, `lev`, `hyam`, `hybm`, `P0`) CAM writes.
+    pub fn history_file(&self, member: &Member) -> cc_ncdf::Dataset {
+        use cc_ncdf::{DType, Dataset, FilterPipeline};
+        let mut ds = Dataset::new();
+        let ncol = ds.add_dim("ncol", self.grid.len());
+        let lev = ds.add_dim("lev", self.grid.resolution().nlev);
+        ds.put_attr_text(None, "source", "cc-model chaotic climate emulator");
+        ds.put_attr_f64(None, "member", member.index as f64);
+        ds.put_attr_f64(None, "P0", 100_000.0);
+
+        // Coordinate variables, stored double-precision like CAM's.
+        let deg = 180.0 / std::f64::consts::PI;
+        let coords: [(&str, &str, Vec<f64>, usize); 2] = [
+            ("lat", "degrees_north", self.grid.points().iter().map(|p| p.lat * deg).collect(), ncol),
+            ("lon", "degrees_east", self.grid.points().iter().map(|p| p.lon * deg).collect(), ncol),
+        ];
+        for (name, units, data, dim) in coords {
+            let v = ds
+                .def_var(name, DType::F64, &[dim], FilterPipeline::shuffle_deflate())
+                .expect("coordinate names unique");
+            ds.put_attr_text(Some(v), "units", units);
+            ds.put_f64(v, &data).expect("shape matches");
+        }
+        let (hyam, hybm) = self.hybrid_coefficients();
+        let nlev_count = self.grid.resolution().nlev;
+        let lev_mid: Vec<f64> = (0..nlev_count)
+            .map(|k| hyam[k] * 1000.0 + hybm[k] * 1000.0) // hPa
+            .collect();
+        for (name, data) in [("lev", &lev_mid), ("hyam", &hyam), ("hybm", &hybm)] {
+            let v = ds
+                .def_var(name, DType::F64, &[lev], FilterPipeline::shuffle_deflate())
+                .expect("coordinate names unique");
+            ds.put_f64(v, data).expect("shape matches");
+        }
+        for (i, spec) in self.registry.iter().enumerate() {
+            let dims: Vec<usize> = match spec.dims {
+                VarDims::D2 => vec![ncol],
+                VarDims::D3 => vec![lev, ncol],
+            };
+            let v = ds
+                .def_var(spec.name, DType::F32, &dims, FilterPipeline::shuffle_deflate())
+                .expect("registry names are unique");
+            ds.put_attr_text(Some(v), "units", spec.units);
+            if spec.mask == Mask::OceanOnly {
+                ds.put_attr_f64(Some(v), "_FillValue", 1.0e35);
+            }
+            let field = self.synthesize(member, i);
+            ds.put_f32(v, &field.data).expect("shape matches");
+        }
+        ds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_model() -> Model {
+        Model::new(Resolution::reduced(2, 3), 7)
+    }
+
+    #[test]
+    fn member_is_deterministic() {
+        let m = small_model();
+        let a = m.member(5);
+        let b = m.member(5);
+        assert_eq!(a.features, b.features);
+    }
+
+    #[test]
+    fn members_decorrelate() {
+        let m = small_model();
+        let a = m.member(0);
+        let b = m.member(1);
+        // Feature vectors must differ substantially (chaotic divergence).
+        let dist: f64 = a
+            .features
+            .iter()
+            .zip(&b.features)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt();
+        assert!(dist > 0.1, "members too similar: {dist}");
+    }
+
+    #[test]
+    fn field_shapes() {
+        let m = small_model();
+        let member = m.member(0);
+        let u = m.var_id("U").unwrap();
+        let ts = m.var_id("TS").unwrap();
+        let fu = m.synthesize(&member, u);
+        let fts = m.synthesize(&member, ts);
+        assert_eq!(fu.nlev, 3);
+        assert_eq!(fu.data.len(), 3 * m.grid().len());
+        assert_eq!(fts.nlev, 1);
+        assert_eq!(fts.data.len(), m.grid().len());
+        assert_eq!(fu.level(2).len(), m.grid().len());
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let m = small_model();
+        let member = m.member(3);
+        let v = m.var_id("FSDSC").unwrap();
+        assert_eq!(m.synthesize(&member, v).data, m.synthesize(&member, v).data);
+    }
+
+    #[test]
+    fn all_variables_synthesize_finite_or_fill() {
+        let m = small_model();
+        let member = m.member(0);
+        for var in 0..m.registry().len() {
+            let f = m.synthesize(&member, var);
+            for &v in &f.data {
+                assert!(
+                    v.is_finite() || v == 1.0e35,
+                    "{}: bad value {v}",
+                    m.registry()[var].name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sst_has_fill_over_land_only() {
+        let m = small_model();
+        let member = m.member(0);
+        let sst = m.var_id("SST").unwrap();
+        let f = m.synthesize(&member, sst);
+        let fills = f.data.iter().filter(|&&v| v == 1.0e35).count();
+        assert!(fills > 0, "SST must carry fill values");
+        assert!(fills < f.data.len(), "SST must have valid ocean points");
+        // Fill positions must be identical across members (static mask).
+        let f2 = m.synthesize(&m.member(1), sst);
+        for (a, b) in f.data.iter().zip(&f2.data) {
+            assert_eq!(*a == 1.0e35, *b == 1.0e35);
+        }
+    }
+
+    #[test]
+    fn fraction_variables_in_unit_interval() {
+        let m = small_model();
+        let member = m.member(0);
+        let v = m.var_id("CLDTOT").unwrap();
+        let f = m.synthesize(&member, v);
+        for &x in &f.data {
+            assert!((0.0..=1.0).contains(&x), "fraction {x}");
+        }
+    }
+
+    #[test]
+    fn focus_variable_magnitudes_roughly_match_table2() {
+        // Coarse sanity against the paper's Table 2: right order of
+        // magnitude for mean and spread (the grid is far coarser here).
+        let m = Model::new(Resolution::reduced(3, 6), 11);
+        let member = m.member(0);
+
+        let u = m.synthesize(&member, m.var_id("U").unwrap());
+        let su = stats(&u.data);
+        assert!(su.0 > -10.0 && su.0 < 25.0, "U mean {}", su.0);
+        assert!(su.1 > 3.0 && su.1 < 40.0, "U std {}", su.1);
+
+        let z3 = m.synthesize(&member, m.var_id("Z3").unwrap());
+        let sz = stats(&z3.data);
+        assert!(sz.0 > 3.0e3 && sz.0 < 3.0e4, "Z3 mean {}", sz.0);
+
+        let fsdsc = m.synthesize(&member, m.var_id("FSDSC").unwrap());
+        let sf = stats(&fsdsc.data);
+        assert!(sf.0 > 150.0 && sf.0 < 330.0, "FSDSC mean {}", sf.0);
+
+        let ccn3 = m.synthesize(&member, m.var_id("CCN3").unwrap());
+        let max = ccn3.data.iter().cloned().fold(f32::MIN, f32::max);
+        let min = ccn3.data.iter().cloned().fold(f32::MAX, f32::min);
+        assert!(min > 0.0, "CCN3 positive");
+        assert!(max / min > 1e3, "CCN3 spans decades: {min}..{max}");
+    }
+
+    fn stats(data: &[f32]) -> (f64, f64) {
+        let n = data.len() as f64;
+        let mean = data.iter().map(|&v| v as f64).sum::<f64>() / n;
+        let var = data.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
+        (mean, var.sqrt())
+    }
+
+    #[test]
+    fn ensemble_members_statistically_exchangeable() {
+        // Per-member global mean of TS should vary only slightly across
+        // members (same climate), while fields differ pointwise.
+        let m = small_model();
+        let ts = m.var_id("TS").unwrap();
+        let mut means = Vec::new();
+        for k in 0..4 {
+            let f = m.member_field(k, ts);
+            means.push(stats(&f.data).0);
+        }
+        let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(hi - lo < 10.0, "global means drifted: {means:?}");
+        let f0 = m.member_field(0, ts);
+        let f1 = m.member_field(1, ts);
+        assert_ne!(f0.data, f1.data, "members must differ pointwise");
+    }
+
+    #[test]
+    fn history_file_roundtrip() {
+        let m = Model::new(Resolution::reduced(2, 2), 3);
+        let member = m.member(0);
+        let ds = m.history_file(&member);
+        // 170 data variables + 5 coordinate variables.
+        assert_eq!(ds.vars().len(), NVARS + 5);
+        let t = ds.var_id("T").unwrap();
+        let direct = m.synthesize(&member, m.var_id("T").unwrap());
+        assert_eq!(ds.get_f32(t).unwrap(), direct.data);
+        // Coordinates present and plausible.
+        let lat = ds.get_f64(ds.var_id("lat").unwrap()).unwrap();
+        assert_eq!(lat.len(), m.grid().len());
+        assert!(lat.iter().all(|&v| (-90.0..=90.0).contains(&v)));
+    }
+
+    #[test]
+    fn hybrid_coefficients_are_cam_like() {
+        let m = Model::new(Resolution::reduced(2, 6), 3);
+        let (hyam, hybm) = m.hybrid_coefficients();
+        assert_eq!(hyam.len(), 6);
+        // Top level: pure pressure (hybm ≈ 0); surface: terrain-following
+        // (hybm = 1, hyam ≈ 0).
+        assert!(hybm[0] < 1e-6, "top hybm {}", hybm[0]);
+        assert!((hybm[5] - 1.0).abs() < 1e-9, "surface hybm {}", hybm[5]);
+        assert!(hyam[5] < 1e-9, "surface hyam {}", hyam[5]);
+        // Mid-level pressures are monotone increasing downwards.
+        let p: Vec<f64> = (0..6).map(|k| hyam[k] * 1e5 + hybm[k] * 1e5).collect();
+        for w in p.windows(2) {
+            assert!(w[1] > w[0], "pressure not monotone: {p:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn member_index_bounds_checked() {
+        small_model().member(ENSEMBLE_SIZE);
+    }
+}

@@ -1,0 +1,525 @@
+//! The CAM variable registry: 83 two-dimensional and 87 three-dimensional
+//! history variables (Section 5.1 of the paper evaluates exactly this mix
+//! from CESM 1.1's CAM5 atmosphere).
+//!
+//! Each [`VariableSpec`] captures what the verification methodology is
+//! sensitive to: the variable's magnitude and range (SO2 peaks at ~1e-8,
+//! CCN3 at ~1e3 — Section 3.1), its distribution family (near-Gaussian
+//! dynamics vs. lognormal moisture/chemistry), spatial smoothness (wind is
+//! smooth, precipitation is noisy), vertical structure, and whether it
+//! carries `1e35` special values (SST-class ocean variables). The four
+//! variables the paper studies closely — U, FSDSC, Z3, CCN3 — are tuned to
+//! reproduce their Table 2 characteristics.
+
+/// Horizontal-only or horizontal × levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarDims {
+    /// Single-level (surface / column-integrated) field.
+    D2,
+    /// Full 3-D field over all model levels.
+    D3,
+}
+
+/// Distribution family mapping the dimensionless synthesized signal `g`
+/// (≈ N(0,1)-scaled) to physical values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// `value = offset + amp · g` — near-Gaussian dynamics variables.
+    Linear {
+        /// Climatological central value.
+        offset: f64,
+        /// Scale of spatial variation.
+        amp: f64,
+    },
+    /// `value = 10^(mid + spread · g)` — lognormal moisture / chemistry /
+    /// aerosol variables with ranges spanning many decades.
+    Log {
+        /// log10 of the typical magnitude.
+        mid: f64,
+        /// Decades of spread per unit `g`.
+        spread: f64,
+    },
+    /// `value = logistic(1.6·g) ∈ [0, 1]` — cloud and surface fractions.
+    Fraction,
+}
+
+/// Fixed climatological spatial pattern (identical in every member).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// No climatology; fluctuations only.
+    Flat,
+    /// Equator-to-pole gradient: `cos(2·lat)` flavour (temperature, fluxes).
+    CosLat,
+    /// Solar-weighted: `cos(lat)` clipped at the winter pole (radiation).
+    Solar,
+    /// Midlatitude jets: bumps at ±40° with zonal wave structure (winds).
+    Jet,
+    /// Planetary wave: mixed zonal/meridional wave pattern.
+    Wavy,
+    /// Storm-track pattern: midlatitude maxima (precipitation, clouds).
+    StormTrack,
+}
+
+/// Vertical structure for 3-D variables, parameterized by ζ = lev/(nlev−1)
+/// (ζ = 0 at the model top, ζ = 1 at the surface, following CAM ordering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vertical {
+    /// 2-D variables / no vertical dependence.
+    None,
+    /// Same statistics at all levels, mildly varying.
+    Uniform,
+    /// Temperature-like: colder aloft (offset decreases with height).
+    Lapse,
+    /// Wind-like: amplitude peaks at the upper-troposphere jet core.
+    JetCore,
+    /// Moisture/aerosol-like: log-magnitude decays with height.
+    DecayUp,
+    /// Geopotential height: absolute offset from ~41 m (surface) to
+    /// ~37,700 m (model top) — Z3's Table 2 range.
+    Geopotential,
+    /// Cloud-like: mid-troposphere maximum.
+    MidBump,
+}
+
+/// Special-value masking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mask {
+    /// Defined everywhere.
+    None,
+    /// Defined over ocean only; land points carry the 1e35 fill
+    /// (e.g. sea-surface temperature, Section 3.1).
+    OceanOnly,
+}
+
+/// Full generator specification for one history variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariableSpec {
+    /// CAM variable name.
+    pub name: &'static str,
+    /// Scientific units as written to history-file metadata.
+    pub units: &'static str,
+    /// 2-D or 3-D.
+    pub dims: VarDims,
+    /// Distribution family.
+    pub dist: Distribution,
+    /// Climatological pattern.
+    pub pattern: Pattern,
+    /// Vertical structure.
+    pub vertical: Vertical,
+    /// Member-to-member variability as a fraction of `g` (drives ensemble
+    /// spread; the chaotic dynamics feed in through this term).
+    pub variability: f64,
+    /// Small-scale iid noise fraction of `g` (drives compressibility:
+    /// smooth variables compress well, noisy ones do not).
+    pub noise: f64,
+    /// Special-value mask.
+    pub mask: Mask,
+}
+
+impl VariableSpec {
+    /// True for 3-D variables.
+    pub fn is_3d(&self) -> bool {
+        self.dims == VarDims::D3
+    }
+}
+
+/// Count of 2-D variables in the registry (the paper's CAM file: 83).
+pub const N2D: usize = 83;
+/// Count of 3-D variables in the registry (the paper's CAM file: 87).
+pub const N3D: usize = 87;
+/// Total variables (170).
+pub const NVARS: usize = N2D + N3D;
+
+// Construction helpers keep the 170-entry table readable.
+#[allow(clippy::too_many_arguments)]
+const fn spec(
+    name: &'static str,
+    units: &'static str,
+    dims: VarDims,
+    dist: Distribution,
+    pattern: Pattern,
+    vertical: Vertical,
+    variability: f64,
+    noise: f64,
+    mask: Mask,
+) -> VariableSpec {
+    VariableSpec { name, units, dims, dist, pattern, vertical, variability, noise, mask }
+}
+
+const fn lin2(
+    name: &'static str,
+    units: &'static str,
+    offset: f64,
+    amp: f64,
+    pattern: Pattern,
+    variability: f64,
+    noise: f64,
+) -> VariableSpec {
+    spec(name, units, VarDims::D2, Distribution::Linear { offset, amp }, pattern, Vertical::None, variability, noise, Mask::None)
+}
+
+const fn log2(
+    name: &'static str,
+    units: &'static str,
+    mid: f64,
+    spread: f64,
+    pattern: Pattern,
+    variability: f64,
+    noise: f64,
+) -> VariableSpec {
+    spec(name, units, VarDims::D2, Distribution::Log { mid, spread }, pattern, Vertical::None, variability, noise, Mask::None)
+}
+
+const fn frac2(name: &'static str, pattern: Pattern, variability: f64, noise: f64) -> VariableSpec {
+    spec(name, "fraction", VarDims::D2, Distribution::Fraction, pattern, Vertical::None, variability, noise, Mask::None)
+}
+
+const fn lin3(
+    name: &'static str,
+    units: &'static str,
+    offset: f64,
+    amp: f64,
+    pattern: Pattern,
+    vertical: Vertical,
+    variability: f64,
+    noise: f64,
+) -> VariableSpec {
+    spec(name, units, VarDims::D3, Distribution::Linear { offset, amp }, pattern, vertical, variability, noise, Mask::None)
+}
+
+const fn log3(
+    name: &'static str,
+    units: &'static str,
+    mid: f64,
+    spread: f64,
+    pattern: Pattern,
+    vertical: Vertical,
+    variability: f64,
+    noise: f64,
+) -> VariableSpec {
+    spec(name, units, VarDims::D3, Distribution::Log { mid, spread }, pattern, vertical, variability, noise, Mask::None)
+}
+
+const fn frac3(name: &'static str, pattern: Pattern, vertical: Vertical, variability: f64, noise: f64) -> VariableSpec {
+    spec(name, "fraction", VarDims::D3, Distribution::Fraction, pattern, vertical, variability, noise, Mask::None)
+}
+
+/// The full 170-variable registry, 2-D variables first.
+pub fn registry() -> Vec<VariableSpec> {
+    use Pattern::*;
+    use Vertical::*;
+    let mut v: Vec<VariableSpec> = Vec::with_capacity(NVARS);
+
+    // ------------------------------------------------------------------
+    // 83 two-dimensional variables.
+    // ------------------------------------------------------------------
+    // Surface pressure & sea-level pressure family.
+    v.push(lin2("PS", "Pa", 9.8e4, 5.0e3, Wavy, 0.10, 0.02));
+    v.push(lin2("PSL", "Pa", 1.01e5, 1.2e3, Wavy, 0.12, 0.02));
+    v.push(lin2("PBOT", "Pa", 9.7e4, 4.8e3, Wavy, 0.10, 0.02));
+    v.push(lin2("TROP_P", "Pa", 1.5e4, 6.0e3, CosLat, 0.08, 0.05));
+    // Surface / reference temperatures.
+    v.push(lin2("TS", "K", 2.85e2, 2.2e1, CosLat, 0.06, 0.02));
+    v.push(lin2("TSMN", "K", 2.80e2, 2.3e1, CosLat, 0.07, 0.03));
+    v.push(lin2("TSMX", "K", 2.91e2, 2.2e1, CosLat, 0.07, 0.03));
+    v.push(lin2("TREFHT", "K", 2.84e2, 2.1e1, CosLat, 0.06, 0.02));
+    v.push(lin2("TREFHTMN", "K", 2.79e2, 2.2e1, CosLat, 0.07, 0.03));
+    v.push(lin2("TREFHTMX", "K", 2.90e2, 2.1e1, CosLat, 0.07, 0.03));
+    v.push(lin2("TBOT", "K", 2.83e2, 2.1e1, CosLat, 0.06, 0.02));
+    v.push(lin2("TROP_T", "K", 2.05e2, 8.0e0, CosLat, 0.08, 0.04));
+    v.push(lin2("SST", "K", 2.88e2, 1.1e1, CosLat, 0.05, 0.02));
+    // Near-surface winds / stresses.
+    v.push(lin2("U10", "m/s", 6.5e0, 3.2e0, Jet, 0.15, 0.08));
+    v.push(lin2("UBOT", "m/s", 1.0e0, 5.5e0, Jet, 0.15, 0.08));
+    v.push(lin2("VBOT", "m/s", 0.0e0, 4.5e0, Wavy, 0.15, 0.08));
+    v.push(lin2("WSPDSRFMX", "m/s", 9.0e0, 4.0e0, Jet, 0.18, 0.10));
+    v.push(lin2("TAUX", "N/m2", 2.0e-2, 8.0e-2, Jet, 0.15, 0.10));
+    v.push(lin2("TAUY", "N/m2", 0.0e0, 6.0e-2, Wavy, 0.15, 0.10));
+    // Longwave fluxes.
+    v.push(lin2("FLDS", "W/m2", 3.2e2, 6.0e1, CosLat, 0.08, 0.04));
+    v.push(lin2("FLNS", "W/m2", 6.0e1, 2.5e1, CosLat, 0.10, 0.06));
+    v.push(lin2("FLNSC", "W/m2", 8.0e1, 2.5e1, CosLat, 0.08, 0.04));
+    v.push(lin2("FLNT", "W/m2", 2.3e2, 4.0e1, CosLat, 0.08, 0.04));
+    v.push(lin2("FLNTC", "W/m2", 2.5e2, 3.5e1, CosLat, 0.07, 0.03));
+    v.push(lin2("FLUT", "W/m2", 2.35e2, 4.2e1, CosLat, 0.08, 0.04));
+    v.push(lin2("FLUTC", "W/m2", 2.55e2, 3.6e1, CosLat, 0.07, 0.03));
+    // Shortwave fluxes. FSDSC matches Table 2: [124, 326], μ 243, σ 48.
+    v.push(lin2("FSDS", "W/m2", 2.2e2, 6.5e1, Solar, 0.10, 0.06));
+    v.push(lin2("FSDSC", "W/m2", 2.43e2, 4.83e1, Solar, 0.06, 0.02));
+    v.push(lin2("FSNS", "W/m2", 1.7e2, 6.0e1, Solar, 0.10, 0.06));
+    v.push(lin2("FSNSC", "W/m2", 2.1e2, 5.5e1, Solar, 0.07, 0.03));
+    v.push(lin2("FSNT", "W/m2", 2.4e2, 7.0e1, Solar, 0.08, 0.04));
+    v.push(lin2("FSNTC", "W/m2", 2.6e2, 6.5e1, Solar, 0.07, 0.03));
+    v.push(lin2("FSNTOA", "W/m2", 2.4e2, 7.2e1, Solar, 0.08, 0.04));
+    v.push(lin2("FSNTOAC", "W/m2", 2.6e2, 6.6e1, Solar, 0.07, 0.03));
+    v.push(lin2("FSUTOA", "W/m2", 1.0e2, 3.5e1, Solar, 0.10, 0.06));
+    v.push(lin2("SOLIN", "W/m2", 3.4e2, 8.0e1, Solar, 0.02, 0.005));
+    v.push(lin2("SRFRAD", "W/m2", 1.1e2, 5.0e1, Solar, 0.10, 0.05));
+    // Cloud forcing.
+    v.push(lin2("LWCF", "W/m2", 2.5e1, 1.5e1, StormTrack, 0.15, 0.10));
+    v.push(lin2("SWCF", "W/m2", -4.5e1, 3.0e1, StormTrack, 0.15, 0.10));
+    // Turbulent fluxes.
+    v.push(lin2("LHFLX", "W/m2", 8.5e1, 5.0e1, CosLat, 0.12, 0.10));
+    v.push(lin2("SHFLX", "W/m2", 2.0e1, 2.5e1, CosLat, 0.12, 0.10));
+    v.push(log2("QFLX", "kg/m2/s", -4.7, 0.5, CosLat, 0.12, 0.10));
+    // Precipitation family (lognormal, noisy).
+    v.push(log2("PRECC", "m/s", -8.3, 0.9, StormTrack, 0.20, 0.25));
+    v.push(log2("PRECL", "m/s", -8.5, 0.9, StormTrack, 0.20, 0.25));
+    v.push(log2("PRECSC", "m/s", -9.5, 0.8, CosLat, 0.20, 0.25));
+    v.push(log2("PRECSL", "m/s", -9.3, 0.8, CosLat, 0.20, 0.25));
+    v.push(log2("PRECT", "m/s", -8.1, 0.9, StormTrack, 0.20, 0.25));
+    v.push(log2("PRECTMX", "m/s", -7.4, 0.9, StormTrack, 0.22, 0.28));
+    // Snow / ice.
+    v.push(log2("SNOWHLND", "m", -1.5, 1.0, CosLat, 0.15, 0.20));
+    v.push(log2("SNOWHICE", "m", -0.8, 0.7, CosLat, 0.12, 0.15));
+    v.push(frac2("ICEFRAC", CosLat, 0.10, 0.08));
+    // Static surface fields (tiny variability: fixed boundary conditions).
+    v.push(frac2("LANDFRAC", Wavy, 0.001, 0.001));
+    v.push(frac2("OCNFRAC", Wavy, 0.001, 0.001));
+    v.push(lin2("PHIS", "m2/s2", 3.0e3, 4.0e3, Wavy, 0.001, 0.002));
+    // Aerosol optical depths & burdens (lognormal).
+    v.push(log2("AODDUST1", "-", -1.8, 0.7, Wavy, 0.18, 0.20));
+    v.push(log2("AODDUST3", "-", -2.2, 0.7, Wavy, 0.18, 0.20));
+    v.push(log2("AODVIS", "-", -1.1, 0.5, Wavy, 0.15, 0.15));
+    v.push(log2("BURDEN1", "kg/m2", -5.8, 0.6, Wavy, 0.15, 0.15));
+    v.push(log2("BURDEN2", "kg/m2", -5.2, 0.6, Wavy, 0.15, 0.15));
+    v.push(log2("BURDEN3", "kg/m2", -4.9, 0.7, Wavy, 0.15, 0.15));
+    v.push(log2("CDNUMC", "1/m2", 10.5, 0.6, StormTrack, 0.15, 0.18));
+    // Cloud fractions (vertically integrated).
+    v.push(frac2("CLDHGH", StormTrack, 0.18, 0.15));
+    v.push(frac2("CLDLOW", StormTrack, 0.18, 0.15));
+    v.push(frac2("CLDMED", StormTrack, 0.18, 0.15));
+    v.push(frac2("CLDTOT", StormTrack, 0.15, 0.12));
+    // Cloud water paths.
+    v.push(log2("TGCLDIWP", "kg/m2", -1.8, 0.8, StormTrack, 0.18, 0.22));
+    v.push(log2("TGCLDLWP", "kg/m2", -1.4, 0.8, StormTrack, 0.18, 0.22));
+    v.push(log2("TGCLDCWP", "kg/m2", -1.2, 0.8, StormTrack, 0.18, 0.22));
+    // Column water vapour, boundary layer, reference humidity.
+    v.push(lin2("TMQ", "kg/m2", 2.4e1, 1.5e1, CosLat, 0.10, 0.05));
+    v.push(lin2("PBLH", "m", 6.0e2, 3.0e2, CosLat, 0.15, 0.12));
+    v.push(log2("QREFHT", "kg/kg", -2.4, 0.5, CosLat, 0.08, 0.05));
+    v.push(log2("QBOT", "kg/kg", -2.3, 0.5, CosLat, 0.08, 0.05));
+    v.push(lin2("ZBOT", "m", 6.0e1, 6.0e0, Wavy, 0.05, 0.03));
+    // Tropopause height.
+    v.push(lin2("TROP_Z", "m", 1.2e4, 3.0e3, CosLat, 0.06, 0.03));
+    // Pressure-level diagnostics.
+    v.push(lin2("OMEGA500", "Pa/s", 0.0e0, 1.2e-1, StormTrack, 0.20, 0.15));
+    v.push(lin2("U200", "m/s", 1.4e1, 1.7e1, Jet, 0.10, 0.04));
+    v.push(lin2("U850", "m/s", 2.0e0, 8.0e0, Jet, 0.10, 0.05));
+    v.push(lin2("V200", "m/s", 0.0e0, 8.0e0, Wavy, 0.12, 0.05));
+    v.push(lin2("V850", "m/s", 0.0e0, 5.0e0, Wavy, 0.12, 0.05));
+    v.push(lin2("T850", "K", 2.78e2, 1.4e1, CosLat, 0.06, 0.02));
+    v.push(lin2("T500", "K", 2.52e2, 1.2e1, CosLat, 0.06, 0.02));
+    v.push(lin2("Z500", "m", 5.55e3, 2.2e2, Wavy, 0.06, 0.02));
+    v.push(lin2("Z050", "m", 2.05e4, 4.0e2, CosLat, 0.05, 0.02));
+
+    let n2d = v.len();
+    debug_assert_eq!(n2d, N2D, "2-D registry count: {n2d}");
+
+    // ------------------------------------------------------------------
+    // 87 three-dimensional variables.
+    // ------------------------------------------------------------------
+    // Dynamics. U matches Table 2: [-25.6, 54.5], μ 6.39, σ 12.2.
+    v.push(lin3("U", "m/s", 6.4e0, 1.22e1, Jet, JetCore, 0.08, 0.02));
+    v.push(lin3("V", "m/s", 0.0e0, 6.5e0, Wavy, JetCore, 0.10, 0.03));
+    v.push(lin3("T", "K", 2.55e2, 2.0e1, CosLat, Lapse, 0.05, 0.01));
+    v.push(lin3("OMEGA", "Pa/s", 0.0e0, 1.0e-1, StormTrack, MidBump, 0.20, 0.12));
+    // Z3 matches Table 2: [41.2, 3.77e4], μ 1.12e4, σ 1.01e4.
+    v.push(lin3("Z3", "m", 0.0e0, 1.2e2, Wavy, Geopotential, 0.05, 0.01));
+    // Moisture.
+    v.push(log3("Q", "kg/kg", -3.0, 0.8, CosLat, DecayUp, 0.08, 0.05));
+    v.push(lin3("RELHUM", "percent", 5.5e1, 2.5e1, StormTrack, Uniform, 0.12, 0.10));
+    v.push(log3("CLDICE", "kg/kg", -5.5, 0.9, StormTrack, MidBump, 0.20, 0.25));
+    v.push(log3("CLDLIQ", "kg/kg", -5.0, 0.9, StormTrack, MidBump, 0.20, 0.25));
+    v.push(frac3("CLOUD", StormTrack, MidBump, 0.18, 0.15));
+    v.push(frac3("CONCLD", StormTrack, MidBump, 0.20, 0.18));
+    v.push(frac3("FICE", CosLat, MidBump, 0.15, 0.15));
+    // Radiative heating rates.
+    v.push(lin3("QRL", "K/s", -1.5e-5, 1.0e-5, CosLat, Uniform, 0.12, 0.08));
+    v.push(lin3("QRS", "K/s", 1.2e-5, 8.0e-6, Solar, Uniform, 0.12, 0.08));
+    v.push(lin3("QRLC", "K/s", -1.6e-5, 9.0e-6, CosLat, Uniform, 0.12, 0.08));
+    v.push(lin3("QRSC", "K/s", 1.3e-5, 7.0e-6, Solar, Uniform, 0.12, 0.08));
+    // Physics tendencies.
+    v.push(lin3("DTV", "K/s", 0.0e0, 2.0e-5, CosLat, Uniform, 0.20, 0.20));
+    v.push(lin3("DTCOND", "K/s", 0.0e0, 4.0e-5, StormTrack, MidBump, 0.22, 0.25));
+    v.push(lin3("DCQ", "kg/kg/s", 0.0e0, 1.5e-8, StormTrack, MidBump, 0.22, 0.25));
+    v.push(lin3("VD01", "kg/kg/s", 0.0e0, 8.0e-9, CosLat, Uniform, 0.20, 0.22));
+    // Second-moment transports.
+    v.push(lin3("UU", "m2/s2", 1.9e2, 1.6e2, Jet, JetCore, 0.10, 0.04));
+    v.push(lin3("VV", "m2/s2", 6.0e1, 5.0e1, Wavy, JetCore, 0.10, 0.04));
+    v.push(lin3("VU", "m2/s2", 0.0e0, 6.0e1, Jet, JetCore, 0.12, 0.06));
+    v.push(lin3("VT", "K m/s", 0.0e0, 5.0e1, CosLat, JetCore, 0.12, 0.06));
+    v.push(lin3("UT", "K m/s", 1.5e3, 3.0e3, Jet, Lapse, 0.08, 0.03));
+    v.push(lin3("TT", "K2", 6.5e4, 1.0e4, CosLat, Lapse, 0.06, 0.02));
+    v.push(lin3("OMEGAT", "K Pa/s", 0.0e0, 2.5e1, StormTrack, MidBump, 0.18, 0.12));
+    v.push(lin3("OMEGAU", "m Pa/s2", 0.0e0, 4.0e0, StormTrack, MidBump, 0.18, 0.12));
+    v.push(log3("VQ", "kg/kg m/s", -2.8, 0.8, CosLat, DecayUp, 0.12, 0.08));
+    v.push(log3("UQ", "kg/kg m/s", -2.7, 0.8, Jet, DecayUp, 0.12, 0.08));
+    v.push(log3("TQ", "K kg/kg", -0.6, 0.8, CosLat, DecayUp, 0.10, 0.06));
+    // Chemistry (tiny magnitudes — the SO2 example of Section 3.1).
+    v.push(log3("SO2", "kg/kg", -9.5, 0.9, Wavy, DecayUp, 0.18, 0.20));
+    v.push(log3("SO4", "kg/kg", -9.0, 0.8, Wavy, DecayUp, 0.18, 0.20));
+    v.push(log3("DMS", "kg/kg", -10.0, 0.9, Wavy, DecayUp, 0.18, 0.20));
+    v.push(log3("H2O2", "kg/kg", -9.8, 0.7, Solar, DecayUp, 0.15, 0.18));
+    v.push(log3("H2SO4", "kg/kg", -12.5, 0.9, Wavy, DecayUp, 0.18, 0.20));
+    v.push(log3("SOAG", "kg/kg", -9.2, 0.8, Wavy, DecayUp, 0.18, 0.20));
+    // CCN3 matches Table 2: [3.37e-5, 1.24e3], μ 26.6, σ 55.7.
+    v.push(log3("CCN3", "1/cm3", 0.9, 1.05, StormTrack, DecayUp, 0.15, 0.15));
+    v.push(log3("AQSO4_H2O2", "kg/m2/s", -12.8, 0.9, StormTrack, MidBump, 0.20, 0.22));
+    v.push(log3("AQSO4_O3", "kg/m2/s", -12.4, 0.9, StormTrack, MidBump, 0.20, 0.22));
+    // Cloud microphysics diagnostics.
+    v.push(lin3("AREI", "micron", 2.5e1, 1.2e1, CosLat, MidBump, 0.15, 0.12));
+    v.push(lin3("AREL", "micron", 8.0e0, 3.5e0, StormTrack, MidBump, 0.15, 0.12));
+    v.push(log3("AWNC", "1/m3", 7.2, 0.7, StormTrack, MidBump, 0.18, 0.20));
+    v.push(log3("AWNI", "1/m3", 4.8, 0.8, CosLat, MidBump, 0.18, 0.20));
+    v.push(frac3("FREQI", CosLat, MidBump, 0.18, 0.18));
+    v.push(frac3("FREQL", StormTrack, MidBump, 0.18, 0.18));
+    v.push(frac3("FREQR", StormTrack, MidBump, 0.20, 0.20));
+    v.push(frac3("FREQS", CosLat, MidBump, 0.20, 0.20));
+    v.push(frac3("FREQZM", StormTrack, MidBump, 0.20, 0.20));
+    v.push(log3("ICIMR", "kg/kg", -5.2, 0.8, CosLat, MidBump, 0.20, 0.22));
+    v.push(log3("ICWMR", "kg/kg", -4.8, 0.8, StormTrack, MidBump, 0.20, 0.22));
+    v.push(log3("IWC", "kg/m3", -5.8, 0.8, CosLat, MidBump, 0.20, 0.22));
+    v.push(log3("LWC", "kg/m3", -5.4, 0.8, StormTrack, MidBump, 0.20, 0.22));
+    v.push(log3("ICLDIWP", "kg/m2", -2.6, 0.8, StormTrack, MidBump, 0.20, 0.22));
+    v.push(log3("ICLDTWP", "kg/m2", -2.2, 0.8, StormTrack, MidBump, 0.20, 0.22));
+    v.push(log3("GCLDLWP", "kg/m2", -2.0, 0.8, StormTrack, MidBump, 0.20, 0.22));
+    v.push(log3("ANRAIN", "1/m3", 3.5, 0.9, StormTrack, MidBump, 0.22, 0.25));
+    v.push(log3("ANSNOW", "1/m3", 3.0, 0.9, CosLat, MidBump, 0.22, 0.25));
+    v.push(log3("AQRAIN", "kg/kg", -7.0, 0.9, StormTrack, MidBump, 0.22, 0.25));
+    v.push(log3("AQSNOW", "kg/kg", -7.4, 0.9, CosLat, MidBump, 0.22, 0.25));
+    v.push(frac3("CLDFSNOW", CosLat, MidBump, 0.20, 0.20));
+    // Convection diagnostics.
+    v.push(lin3("CMFDT", "K/s", 0.0e0, 2.5e-5, StormTrack, MidBump, 0.22, 0.25));
+    v.push(lin3("CMFDQ", "kg/kg/s", 0.0e0, 1.0e-8, StormTrack, MidBump, 0.22, 0.25));
+    v.push(log3("CMFDQR", "kg/kg/s", -9.8, 0.9, StormTrack, MidBump, 0.22, 0.25));
+    v.push(log3("CMFMC", "kg/m2/s", -2.8, 0.9, StormTrack, MidBump, 0.20, 0.22));
+    v.push(log3("CMFMCDZM", "kg/m2/s", -3.0, 0.9, StormTrack, MidBump, 0.20, 0.22));
+    v.push(lin3("ZMDT", "K/s", 0.0e0, 3.0e-5, StormTrack, MidBump, 0.22, 0.25));
+    v.push(lin3("ZMDQ", "kg/kg/s", 0.0e0, 1.2e-8, StormTrack, MidBump, 0.22, 0.25));
+    v.push(log3("ZMMU", "kg/m2/s", -3.2, 0.9, StormTrack, MidBump, 0.20, 0.22));
+    v.push(log3("ZMMD", "kg/m2/s", -3.8, 0.9, StormTrack, MidBump, 0.20, 0.22));
+    v.push(log3("EVAPPREC", "kg/kg/s", -9.4, 0.9, StormTrack, MidBump, 0.22, 0.25));
+    v.push(log3("EVAPSNOW", "kg/kg/s", -9.9, 0.9, CosLat, MidBump, 0.22, 0.25));
+    // Aerosol modes.
+    v.push(log3("num_a1", "1/kg", 8.8, 0.7, Wavy, DecayUp, 0.18, 0.20));
+    v.push(log3("num_a2", "1/kg", 9.5, 0.7, Wavy, DecayUp, 0.18, 0.20));
+    v.push(log3("num_a3", "1/kg", 6.2, 0.7, Wavy, DecayUp, 0.18, 0.20));
+    v.push(log3("so4_a1", "kg/kg", -9.2, 0.8, Wavy, DecayUp, 0.18, 0.20));
+    v.push(log3("so4_a2", "kg/kg", -10.4, 0.8, Wavy, DecayUp, 0.18, 0.20));
+    v.push(log3("so4_a3", "kg/kg", -10.8, 0.8, Wavy, DecayUp, 0.18, 0.20));
+    v.push(log3("pom_a1", "kg/kg", -9.6, 0.8, Wavy, DecayUp, 0.18, 0.20));
+    v.push(log3("soa_a1", "kg/kg", -9.3, 0.8, Wavy, DecayUp, 0.18, 0.20));
+    v.push(log3("soa_a2", "kg/kg", -10.6, 0.8, Wavy, DecayUp, 0.18, 0.20));
+    v.push(log3("bc_a1", "kg/kg", -10.2, 0.8, Wavy, DecayUp, 0.18, 0.20));
+    v.push(log3("dst_a1", "kg/kg", -9.8, 0.9, Wavy, DecayUp, 0.20, 0.22));
+    v.push(log3("dst_a3", "kg/kg", -8.9, 0.9, Wavy, DecayUp, 0.20, 0.22));
+    v.push(log3("ncl_a1", "kg/kg", -9.9, 0.8, CosLat, DecayUp, 0.18, 0.20));
+    v.push(log3("ncl_a2", "kg/kg", -11.2, 0.8, CosLat, DecayUp, 0.18, 0.20));
+    v.push(log3("ncl_a3", "kg/kg", -8.8, 0.8, CosLat, DecayUp, 0.18, 0.20));
+
+    debug_assert_eq!(v.len() - n2d, N3D, "3-D registry count: {}", v.len() - n2d);
+    debug_assert_eq!(v.len(), NVARS);
+
+    // SST is the paper's canonical special-value example: undefined (1e35)
+    // over land. ICEFRAC is ocean-only as well.
+    for var in v.iter_mut() {
+        if var.name == "SST" || var.name == "ICEFRAC" {
+            var.mask = Mask::OceanOnly;
+        }
+    }
+    v
+}
+
+/// The four variables the paper examines in detail (Tables 2-5, Figures 2-4).
+pub const FOCUS_VARIABLES: [&str; 4] = ["U", "FSDSC", "Z3", "CCN3"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn counts_match_the_paper() {
+        let reg = registry();
+        assert_eq!(reg.len(), 170);
+        let n2 = reg.iter().filter(|s| s.dims == VarDims::D2).count();
+        let n3 = reg.iter().filter(|s| s.dims == VarDims::D3).count();
+        assert_eq!(n2, 83, "83 two-dimensional variables");
+        assert_eq!(n3, 87, "87 three-dimensional variables");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let reg = registry();
+        let names: HashSet<_> = reg.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), reg.len());
+    }
+
+    #[test]
+    fn focus_variables_exist() {
+        let reg = registry();
+        for name in FOCUS_VARIABLES {
+            assert!(reg.iter().any(|s| s.name == name), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn twod_variables_come_first() {
+        let reg = registry();
+        assert!(reg[..N2D].iter().all(|s| s.dims == VarDims::D2));
+        assert!(reg[N2D..].iter().all(|s| s.dims == VarDims::D3));
+    }
+
+    #[test]
+    fn twod_variables_have_no_vertical() {
+        let reg = registry();
+        for s in &reg {
+            if s.dims == VarDims::D2 {
+                assert_eq!(s.vertical, Vertical::None, "{}", s.name);
+            } else {
+                assert_ne!(s.vertical, Vertical::None, "{}", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn sst_is_ocean_masked() {
+        let reg = registry();
+        let sst = reg.iter().find(|s| s.name == "SST").unwrap();
+        assert_eq!(sst.mask, Mask::OceanOnly);
+    }
+
+    #[test]
+    fn parameters_are_sane() {
+        for s in registry() {
+            assert!(s.variability > 0.0 && s.variability < 1.0, "{}", s.name);
+            assert!(s.noise > 0.0 && s.noise < 1.0, "{}", s.name);
+            match s.dist {
+                Distribution::Linear { amp, .. } => assert!(amp > 0.0, "{}", s.name),
+                Distribution::Log { spread, .. } => {
+                    assert!(spread > 0.0 && spread < 3.0, "{}", s.name)
+                }
+                Distribution::Fraction => {}
+            }
+        }
+    }
+
+    #[test]
+    fn magnitude_diversity_spans_many_decades() {
+        // Section 3.1: SO2 at O(1e-8) vs CCN3 at O(1e3). Our registry must
+        // span at least that spread.
+        let reg = registry();
+        let mids: Vec<f64> = reg
+            .iter()
+            .filter_map(|s| match s.dist {
+                Distribution::Log { mid, .. } => Some(mid),
+                _ => None,
+            })
+            .collect();
+        let lo = mids.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = mids.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(lo < -9.0, "smallest magnitude {lo}");
+        assert!(hi > 0.5, "largest magnitude {hi}");
+    }
+}

@@ -1,0 +1,131 @@
+//! Deterministic pseudo-random number generation for the emulator.
+//!
+//! Everything the model randomizes — basis phases, mixing matrices,
+//! small-scale noise, land masks — must be exactly reproducible from
+//! `(seed, member, variable, level, point)` so that any ensemble member can
+//! be regenerated on demand without storing it. We use the SplitMix64
+//! finalizer as a stateless hash and a SplitMix64 stream for sequential
+//! draws; both are tiny, portable, and have no external dependency.
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hash several coordinates into one 64-bit value (order-sensitive).
+#[inline]
+pub fn hash_coords(parts: &[u64]) -> u64 {
+    let mut h = 0x243F_6A88_85A3_08D3u64; // pi digits
+    for &p in parts {
+        h = mix64(h ^ p);
+    }
+    h
+}
+
+/// Uniform f64 in `[0, 1)` from a hash value.
+#[inline]
+pub fn unit_f64(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Standard-normal deviate from two hash values (Box-Muller).
+#[inline]
+pub fn normal_f64(h1: u64, h2: u64) -> f64 {
+    let u1 = unit_f64(h1).max(1e-300);
+    let u2 = unit_f64(h2);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A sequential SplitMix64 stream.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        unit_f64(self.next_u64())
+    }
+
+    /// Standard-normal deviate.
+    pub fn next_normal(&mut self) -> f64 {
+        let a = self.next_u64();
+        let b = self.next_u64();
+        normal_f64(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_is_deterministic_and_nontrivial() {
+        assert_eq!(mix64(0), mix64(0));
+        assert_ne!(mix64(0), mix64(1));
+        assert_ne!(mix64(1), 1);
+    }
+
+    #[test]
+    fn hash_coords_is_order_sensitive() {
+        assert_ne!(hash_coords(&[1, 2]), hash_coords(&[2, 1]));
+        assert_ne!(hash_coords(&[1]), hash_coords(&[1, 0]));
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        for i in 0..1000u64 {
+            let u = unit_f64(mix64(i));
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn stream_mean_and_variance_sane() {
+        let mut rng = SplitMix64::new(42);
+        let n = 20_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let x = rng.next_normal();
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn uniform_stream_covers_unit_interval() {
+        let mut rng = SplitMix64::new(7);
+        let mut buckets = [0usize; 10];
+        for _ in 0..10_000 {
+            let u = rng.next_f64();
+            buckets[(u * 10.0) as usize] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!(b > 700 && b < 1300, "bucket {i}: {b}");
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Field synthesis: turn chaotic mode amplitudes into physical variables.
+//!
+//! For member `m` and variable `v`, every grid value is
+//!
+//! ```text
+//! g(p, ζ) = pattern(lat, lon)                       — fixed climatology
+//!         + variability · chaos(p; m, v, ζ)         — member-dependent modes
+//!         + noise · n(p; m, v, ζ)                   — iid small-scale noise
+//! value   = dist(g, ζ)                              — Linear / Log / Fraction
+//! ```
+//!
+//! `chaos` projects the member's Lorenz-96 feature vector through a fixed
+//! variable-specific mixing matrix onto the smooth spherical basis, so
+//! members differ in the way CESM ensemble members differ: same statistics,
+//! decorrelated large-scale anomalies. `n` is reproducible white noise.
+//! Values are computed in `f64` and truncated to `f32` exactly as CESM
+//! truncates history output to single precision.
+
+use crate::basis::{BasisSet, NBASIS};
+use crate::registry::{Distribution, Mask, Pattern, VariableSpec, Vertical};
+use crate::rng::{hash_coords, normal_f64};
+use cc_grid::Grid;
+
+/// Global scaling of the registry's per-variable noise fractions,
+/// calibrated so the codec pass-rates of the paper's Table 6 land in the
+/// observed bands (real 1-degree CAM output is smoother than raw white
+/// noise at these fractions; this constant is the one tuning knob).
+pub const NOISE_CALIBRATION: f64 = 0.8;
+
+/// Spatial correlation length (grid points) of the smooth noise component.
+const NOISE_GRAIN: usize = 4;
+
+/// Evaluate a climatological pattern at (lat, lon); approximately zero-mean,
+/// unit-RMS over the sphere.
+pub fn pattern_value(p: Pattern, lat: f64, lon: f64) -> f64 {
+    match p {
+        Pattern::Flat => 0.0,
+        Pattern::CosLat => 1.25 * (2.0 * lat).cos() - 0.15,
+        Pattern::Solar => (lat.cos() - 0.785) / 0.33,
+        Pattern::Jet => {
+            let bump = (-((lat.abs() - 0.7) / 0.3).powi(2)).exp();
+            2.2 * bump - 0.55 + 0.4 * (2.0 * lon).sin() * lat.cos()
+        }
+        Pattern::Wavy => {
+            0.6 * (2.0 * lat).cos()
+                + 0.9 * (3.0 * lon + 1.0).cos() * lat.cos()
+                + 0.5 * lat.sin()
+        }
+        Pattern::StormTrack => {
+            let bump = (-((lat.abs() - 0.8) / 0.35).powi(2)).exp();
+            1.8 * bump - 0.45 + 0.5 * (4.0 * lon + 0.7).cos() * lat.cos()
+        }
+    }
+}
+
+/// Vertical modifiers at normalized level ζ ∈ [0, 1] (0 = model top,
+/// 1 = surface): `(absolute_offset, amplitude_scale)`.
+///
+/// For `Linear` variables the offset is in physical units relative to the
+/// spec offset; for `Log` variables it is in decades added to `mid`.
+pub fn vertical_modifiers(v: Vertical, zeta: f64, amp: f64) -> (f64, f64) {
+    match v {
+        Vertical::None => (0.0, 1.0),
+        Vertical::Uniform => (0.0, 1.0 + 0.15 * (2.0 * std::f64::consts::PI * zeta).sin()),
+        Vertical::Lapse => (-3.3 * amp * (1.0 - zeta).powf(1.2), 0.8 + 0.4 * zeta),
+        Vertical::JetCore => (0.0, 0.4 + 1.8 * (-((zeta - 0.3) / 0.25).powi(2)).exp()),
+        // In decades: roughly three orders of magnitude smaller at the top.
+        Vertical::DecayUp => (-3.2 * (1.0 - zeta), 1.0),
+        // Z3's Table 2 range: ~41 m at the surface to ~37,700 m at the top.
+        // Horizontal variation shrinks towards the surface so the lowest
+        // level stays positive (the paper's x_min is 41.2 m).
+        Vertical::Geopotential => {
+            (41.0 + 37_659.0 * (1.0 - zeta).powf(1.5), 0.08 + 0.92 * (1.0 - zeta))
+        }
+        Vertical::MidBump => (0.0, 0.3 + 1.5 * (-((zeta - 0.55) / 0.22).powi(2)).exp()),
+    }
+}
+
+/// Deterministic land indicator used for ocean-only masks and the
+/// LANDFRAC/OCNFRAC climatology; continents are low-order harmonic blobs
+/// covering roughly a third of the sphere.
+pub fn is_land(lat: f64, lon: f64) -> bool {
+    let s = lat.cos() * (0.8 * (2.0 * lon - 0.5).cos() + 0.5 * (3.0 * lon + 1.2).cos())
+        + 0.45 * lat.sin()
+        + 0.2 * (5.0 * lon).cos() * lat.cos();
+    s > 0.35
+}
+
+/// Mixing-matrix entry for (variable, basis k, feature j): fixed N(0, σ²)
+/// weights with σ chosen so the chaos field has roughly unit variance.
+fn mix_weight(var_seed: u64, k: usize, j: usize, nfeat: usize) -> f64 {
+    let h1 = hash_coords(&[var_seed, 0x4D49, k as u64, j as u64, 1]);
+    let h2 = hash_coords(&[var_seed, 0x4D49, k as u64, j as u64, 2]);
+    // Features are O(0.3) each; Var(a_k) ≈ σ² · nfeat · 0.09 and the K
+    // basis functions are unit-RMS, so σ² = 1/(0.09 · nfeat · K) gives
+    // Var(chaos) ≈ 1.
+    let sigma = (1.0 / (0.09 * nfeat as f64 * NBASIS as f64)).sqrt();
+    sigma * normal_f64(h1, h2)
+}
+
+/// Basis amplitudes for one variable at one level, driven by the member's
+/// feature vector. Levels cohere through a smooth sinusoidal modulation.
+pub fn level_amplitudes(
+    var_seed: u64,
+    features: &[f64],
+    zeta: f64,
+    amps: &mut [f64; NBASIS],
+) {
+    let nfeat = features.len();
+    for (k, amp) in amps.iter_mut().enumerate() {
+        let mut a = 0.0;
+        for (j, &f) in features.iter().enumerate() {
+            a += mix_weight(var_seed, k, j, nfeat) * f;
+        }
+        let theta =
+            2.0 * std::f64::consts::PI * crate::rng::unit_f64(hash_coords(&[var_seed, 0x7E7A, k as u64]));
+        *amp = a * (1.0 + 0.4 * (2.0 * std::f64::consts::PI * zeta + theta).sin());
+    }
+}
+
+/// Synthesize one level of one variable into `out` (length = grid points).
+#[allow(clippy::too_many_arguments)]
+pub fn synthesize_level(
+    grid: &Grid,
+    basis: &BasisSet,
+    spec: &VariableSpec,
+    var_seed: u64,
+    member: u64,
+    features: &[f64],
+    lev: usize,
+    nlev: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(out.len(), grid.len());
+    let zeta = if nlev <= 1 { 1.0 } else { lev as f64 / (nlev - 1) as f64 };
+    let amp = match spec.dist {
+        Distribution::Linear { amp, .. } => amp,
+        _ => 1.0,
+    };
+    let (aoff, vscale) = vertical_modifiers(spec.vertical, zeta, amp);
+
+    // Chaos field for this level.
+    let mut amps = [0.0f64; NBASIS];
+    level_amplitudes(var_seed, features, zeta, &mut amps);
+    let mut chaos = vec![0.0f64; grid.len()];
+    basis.accumulate(&amps, &mut chaos);
+
+    for (p, o) in out.iter_mut().enumerate() {
+        let lat = grid.lat(p);
+        let lon = grid.lon(p);
+        if spec.mask == Mask::OceanOnly && is_land(lat, lon) {
+            *o = cc_metrics_fill();
+            continue;
+        }
+        // Small-scale "weather" noise: mostly spatially correlated (real
+        // CAM grain spans a few grid cells — adjacent points in the
+        // latitude-major order are physical neighbours) plus a white
+        // component. Both are iid across members, so ensemble statistics
+        // are unaffected; correlation only shapes compressibility.
+        let white = normal_f64(
+            hash_coords(&[var_seed, member, lev as u64, p as u64, 11]),
+            hash_coords(&[var_seed, member, lev as u64, p as u64, 13]),
+        );
+        let anchor = (p / NOISE_GRAIN) as u64;
+        let t = (p % NOISE_GRAIN) as f64 / NOISE_GRAIN as f64;
+        let na = normal_f64(
+            hash_coords(&[var_seed, member, lev as u64, anchor, 21]),
+            hash_coords(&[var_seed, member, lev as u64, anchor, 23]),
+        );
+        let nb = normal_f64(
+            hash_coords(&[var_seed, member, lev as u64, anchor + 1, 21]),
+            hash_coords(&[var_seed, member, lev as u64, anchor + 1, 23]),
+        );
+        let smooth = (1.0 - t) * na + t * nb;
+        let noise = 0.45 * white + 0.9 * smooth;
+        let g = pattern_value(spec.pattern, lat, lon)
+            + spec.variability * chaos[p]
+            + spec.noise * NOISE_CALIBRATION * noise;
+        let value = match spec.dist {
+            Distribution::Linear { offset, amp } => offset + aoff + amp * vscale * g,
+            Distribution::Log { mid, spread } => {
+                10f64.powf(mid + aoff + spread * vscale * g)
+            }
+            Distribution::Fraction => {
+                let shift = if spec.vertical == Vertical::MidBump {
+                    // Fraction fields peak mid-troposphere: shift the
+                    // logistic argument down away from the bump.
+                    -1.2 + 1.6 * vscale
+                } else {
+                    0.0
+                };
+                1.0 / (1.0 + (-(1.6 * g + shift)).exp())
+            }
+        };
+        // CESM truncates history output from double to single precision.
+        *o = value as f32;
+    }
+}
+
+/// The CESM fill value (local copy; `cc-model` does not depend on
+/// `cc-metrics` to avoid a cycle — the constant is part of the CESM
+/// convention, asserted equal in integration tests).
+#[inline]
+fn cc_metrics_fill() -> f32 {
+    1.0e35
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_grid::Resolution;
+
+    #[test]
+    fn patterns_roughly_standardized() {
+        let g = Grid::build(Resolution::reduced(4, 4));
+        for p in [
+            Pattern::CosLat,
+            Pattern::Solar,
+            Pattern::Jet,
+            Pattern::Wavy,
+            Pattern::StormTrack,
+        ] {
+            let mut sum = 0.0;
+            let mut sumsq = 0.0;
+            let mut wsum = 0.0;
+            for gp in g.points() {
+                let v = pattern_value(p, gp.lat, gp.lon);
+                sum += gp.area * v;
+                sumsq += gp.area * v * v;
+                wsum += gp.area;
+            }
+            let mean = sum / wsum;
+            let rms = (sumsq / wsum).sqrt();
+            assert!(mean.abs() < 0.5, "{p:?} mean {mean}");
+            assert!(rms > 0.4 && rms < 2.0, "{p:?} rms {rms}");
+        }
+    }
+
+    #[test]
+    fn land_fraction_plausible() {
+        let g = Grid::build(Resolution::reduced(4, 4));
+        let land = g.points().iter().filter(|p| is_land(p.lat, p.lon)).count();
+        let frac = land as f64 / g.len() as f64;
+        assert!(frac > 0.1 && frac < 0.55, "land fraction {frac}");
+    }
+
+    #[test]
+    fn geopotential_profile_matches_table2_range() {
+        let (top, _) = vertical_modifiers(Vertical::Geopotential, 0.0, 1.0);
+        let (sfc, _) = vertical_modifiers(Vertical::Geopotential, 1.0, 1.0);
+        assert!((top - 37_700.0).abs() < 100.0, "top {top}");
+        assert!((sfc - 41.0).abs() < 1.0, "surface {sfc}");
+    }
+
+    #[test]
+    fn jet_core_peaks_aloft() {
+        let (_, upper) = vertical_modifiers(Vertical::JetCore, 0.3, 1.0);
+        let (_, surface) = vertical_modifiers(Vertical::JetCore, 1.0, 1.0);
+        assert!(upper > 2.0 * surface, "upper {upper} surface {surface}");
+    }
+
+    #[test]
+    fn mix_weights_deterministic() {
+        assert_eq!(mix_weight(42, 3, 7, 108), mix_weight(42, 3, 7, 108));
+        assert_ne!(mix_weight(42, 3, 7, 108), mix_weight(43, 3, 7, 108));
+    }
+}

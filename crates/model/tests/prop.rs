@@ -1,0 +1,70 @@
+//! Property tests for the climate emulator.
+
+use cc_grid::Resolution;
+use cc_model::{Model, VarDims};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn synthesis_deterministic_for_any_seed(seed in any::<u32>(), m in 0usize..101) {
+        let model = Model::new(Resolution::reduced(2, 2), seed as u64);
+        let member = model.member(m);
+        let var = (seed as usize) % model.registry().len();
+        let a = model.synthesize(&member, var);
+        let b = model.synthesize(&member, var);
+        prop_assert_eq!(a.data, b.data);
+    }
+
+    #[test]
+    fn members_differ_but_share_statistics(seed in any::<u32>(), m1 in 0usize..50, m2 in 51usize..101) {
+        let model = Model::new(Resolution::reduced(2, 2), seed as u64);
+        let var = model.var_id("TS").unwrap();
+        let a = model.member_field(m1, var);
+        let b = model.member_field(m2, var);
+        prop_assert_ne!(&a.data, &b.data);
+        let mean = |d: &[f32]| d.iter().map(|&v| v as f64).sum::<f64>() / d.len() as f64;
+        prop_assert!((mean(&a.data) - mean(&b.data)).abs() < 15.0);
+    }
+
+    #[test]
+    fn fraction_variables_always_bounded(seed in any::<u32>(), m in 0usize..101) {
+        let model = Model::new(Resolution::reduced(2, 2), seed as u64);
+        let member = model.member(m);
+        for (i, spec) in model.registry().iter().enumerate() {
+            if matches!(spec.dist, cc_model::Distribution::Fraction) {
+                let f = model.synthesize(&member, i);
+                // Ocean-masked fraction variables (ICEFRAC) carry the 1e35
+                // fill over land; every non-fill value must be in [0, 1].
+                prop_assert!(
+                    f.data.iter().all(|&v| (0.0..=1.0).contains(&v) || v == 1.0e35),
+                    "{}", spec.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lognormal_variables_always_positive(seed in any::<u32>(), m in 0usize..101) {
+        let model = Model::new(Resolution::reduced(2, 2), seed as u64);
+        let member = model.member(m);
+        for name in ["Q", "CCN3", "SO2", "PRECT"] {
+            let var = model.var_id(name).unwrap();
+            let f = model.synthesize(&member, var);
+            prop_assert!(f.data.iter().all(|&v| v > 0.0), "{name}");
+        }
+    }
+
+    #[test]
+    fn field_shapes_always_match_registry(seed in any::<u32>()) {
+        let model = Model::new(Resolution::reduced(2, 3), seed as u64);
+        let member = model.member(0);
+        for (i, spec) in model.registry().iter().enumerate() {
+            let f = model.synthesize(&member, i);
+            let expect_lev = if spec.dims == VarDims::D2 { 1 } else { 3 };
+            prop_assert_eq!(f.nlev, expect_lev, "{}", spec.name);
+            prop_assert_eq!(f.data.len(), expect_lev * model.grid().len());
+        }
+    }
+}

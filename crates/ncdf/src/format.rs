@@ -1,0 +1,299 @@
+//! Binary serialization of [`Dataset`].
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic  "CCN1"            4 bytes
+//! version u8               (currently 1)
+//! global attrs             attr-list
+//! dims: u32 count, then { string name, u64 len }
+//! vars: u32 count, then {
+//!   string name, u8 dtype, u8 shuffle, u8 deflate(0=none,1=fast,2=default,3=best),
+//!   u32 ndims, u32 dim-ids...,
+//!   attr-list,
+//!   u32 nchunks, then { u64 raw_len, u32 crc, u64 payload_len, payload }
+//! }
+//!
+//! attr-list: u32 count, then { string name, u8 kind, value }
+//!   kind 0 = text (string), 1 = f64 (8 bytes), 2 = i64 (8 bytes)
+//! string: u32 length + UTF-8 bytes
+//! ```
+
+use crate::{
+    AttrValue, Attribute, Chunk, DType, Dataset, Dimension, Error, FilterPipeline, Variable,
+};
+use bytes::{Buf, BufMut};
+use cc_lossless::Level;
+
+const MAGIC: &[u8; 4] = b"CCN1";
+const VERSION: u8 = 1;
+
+/// Serialize `ds` to bytes.
+pub fn encode(ds: &Dataset) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4096);
+    out.put_slice(MAGIC);
+    out.put_u8(VERSION);
+    put_attrs(&mut out, &ds.global_attrs);
+    out.put_u32_le(ds.dims().len() as u32);
+    for d in ds.dims() {
+        put_string(&mut out, &d.name);
+        out.put_u64_le(d.len as u64);
+    }
+    out.put_u32_le(ds.vars().len() as u32);
+    for v in ds.vars() {
+        put_string(&mut out, &v.name);
+        out.put_u8(v.dtype.tag());
+        out.put_u8(v.filters.shuffle as u8);
+        out.put_u8(match v.filters.deflate {
+            None => 0,
+            Some(Level::Fast) => 1,
+            Some(Level::Default) => 2,
+            Some(Level::Best) => 3,
+        });
+        out.put_u32_le(v.dims.len() as u32);
+        for &d in &v.dims {
+            out.put_u32_le(d as u32);
+        }
+        put_attrs(&mut out, &v.attrs);
+        out.put_u32_le(v.chunks.len() as u32);
+        for c in &v.chunks {
+            out.put_u64_le(c.raw_len as u64);
+            out.put_u32_le(c.crc);
+            out.put_u64_le(c.payload.len() as u64);
+            out.put_slice(&c.payload);
+        }
+    }
+    out
+}
+
+/// Deserialize a dataset.
+pub fn decode(mut data: &[u8]) -> Result<Dataset, Error> {
+    let buf = &mut data;
+    if buf.remaining() < 5 {
+        return Err(Error::Format("truncated header"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(Error::Format("bad magic"));
+    }
+    if buf.get_u8() != VERSION {
+        return Err(Error::Format("unsupported version"));
+    }
+    let mut ds = Dataset::new();
+    ds.global_attrs = get_attrs(buf)?;
+    let ndims = get_u32(buf)? as usize;
+    if ndims > 1 << 20 {
+        return Err(Error::Format("implausible dimension count"));
+    }
+    for _ in 0..ndims {
+        let name = get_string(buf)?;
+        let len = get_u64(buf)? as usize;
+        ds.dims_mut().push(Dimension { name, len });
+    }
+    let nvars = get_u32(buf)? as usize;
+    if nvars > 1 << 20 {
+        return Err(Error::Format("implausible variable count"));
+    }
+    for _ in 0..nvars {
+        let name = get_string(buf)?;
+        let dtype = DType::from_tag(get_u8(buf)?)?;
+        let shuffle = get_u8(buf)? != 0;
+        let deflate = match get_u8(buf)? {
+            0 => None,
+            1 => Some(Level::Fast),
+            2 => Some(Level::Default),
+            3 => Some(Level::Best),
+            _ => return Err(Error::Format("bad deflate level tag")),
+        };
+        let nd = get_u32(buf)? as usize;
+        if nd > 16 {
+            return Err(Error::Format("implausible rank"));
+        }
+        let mut dims = Vec::with_capacity(nd);
+        for _ in 0..nd {
+            let d = get_u32(buf)? as usize;
+            if d >= ds.dims().len() {
+                return Err(Error::Format("dimension id out of range"));
+            }
+            dims.push(d);
+        }
+        let attrs = get_attrs(buf)?;
+        let nchunks = get_u32(buf)? as usize;
+        if nchunks > 1 << 24 {
+            return Err(Error::Format("implausible chunk count"));
+        }
+        let mut chunks = Vec::with_capacity(nchunks);
+        for _ in 0..nchunks {
+            let raw_len = get_u64(buf)? as usize;
+            let crc = get_u32(buf)?;
+            let plen = get_u64(buf)? as usize;
+            if buf.remaining() < plen {
+                return Err(Error::Format("truncated chunk payload"));
+            }
+            let mut payload = vec![0u8; plen];
+            buf.copy_to_slice(&mut payload);
+            chunks.push(Chunk { payload, crc, raw_len });
+        }
+        ds.vars_mut().push(Variable {
+            name,
+            dtype,
+            dims,
+            attrs,
+            filters: FilterPipeline { shuffle, deflate },
+            chunks,
+        });
+    }
+    Ok(ds)
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    out.put_u32_le(s.len() as u32);
+    out.put_slice(s.as_bytes());
+}
+
+fn put_attrs(out: &mut Vec<u8>, attrs: &[Attribute]) {
+    out.put_u32_le(attrs.len() as u32);
+    for a in attrs {
+        put_string(out, &a.name);
+        match &a.value {
+            AttrValue::Text(s) => {
+                out.put_u8(0);
+                put_string(out, s);
+            }
+            AttrValue::F64(v) => {
+                out.put_u8(1);
+                out.put_f64_le(*v);
+            }
+            AttrValue::I64(v) => {
+                out.put_u8(2);
+                out.put_i64_le(*v);
+            }
+        }
+    }
+}
+
+fn get_u8(buf: &mut &[u8]) -> Result<u8, Error> {
+    if buf.remaining() < 1 {
+        return Err(Error::Format("truncated"));
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32, Error> {
+    if buf.remaining() < 4 {
+        return Err(Error::Format("truncated"));
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut &[u8]) -> Result<u64, Error> {
+    if buf.remaining() < 8 {
+        return Err(Error::Format("truncated"));
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn get_string(buf: &mut &[u8]) -> Result<String, Error> {
+    let len = get_u32(buf)? as usize;
+    if len > 1 << 20 || buf.remaining() < len {
+        return Err(Error::Format("bad string length"));
+    }
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| Error::Format("invalid UTF-8 in string"))
+}
+
+fn get_attrs(buf: &mut &[u8]) -> Result<Vec<Attribute>, Error> {
+    let n = get_u32(buf)? as usize;
+    if n > 1 << 16 {
+        return Err(Error::Format("implausible attribute count"));
+    }
+    let mut attrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = get_string(buf)?;
+        let value = match get_u8(buf)? {
+            0 => AttrValue::Text(get_string(buf)?),
+            1 => {
+                if buf.remaining() < 8 {
+                    return Err(Error::Format("truncated"));
+                }
+                AttrValue::F64(buf.get_f64_le())
+            }
+            2 => {
+                if buf.remaining() < 8 {
+                    return Err(Error::Format("truncated"));
+                }
+                AttrValue::I64(buf.get_i64_le())
+            }
+            _ => return Err(Error::Format("bad attribute kind")),
+        };
+        attrs.push(Attribute { name, value });
+    }
+    Ok(attrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_magic_is_stable() {
+        let ds = Dataset::new();
+        let bytes = encode(&ds);
+        assert_eq!(&bytes[..4], b"CCN1");
+        assert_eq!(bytes[4], 1);
+    }
+
+    #[test]
+    fn empty_dataset_roundtrip() {
+        let ds = Dataset::new();
+        let back = decode(&encode(&ds)).unwrap();
+        assert!(back.dims().is_empty());
+        assert!(back.vars().is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = encode(&Dataset::new());
+        bytes[0] = b'X';
+        assert!(matches!(decode(&bytes), Err(Error::Format("bad magic"))));
+    }
+
+    #[test]
+    fn rejects_truncations_everywhere() {
+        let mut ds = Dataset::new();
+        let d = ds.add_dim("n", 32);
+        let v = ds
+            .def_var("x", DType::F32, &[d], FilterPipeline::shuffle_deflate())
+            .unwrap();
+        ds.put_attr_text(Some(v), "units", "m/s");
+        ds.put_f32(v, &(0..32).map(|i| i as f32).collect::<Vec<_>>()).unwrap();
+        let bytes = encode(&ds);
+        for cut in 0..bytes.len() {
+            // Must error or produce a dataset that errors on read; never panic.
+            match decode(&bytes[..cut]) {
+                Ok(back) => {
+                    let _ = back.get_f32(0);
+                }
+                Err(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn dim_id_out_of_range_rejected() {
+        let mut ds = Dataset::new();
+        ds.add_dim("n", 8);
+        let v = ds.def_var("x", DType::F32, &[0], FilterPipeline::none()).unwrap();
+        ds.put_f32(v, &[0.0; 8]).unwrap();
+        let mut bytes = encode(&ds);
+        // Find and corrupt the dim-id (fragile to do surgically; instead
+        // check the decoder survives arbitrary single-byte corruption).
+        for i in 5..bytes.len() {
+            bytes[i] ^= 0x55;
+            let _ = decode(&bytes); // must not panic
+            bytes[i] ^= 0x55;
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! The bias test: simple linear regression of reconstructed-ensemble RMSZ
+//! scores on original-ensemble RMSZ scores with a 95% confidence region
+//! (Section 4.3 and Figure 4 of the paper).
+//!
+//! "For an unbiased reconstruction, the fitted line would have a slope of 1
+//! and an intercept of 0." The acceptance criterion (eq. 9) bounds the
+//! distance between the ideal slope `s_I = 1` and the worst-case slope
+//! `s_WC` on the 95% confidence interval by 0.05.
+
+use crate::SLOPE_DIST_MAX;
+
+/// Ordinary least squares fit `y = intercept + slope · x` with standard
+/// errors, fitted over the 101 per-member (original, reconstructed) RMSZ
+/// pairs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BiasRegression {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Standard error of the slope.
+    pub se_slope: f64,
+    /// Standard error of the intercept.
+    pub se_intercept: f64,
+    /// Number of points fitted.
+    pub n: usize,
+}
+
+/// Two-sided 95% t quantile; the ensemble has 101 members (99 degrees of
+/// freedom) where the quantile is ≈ 1.984. For other sizes we use a small
+/// table plus the normal limit — adequate for a confidence *rectangle*
+/// drawn on a scatter plot.
+fn t95(df: usize) -> f64 {
+    const TABLE: [(usize, f64); 10] = [
+        (1, 12.706),
+        (2, 4.303),
+        (3, 3.182),
+        (4, 2.776),
+        (5, 2.571),
+        (10, 2.228),
+        (20, 2.086),
+        (50, 2.009),
+        (99, 1.984),
+        (200, 1.972),
+    ];
+    for &(d, t) in TABLE.iter() {
+        if df <= d {
+            return t;
+        }
+    }
+    1.960
+}
+
+impl BiasRegression {
+    /// Fit `y` on `x`. Panics with fewer than 3 points (no residual
+    /// degrees of freedom).
+    pub fn fit(x: &[f64], y: &[f64]) -> Self {
+        assert_eq!(x.len(), y.len(), "paired samples required");
+        let n = x.len();
+        assert!(n >= 3, "regression needs at least 3 points");
+        let nf = n as f64;
+        let mx = x.iter().sum::<f64>() / nf;
+        let my = y.iter().sum::<f64>() / nf;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        for (&a, &b) in x.iter().zip(y) {
+            sxx += (a - mx) * (a - mx);
+            sxy += (a - mx) * (b - my);
+        }
+        assert!(sxx > 0.0, "x values must not be constant");
+        let slope = sxy / sxx;
+        let intercept = my - slope * mx;
+        // Residual variance.
+        let mut sse = 0.0;
+        for (&a, &b) in x.iter().zip(y) {
+            let r = b - (intercept + slope * a);
+            sse += r * r;
+        }
+        let s2 = sse / (nf - 2.0);
+        let se_slope = (s2 / sxx).sqrt();
+        let se_intercept = (s2 * (1.0 / nf + mx * mx / sxx)).sqrt();
+        BiasRegression { slope, intercept, se_slope, se_intercept, n }
+    }
+
+    /// 95% confidence interval for the slope.
+    pub fn slope_ci(&self) -> (f64, f64) {
+        let t = t95(self.n - 2);
+        (self.slope - t * self.se_slope, self.slope + t * self.se_slope)
+    }
+
+    /// 95% confidence interval for the intercept.
+    pub fn intercept_ci(&self) -> (f64, f64) {
+        let t = t95(self.n - 2);
+        (self.intercept - t * self.se_intercept, self.intercept + t * self.se_intercept)
+    }
+
+    /// The 95% confidence rectangle `(slope_lo, slope_hi, int_lo, int_hi)`
+    /// drawn in Figure 4.
+    pub fn confidence_rect(&self) -> (f64, f64, f64, f64) {
+        let (slo, shi) = self.slope_ci();
+        let (ilo, ihi) = self.intercept_ci();
+        (slo, shi, ilo, ihi)
+    }
+
+    /// The worst-case slope `s_WC`: the confidence-interval endpoint
+    /// farther from the ideal slope 1.
+    pub fn worst_case_slope(&self) -> f64 {
+        let (lo, hi) = self.slope_ci();
+        if (lo - 1.0).abs() > (hi - 1.0).abs() {
+            lo
+        } else {
+            hi
+        }
+    }
+
+    /// Eq. (9): `|s_I − s_WC| ≤ 0.05`.
+    pub fn passes(&self) -> bool {
+        (1.0 - self.worst_case_slope()).abs() <= SLOPE_DIST_MAX
+    }
+
+    /// True when the confidence rectangle contains the ideal point (1, 0) —
+    /// the "no detectable bias at all" reading of Figure 4.
+    pub fn contains_ideal(&self) -> bool {
+        let (slo, shi, ilo, ihi) = self.confidence_rect();
+        (slo..=shi).contains(&1.0) && (ilo..=ihi).contains(&0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_line(slope: f64, intercept: f64, noise: f64, n: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut state = 0xFEEDu64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let x: Vec<f64> = (0..n).map(|i| 0.8 + 0.8 * i as f64 / n as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| intercept + slope * v + noise * rnd()).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn recovers_exact_line() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let y = vec![3.0, 5.0, 7.0, 9.0]; // y = 1 + 2x
+        let r = BiasRegression::fit(&x, &y);
+        assert!((r.slope - 2.0).abs() < 1e-12);
+        assert!((r.intercept - 1.0).abs() < 1e-12);
+        assert!(r.se_slope < 1e-9);
+    }
+
+    #[test]
+    fn unbiased_reconstruction_passes() {
+        let (x, y) = noisy_line(1.0, 0.0, 0.01, 101);
+        let r = BiasRegression::fit(&x, &y);
+        assert!(r.passes(), "slope {} ± {}", r.slope, r.se_slope);
+        assert!(r.contains_ideal());
+    }
+
+    #[test]
+    fn biased_slope_fails() {
+        let (x, y) = noisy_line(0.9, 0.0, 0.01, 101);
+        let r = BiasRegression::fit(&x, &y);
+        assert!(!r.passes(), "slope {} should fail eq. 9", r.slope);
+    }
+
+    #[test]
+    fn large_uncertainty_fails_even_with_good_slope() {
+        // The paper's point: slope ≈ 1 but huge uncertainty ⇒ unacceptable.
+        let (x, y) = noisy_line(1.0, 0.0, 1.5, 20);
+        let r = BiasRegression::fit(&x, &y);
+        assert!(r.se_slope > 0.1, "noise should inflate the CI: {}", r.se_slope);
+        assert!(!r.passes());
+    }
+
+    #[test]
+    fn uniform_offset_detected_via_intercept() {
+        let (x, y) = noisy_line(1.0, 0.3, 0.005, 101);
+        let r = BiasRegression::fit(&x, &y);
+        // Slope fine (eq. 9 passes) but the rectangle misses (1, 0):
+        // "bias has been introduced uniformly, and this will be detected by
+        // the RMSZ ensemble test".
+        assert!(r.passes());
+        assert!(!r.contains_ideal());
+    }
+
+    #[test]
+    fn confidence_rect_is_consistent() {
+        let (x, y) = noisy_line(1.0, 0.0, 0.05, 101);
+        let r = BiasRegression::fit(&x, &y);
+        let (slo, shi, ilo, ihi) = r.confidence_rect();
+        assert!(slo < r.slope && r.slope < shi);
+        assert!(ilo < r.intercept && r.intercept < ihi);
+        let wc = r.worst_case_slope();
+        assert!(wc == slo || wc == shi);
+    }
+
+    #[test]
+    fn t_quantile_is_monotone() {
+        assert!(t95(1) > t95(5));
+        assert!(t95(5) > t95(99));
+        assert!(t95(99) >= t95(1000));
+        assert!((t95(99) - 1.984).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 points")]
+    fn too_few_points_rejected() {
+        BiasRegression::fit(&[1.0, 2.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant")]
+    fn constant_x_rejected() {
+        BiasRegression::fit(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]);
+    }
+}

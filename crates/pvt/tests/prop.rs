@@ -1,0 +1,117 @@
+//! Property tests for the CESM-PVT machinery.
+
+use cc_pvt::{enmax_test, rmsz_test, BiasRegression, EnsembleStats, ScoreDistribution};
+use proptest::prelude::*;
+
+fn member(seed: u64, m: usize, p: usize) -> f32 {
+    let h = (m.wrapping_mul(2654435761) ^ p.wrapping_mul(40503))
+        .wrapping_add(seed as usize)
+        .wrapping_mul(2246822519);
+    ((h % 100_000) as f32) / 1000.0 + (p as f32 * 0.37).sin() * 20.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn enmax_streaming_matches_naive(
+        seed in any::<u64>(),
+        n in 4usize..14,
+        npts in 8usize..50,
+        target in 0usize..4,
+    ) {
+        let mut stats = EnsembleStats::new(npts);
+        for m in 0..n {
+            let f: Vec<f32> = (0..npts).map(|p| member(seed, m, p)).collect();
+            stats.add_member(&f);
+        }
+        let m = target.min(n - 1);
+        let fm: Vec<f32> = (0..npts).map(|p| member(seed, m, p)).collect();
+        if let Some(fast) = stats.enmax_excluding(&fm) {
+            let mut emax = 0.0f64;
+            for p in 0..npts {
+                for k in 0..n {
+                    if k != m {
+                        emax = emax.max((fm[p] as f64 - member(seed, k, p) as f64).abs());
+                    }
+                }
+            }
+            let min = fm.iter().cloned().fold(f32::INFINITY, f32::min) as f64;
+            let max = fm.iter().cloned().fold(f32::NEG_INFINITY, f32::max) as f64;
+            if max > min {
+                let naive = emax / (max - min);
+                prop_assert!((fast - naive).abs() <= 1e-9 * naive.max(1.0),
+                    "fast {} naive {}", fast, naive);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_reconstruction_always_passes_rmsz(
+        seed in any::<u64>(),
+        n in 5usize..15,
+        npts in 16usize..64,
+    ) {
+        let mut stats = EnsembleStats::new(npts);
+        let fields: Vec<Vec<f32>> = (0..n)
+            .map(|m| (0..npts).map(|p| member(seed, m, p)).collect())
+            .collect();
+        for f in &fields {
+            stats.add_member(f);
+        }
+        let scores: Vec<f64> = fields
+            .iter()
+            .map(|f| stats.rmsz_excluding(f, f).unwrap_or(0.0))
+            .collect();
+        let dist = ScoreDistribution::new(scores.clone());
+        for (m, f) in fields.iter().enumerate() {
+            let z = stats.rmsz_excluding(f, f).unwrap_or(0.0);
+            let outcome = rmsz_test(&dist, z, z);
+            prop_assert!(outcome.passed(), "member {} score {} failed own test", m, z);
+        }
+        // And e_nmax = 0 always passes the E_nmax test when the
+        // distribution has spread.
+        let en: Vec<f64> = fields.iter().filter_map(|f| stats.enmax_excluding(f)).collect();
+        if en.len() == n {
+            let edist = ScoreDistribution::new(en);
+            if edist.range() > 0.0 {
+                prop_assert!(enmax_test(&edist, 0.0).passed());
+            }
+        }
+    }
+
+    #[test]
+    fn score_distribution_invariants(scores in prop::collection::vec(0.0f64..10.0, 1..101)) {
+        let d = ScoreDistribution::new(scores.clone());
+        prop_assert!(d.min() <= d.max());
+        prop_assert!(d.contains(d.min()));
+        prop_assert!(d.contains(d.max()));
+        prop_assert!(!d.contains(d.max() + 1.0 + d.range()));
+        let (q1, q2, q3) = d.quartiles();
+        prop_assert!(q1 <= q2 && q2 <= q3);
+        prop_assert!(d.histogram(7).iter().sum::<usize>() == scores.len());
+    }
+
+    #[test]
+    fn regression_recovers_known_lines(
+        slope in 0.5f64..1.5,
+        intercept in -0.5f64..0.5,
+        noise in 0.0f64..0.02,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed | 1;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let x: Vec<f64> = (0..101).map(|i| 0.8 + i as f64 / 101.0).collect();
+        let y: Vec<f64> = x.iter().map(|&v| intercept + slope * v + noise * rnd()).collect();
+        let r = BiasRegression::fit(&x, &y);
+        // True slope must lie in (a slightly widened) 95% interval almost
+        // surely at these noise levels.
+        let (lo, hi) = r.slope_ci();
+        let slack = 4.0 * r.se_slope + 1e-12;
+        prop_assert!(slope >= lo - slack && slope <= hi + slack,
+            "true slope {} outside [{}, {}]", slope, lo, hi);
+    }
+}

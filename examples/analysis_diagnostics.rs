@@ -1,0 +1,74 @@
+//! Post-processing analysis diagnostics on reconstructed data: zonal
+//! means, vertical profiles, spherical gradients, and SSIM — the
+//! "indistinguishable during the post-processing analysis" standard of the
+//! paper's introduction, plus its future-work metrics (gradients, image
+//! quality).
+//!
+//! ```text
+//! cargo run --release --example analysis_diagnostics [VARIABLE]
+//! ```
+
+use climate_compress::codecs::{Layout, Variant};
+use climate_compress::core::diagnostics::{analysis_drift, gradient_drift, zonal_mean};
+use climate_compress::grid::{operators, Resolution};
+use climate_compress::metrics::ssim;
+use climate_compress::model::Model;
+
+fn main() {
+    let var_name = std::env::args().nth(1).unwrap_or_else(|| "T".to_string());
+    let model = Model::new(Resolution::reduced(5, 5), 8);
+    let var = model
+        .var_id(&var_name)
+        .unwrap_or_else(|| panic!("unknown variable {var_name}"));
+    let member = model.member(0);
+    let field = model.synthesize(&member, var);
+    let layout = Layout::for_grid(model.grid(), field.nlev);
+    let grid = model.grid();
+
+    println!("building 6-neighbour lists for the spherical gradient operator ...");
+    let neighbors = operators::neighbor_lists(grid, 6);
+
+    // The analyst's first plot: the zonal-mean curve.
+    let zm = zonal_mean(grid, field.level(0), 9);
+    println!("\nzonal means of {var_name} (level 0), south to north:");
+    for (b, m) in zm.iter().enumerate() {
+        let lat = -90.0 + (b as f64 + 0.5) * 20.0;
+        println!("  {:>5.0}deg  {:>12.4}", lat, m);
+    }
+
+    println!(
+        "\n{:<10} {:>12} {:>12} {:>12} {:>10}",
+        "codec", "zonal drift", "vert drift", "grad drift", "SSIM"
+    );
+    for variant in [
+        Variant::Apax { rate: 2.0 },
+        Variant::Apax { rate: 5.0 },
+        Variant::Fpzip { bits: 24 },
+        Variant::Fpzip { bits: 16 },
+        Variant::Grib2 { decimal_scale: None },
+        Variant::Isabela { rel_err: 0.01 },
+    ] {
+        let codec = variant.codec();
+        let bytes = codec.compress(&field.data, layout);
+        let recon = codec.decompress(&bytes, layout).expect("roundtrip");
+
+        let (zdrift, vdrift) = analysis_drift(grid, &field.data, &recon, field.nlev, 9);
+        let gdrift = gradient_drift(grid, &field.data, &recon, field.nlev, &neighbors);
+        let worst_g = gdrift.iter().cloned().fold(0.0f64, |a, b| a.max(b.abs()));
+        let s = ssim(field.level(0), &recon[..grid.len()], layout.rows, layout.cols)
+            .unwrap_or(f64::NAN);
+        println!(
+            "{:<10} {:>12.3e} {:>12.3e} {:>11.2}% {:>10.5}",
+            variant.name(),
+            zdrift,
+            vdrift,
+            worst_g * 100.0,
+            s
+        );
+    }
+    println!(
+        "\nzonal/vertical drift: worst change in the analyst's mean curves\n\
+         grad drift: worst relative change in spherical-gradient RMS per level\n\
+         SSIM: structural similarity of the level-0 image (1.0 = identical)"
+    );
+}

@@ -1,0 +1,49 @@
+//! The APAX profiler workflow (Section 3.2.4): sweep fixed encoding rates
+//! on a variable and get a recommended rate meeting the paper's quality
+//! threshold (Pearson ρ ≥ 0.99999).
+//!
+//! ```text
+//! cargo run --release --example apax_profiler [VARIABLE ...]
+//! ```
+
+use climate_compress::codecs::apax::Profiler;
+use climate_compress::codecs::Layout;
+use climate_compress::grid::Resolution;
+use climate_compress::model::Model;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<String> = if args.is_empty() {
+        ["U", "FSDSC", "Z3", "CCN3", "PRECT"].iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+
+    let model = Model::new(Resolution::reduced(5, 6), 11);
+    let member = model.member(0);
+    let profiler = Profiler::default();
+
+    for name in names {
+        let var = model.var_id(&name).unwrap_or_else(|| panic!("unknown variable {name}"));
+        let field = model.synthesize(&member, var);
+        let layout = Layout::for_grid(model.grid(), field.nlev);
+        let (entries, recommended) = profiler.profile(&field.data, layout);
+
+        println!("== profiling {name} ==");
+        println!("{:>6} {:>12} {:>12} {:>10}", "rate", "pearson", "max |err|", "bytes");
+        for e in &entries {
+            println!(
+                "{:>6.1} {:>12.8} {:>12.3e} {:>10}",
+                e.rate, e.pearson, e.max_abs_err, e.bytes
+            );
+        }
+        match recommended {
+            Some(rate) => println!(
+                "--> recommended encoding rate: {rate} (CR {:.2}, {:.0}:1 compression)\n",
+                1.0 / rate,
+                rate
+            ),
+            None => println!("--> no swept rate meets rho >= 0.99999; use lossless\n"),
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Five-minute tour: synthesize a CAM-like variable, compress it with every
+//! method the paper evaluates, and print the Section-4 quality metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use climate_compress::codecs::{Layout, Variant};
+use climate_compress::grid::Resolution;
+use climate_compress::metrics::ErrorMetrics;
+use climate_compress::model::Model;
+
+fn main() {
+    // A reduced-resolution emulator (the paper's grid is ne=30 with 30
+    // levels; ne=6 keeps this example fast).
+    let model = Model::new(Resolution::reduced(6, 6), 42);
+    println!(
+        "model: {} horizontal points x {} levels, {} variables\n",
+        model.grid().len(),
+        model.grid().resolution().nlev,
+        model.registry().len()
+    );
+
+    // Pull one ensemble member's zonal wind (the paper's Table 2 variable).
+    let member = model.member(0);
+    let var = model.var_id("U").expect("U is in the registry");
+    let field = model.synthesize(&member, var);
+    let layout = Layout::for_grid(model.grid(), field.nlev);
+    let raw_bytes = field.data.len() * 4;
+    println!("variable U: {} values ({} bytes uncompressed)\n", field.data.len(), raw_bytes);
+
+    println!(
+        "{:<10} {:>8} {:>6} {:>10} {:>10} {:>12}",
+        "method", "bytes", "CR", "NRMSE", "e_nmax", "Pearson rho"
+    );
+    for variant in Variant::paper_set() {
+        let codec = variant.codec();
+        let bytes = codec.compress(&field.data, layout);
+        let recon = codec.decompress(&bytes, layout).expect("roundtrip");
+        let m = ErrorMetrics::compare(&field.data, &recon).expect("non-degenerate field");
+        println!(
+            "{:<10} {:>8} {:>6.2} {:>10.2e} {:>10.2e} {:>12.8}",
+            variant.name(),
+            bytes.len(),
+            bytes.len() as f64 / raw_bytes as f64,
+            m.nrmse,
+            m.e_nmax,
+            m.pearson
+        );
+    }
+
+    // The lossless baseline the paper measures in Table 2.
+    let nc = Variant::NetCdf4.codec();
+    let bytes = nc.compress(&field.data, layout);
+    let recon = nc.decompress(&bytes, layout).expect("roundtrip");
+    assert_eq!(recon, field.data, "NetCDF-4 path is lossless");
+    println!(
+        "{:<10} {:>8} {:>6.2} {:>10} {:>10} {:>12}",
+        "NetCDF-4",
+        bytes.len(),
+        bytes.len() as f64 / raw_bytes as f64,
+        "0",
+        "0",
+        "1.0"
+    );
+    println!("\nLower CR is better (CR = compressed/original, eq. 1 of the paper).");
+}

@@ -1,0 +1,61 @@
+//! The paper's target workflow end-to-end: convert time-slice history
+//! output into per-variable compressed time-series files (Section 1's
+//! "post-processing step that converts the CESM time-slice data history
+//! files to time series data files for each variable"), then read a slice
+//! back at random — the access pattern climate analysis uses.
+//!
+//! ```text
+//! cargo run --release --example timeseries_workflow [VARIABLE] [NSLICES]
+//! ```
+
+use climate_compress::codecs::Variant;
+use climate_compress::core::timeseries::{read_slice, write_timeseries};
+use climate_compress::grid::Resolution;
+use climate_compress::metrics::ErrorMetrics;
+use climate_compress::model::Model;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let var_name = args.next().unwrap_or_else(|| "T".to_string());
+    let nslices: usize = args.next().map(|s| s.parse().expect("NSLICES")).unwrap_or(6);
+
+    let model = Model::new(Resolution::reduced(4, 5), 2014);
+    let var = model
+        .var_id(&var_name)
+        .unwrap_or_else(|| panic!("unknown variable {var_name}"));
+    let raw_per_slice = model.var_points(var) * 4;
+
+    println!(
+        "converting {nslices} time slices of {var_name} ({} bytes each raw)\n",
+        raw_per_slice
+    );
+    println!("{:<10} {:>12} {:>8} {:>12}", "codec", "series bytes", "CR", "slice-3 rho");
+    for variant in [
+        Variant::NetCdf4,
+        Variant::Fpzip { bits: 24 },
+        Variant::Apax { rate: 4.0 },
+        Variant::Grib2 { decimal_scale: None },
+    ] {
+        let ds = write_timeseries(&model, 0, var, nslices, 0.5, variant);
+        let stored: usize = (0..ds.vars().len()).map(|v| ds.var_stored_bytes(v)).sum();
+
+        // Random access: decode slice 3 only, compare with truth.
+        let t = 3.min(nslices - 1);
+        let got = read_slice(&ds, &model, variant, t).expect("slice decodes");
+        let truth = model.synthesize(&model.trajectory(0, nslices, 0.5)[t], var);
+        let rho = ErrorMetrics::compare(&truth.data, &got)
+            .map(|m| m.pearson)
+            .unwrap_or(1.0);
+        println!(
+            "{:<10} {:>12} {:>8.2} {:>12.8}",
+            variant.name(),
+            stored,
+            stored as f64 / (raw_per_slice * nslices) as f64,
+            rho
+        );
+    }
+    println!(
+        "\nEach slice decodes independently — analysis can pull one month of\n\
+         one variable without touching the rest of the archive."
+    );
+}

@@ -1,0 +1,242 @@
+//! `ccc` — the climate-compress command line.
+//!
+//! ```text
+//! ccc generate --out FILE [--ne N] [--nlev N] [--seed S] [--member M]
+//!     Synthesize one ensemble member's full 170-variable history file.
+//!
+//! ccc inspect FILE
+//!     Show dimensions, variables, attributes, and per-variable storage.
+//!
+//! ccc verify --var NAME [--codec NAME] [--members N] [--ne N] [--nlev N]
+//!     Run the paper's four acceptance tests for one variable and one or
+//!     all codec variants.
+//!
+//! ccc profile --var NAME [--ne N] [--nlev N]
+//!     APAX-profiler sweep with a recommended encoding rate.
+//! ```
+
+use climate_compress::codecs::apax::Profiler;
+use climate_compress::codecs::{Layout, Variant};
+use climate_compress::core::evaluation::{verdict_for, EvalConfig, Evaluation};
+use climate_compress::grid::Resolution;
+use climate_compress::model::Model;
+use climate_compress::ncdf::{AttrValue, Dataset};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage();
+        exit(2);
+    };
+    let flags = parse_flags(rest);
+    match cmd.as_str() {
+        "generate" => generate(&flags),
+        "inspect" => inspect(rest),
+        "verify" => verify(&flags),
+        "profile" => profile(&flags),
+        "help" | "--help" | "-h" => usage(),
+        other => {
+            eprintln!("unknown command: {other}\n");
+            usage();
+            exit(2);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "ccc — climate-compress CLI\n\
+         commands:\n\
+         \x20 generate --out FILE [--ne N] [--nlev N] [--seed S] [--member M]\n\
+         \x20 inspect FILE\n\
+         \x20 verify --var NAME [--codec NAME] [--members N] [--ne N] [--nlev N] [--seed S]\n\
+         \x20 profile --var NAME [--ne N] [--nlev N] [--seed S]"
+    );
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            let value = it.next().cloned().unwrap_or_else(|| {
+                eprintln!("flag --{key} needs a value");
+                exit(2);
+            });
+            flags.insert(key.to_string(), value);
+        }
+    }
+    flags
+}
+
+fn flag_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> usize {
+    flags
+        .get(key)
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--{key} expects an integer, got {v}");
+                exit(2);
+            })
+        })
+        .unwrap_or(default)
+}
+
+fn model_from_flags(flags: &HashMap<String, String>) -> Model {
+    let ne = flag_usize(flags, "ne", 6);
+    let nlev = flag_usize(flags, "nlev", 6);
+    let seed = flag_usize(flags, "seed", 2014) as u64;
+    Model::new(Resolution::reduced(ne, nlev), seed)
+}
+
+fn generate(flags: &HashMap<String, String>) {
+    let Some(out) = flags.get("out") else {
+        eprintln!("generate needs --out FILE");
+        exit(2);
+    };
+    let model = model_from_flags(flags);
+    let m = flag_usize(flags, "member", 0);
+    eprintln!(
+        "synthesizing member {m} on {} points x {} levels ...",
+        model.grid().len(),
+        model.grid().resolution().nlev
+    );
+    let member = model.member(m);
+    let ds = model.history_file(&member);
+    let raw: usize = (0..ds.vars().len()).map(|v| ds.var_raw_bytes(v)).sum();
+    let stored: usize = (0..ds.vars().len()).map(|v| ds.var_stored_bytes(v)).sum();
+    ds.save(&PathBuf::from(out)).unwrap_or_else(|e| {
+        eprintln!("write failed: {e}");
+        exit(1);
+    });
+    println!(
+        "wrote {out}: {} variables (170 data + coordinates), {raw} -> {stored} data bytes (lossless CR {:.2})",
+        ds.vars().len(),
+        stored as f64 / raw as f64
+    );
+}
+
+fn inspect(args: &[String]) {
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("inspect needs a FILE");
+        exit(2);
+    };
+    let ds = Dataset::open(&PathBuf::from(path)).unwrap_or_else(|e| {
+        eprintln!("open failed: {e}");
+        exit(1);
+    });
+    println!("file: {path}");
+    for a in &ds.global_attrs {
+        println!("  :{} = {}", a.name, fmt_attr(&a.value));
+    }
+    println!("dimensions ({}):", ds.dims().len());
+    for d in ds.dims().iter().take(12) {
+        println!("  {} = {}", d.name, d.len);
+    }
+    if ds.dims().len() > 12 {
+        println!("  ... {} more", ds.dims().len() - 12);
+    }
+    println!("variables ({}):", ds.vars().len());
+    for (i, v) in ds.vars().iter().enumerate() {
+        let stored = ds.var_stored_bytes(i);
+        let raw = ds.var_raw_bytes(i);
+        let cr = if raw > 0 { stored as f64 / raw as f64 } else { 1.0 };
+        let units = ds
+            .attr(Some(i), "units")
+            .map(|a| fmt_attr(a))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "  {:<12} {:?} [{}] {} -> {} bytes (CR {:.2})",
+            v.name, v.dtype, units, raw, stored, cr
+        );
+        if i >= 19 && ds.vars().len() > 24 {
+            println!("  ... {} more variables", ds.vars().len() - 20);
+            break;
+        }
+    }
+}
+
+fn fmt_attr(v: &AttrValue) -> String {
+    match v {
+        AttrValue::Text(t) => format!("\"{t}\""),
+        AttrValue::F64(x) => format!("{x}"),
+        AttrValue::I64(x) => format!("{x}"),
+    }
+}
+
+fn variant_by_name(name: &str) -> Option<Variant> {
+    Variant::paper_set()
+        .into_iter()
+        .chain([Variant::NetCdf4, Variant::Fpzip { bits: 32 }])
+        .find(|v| v.name().eq_ignore_ascii_case(name))
+}
+
+fn verify(flags: &HashMap<String, String>) {
+    let Some(var_name) = flags.get("var") else {
+        eprintln!("verify needs --var NAME");
+        exit(2);
+    };
+    let model = model_from_flags(flags);
+    let members = flag_usize(flags, "members", 25);
+    let eval = Evaluation::new(model, EvalConfig::quick(members));
+    let Some(var) = eval.model.var_id(var_name) else {
+        eprintln!("unknown variable {var_name} (170 CAM names, e.g. U, FSDSC, Z3, CCN3)");
+        exit(2);
+    };
+    eprintln!("building {members}-member ensemble context for {var_name} ...");
+    let ctx = eval.context(var);
+    let variants: Vec<Variant> = match flags.get("codec") {
+        Some(name) => match variant_by_name(name) {
+            Some(v) => vec![v],
+            None => {
+                eprintln!("unknown codec {name}; try GRIB2, APAX-4, fpzip-24, ISA-0.5, NetCDF-4");
+                exit(2);
+            }
+        },
+        None => Variant::paper_set(),
+    };
+    println!(
+        "{:<10} {:>6} | {:>5} {:>9} {:>10} {:>5} | verdict",
+        "codec", "CR", "rho", "RMSZ", "Enmax", "bias"
+    );
+    for variant in variants {
+        let v = verdict_for(&ctx, variant);
+        let mark = |b: bool| if b { "pass" } else { "FAIL" };
+        println!(
+            "{:<10} {:>6.2} | {:>5} {:>9} {:>10} {:>5} | {}",
+            variant.name(),
+            v.cr,
+            mark(v.pearson_pass),
+            mark(v.rmsz_pass),
+            mark(v.enmax_pass),
+            mark(v.bias_pass),
+            if v.all_pass() { "indistinguishable" } else { "climate-changing" }
+        );
+    }
+}
+
+fn profile(flags: &HashMap<String, String>) {
+    let Some(var_name) = flags.get("var") else {
+        eprintln!("profile needs --var NAME");
+        exit(2);
+    };
+    let model = model_from_flags(flags);
+    let Some(var) = model.var_id(var_name) else {
+        eprintln!("unknown variable {var_name}");
+        exit(2);
+    };
+    let member = model.member(0);
+    let field = model.synthesize(&member, var);
+    let layout = Layout::for_grid(model.grid(), field.nlev);
+    let (entries, recommended) = Profiler::default().profile(&field.data, layout);
+    println!("{:>6} {:>12} {:>12} {:>10}", "rate", "pearson", "max |err|", "bytes");
+    for e in entries {
+        println!("{:>6.1} {:>12.8} {:>12.3e} {:>10}", e.rate, e.pearson, e.max_abs_err, e.bytes);
+    }
+    match recommended {
+        Some(rate) => println!("recommended rate: {rate} ({rate}:1 compression)"),
+        None => println!("no rate meets rho >= 0.99999; use a lossless mode"),
+    }
+}

@@ -1,0 +1,31 @@
+//! # climate-compress
+//!
+//! A complete Rust reproduction of *"A Methodology for Evaluating the Impact
+//! of Data Compression on Climate Simulation Data"* (Baker et al., HPDC'14).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`grid`] — cubed-sphere spectral-element grid (CAM-SE ne30np4 and
+//!   reduced resolutions).
+//! * [`model`] — chaotic climate emulator: 170 CAM-like variables and
+//!   101-member perturbation ensembles.
+//! * [`lossless`] — DEFLATE-class codec + shuffle filter (the NetCDF-4/zlib
+//!   stand-in).
+//! * [`ncdf`] — mini NetCDF-4-like container with a filter pipeline.
+//! * [`codecs`] — the four lossy compressor families: fpzip, ISABELA, APAX,
+//!   GRIB2+JPEG2000.
+//! * [`metrics`] — error/correlation metrics of Section 4.1-4.2.
+//! * [`pvt`] — the CESM-PVT ensemble consistency tests of Section 4.3.
+//! * [`core`] — the evaluation pipeline, four-test verdicts, and hybrid
+//!   per-variable customization of Section 5.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use cc_codecs as codecs;
+pub use cc_core as core;
+pub use cc_grid as grid;
+pub use cc_lossless as lossless;
+pub use cc_metrics as metrics;
+pub use cc_model as model;
+pub use cc_ncdf as ncdf;
+pub use cc_pvt as pvt;

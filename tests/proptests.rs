@@ -1,0 +1,178 @@
+//! Property-based tests over cross-crate invariants.
+
+use climate_compress::codecs::{Layout, Variant};
+use climate_compress::lossless::{compress, decompress, Level};
+use climate_compress::metrics::ErrorMetrics;
+use climate_compress::ncdf::{DType, Dataset, FilterPipeline};
+use proptest::prelude::*;
+
+/// Climate-plausible float vectors: finite, bounded magnitude, variable
+/// length; occasionally inject the 1e35 fill.
+fn field_strategy(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(
+        prop_oneof![
+            8 => (-1.0e6f32..1.0e6f32),
+            1 => (1.0e-10f32..1.0e-6f32),
+            1 => Just(1.0e35f32),
+        ],
+        2..max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn deflate_roundtrips_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        for level in [Level::Fast, Level::Default, Level::Best] {
+            let z = compress(&data, level);
+            prop_assert_eq!(&decompress(&z).unwrap(), &data);
+        }
+    }
+
+    #[test]
+    fn netcdf4_variant_lossless_on_any_field(data in field_strategy(2048)) {
+        let layout = Layout::linear(data.len());
+        let codec = Variant::NetCdf4.codec();
+        let bytes = codec.compress(&data, layout);
+        let back = codec.decompress(&bytes, layout).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    #[test]
+    fn fpzip32_lossless_on_any_field(data in field_strategy(2048)) {
+        let layout = Layout::linear(data.len());
+        let codec = Variant::Fpzip { bits: 32 }.codec();
+        let bytes = codec.compress(&data, layout);
+        let back = codec.decompress(&bytes, layout).unwrap();
+        for (a, b) in data.iter().zip(&back) {
+            if a.abs() >= 1.0e30 {
+                prop_assert_eq!(*b, 1.0e35);
+            } else {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn isabela_honors_error_bound_on_any_field(data in field_strategy(1500)) {
+        let layout = Layout::linear(data.len());
+        let codec = Variant::Isabela { rel_err: 0.005 }.codec();
+        let bytes = codec.compress(&data, layout);
+        let back = codec.decompress(&bytes, layout).unwrap();
+        for (&a, &b) in data.iter().zip(&back) {
+            if a.abs() >= 1.0e30 {
+                prop_assert_eq!(b, 1.0e35);
+            } else {
+                let rel = ((a as f64 - b as f64) / (a as f64).abs().max(1e-30)).abs();
+                prop_assert!(rel <= 0.005 + 1e-9, "rel {} at {} -> {}", rel, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn apax_fixed_rate_size_is_exact(
+        data in prop::collection::vec(-1.0e4f32..1.0e4f32, 256..2048),
+        rate in prop::sample::select(vec![2.0f64, 4.0, 5.0]),
+    ) {
+        let layout = Layout::linear(data.len());
+        let codec = climate_compress::codecs::apax::Apax::fixed_rate(rate);
+        use climate_compress::codecs::Codec;
+        let bytes = codec.compress(&data, layout);
+        // Within one block of the exact target (trailing-block floor).
+        let target = (data.len() as f64 * 4.0 / rate).ceil();
+        prop_assert!(
+            (bytes.len() as f64 - target).abs() <= 64.0 + target * 0.02,
+            "{} bytes vs target {}", bytes.len(), target
+        );
+        let back = codec.decompress(&bytes, layout).unwrap();
+        prop_assert_eq!(back.len(), data.len());
+    }
+
+    #[test]
+    fn grib2_bounds_absolute_error(
+        data in prop::collection::vec(-1.0e3f32..1.0e3f32, 16..1024),
+        d in 0i32..3,
+    ) {
+        let layout = Layout::linear(data.len());
+        let codec = Variant::Grib2 { decimal_scale: Some(d) }.codec();
+        let bytes = codec.compress(&data, layout);
+        let back = codec.decompress(&bytes, layout).unwrap();
+        let bound = 0.5 * 10f64.powi(-d) + 1e-3;
+        for (&a, &b) in data.iter().zip(&back) {
+            prop_assert!(((a - b) as f64).abs() <= bound, "{} -> {}", a, b);
+        }
+    }
+
+    #[test]
+    fn container_roundtrips_any_f32_variable(data in field_strategy(4096)) {
+        let mut ds = Dataset::new();
+        let dim = ds.add_dim("n", data.len());
+        let v = ds.def_var("x", DType::F32, &[dim], FilterPipeline::shuffle_deflate()).unwrap();
+        ds.put_f32(v, &data).unwrap();
+        let back = Dataset::from_bytes(&ds.to_bytes()).unwrap();
+        prop_assert_eq!(back.get_f32(v).unwrap(), data);
+    }
+
+    #[test]
+    fn error_metrics_are_scale_invariant(
+        data in prop::collection::vec(-1.0e3f32..1.0e3f32, 16..512),
+        scale in 1.0e-3f64..1.0e3f64,
+    ) {
+        // NRMSE/e_nmax/rho are invariant under uniform scaling of both
+        // fields (they normalize by the range).
+        let recon: Vec<f32> = data.iter().map(|&v| v + 0.1).collect();
+        if let Some(m1) = ErrorMetrics::compare(&data, &recon) {
+            let sd: Vec<f32> = data.iter().map(|&v| (v as f64 * scale) as f32).collect();
+            let sr: Vec<f32> = recon.iter().map(|&v| (v as f64 * scale) as f32).collect();
+            if let Some(m2) = ErrorMetrics::compare(&sd, &sr) {
+                prop_assert!((m1.nrmse - m2.nrmse).abs() < 1e-2 * m1.nrmse.max(1e-9),
+                    "{} vs {}", m1.nrmse, m2.nrmse);
+                prop_assert!((m1.e_nmax - m2.e_nmax).abs() < 1e-2 * m1.e_nmax.max(1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn rmsz_leave_one_out_identity(
+        n_members in 4usize..12,
+        npts in 8usize..64,
+        seed in any::<u32>(),
+    ) {
+        // Streaming leave-one-out RMSZ equals a naive recomputation.
+        use climate_compress::pvt::EnsembleStats;
+        let field = |m: usize, p: usize| -> f32 {
+            let h = (m.wrapping_mul(2654435761) ^ p.wrapping_mul(40503) ^ seed as usize)
+                .wrapping_mul(2246822519);
+            ((h % 10_000) as f32) / 100.0
+        };
+        let mut stats = EnsembleStats::new(npts);
+        for m in 0..n_members {
+            let data: Vec<f32> = (0..npts).map(|p| field(m, p)).collect();
+            stats.add_member(&data);
+        }
+        let m0: Vec<f32> = (0..npts).map(|p| field(0, p)).collect();
+        if let Some(fast) = stats.rmsz_excluding(&m0, &m0) {
+            let mut acc = 0.0f64;
+            let mut cnt = 0usize;
+            for p in 0..npts {
+                let others: Vec<f64> =
+                    (1..n_members).map(|m| field(m, p) as f64).collect();
+                let mean = others.iter().sum::<f64>() / others.len() as f64;
+                let var = others.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+                    / others.len() as f64;
+                if var.sqrt() < climate_compress::pvt::MIN_SIGMA {
+                    continue;
+                }
+                let z = (m0[p] as f64 - mean) / var.sqrt();
+                acc += z * z;
+                cnt += 1;
+            }
+            if cnt > 0 {
+                let naive = (acc / cnt as f64).sqrt();
+                prop_assert!((fast - naive).abs() < 1e-6 * naive.max(1.0),
+                    "fast {} vs naive {}", fast, naive);
+            }
+        }
+    }
+}
