@@ -400,7 +400,7 @@ impl Runner {
         );
         let row = |label: &str, f: &dyn Fn(&HybridResult) -> String| -> Vec<String> {
             let mut r = vec![label.to_string()];
-            r.extend(hybrids.iter().map(|h| f(h)));
+            r.extend(hybrids.iter().map(f));
             r
         };
         t7.row(row("avg. CR", &|h| cr_fmt(h.cr_stats().0)));

@@ -1,0 +1,143 @@
+//! Deterministic corrupt-stream generators for decode-robustness testing.
+//!
+//! The fault-injection harness (`tests/fault_injection.rs` in the root
+//! package) feeds every decode path in the workspace with streams damaged
+//! four ways: truncation prefixes, seeded bit flips, seeded byte
+//! overwrites, and pure random bytes. All generators are deterministic in
+//! their seed so a failing case reproduces from the test name alone.
+
+/// SplitMix64: tiny, seedable, high-quality enough for fault fuzzing.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded generator; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound.max(1) as u64) as usize
+    }
+}
+
+/// Evenly sampled truncation prefixes of `stream`, never including the
+/// full stream itself. At most `max` prefixes; when the stream is short
+/// every proper prefix (including the empty one) is returned.
+pub fn truncations(stream: &[u8], max: usize) -> Vec<Vec<u8>> {
+    let n = stream.len();
+    if n <= max {
+        return (0..n).map(|cut| stream[..cut].to_vec()).collect();
+    }
+    (0..max)
+        .map(|i| {
+            let cut = i * n / max;
+            stream[..cut].to_vec()
+        })
+        .collect()
+}
+
+/// `count` copies of `stream`, each with 1..=3 seeded random bit flips.
+pub fn bit_flips(stream: &[u8], count: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SplitMix64::new(seed);
+    (0..count)
+        .map(|_| {
+            let mut s = stream.to_vec();
+            if !s.is_empty() {
+                for _ in 0..1 + rng.below(3) {
+                    let byte = rng.below(s.len());
+                    let bit = rng.below(8);
+                    s[byte] ^= 1 << bit;
+                }
+            }
+            s
+        })
+        .collect()
+}
+
+/// `count` copies of `stream`, each with 1..=8 seeded random byte
+/// overwrites (fresh random values, not just flips).
+pub fn byte_mutations(stream: &[u8], count: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SplitMix64::new(seed ^ 0xB17E_5EED);
+    (0..count)
+        .map(|_| {
+            let mut s = stream.to_vec();
+            if !s.is_empty() {
+                for _ in 0..1 + rng.below(8) {
+                    let at = rng.below(s.len());
+                    s[at] = rng.next_u64() as u8;
+                }
+            }
+            s
+        })
+        .collect()
+}
+
+/// `count` streams of pure random bytes with lengths in `0..max_len`.
+pub fn random_streams(count: usize, max_len: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SplitMix64::new(seed ^ 0x5EED_F00D);
+    (0..count)
+        .map(|_| {
+            let len = rng.below(max_len.max(1));
+            (0..len).map(|_| rng.next_u64() as u8).collect()
+        })
+        .collect()
+}
+
+/// The full corpus the harness runs against one valid `stream`:
+/// truncations, bit flips, byte overwrites, and random bytes, sized so
+/// every decode path sees at least a thousand damaged streams.
+pub fn corpus(stream: &[u8], seed: u64) -> Vec<Vec<u8>> {
+    let mut all = truncations(stream, 400);
+    all.extend(bit_flips(stream, 400, seed));
+    all.extend(byte_mutations(stream, 200, seed));
+    all.extend(random_streams(100, stream.len().max(64), seed));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let stream = vec![1u8, 2, 3, 4, 5, 6, 7, 8];
+        assert_eq!(bit_flips(&stream, 5, 42), bit_flips(&stream, 5, 42));
+        assert_eq!(byte_mutations(&stream, 5, 42), byte_mutations(&stream, 5, 42));
+        assert_eq!(random_streams(5, 32, 42), random_streams(5, 32, 42));
+    }
+
+    #[test]
+    fn truncations_cover_short_streams_exactly() {
+        let stream = vec![9u8; 10];
+        let t = truncations(&stream, 400);
+        assert_eq!(t.len(), 10);
+        assert!(t.iter().enumerate().all(|(i, s)| s.len() == i));
+    }
+
+    #[test]
+    fn truncations_sample_long_streams() {
+        let stream = vec![9u8; 5000];
+        let t = truncations(&stream, 400);
+        assert_eq!(t.len(), 400);
+        assert!(t.iter().all(|s| s.len() < 5000));
+    }
+
+    #[test]
+    fn corpus_is_at_least_a_thousand() {
+        let stream = vec![7u8; 2048];
+        assert!(corpus(&stream, 1).len() >= 1000);
+    }
+}

@@ -101,10 +101,13 @@ fn choose_derivative(q: &[i64]) -> u32 {
     }
 }
 
-fn apply_derivative(q: &mut Vec<i64>, order: u32) {
+// Differencing and its inverse wrap: corrupt streams can decode mantissas
+// near the i64 extremes, and wrapping keeps the pair exactly inverse while
+// never trapping on overflow.
+fn apply_derivative(q: &mut [i64], order: u32) {
     for _ in 0..order {
         for i in (1..q.len()).rev() {
-            q[i] -= q[i - 1];
+            q[i] = q[i].wrapping_sub(q[i - 1]);
         }
     }
 }
@@ -112,7 +115,7 @@ fn apply_derivative(q: &mut Vec<i64>, order: u32) {
 fn integrate(q: &mut [i64], order: u32) {
     for _ in 0..order {
         for i in 1..q.len() {
-            q[i] += q[i - 1];
+            q[i] = q[i].wrapping_add(q[i - 1]);
         }
     }
 }
@@ -283,7 +286,7 @@ impl Apax {
             _ => {
                 // Uniform-width packing (after verbatim warm-ups) for
                 // lossless / fixed-quality modes.
-                let width = bits_needed(&filtered[order..]).max(1).min(56);
+                let width = bits_needed(&filtered[order..]).clamp(1, 56);
                 w.write_bits(width as u64, 6);
                 for &v in &filtered[..order] {
                     w.write_bits(zigzag(v), WARMUP_BITS as u32);
@@ -395,14 +398,18 @@ impl Codec for Apax {
 
     fn compress(&self, data: &[f32], layout: Layout) -> Vec<u8> {
         assert_eq!(data.len(), layout.len(), "data length must match layout");
+        let mut out = Vec::new();
+        crate::write_layout_header(&mut out, layout);
         let mut w = BitWriter::new();
         for block in data.chunks(BLOCK) {
             self.compress_block(block, &mut w);
         }
-        w.finish()
+        out.extend(w.finish());
+        out
     }
 
     fn decompress(&self, bytes: &[u8], layout: Layout) -> Result<Vec<f32>, CodecError> {
+        let bytes = crate::check_layout_header(bytes, layout)?;
         let n = layout.len();
         let mut r = BitReader::new(bytes);
         let mut out = Vec::with_capacity(n);

@@ -159,6 +159,8 @@ impl Codec for Fpzip {
             residuals.push(zigzag(r >> drop));
         }
 
+        let mut out = Vec::new();
+        crate::write_layout_header(&mut out, layout);
         match self.entropy {
             Entropy::Rice => {
                 let mut w = BitWriter::new();
@@ -171,13 +173,14 @@ impl Codec for Fpzip {
                         w.write_rice(r, k);
                     }
                 }
-                w.finish()
+                out.extend(w.finish());
+                out
             }
             Entropy::Range => {
                 // Adaptive coding of (bit-length, low bits): the length
                 // tree learns the residual distribution; the low bits are
                 // near-uniform and go in directly.
-                let mut out = vec![self.precision, 1u8];
+                out.extend([self.precision, 1u8]);
                 let mut enc = cc_lossless::range::RangeEncoder::new();
                 let mut len_tree = cc_lossless::range::BitTree::new(6);
                 for &r in &residuals {
@@ -195,6 +198,7 @@ impl Codec for Fpzip {
     }
 
     fn decompress(&self, bytes: &[u8], layout: Layout) -> Result<Vec<f32>, CodecError> {
+        let bytes = crate::check_layout_header(bytes, layout)?;
         if bytes.len() < 2 {
             return Err(CodecError::Corrupt("truncated fpzip header"));
         }
@@ -210,6 +214,12 @@ impl Codec for Fpzip {
 
         // Reconstruct from a residual source shared by both entropy paths.
         let reconstruct = |i: usize, zz: u64, ints: &mut [u32]| -> Result<(), CodecError> {
+            // Honest residuals fit 35 bits zigzagged (difference of u32s
+            // against a 3-term Lorenzo prediction); anything bigger is
+            // corrupt and would overflow the shift below.
+            if zz > 1u64 << 36 {
+                return Err(CodecError::Corrupt("residual out of range"));
+            }
             let res = unzigzag(zz) << drop;
             let lev = i / npts;
             let p = i % npts;

@@ -22,7 +22,7 @@ impl Fpzip64 {
     /// Create with `precision ∈ {8, 16, ..., 64}`.
     pub fn new(precision: u8) -> Self {
         assert!(
-            precision % 8 == 0 && (8..=64).contains(&precision),
+            precision.is_multiple_of(8) && (8..=64).contains(&precision),
             "fpzip64 precision must be a multiple of 8 in 8..=64, got {precision}"
         );
         Fpzip64 { precision }

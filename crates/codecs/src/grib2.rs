@@ -154,6 +154,9 @@ impl Codec for Grib2 {
     fn compress(&self, data: &[f32], layout: Layout) -> Vec<u8> {
         assert_eq!(data.len(), layout.len(), "data length must match layout");
         let (npts, rows, cols) = (layout.npts, layout.rows, layout.cols);
+        assert!(rows * cols >= npts, "2-D embedding smaller than point list");
+        let mut out = Vec::new();
+        crate::write_layout_header(&mut out, layout);
         let mut w = BitWriter::new();
         for lev in 0..layout.nlev {
             let level = &data[lev * npts..(lev + 1) * npts];
@@ -204,12 +207,16 @@ impl Codec for Grib2 {
                 }
                 Packing::ComplexDiff => {
                     // Second-order differences along the scan order
-                    // (template 5.3's spatial differencing).
+                    // (template 5.3's spatial differencing). Wrapping, so
+                    // the inverse integration can wrap identically on
+                    // corrupt-stream extremes without trapping.
                     for i in (2..field.len()).rev() {
-                        field[i] = field[i] - 2 * field[i - 1] + field[i - 2];
+                        field[i] = field[i]
+                            .wrapping_sub(field[i - 1].wrapping_mul(2))
+                            .wrapping_add(field[i - 2]);
                     }
                     if field.len() >= 2 {
-                        let d1 = field[1] - field[0];
+                        let d1 = field[1].wrapping_sub(field[0]);
                         field[1] = d1;
                     }
                 }
@@ -223,11 +230,16 @@ impl Codec for Grib2 {
                 }
             }
         }
-        w.finish()
+        out.extend(w.finish());
+        out
     }
 
     fn decompress(&self, bytes: &[u8], layout: Layout) -> Result<Vec<f32>, CodecError> {
+        let bytes = crate::check_layout_header(bytes, layout)?;
         let (npts, rows, cols) = (layout.npts, layout.rows, layout.cols);
+        if rows.checked_mul(cols).is_none_or(|rc| rc < npts) {
+            return Err(CodecError::LayoutMismatch);
+        }
         let mut r = BitReader::new(bytes);
         let mut out = Vec::with_capacity(layout.len());
         for _lev in 0..layout.nlev {
@@ -274,10 +286,12 @@ impl Codec for Grib2 {
                 }
                 Packing::ComplexDiff => {
                     if field.len() >= 2 {
-                        field[1] += field[0];
+                        field[1] = field[1].wrapping_add(field[0]);
                     }
                     for i in 2..field.len() {
-                        let v = field[i] + 2 * field[i - 1] - field[i - 2];
+                        let v = field[i]
+                            .wrapping_add(field[i - 1].wrapping_mul(2))
+                            .wrapping_sub(field[i - 2]);
                         field[i] = v;
                     }
                 }

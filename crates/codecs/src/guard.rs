@@ -58,8 +58,16 @@ fn write_bitmap(w: &mut BitWriter, mask: &[bool]) {
 fn read_bitmap(r: &mut BitReader<'_>, n: usize) -> Result<Vec<bool>, CodecError> {
     let mut mask = Vec::with_capacity(n);
     let mut state = false;
+    let mut first = true;
     while mask.len() < n {
         let run = r.read_rice(6)? as usize;
+        // The encoder only ever emits a zero-length run first (when the
+        // mask starts in the special state); anywhere else it is corrupt
+        // framing that would stall the decode without progress.
+        if run == 0 && !first {
+            return Err(CodecError::Corrupt("zero-length bitmap run"));
+        }
+        first = false;
         if run > n - mask.len() {
             return Err(CodecError::Corrupt("bitmap run overflows field"));
         }
@@ -223,6 +231,54 @@ mod tests {
         let bytes = w.finish();
         let mut r = BitReader::new(&bytes);
         assert_eq!(read_bitmap(&mut r, mask.len()).unwrap(), mask);
+    }
+
+    #[test]
+    fn bitmap_leading_zero_run_allowed() {
+        // A mask that starts special begins with a legitimate zero-length
+        // "not special" run.
+        let mask: Vec<bool> = (0..64).map(|i| i < 10).collect();
+        let mut w = BitWriter::new();
+        write_bitmap(&mut w, &mask);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(read_bitmap(&mut r, mask.len()).unwrap(), mask);
+    }
+
+    #[test]
+    fn bitmap_zero_run_mid_stream_rejected() {
+        let mut w = BitWriter::new();
+        w.write_rice(3, 6); // 3 not-special
+        w.write_rice(0, 6); // zero-length run: corrupt, makes no progress
+        w.write_rice(7, 6);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert!(matches!(
+            read_bitmap(&mut r, 10),
+            Err(CodecError::Corrupt("zero-length bitmap run"))
+        ));
+    }
+
+    #[test]
+    fn bitmap_run_overflowing_field_rejected() {
+        let mut w = BitWriter::new();
+        w.write_rice(1000, 6);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert!(matches!(
+            read_bitmap(&mut r, 10),
+            Err(CodecError::Corrupt("bitmap run overflows field"))
+        ));
+    }
+
+    #[test]
+    fn bitmap_truncated_rice_code_rejected() {
+        // An all-ones buffer never terminates a Rice quotient; the reader
+        // must hit end-of-input and error rather than spin or panic.
+        for bytes in [&[][..], &[0xFF, 0xFF][..]] {
+            let mut r = BitReader::new(bytes);
+            assert!(matches!(read_bitmap(&mut r, 10), Err(CodecError::Bits(_))));
+        }
     }
 
     #[test]

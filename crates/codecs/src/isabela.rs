@@ -183,7 +183,7 @@ impl Isabela {
             order.push(i);
         }
         let ncoeff = r.read_bits(8)? as usize;
-        if ncoeff < 4 || ncoeff > 255 {
+        if !(4..=255).contains(&ncoeff) {
             return Err(CodecError::Corrupt("bad coefficient count"));
         }
         let mut coeffs = Vec::with_capacity(ncoeff);
@@ -230,6 +230,7 @@ impl Isabela {
         layout: Layout,
         window_idx: usize,
     ) -> Result<Vec<f32>, CodecError> {
+        let bytes = crate::check_layout_header(bytes, layout)?;
         let n_total = layout.len();
         let n_windows = n_total.div_ceil(WINDOW);
         if window_idx >= n_windows {
@@ -463,6 +464,8 @@ impl Codec for Isabela {
             blocks.push(w.finish());
         }
         let mut out = Vec::new();
+        crate::write_layout_header(&mut out, layout);
+        // Window offsets are relative to the start of the post-header body.
         out.extend_from_slice(&(n_windows as u32).to_le_bytes());
         let mut off = 4 + 4 * n_windows;
         for b in &blocks {

@@ -141,12 +141,48 @@ pub trait Codec: Send + Sync {
 /// Convenience: compress, measure, reconstruct in one call.
 /// Returns `(reconstructed, compressed_len)`.
 pub fn roundtrip(codec: &dyn Codec, data: &[f32], layout: Layout) -> (Vec<f32>, usize) {
+    try_roundtrip(codec, data, layout).expect("roundtrip of freshly compressed data")
+}
+
+/// Fallible sibling of [`roundtrip`]: compress then decompress, surfacing
+/// the decode error instead of panicking. Returns `(reconstructed,
+/// compressed_len)`.
+pub fn try_roundtrip(
+    codec: &dyn Codec,
+    data: &[f32],
+    layout: Layout,
+) -> Result<(Vec<f32>, usize), CodecError> {
     let bytes = codec.compress(data, layout);
     let n = bytes.len();
-    let back = codec
-        .decompress(&bytes, layout)
-        .expect("roundtrip of freshly compressed data");
-    (back, n)
+    Ok((codec.decompress(&bytes, layout)?, n))
+}
+
+/// Byte length of the layout echo every codec stream starts with.
+pub const LAYOUT_HEADER_LEN: usize = 16;
+
+/// Write the 16-byte layout echo (`nlev`, `npts`, `rows`, `cols` as
+/// little-endian u32) that prefixes every codec stream, letting decoders
+/// verify the stream was produced for the layout they were handed.
+pub fn write_layout_header(out: &mut Vec<u8>, layout: Layout) {
+    for v in [layout.nlev, layout.npts, layout.rows, layout.cols] {
+        out.extend_from_slice(&(v as u32).to_le_bytes());
+    }
+}
+
+/// Strip and validate the layout echo written by [`write_layout_header`],
+/// returning the stream body. A short prefix is [`CodecError::Corrupt`];
+/// a well-formed echo for a different layout is
+/// [`CodecError::LayoutMismatch`].
+pub fn check_layout_header(bytes: &[u8], layout: Layout) -> Result<&[u8], CodecError> {
+    if bytes.len() < LAYOUT_HEADER_LEN {
+        return Err(CodecError::Corrupt("truncated layout header"));
+    }
+    let rd = |i: usize| u32::from_le_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]]);
+    let want = [layout.nlev as u32, layout.npts as u32, layout.rows as u32, layout.cols as u32];
+    if [rd(0), rd(4), rd(8), rd(12)] != want {
+        return Err(CodecError::LayoutMismatch);
+    }
+    Ok(&bytes[LAYOUT_HEADER_LEN..])
 }
 
 #[cfg(test)]

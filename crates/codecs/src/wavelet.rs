@@ -19,18 +19,21 @@ pub fn fwd53_1d(data: &mut [i64], scratch: &mut Vec<i64>) {
     scratch.clear();
     scratch.resize(n, 0);
     // Predict: d[i] = odd[i] − floor((even[i] + even[i+1]) / 2)
+    // All lifting arithmetic wraps: corrupt streams can feed coefficients
+    // near the i64 extremes, and a wrapped forward/inverse pair computes
+    // identical intermediate terms, so exact invertibility survives.
     for i in 0..n / 2 {
         let odd = data[2 * i + 1];
         let left = data[2 * i];
         let right = if 2 * i + 2 < n { data[2 * i + 2] } else { left };
-        scratch[half + i] = odd - ((left + right) >> 1);
+        scratch[half + i] = odd.wrapping_sub(left.wrapping_add(right) >> 1);
     }
     // Update: s[i] = even[i] + floor((d[i-1] + d[i] + 2) / 4)
     for i in 0..half {
         let even = data[2 * i];
         let dl = if i > 0 { scratch[half + i - 1] } else if n / 2 > 0 { scratch[half] } else { 0 };
         let dr = if half + i < n { scratch[half + i] } else { dl };
-        scratch[i] = even + ((dl + dr + 2) >> 2);
+        scratch[i] = even.wrapping_add(dl.wrapping_add(dr).wrapping_add(2) >> 2);
     }
     data.copy_from_slice(scratch);
 }
@@ -45,16 +48,17 @@ pub fn inv53_1d(data: &mut [i64], scratch: &mut Vec<i64>) {
     scratch.clear();
     scratch.resize(n, 0);
     // Undo update: even[i] = s[i] − floor((d[i-1] + d[i] + 2) / 4)
+    // Wrapping mirrors of the forward steps — see fwd53_1d.
     for i in 0..half {
         let dl = if i > 0 { data[half + i - 1] } else if n / 2 > 0 { data[half] } else { 0 };
         let dr = if half + i < n { data[half + i] } else { dl };
-        scratch[2 * i] = data[i] - ((dl + dr + 2) >> 2);
+        scratch[2 * i] = data[i].wrapping_sub(dl.wrapping_add(dr).wrapping_add(2) >> 2);
     }
     // Undo predict: odd[i] = d[i] + floor((even[i] + even[i+1]) / 2)
     for i in 0..n / 2 {
         let left = scratch[2 * i];
         let right = if 2 * i + 2 < n { scratch[2 * i + 2] } else { left };
-        scratch[2 * i + 1] = data[half + i] + ((left + right) >> 1);
+        scratch[2 * i + 1] = data[half + i].wrapping_add(left.wrapping_add(right) >> 1);
     }
     data.copy_from_slice(scratch);
 }

@@ -1,0 +1,99 @@
+//! Wrong-layout regression tests: decoding any paper variant's stream
+//! under a layout other than the one it was compressed for must return
+//! `CodecError::LayoutMismatch` — not garbage data and not a panic.
+
+use cc_codecs::{try_roundtrip, CodecError, Layout, Variant};
+
+fn smooth_field(npts: usize, nlev: usize) -> (Vec<f32>, Layout) {
+    let linear = Layout::linear(npts);
+    let layout = Layout { nlev, npts, rows: linear.rows, cols: linear.cols };
+    let mut data = Vec::with_capacity(layout.len());
+    for lev in 0..nlev {
+        for p in 0..npts {
+            let x = p as f32 / npts as f32;
+            data.push(250.0 + 20.0 * (7.1 * x).sin() + lev as f32);
+        }
+    }
+    (data, layout)
+}
+
+fn all_variants() -> Vec<Variant> {
+    let mut v = Variant::paper_set();
+    v.push(Variant::NetCdf4);
+    v
+}
+
+#[test]
+fn different_length_layout_is_layout_mismatch() {
+    let (data, layout) = smooth_field(1500, 2);
+    for variant in all_variants() {
+        let codec = variant.codec();
+        let stream = codec.compress(&data, layout);
+        let wrong = Layout::linear(data.len() + 128);
+        assert!(
+            matches!(codec.decompress(&stream, wrong), Err(CodecError::LayoutMismatch)),
+            "{} must reject a wrong-length layout",
+            variant.name()
+        );
+    }
+}
+
+#[test]
+fn different_shape_same_length_is_layout_mismatch() {
+    // Same number of values, different (nlev, npts) split: without a
+    // layout echo this decodes to silently-transposed garbage.
+    let (data, layout) = smooth_field(1500, 2);
+    for variant in Variant::paper_set() {
+        let codec = variant.codec();
+        let stream = codec.compress(&data, layout);
+        let linear = Layout::linear(3000);
+        let wrong = Layout { nlev: 1, npts: 3000, rows: linear.rows, cols: linear.cols };
+        assert_eq!(wrong.len(), layout.len());
+        assert!(
+            matches!(codec.decompress(&stream, wrong), Err(CodecError::LayoutMismatch)),
+            "{} must reject a reshaped layout",
+            variant.name()
+        );
+    }
+}
+
+#[test]
+fn swapped_embedding_is_layout_mismatch() {
+    // 1300 points embed as 36×37, so swapping rows/cols actually changes
+    // the layout (a square embedding would make this test vacuous).
+    let (data, layout) = smooth_field(1300, 2);
+    assert_ne!(layout.rows, layout.cols, "need a non-square embedding");
+    for variant in Variant::paper_set() {
+        let codec = variant.codec();
+        let stream = codec.compress(&data, layout);
+        let wrong = Layout { rows: layout.cols, cols: layout.rows, ..layout };
+        assert!(
+            matches!(codec.decompress(&stream, wrong), Err(CodecError::LayoutMismatch)),
+            "{} must reject a transposed embedding",
+            variant.name()
+        );
+    }
+}
+
+#[test]
+fn matching_layout_still_roundtrips() {
+    let (data, layout) = smooth_field(1500, 2);
+    for variant in all_variants() {
+        let codec = variant.codec();
+        let (back, n) = try_roundtrip(codec.as_ref(), &data, layout)
+            .unwrap_or_else(|e| panic!("{}: {e}", variant.name()));
+        assert_eq!(back.len(), data.len(), "{}", variant.name());
+        assert!(n > 0);
+    }
+}
+
+#[test]
+fn try_roundtrip_surfaces_decode_errors() {
+    // A codec pair mismatch (stream from one precision decoded by
+    // another) must come back as Err, not a panic.
+    use cc_codecs::{fpzip::Fpzip, Codec};
+    let (data, layout) = smooth_field(500, 1);
+    let bytes = Fpzip::new(16).compress(&data, layout);
+    assert!(Fpzip::new(24).decompress(&bytes, layout).is_err());
+    assert!(try_roundtrip(&Fpzip::new(16), &data, layout).is_ok());
+}

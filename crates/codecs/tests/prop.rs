@@ -14,9 +14,9 @@ use proptest::prelude::*;
 fn finite_field(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
     prop::collection::vec(
         prop_oneof![
-            6 => (-1.0e5f32..1.0e5f32),
-            2 => (-1.0f32..1.0f32),
-            1 => (1.0e-12f32..1.0e-8f32),
+            6 => -1.0e5f32..1.0e5f32,
+            2 => -1.0f32..1.0f32,
+            1 => 1.0e-12f32..1.0e-8f32,
             1 => Just(0.0f32),
         ],
         1..max_len,

@@ -13,7 +13,7 @@ pub fn gll_nodes(np: usize) -> Vec<f64> {
     nodes[0] = -1.0;
     nodes[n] = 1.0;
     // Interior nodes: roots of P'_n. Chebyshev-Gauss-Lobatto initial guess.
-    for k in 1..n {
+    for (k, node) in nodes.iter_mut().enumerate().take(n).skip(1) {
         let mut x = -(std::f64::consts::PI * k as f64 / n as f64).cos();
         for _ in 0..100 {
             let (_p, dp, ddp) = legendre_with_derivs(n, x);
@@ -23,7 +23,7 @@ pub fn gll_nodes(np: usize) -> Vec<f64> {
                 break;
             }
         }
-        nodes[k] = x;
+        *node = x;
     }
     nodes
 }

@@ -368,8 +368,8 @@ mod tests {
         let g = Grid::build(Resolution::reduced(2, 4));
         let mut field = vec![1.0f32; g.len()];
         // Poison half the points; mask them out.
-        for i in 0..g.len() / 2 {
-            field[i] = 1e35;
+        for v in &mut field[..g.len() / 2] {
+            *v = 1e35;
         }
         let m = g.weighted_mean(&field, |i| i >= g.len() / 2);
         assert!((m - 1.0).abs() < 1e-12);

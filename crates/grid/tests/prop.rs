@@ -24,7 +24,7 @@ proptest! {
     #[test]
     fn nearest_returns_closest_in_window(
         lat in -1.4f64..1.4,
-        lon in 0.0f64..6.28,
+        lon in 0.0f64..std::f64::consts::TAU,
     ) {
         let g = Grid::build(Resolution::reduced(3, 2));
         let i = g.nearest(lat, lon);

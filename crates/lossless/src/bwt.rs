@@ -41,10 +41,15 @@ pub fn bwt_decompress(bytes: &[u8]) -> Result<Vec<u8>, Error> {
     let lo = r.read_bits(32)?;
     let hi = r.read_bits(32)?;
     let total = (lo | (hi << 32)) as usize;
-    if total > (1usize << 40) {
-        return Err(Error::Corrupt("implausible length"));
+    // Each block emits at most BLOCK_SIZE bytes and costs at least its
+    // ~130-byte Huffman-length table, bounding honest expansion well
+    // under 4096x; reject bigger declared lengths before allocating.
+    if total > bytes.len().saturating_mul(4096) {
+        return Err(Error::Corrupt("declared length exceeds maximum expansion"));
     }
-    let mut out = Vec::with_capacity(total.min(1 << 26));
+    // Header-driven pre-allocation is capped at 16x the input; growth past
+    // that only follows actually-decoded content.
+    let mut out = Vec::with_capacity(total.min(bytes.len().saturating_mul(16)));
     while out.len() < total {
         let n = BLOCK_SIZE.min(total - out.len());
         decompress_block(&mut r, n, &mut out)?;
@@ -197,19 +202,22 @@ pub fn mtf_rle_decode(symbols: &[u16], out_len: usize) -> Result<Vec<u8>, Error>
     while i < symbols.len() {
         let s = symbols[i] as usize;
         if s == SYM_RUNA || s == SYM_RUNB {
-            // Collect the whole run group.
+            // Collect the whole run group. A corrupt stream can supply an
+            // arbitrarily long group, so the accumulators saturate (the
+            // bijective coding doubles `place` each symbol) and the bound
+            // check happens before any extension.
             let mut run = 0usize;
             let mut place = 1usize;
             while i < symbols.len() {
                 match symbols[i] as usize {
-                    SYM_RUNA => run += place,
-                    SYM_RUNB => run += 2 * place,
+                    SYM_RUNA => run = run.saturating_add(place),
+                    SYM_RUNB => run = run.saturating_add(place.saturating_mul(2)),
                     _ => break,
                 }
-                place <<= 1;
+                place = place.saturating_mul(2);
                 i += 1;
             }
-            if out.len() + run > out_len {
+            if run > out_len.saturating_sub(out.len()) {
                 return Err(Error::Corrupt("run overflows block"));
             }
             let b = table[0];
@@ -218,6 +226,9 @@ pub fn mtf_rle_decode(symbols: &[u16], out_len: usize) -> Result<Vec<u8>, Error>
             let mtf = s - 1;
             if mtf > 255 {
                 return Err(Error::Corrupt("bad MTF symbol"));
+            }
+            if out.len() >= out_len {
+                return Err(Error::Corrupt("literal overflows block"));
             }
             let b = table[mtf];
             table.copy_within(0..mtf, 1);

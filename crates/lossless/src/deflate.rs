@@ -189,11 +189,15 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, Error> {
     let lo = r.read_bits(32)?;
     let hi = r.read_bits(32)?;
     let total = (lo | (hi << 32)) as usize;
-    // Refuse absurd headers before allocating.
-    if total > (1usize << 40) {
-        return Err(Error::Corrupt("implausible uncompressed length"));
+    // Refuse absurd headers before allocating: a Huffman match token costs
+    // at least one bit and emits at most 258 bytes, so no honest stream
+    // expands beyond 258 bytes per input bit (2064 per byte).
+    if total > data.len().saturating_mul(2064) {
+        return Err(Error::Corrupt("declared length exceeds maximum expansion"));
     }
-    let mut out: Vec<u8> = Vec::with_capacity(total.min(1 << 26));
+    // Pre-allocation from the (still untrusted) header is capped at 16x
+    // the input; growth past that only follows actually-decoded content.
+    let mut out: Vec<u8> = Vec::with_capacity(total.min(data.len().saturating_mul(16)));
 
     loop {
         let is_final = r.read_bit()?;

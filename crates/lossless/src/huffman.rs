@@ -15,7 +15,7 @@ pub const MAX_CODE_LEN: u32 = 15;
 /// Compute length-limited Huffman code lengths for `freqs` (zero frequency →
 /// zero length, i.e. symbol absent). Lengths never exceed `max_len`.
 pub fn code_lengths(freqs: &[u64], max_len: u32) -> Vec<u32> {
-    assert!(max_len >= 1 && max_len <= MAX_CODE_LEN);
+    assert!((1..=MAX_CODE_LEN).contains(&max_len));
     let n = freqs.len();
     let active: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
     let mut lengths = vec![0u32; n];

@@ -208,7 +208,7 @@ pub struct BitTree {
 impl BitTree {
     /// Tree over `2^bits` symbols.
     pub fn new(bits: u32) -> Self {
-        assert!(bits >= 1 && bits <= 16);
+        assert!((1..=16).contains(&bits));
         BitTree { bits, models: vec![BitModel::new(); 1 << bits] }
     }
 

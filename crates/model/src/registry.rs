@@ -174,6 +174,7 @@ const fn frac2(name: &'static str, pattern: Pattern, variability: f64, noise: f6
     spec(name, "fraction", VarDims::D2, Distribution::Fraction, pattern, Vertical::None, variability, noise, Mask::None)
 }
 
+#[allow(clippy::too_many_arguments)]
 const fn lin3(
     name: &'static str,
     units: &'static str,
@@ -187,6 +188,7 @@ const fn lin3(
     spec(name, units, VarDims::D3, Distribution::Linear { offset, amp }, pattern, vertical, variability, noise, Mask::None)
 }
 
+#[allow(clippy::too_many_arguments)]
 const fn log3(
     name: &'static str,
     units: &'static str,

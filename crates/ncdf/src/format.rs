@@ -22,11 +22,52 @@
 use crate::{
     AttrValue, Attribute, Chunk, DType, Dataset, Dimension, Error, FilterPipeline, Variable,
 };
-use bytes::{Buf, BufMut};
 use cc_lossless::Level;
 
 const MAGIC: &[u8; 4] = b"CCN1";
 const VERSION: u8 = 1;
+
+// Minimal little-endian writer helpers (the external `bytes` crate is not
+// in the offline dependency set).
+trait PutLe {
+    fn put_slice(&mut self, s: &[u8]);
+    fn put_u8(&mut self, v: u8);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_u64_le(&mut self, v: u64);
+    fn put_f64_le(&mut self, v: f64);
+    fn put_i64_le(&mut self, v: i64);
+}
+
+impl PutLe for Vec<u8> {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_f64_le(&mut self, v: f64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_i64_le(&mut self, v: i64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Take `n` leading bytes off `*buf`, or error on underrun.
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], Error> {
+    if buf.len() < n {
+        return Err(Error::Format("truncated"));
+    }
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    Ok(head)
+}
 
 /// Serialize `ds` to bytes.
 pub fn encode(ds: &Dataset) -> Vec<u8> {
@@ -69,15 +110,13 @@ pub fn encode(ds: &Dataset) -> Vec<u8> {
 /// Deserialize a dataset.
 pub fn decode(mut data: &[u8]) -> Result<Dataset, Error> {
     let buf = &mut data;
-    if buf.remaining() < 5 {
+    if buf.len() < 5 {
         return Err(Error::Format("truncated header"));
     }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    if take(buf, 4)? != MAGIC {
         return Err(Error::Format("bad magic"));
     }
-    if buf.get_u8() != VERSION {
+    if get_u8(buf)? != VERSION {
         return Err(Error::Format("unsupported version"));
     }
     let mut ds = Dataset::new();
@@ -123,16 +162,20 @@ pub fn decode(mut data: &[u8]) -> Result<Dataset, Error> {
         if nchunks > 1 << 24 {
             return Err(Error::Format("implausible chunk count"));
         }
+        // Every chunk record takes at least 20 header bytes, so the count
+        // cannot honestly exceed remaining/20: reject instead of
+        // pre-allocating 2^24 chunk headers from a corrupt count.
+        if nchunks > buf.len() / 20 {
+            return Err(Error::Format("chunk count exceeds remaining input"));
+        }
         let mut chunks = Vec::with_capacity(nchunks);
         for _ in 0..nchunks {
             let raw_len = get_u64(buf)? as usize;
             let crc = get_u32(buf)?;
             let plen = get_u64(buf)? as usize;
-            if buf.remaining() < plen {
-                return Err(Error::Format("truncated chunk payload"));
-            }
-            let mut payload = vec![0u8; plen];
-            buf.copy_to_slice(&mut payload);
+            let payload = take(buf, plen)
+                .map_err(|_| Error::Format("truncated chunk payload"))?
+                .to_vec();
             chunks.push(Chunk { payload, crc, raw_len });
         }
         ds.vars_mut().push(Variable {
@@ -174,33 +217,33 @@ fn put_attrs(out: &mut Vec<u8>, attrs: &[Attribute]) {
 }
 
 fn get_u8(buf: &mut &[u8]) -> Result<u8, Error> {
-    if buf.remaining() < 1 {
-        return Err(Error::Format("truncated"));
-    }
-    Ok(buf.get_u8())
+    Ok(take(buf, 1)?[0])
 }
 
 fn get_u32(buf: &mut &[u8]) -> Result<u32, Error> {
-    if buf.remaining() < 4 {
-        return Err(Error::Format("truncated"));
-    }
-    Ok(buf.get_u32_le())
+    let b = take(buf, 4)?;
+    Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
 }
 
 fn get_u64(buf: &mut &[u8]) -> Result<u64, Error> {
-    if buf.remaining() < 8 {
-        return Err(Error::Format("truncated"));
-    }
-    Ok(buf.get_u64_le())
+    let b = take(buf, 8)?;
+    Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+}
+
+fn get_f64(buf: &mut &[u8]) -> Result<f64, Error> {
+    Ok(f64::from_bits(get_u64(buf)?))
+}
+
+fn get_i64(buf: &mut &[u8]) -> Result<i64, Error> {
+    Ok(get_u64(buf)? as i64)
 }
 
 fn get_string(buf: &mut &[u8]) -> Result<String, Error> {
     let len = get_u32(buf)? as usize;
-    if len > 1 << 20 || buf.remaining() < len {
+    if len > 1 << 20 || buf.len() < len {
         return Err(Error::Format("bad string length"));
     }
-    let mut bytes = vec![0u8; len];
-    buf.copy_to_slice(&mut bytes);
+    let bytes = take(buf, len)?.to_vec();
     String::from_utf8(bytes).map_err(|_| Error::Format("invalid UTF-8 in string"))
 }
 
@@ -209,23 +252,18 @@ fn get_attrs(buf: &mut &[u8]) -> Result<Vec<Attribute>, Error> {
     if n > 1 << 16 {
         return Err(Error::Format("implausible attribute count"));
     }
+    // An attribute record is at least 9 bytes (name length + kind + the
+    // smallest value); don't pre-allocate beyond what the input can hold.
+    if n > buf.len() / 9 {
+        return Err(Error::Format("attribute count exceeds remaining input"));
+    }
     let mut attrs = Vec::with_capacity(n);
     for _ in 0..n {
         let name = get_string(buf)?;
         let value = match get_u8(buf)? {
             0 => AttrValue::Text(get_string(buf)?),
-            1 => {
-                if buf.remaining() < 8 {
-                    return Err(Error::Format("truncated"));
-                }
-                AttrValue::F64(buf.get_f64_le())
-            }
-            2 => {
-                if buf.remaining() < 8 {
-                    return Err(Error::Format("truncated"));
-                }
-                AttrValue::I64(buf.get_i64_le())
-            }
+            1 => AttrValue::F64(get_f64(buf)?),
+            2 => AttrValue::I64(get_i64(buf)?),
             _ => return Err(Error::Format("bad attribute kind")),
         };
         attrs.push(Attribute { name, value });
@@ -272,11 +310,8 @@ mod tests {
         let bytes = encode(&ds);
         for cut in 0..bytes.len() {
             // Must error or produce a dataset that errors on read; never panic.
-            match decode(&bytes[..cut]) {
-                Ok(back) => {
-                    let _ = back.get_f32(0);
-                }
-                Err(_) => {}
+            if let Ok(back) = decode(&bytes[..cut]) {
+                let _ = back.get_f32(0);
             }
         }
     }

@@ -329,7 +329,10 @@ impl Dataset {
         // The expected length comes from (possibly corrupted) metadata:
         // treat it as a hint, capped, never as a trusted allocation size.
         let expect = self.var_len(var).saturating_mul(v.dtype.size());
-        let mut out = Vec::with_capacity(expect.min(1 << 26));
+        // Pre-allocation is additionally capped at 16x the stored payload
+        // bytes; growth past that only follows actually-decoded chunks.
+        let avail: usize = v.chunks.iter().map(|c| c.payload.len()).sum();
+        let mut out = Vec::with_capacity(expect.min(avail.saturating_mul(16)).min(1 << 26));
         for (i, ch) in v.chunks.iter().enumerate() {
             if crc32(&ch.payload) != ch.crc {
                 return Err(Error::Checksum { var: v.name.clone(), chunk: i });
@@ -429,8 +432,10 @@ impl Dataset {
         }
         let v = &self.vars[var];
         let esize = 4usize;
-        // Capacity capped: `count` may trace back to corrupted metadata.
-        let mut out = Vec::with_capacity(count.min(1 << 24));
+        // Capacity capped: `count` may trace back to corrupted metadata,
+        // so bound it by what the stored payloads could possibly expand to.
+        let avail: usize = v.chunks.iter().map(|c| c.payload.len()).sum();
+        let mut out = Vec::with_capacity(count.min(avail.saturating_mul(16) / esize).min(1 << 24));
         let mut chunk_start_elem = 0usize;
         for (ci, ch) in v.chunks.iter().enumerate() {
             let chunk_elems = ch.raw_len / esize;

@@ -184,11 +184,10 @@ impl EnsembleStats {
             return None;
         }
         let mut emax = 0.0f64;
-        for p in 0..self.npts {
+        for (p, &v) in member_orig.iter().enumerate().take(self.npts) {
             if self.special[p] {
                 continue;
             }
-            let v = member_orig[p];
             // Extremes of {E \ m}: if v is the recorded extreme, fall back
             // to the second-best. (If v appears twice, using the second
             // value is still correct — the other copy belongs to another
@@ -422,7 +421,7 @@ mod tests {
 
         let mut acc = 0.0f64;
         let mut count = 0usize;
-        for p in 0..npts {
+        for (p, &vp) in fm.iter().enumerate().take(npts) {
             let others: Vec<f64> = (0..n)
                 .filter(|&k| k != m)
                 .map(|k| member_field(k, npts)[p] as f64)
@@ -433,7 +432,7 @@ mod tests {
             if var.sqrt() < MIN_SIGMA {
                 continue;
             }
-            let z = (fm[p] as f64 - mean) / var.sqrt();
+            let z = (vp as f64 - mean) / var.sqrt();
             acc += z * z;
             count += 1;
         }
@@ -477,12 +476,12 @@ mod tests {
         let fast = stats.enmax_excluding(&fm).unwrap();
 
         let mut emax = 0.0f64;
-        for p in 0..npts {
+        for (p, &vp) in fm.iter().enumerate().take(npts) {
             for k in 0..n {
                 if k == m {
                     continue;
                 }
-                let d = (fm[p] as f64 - member_field(k, npts)[p] as f64).abs();
+                let d = (vp as f64 - member_field(k, npts)[p] as f64).abs();
                 emax = emax.max(d);
             }
         }
@@ -566,7 +565,7 @@ mod tests {
     #[should_panic(expected = "at least 3 members")]
     fn rmsz_requires_enough_members() {
         let mut s = EnsembleStats::new(10);
-        s.add_member(&vec![0.0; 10]);
-        s.rmsz_excluding(&vec![0.0; 10], &vec![0.0; 10]);
+        s.add_member(&[0.0; 10]);
+        s.rmsz_excluding(&[0.0; 10], &[0.0; 10]);
     }
 }

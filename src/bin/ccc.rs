@@ -145,7 +145,7 @@ fn inspect(args: &[String]) {
         let cr = if raw > 0 { stored as f64 / raw as f64 } else { 1.0 };
         let units = ds
             .attr(Some(i), "units")
-            .map(|a| fmt_attr(a))
+            .map(fmt_attr)
             .unwrap_or_else(|| "-".into());
         println!(
             "  {:<12} {:?} [{}] {} -> {} bytes (CR {:.2})",

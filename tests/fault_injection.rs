@@ -1,0 +1,224 @@
+//! Corrupt-stream fault injection across every decode path in the
+//! workspace.
+//!
+//! For each decoder a valid stream is damaged four ways — truncation
+//! prefixes, seeded bit flips, seeded byte overwrites, and pure random
+//! bytes (`cc_bench::faults`) — and every damaged stream is decoded. The
+//! decode must be *total*: return `Ok` or `Err`, never panic, and never
+//! make a single allocation beyond 16× the larger of the input stream and
+//! the original uncompressed data (plus a 64 KiB floor for fixed decoder
+//! tables and block buffers). A custom global allocator records the peak
+//! single-allocation size to enforce the bound.
+
+use std::alloc::{GlobalAlloc, Layout as AllocLayout, System};
+use std::cell::Cell;
+use std::panic::AssertUnwindSafe;
+
+use cc_codecs::{Layout, Variant};
+
+// ---------------------------------------------------------------------------
+// Peak single-allocation tracker.
+// ---------------------------------------------------------------------------
+
+struct PeakAlloc;
+
+thread_local! {
+    // const-initialized so first access inside `alloc` cannot itself
+    // allocate (lazy TLS init would recurse into the allocator).
+    static PEAK: Cell<usize> = const { Cell::new(0) };
+}
+
+fn record(size: usize) {
+    // try_with: TLS may already be torn down during thread exit.
+    let _ = PEAK.try_with(|p| p.set(p.get().max(size)));
+}
+
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: AllocLayout) -> *mut u8 {
+        record(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: AllocLayout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: AllocLayout, new_size: usize) -> *mut u8 {
+        record(new_size);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: PeakAlloc = PeakAlloc;
+
+// ---------------------------------------------------------------------------
+// Harness core.
+// ---------------------------------------------------------------------------
+
+/// Run `decode` over the full damage corpus for `stream`, asserting
+/// totality and the allocation bound for every case. `base_bytes` is the
+/// size of the original uncompressed data, which legitimate decode output
+/// may approach regardless of how short a damaged input is.
+fn fuzz_decoder(path: &str, base_bytes: usize, stream: &[u8], decode: &dyn Fn(&[u8])) {
+    let seed = 0xC0FFEE ^ stream.len() as u64;
+    let cases = cc_bench::faults::corpus(stream, seed);
+    assert!(cases.len() >= 1000, "{path}: corpus too small ({})", cases.len());
+    for (i, case) in cases.iter().enumerate() {
+        PEAK.with(|p| p.set(0));
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| decode(case)));
+        let peak = PEAK.with(|p| p.get());
+        assert!(
+            outcome.is_ok(),
+            "{path}: case {i} (len {}) panicked instead of returning Err",
+            case.len()
+        );
+        let cap = 16 * case.len().max(base_bytes) + (64 << 10);
+        assert!(
+            peak <= cap,
+            "{path}: case {i} (len {}) made a {peak}-byte allocation (cap {cap})",
+            case.len()
+        );
+    }
+    // The pristine stream must still decode after the fuzz loop (guards
+    // against decoders with hidden global state).
+    decode(stream);
+}
+
+/// Smooth climate-like test field (same shape as the codec unit tests).
+fn smooth_field(npts: usize, nlev: usize) -> (Vec<f32>, Layout) {
+    let linear = Layout::linear(npts);
+    let layout = Layout { nlev, npts, rows: linear.rows, cols: linear.cols };
+    let mut data = Vec::with_capacity(layout.len());
+    for lev in 0..nlev {
+        for p in 0..npts {
+            let x = p as f32 / npts as f32;
+            let v = 240.0
+                + 30.0 * (6.3 * x).sin()
+                + 5.0 * (31.0 * x + lev as f32).cos()
+                + lev as f32 * 2.0;
+            data.push(v);
+        }
+    }
+    (data, layout)
+}
+
+fn fuzz_variant(variant: Variant) {
+    let (data, layout) = smooth_field(1500, 2);
+    let codec = variant.codec();
+    let stream = codec.compress(&data, layout);
+    let name = variant.name();
+    fuzz_decoder(&name, data.len() * 4, &stream, &|bytes| {
+        let _ = codec.decompress(bytes, layout);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// The ten Variant decode paths.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn grib2_decode_is_total() {
+    fuzz_variant(Variant::Grib2 { decimal_scale: None });
+}
+
+#[test]
+fn apax_decode_is_total() {
+    for rate in [2.0, 4.0, 5.0] {
+        fuzz_variant(Variant::Apax { rate });
+    }
+}
+
+#[test]
+fn fpzip_decode_is_total() {
+    for bits in [16u8, 24] {
+        fuzz_variant(Variant::Fpzip { bits });
+    }
+}
+
+#[test]
+fn isabela_decode_is_total() {
+    for rel_err in [0.001, 0.005, 0.01] {
+        fuzz_variant(Variant::Isabela { rel_err });
+    }
+}
+
+#[test]
+fn netcdf4_variant_decode_is_total() {
+    fuzz_variant(Variant::NetCdf4);
+}
+
+// ---------------------------------------------------------------------------
+// Raw cc-lossless entry points.
+// ---------------------------------------------------------------------------
+
+/// Mildly compressible byte payload for the lossless paths.
+fn byte_payload(n: usize) -> Vec<u8> {
+    (0..n).map(|i| (i / 64) as u8 ^ (i as u8 & 7)).collect()
+}
+
+#[test]
+fn deflate_decode_is_total() {
+    let payload = byte_payload(64 << 10);
+    let stream = cc_lossless::compress(&payload, cc_lossless::Level::Default);
+    fuzz_decoder("cc-lossless/deflate", payload.len(), &stream, &|bytes| {
+        let _ = cc_lossless::decompress(bytes);
+    });
+}
+
+#[test]
+fn bwt_decode_is_total() {
+    let payload = byte_payload(64 << 10);
+    let stream = cc_lossless::bwt_compress(&payload);
+    fuzz_decoder("cc-lossless/bwt", payload.len(), &stream, &|bytes| {
+        let _ = cc_lossless::bwt_decompress(bytes);
+    });
+}
+
+#[test]
+fn shuffled_f32_decode_is_total() {
+    let (data, _) = smooth_field(8192, 1);
+    let stream = cc_lossless::compress_f32_shuffled(&data, cc_lossless::Level::Default);
+    fuzz_decoder("cc-lossless/f32-shuffled", data.len() * 4, &stream, &|bytes| {
+        let _ = cc_lossless::decompress_f32_shuffled(bytes);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// cc-ncdf container decode.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn ncdf_dataset_decode_is_total() {
+    let mut ds = cc_ncdf::Dataset::new();
+    let (data, _) = smooth_field(4096, 1);
+    let d = ds.add_dim("ncol", data.len());
+    let v = ds
+        .def_var("t", cc_ncdf::DType::F32, &[d], cc_ncdf::FilterPipeline::shuffle_deflate())
+        .unwrap();
+    ds.put_attr_text(Some(v), "units", "K");
+    ds.put_f32(v, &data).unwrap();
+    let stream = ds.to_bytes();
+    fuzz_decoder("cc-ncdf/dataset", data.len() * 4, &stream, &|bytes| {
+        // Decoding the container AND reading the variable exercises the
+        // chunk CRC + filter-reversal paths on damaged payloads.
+        if let Ok(back) = cc_ncdf::Dataset::from_bytes(bytes) {
+            let _ = back.get_f32(0);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Standalone double-precision fpzip.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fpzip64_decode_is_total() {
+    let (data32, layout) = smooth_field(2048, 1);
+    let data: Vec<f64> = data32.iter().map(|&v| v as f64).collect();
+    let codec = cc_codecs::fpzip64::Fpzip64::lossless();
+    let stream = codec.compress(&data, layout);
+    fuzz_decoder("cc-codecs/fpzip64", data.len() * 8, &stream, &|bytes| {
+        let _ = codec.decompress(bytes, layout);
+    });
+}

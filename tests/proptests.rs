@@ -11,8 +11,8 @@ use proptest::prelude::*;
 fn field_strategy(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
     prop::collection::vec(
         prop_oneof![
-            8 => (-1.0e6f32..1.0e6f32),
-            1 => (1.0e-10f32..1.0e-6f32),
+            8 => -1.0e6f32..1.0e6f32,
+            1 => 1.0e-10f32..1.0e-6f32,
             1 => Just(1.0e35f32),
         ],
         2..max_len,
@@ -155,7 +155,7 @@ proptest! {
         if let Some(fast) = stats.rmsz_excluding(&m0, &m0) {
             let mut acc = 0.0f64;
             let mut cnt = 0usize;
-            for p in 0..npts {
+            for (p, &v0) in m0.iter().enumerate().take(npts) {
                 let others: Vec<f64> =
                     (1..n_members).map(|m| field(m, p) as f64).collect();
                 let mean = others.iter().sum::<f64>() / others.len() as f64;
@@ -164,7 +164,7 @@ proptest! {
                 if var.sqrt() < climate_compress::pvt::MIN_SIGMA {
                     continue;
                 }
-                let z = (m0[p] as f64 - mean) / var.sqrt();
+                let z = (v0 as f64 - mean) / var.sqrt();
                 acc += z * z;
                 cnt += 1;
             }

@@ -1,0 +1,605 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The container this workspace builds in has no access to crates.io, so
+//! this vendored crate supplies the subset of proptest's API that the
+//! workspace's property tests actually use: the `proptest!` macro, the
+//! `Strategy` trait over a deterministic PRNG, strategies for ranges,
+//! collections, tuples, weighted unions, sampling, and a character-class
+//! subset of regex string generation. There is no shrinking — a failing
+//! case reports the values that failed via the panic message of the
+//! underlying assertion.
+//!
+//! Determinism: every test function derives its PRNG seed from its own
+//! name, so failures reproduce across runs and machines.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Box a strategy, erasing its concrete type so heterogeneous arms of
+    /// `prop_oneof!` unify.
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u128() % span) as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    (lo as i128 + (rng.next_u128() % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let u = rng.next_f64();
+                    let v = self.start as f64 + u * (self.end as f64 - self.start as f64);
+                    // Clamp: rounding at the top of the range must not
+                    // escape a half-open interval.
+                    let v = v as $t;
+                    if v >= self.end { <$t>::from_bits(self.end.to_bits() - 1) } else { v }
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+
+    /// String strategy from a character-class regex subset. Supports
+    /// literal characters, `[a-z0-9_]` classes with ranges, and `{m,n}` /
+    /// `{n}` repetition counts; enough for identifier-shaped patterns.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pat: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut out = String::new();
+        let mut i = 0usize;
+        while i < chars.len() {
+            // Parse one atom: a char class or a literal.
+            let atom: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .expect("unclosed [ in pattern")
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        for c in lo..=hi {
+                            set.push(char::from_u32(c).expect("bad class range"));
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            } else {
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            };
+            // Parse an optional {m,n} or {n} repetition.
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unclosed { in pattern")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((a, b)) => (
+                        a.parse::<usize>().expect("bad repeat lower bound"),
+                        b.parse::<usize>().expect("bad repeat upper bound"),
+                    ),
+                    None => {
+                        let n = body.parse::<usize>().expect("bad repeat count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let reps = lo + (rng.next_u64() as usize) % (hi - lo + 1);
+            for _ in 0..reps {
+                out.push(atom[(rng.next_u64() as usize) % atom.len()]);
+            }
+        }
+        out
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! { (A) (A, B) (A, B, C) (A, B, C, D) }
+
+    /// Weighted union over same-valued strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+        total: u64,
+    }
+
+    impl<V> Union<V> {
+        /// Build from `(weight, strategy)` arms; weights must not all be 0.
+        pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+            let total: u64 = arms.iter().map(|&(w, _)| w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs a positive total weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.next_u64() % self.total;
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary {
+        /// Generate an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, usize, i8, i16, i32, isize);
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Arbitrary for i64 {
+        fn arbitrary(rng: &mut TestRng) -> i64 {
+            rng.next_u64() as i64
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    // Arbitrary floats cover the full bit space: NaN payloads, infinities,
+    // subnormals. Tests that need finite values use range strategies.
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            f32::from_bits(rng.next_u64() as u32)
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Half-open range of collection sizes. Going through `Into<SizeRange>`
+    /// (rather than a generic length strategy) lets bare integer literals
+    /// in `vec(elem, 0..100)` infer as `usize`, matching real proptest.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `vec(element, 0..100)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let n = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::arbitrary::Arbitrary;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniformly selects one element of the given vector.
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// `select(vec![...])`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select of empty options");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[(rng.next_u64() as usize) % self.0.len()].clone()
+        }
+    }
+
+    /// An index into a collection whose length is only known at use time.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Resolve against a collection of length `len`. Returns 0 for an
+        /// empty collection (the caller's slice `[..0]` stays valid).
+        pub fn index(&self, len: usize) -> usize {
+            if len == 0 {
+                0
+            } else {
+                self.0 % len
+            }
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64() as usize)
+        }
+    }
+}
+
+pub mod config {
+    /// Per-`proptest!` block configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Run `cases` generated inputs per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Deterministic xorshift-multiply PRNG (splitmix64 core).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed directly.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+        }
+
+        /// Derive a stable seed from a test's name so every test gets an
+        /// independent, reproducible stream.
+        pub fn deterministic(name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            Self::from_seed(h)
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Next 128 random bits.
+        pub fn next_u128(&mut self) -> u128 {
+            ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+        }
+
+        /// Uniform in [0, 1).
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// Namespaced strategy modules (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::config::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::config::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let __run = move || -> ::core::option::Option<()> {
+                    $body
+                    ::core::option::Option::Some(())
+                };
+                // None = case rejected by prop_assume!; just move on.
+                let _ = __run();
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Assert within a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality within a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Assert inequality within a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Discard the current generated case when its precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::option::Option::None;
+        }
+    };
+}
+
+/// Weighted (or unweighted) choice among strategies with a common value
+/// type. Arms are boxed so heterogeneous strategy types unify.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in -5i64..5, f in -1.0f32..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_strategy(v in prop::collection::vec(any::<u8>(), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+        }
+
+        #[test]
+        fn oneof_only_yields_arm_values(x in prop_oneof![2 => Just(1u8), 1 => Just(9u8)]) {
+            prop_assert!(x == 1 || x == 9);
+        }
+
+        #[test]
+        fn select_picks_an_option(x in prop::sample::select(vec![10u8, 20, 30])) {
+            prop_assert!([10u8, 20, 30].contains(&x));
+        }
+
+        #[test]
+        fn index_is_in_range(ix in any::<prop::sample::Index>(), n in 1usize..50) {
+            prop_assert!(ix.index(n) < n);
+        }
+
+        #[test]
+        fn pattern_strings_match_shape(s in "[a-zA-Z][a-zA-Z0-9_]{0,20}") {
+            prop_assert!(!s.is_empty() && s.len() <= 21);
+            prop_assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+            prop_assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+
+        #[test]
+        fn assume_discards_cases(x in 0u32..10) {
+            prop_assume!(x < 5);
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::test_runner::TestRng::deterministic("t");
+        let mut b = crate::test_runner::TestRng::deterministic("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
