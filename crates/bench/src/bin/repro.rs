@@ -5,12 +5,19 @@
 //!
 //! EXPERIMENTS  any of: table1 table2 table3 table4 table5 table6 table7
 //!              table8 fig1 fig2 fig3 fig4 scaling calibration ssim
-//!              scorecard | all | focus (tables 2-5 + figs 2-4) |
+//!              scorecard bench | all | focus (tables 2-5 + figs 2-4) |
 //!              sweep (table 6 + fig 1 + tables 7-8) |
 //!              extensions (scaling + calibration + ssim)
 //! FLAGS        --quick | --full | --paper-scale   preset configurations
 //!              --members N  --ne N  --nlev N  --seed S  --out DIR
+//!              --workers N  (override the worker-pool width)
+//!              --bench-out FILE  (BENCH.json path, default repo root)
 //! ```
+//!
+//! `bench` runs the chunked-codec throughput sweep and writes the
+//! schema'd `BENCH.json` (validated before the process exits);
+//! `bench-check FILE` re-validates an existing artifact and exits
+//! non-zero if it does not satisfy the schema.
 //!
 //! `scorecard` re-reads the CSV artifacts of earlier experiments and
 //! machine-checks the paper's shape claims (exits non-zero on a required
@@ -31,7 +38,7 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 fn main() {
-    let (experiments, cfg) = parse_args();
+    let (experiments, cfg, bench_opts) = parse_args();
     let mut runner = Runner { cfg, eval: None, focus_ctx: BTreeMap::new() };
     for exp in &experiments {
         let t0 = Instant::now();
@@ -52,6 +59,8 @@ fn main() {
             "scaling" => runner.scaling(),
             "calibration" => runner.calibration(),
             "ssim" => runner.ssim(),
+            "bench" => run_bench(&bench_opts),
+            "bench-check" => check_bench(&bench_opts),
             "scorecard" => {
                 let claims = cc_bench::scorecard::evaluate(&runner.cfg.out_dir);
                 let (fails, text) = cc_bench::scorecard::render(&claims);
@@ -71,8 +80,72 @@ fn main() {
     }
 }
 
-fn parse_args() -> (Vec<String>, RunConfig) {
+/// Options for the `bench` / `bench-check` experiments.
+struct BenchOpts {
+    /// Artifact path (`BENCH.json` at the repo root by default).
+    path: std::path::PathBuf,
+    /// Use the smoke-scale sweep.
+    quick: bool,
+}
+
+fn run_bench(opts: &BenchOpts) {
+    let config = if opts.quick {
+        cc_bench::throughput::BenchConfig::quick()
+    } else {
+        cc_bench::throughput::BenchConfig::default_scale()
+    };
+    let report = cc_bench::throughput::run(&config, &mut |line| eprintln!("    {line}"));
+    let json = report.to_json();
+    if let Err(errs) = cc_bench::throughput::validate(&json) {
+        eprintln!("generated BENCH.json violates its own schema:");
+        for e in errs {
+            eprintln!("  - {e}");
+        }
+        std::process::exit(1);
+    }
+    std::fs::write(&opts.path, &json).expect("write BENCH.json");
+    for c in &report.codecs {
+        let enc = c.encode.last().expect("timings");
+        let dec = c.decode.last().expect("timings");
+        println!(
+            "{:10}  CR {:.3}  encode {:8.1} MB/s  decode {:8.1} MB/s  speedup x{:.2} ({} workers)",
+            c.name,
+            c.ratio,
+            enc.mb_per_s,
+            dec.mb_per_s,
+            c.encode_speedup(),
+            enc.workers,
+        );
+    }
+    println!(
+        "wrote {} ({} chunks, workers {:?}, max encode speedup x{:.2})",
+        opts.path.display(),
+        report.chunks,
+        report.config.worker_counts,
+        report.max_encode_speedup()
+    );
+}
+
+fn check_bench(opts: &BenchOpts) {
+    let text = std::fs::read_to_string(&opts.path).unwrap_or_else(|e| {
+        eprintln!("cannot read {}: {e}", opts.path.display());
+        std::process::exit(1);
+    });
+    match cc_bench::throughput::validate(&text) {
+        Ok(()) => println!("{}: valid cc-bench-throughput/1 artifact", opts.path.display()),
+        Err(errs) => {
+            eprintln!("{}: schema violations:", opts.path.display());
+            for e in errs {
+                eprintln!("  - {e}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse_args() -> (Vec<String>, RunConfig, BenchOpts) {
     let mut cfg = RunConfig::default();
+    let mut bench = BenchOpts { path: "BENCH.json".into(), quick: false };
     let mut exps: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1).peekable();
     let next_val = |args: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>| {
@@ -85,6 +158,7 @@ fn parse_args() -> (Vec<String>, RunConfig) {
         match a.as_str() {
             "--quick" => {
                 cfg = RunConfig { out_dir: cfg.out_dir.clone(), ..RunConfig::quick() };
+                bench.quick = true;
             }
             "--full" => {
                 cfg = RunConfig { out_dir: cfg.out_dir.clone(), ..RunConfig::full() };
@@ -103,6 +177,11 @@ fn parse_args() -> (Vec<String>, RunConfig) {
             }
             "--seed" => cfg.seed = next_val(&mut args).parse().expect("--seed S"),
             "--out" => cfg.out_dir = next_val(&mut args).into(),
+            "--workers" => {
+                let w: usize = next_val(&mut args).parse().expect("--workers N");
+                cc_core::par::set_global_workers(w);
+            }
+            "--bench-out" => bench.path = next_val(&mut args).into(),
             "all" => exps.extend(
                 [
                     "table1", "table2", "table3", "table4", "table5", "table6", "table7",
@@ -118,26 +197,28 @@ fn parse_args() -> (Vec<String>, RunConfig) {
             "extensions" => {
                 exps.extend(["scaling", "calibration", "ssim"].map(String::from))
             }
+            "bench-check" => {
+                exps.push("bench-check".to_string());
+                // Optional positional artifact path: `bench-check FILE`.
+                if let Some(next) = args.peek() {
+                    if !next.starts_with('-') {
+                        bench.path = args.next().unwrap().into();
+                    }
+                }
+            }
             other => exps.push(other.to_string()),
         }
     }
     if exps.is_empty() {
-        exps = vec!["focus".into()];
-        return parse_args_fallback(exps, cfg);
+        // Default run = the focus set.
+        exps.extend(
+            ["table1", "table2", "table3", "table4", "table5", "fig2", "fig3", "fig4"]
+                .map(String::from),
+        );
     }
     // table7 implies table8 (same computation); dedupe.
     exps.dedup();
-    (exps, cfg)
-}
-
-fn parse_args_fallback(mut exps: Vec<String>, cfg: RunConfig) -> (Vec<String>, RunConfig) {
-    // Default run = the focus set.
-    exps.clear();
-    exps.extend(
-        ["table1", "table2", "table3", "table4", "table5", "fig2", "fig3", "fig4"]
-            .map(String::from),
-    );
-    (exps, cfg)
+    (exps, cfg, bench)
 }
 
 struct Runner {

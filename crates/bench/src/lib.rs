@@ -8,6 +8,7 @@
 
 pub mod faults;
 pub mod scorecard;
+pub mod throughput;
 
 use cc_core::evaluation::{EvalConfig, Evaluation};
 use cc_grid::Resolution;

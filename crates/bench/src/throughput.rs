@@ -1,0 +1,470 @@
+//! `repro bench`: the throughput harness behind `BENCH.json`.
+//!
+//! Times chunked encode/decode MB/s for one representative configuration
+//! of each paper codec family (plus the NetCDF-4 lossless baseline) at
+//! several worker counts, and an end-to-end pipeline wall time (encode →
+//! container write → serialize → parse → container read → decode) per
+//! codec. Results serialize to the schema'd `BENCH.json` at the repo
+//! root — the performance trajectory later PRs append to.
+//!
+//! # `BENCH.json` schema (`cc-bench-throughput/1`)
+//!
+//! ```json
+//! {
+//!   "schema": "cc-bench-throughput/1",
+//!   "preset": "default" | "quick",
+//!   "field": {"npts": N, "nlev": N, "elems": N, "bytes": N},
+//!   "chunks": N,
+//!   "worker_counts": [1, 2, ...],
+//!   "codecs": [
+//!     {
+//!       "name": "fpzip-24",
+//!       "ratio": 0.42,
+//!       "encode":   [{"workers": 1, "secs": 0.5, "mb_per_s": 8.0}, ...],
+//!       "decode":   [{"workers": 1, "secs": 0.3, "mb_per_s": 13.0}, ...],
+//!       "pipeline": [{"workers": 1, "secs": 0.9}, ...],
+//!       "encode_speedup": 1.8
+//!     }, ...
+//!   ],
+//!   "max_encode_speedup": 1.9
+//! }
+//! ```
+//!
+//! `encode`/`decode` carry one entry per worker count (same order as
+//! `worker_counts`); `encode_speedup` is the best multi-worker encode
+//! rate over the `workers = 1` rate; `max_encode_speedup` is the maximum
+//! over codecs. [`validate`] machine-checks all of this via the minimal
+//! JSON parser in [`mod@json`], so CI can reject malformed artifacts.
+
+pub mod json;
+
+use cc_codecs::chunked::{compress_chunked, decompress_chunked, plan};
+use cc_codecs::{Layout, Variant};
+use cc_ncdf::{DType, Dataset, FilterPipeline};
+use std::time::Instant;
+
+/// Throughput-run configuration.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Horizontal points per level.
+    pub npts: usize,
+    /// Vertical levels.
+    pub nlev: usize,
+    /// Worker counts to sweep (always starts at 1).
+    pub worker_counts: Vec<usize>,
+    /// Timing repetitions (best-of).
+    pub reps: usize,
+    /// Preset label recorded in the artifact.
+    pub preset: String,
+}
+
+impl BenchConfig {
+    /// Default scale: a 1,048,576-element field (the ≥1M-point target
+    /// the roadmap's speedup criterion is stated against).
+    pub fn default_scale() -> Self {
+        BenchConfig {
+            npts: 262_144,
+            nlev: 4,
+            worker_counts: worker_sweep(),
+            reps: 3,
+            preset: "default".into(),
+        }
+    }
+
+    /// Smoke scale for CI: 131,072 elements, single repetition.
+    pub fn quick() -> Self {
+        BenchConfig {
+            npts: 32_768,
+            nlev: 4,
+            worker_counts: worker_sweep(),
+            reps: 1,
+            preset: "quick".into(),
+        }
+    }
+}
+
+/// The worker counts to sweep: always 1 and 2, plus the machine width
+/// when it exceeds 2.
+fn worker_sweep() -> Vec<usize> {
+    let mut counts = vec![1, 2];
+    let n = cc_par::default_workers();
+    if n > 2 {
+        counts.push(n);
+    }
+    counts
+}
+
+/// One timed point.
+#[derive(Debug, Clone)]
+pub struct Timing {
+    /// Worker count.
+    pub workers: usize,
+    /// Best-of-reps wall seconds.
+    pub secs: f64,
+    /// Raw-data throughput at that time.
+    pub mb_per_s: f64,
+}
+
+/// Per-codec results.
+#[derive(Debug, Clone)]
+pub struct CodecBench {
+    /// Codec display name.
+    pub name: String,
+    /// Compressed / raw size.
+    pub ratio: f64,
+    /// Encode timings, one per worker count.
+    pub encode: Vec<Timing>,
+    /// Decode timings, one per worker count.
+    pub decode: Vec<Timing>,
+    /// End-to-end pipeline seconds, one per worker count.
+    pub pipeline: Vec<(usize, f64)>,
+}
+
+impl CodecBench {
+    /// Best multi-worker encode rate over the workers=1 rate.
+    pub fn encode_speedup(&self) -> f64 {
+        let base = self.encode.first().map(|t| t.mb_per_s).unwrap_or(0.0);
+        let best = self.encode[1..].iter().map(|t| t.mb_per_s).fold(0.0, f64::max);
+        if base > 0.0 { best / base } else { 0.0 }
+    }
+}
+
+/// A full throughput run.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Configuration used.
+    pub config: BenchConfig,
+    /// Field layout benchmarked.
+    pub layout: Layout,
+    /// Number of chunks the field splits into.
+    pub chunks: usize,
+    /// Per-codec results.
+    pub codecs: Vec<CodecBench>,
+}
+
+/// The five benchmarked codecs: one representative configuration per
+/// paper family, plus the NetCDF-4 lossless baseline.
+pub fn bench_set() -> Vec<Variant> {
+    vec![
+        Variant::Grib2 { decimal_scale: None },
+        Variant::Apax { rate: 4.0 },
+        Variant::Fpzip { bits: 24 },
+        Variant::Isabela { rel_err: 0.005 },
+        Variant::NetCdf4,
+    ]
+}
+
+/// Smooth climate-like benchmark field (deterministic, no model build —
+/// benchmarking the codecs, not the emulator).
+pub fn bench_field(npts: usize, nlev: usize) -> (Vec<f32>, Layout) {
+    let linear = Layout::linear(npts);
+    let layout = Layout { nlev, npts, rows: linear.rows, cols: linear.cols };
+    let mut data = Vec::with_capacity(layout.len());
+    for lev in 0..nlev {
+        for p in 0..npts {
+            let x = p as f32 / npts as f32;
+            let v = 240.0
+                + 30.0 * (6.3 * x).sin()
+                + 5.0 * (31.0 * x + lev as f32).cos()
+                + 0.01 * ((p * 31 + lev * 7) % 101) as f32
+                + lev as f32 * 2.0;
+            data.push(v);
+        }
+    }
+    (data, layout)
+}
+
+fn best_of<F: FnMut() -> R, R>(reps: usize, mut f: F) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let t0 = Instant::now();
+    let mut out = f();
+    best = best.min(t0.elapsed().as_secs_f64());
+    for _ in 1..reps {
+        let t0 = Instant::now();
+        out = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, out)
+}
+
+/// Run the sweep. `progress` receives one line per codec.
+pub fn run(config: &BenchConfig, progress: &mut dyn FnMut(&str)) -> BenchReport {
+    let (data, layout) = bench_field(config.npts, config.nlev);
+    let raw_mb = (layout.len() * 4) as f64 / (1024.0 * 1024.0);
+    let chunks = plan(layout).len();
+    let mut codecs = Vec::new();
+    for variant in bench_set() {
+        let codec = variant.codec();
+        progress(&format!("benching {} ({} chunks, {:.1} MB raw)", variant.name(), chunks, raw_mb));
+        let mut encode = Vec::new();
+        let mut decode = Vec::new();
+        let mut pipeline = Vec::new();
+        let mut ratio = 0.0;
+        for &w in &config.worker_counts {
+            let (enc_secs, bytes) =
+                best_of(config.reps, || compress_chunked(codec.as_ref(), &data, layout, w));
+            ratio = bytes.len() as f64 / (layout.len() * 4) as f64;
+            let (dec_secs, recon) = best_of(config.reps, || {
+                decompress_chunked(codec.as_ref(), &bytes, layout, w).expect("own stream decodes")
+            });
+            assert_eq!(recon.len(), data.len());
+            encode.push(Timing { workers: w, secs: enc_secs, mb_per_s: raw_mb / enc_secs.max(1e-12) });
+            decode.push(Timing { workers: w, secs: dec_secs, mb_per_s: raw_mb / dec_secs.max(1e-12) });
+
+            // End-to-end: encode, store the stream in a container
+            // variable, serialize, parse, read back, decode.
+            // End-to-end: field → container variable (shuffle+deflate
+            // filters, parallel chunk pipeline) → serialize → parse →
+            // read → chunked encode + decode. The write/read legs
+            // exercise cc-ncdf's parallel filter path.
+            let (pipe_secs, ok) = best_of(1, || {
+                let mut ds = Dataset::new();
+                let d = ds.add_dim("n", data.len());
+                let v = ds
+                    .def_var("field", DType::F32, &[d], FilterPipeline::shuffle_deflate())
+                    .expect("var");
+                ds.put_f32(v, &data).expect("store");
+                let ser = ds.to_bytes();
+                let back = Dataset::from_bytes(&ser).expect("parse");
+                let field = back.get_f32(v).expect("read");
+                let stream = compress_chunked(codec.as_ref(), &field, layout, w);
+                let recon = decompress_chunked(codec.as_ref(), &stream, layout, w).expect("decode");
+                recon.len() == data.len()
+            });
+            assert!(ok);
+            pipeline.push((w, pipe_secs));
+        }
+        codecs.push(CodecBench { name: variant.name(), ratio, encode, decode, pipeline });
+    }
+    BenchReport { config: config.clone(), layout, chunks, codecs }
+}
+
+impl BenchReport {
+    /// Maximum per-codec encode speedup.
+    pub fn max_encode_speedup(&self) -> f64 {
+        self.codecs.iter().map(|c| c.encode_speedup()).fold(0.0, f64::max)
+    }
+
+    /// Serialize to the `cc-bench-throughput/1` JSON document.
+    pub fn to_json(&self) -> String {
+        let timing_arr = |ts: &[Timing]| -> String {
+            let items: Vec<String> = ts
+                .iter()
+                .map(|t| {
+                    format!(
+                        "{{\"workers\": {}, \"secs\": {:.6}, \"mb_per_s\": {:.3}}}",
+                        t.workers, t.secs, t.mb_per_s
+                    )
+                })
+                .collect();
+            format!("[{}]", items.join(", "))
+        };
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"cc-bench-throughput/1\",\n");
+        s.push_str(&format!("  \"preset\": \"{}\",\n", self.config.preset));
+        s.push_str(&format!(
+            "  \"field\": {{\"npts\": {}, \"nlev\": {}, \"elems\": {}, \"bytes\": {}}},\n",
+            self.layout.npts,
+            self.layout.nlev,
+            self.layout.len(),
+            self.layout.len() * 4
+        ));
+        s.push_str(&format!("  \"chunks\": {},\n", self.chunks));
+        s.push_str(&format!(
+            "  \"worker_counts\": [{}],\n",
+            self.config
+                .worker_counts
+                .iter()
+                .map(|w| w.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        s.push_str("  \"codecs\": [\n");
+        let rows: Vec<String> = self
+            .codecs
+            .iter()
+            .map(|c| {
+                let pipe: Vec<String> = c
+                    .pipeline
+                    .iter()
+                    .map(|(w, t)| format!("{{\"workers\": {w}, \"secs\": {t:.6}}}"))
+                    .collect();
+                format!(
+                    "    {{\"name\": \"{}\", \"ratio\": {:.6}, \"encode\": {}, \"decode\": {}, \"pipeline\": [{}], \"encode_speedup\": {:.3}}}",
+                    c.name,
+                    c.ratio,
+                    timing_arr(&c.encode),
+                    timing_arr(&c.decode),
+                    pipe.join(", "),
+                    c.encode_speedup()
+                )
+            })
+            .collect();
+        s.push_str(&rows.join(",\n"));
+        s.push_str("\n  ],\n");
+        s.push_str(&format!(
+            "  \"max_encode_speedup\": {:.3}\n",
+            self.max_encode_speedup()
+        ));
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Validate a `BENCH.json` document against the
+/// `cc-bench-throughput/1` schema. Returns every violation found.
+pub fn validate(text: &str) -> Result<(), Vec<String>> {
+    let doc = match json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return Err(vec![format!("not valid JSON: {e}")]),
+    };
+    let mut errs = Vec::new();
+    fn check(errs: &mut Vec<String>, cond: bool, msg: &str) {
+        if !cond {
+            errs.push(msg.to_string());
+        }
+    }
+
+    check(
+        &mut errs,
+        doc.get("schema").and_then(json::Value::as_str) == Some("cc-bench-throughput/1"),
+        "schema must be \"cc-bench-throughput/1\"",
+    );
+    check(&mut errs, doc.get("preset").and_then(json::Value::as_str).is_some(), "preset missing");
+    let field = doc.get("field");
+    for key in ["npts", "nlev", "elems", "bytes"] {
+        check(
+            &mut errs,
+            field.and_then(|f| f.get(key)).and_then(json::Value::as_f64).map(|v| v > 0.0)
+                == Some(true),
+            &format!("field.{key} must be a positive number"),
+        );
+    }
+    check(
+        &mut errs,
+        doc.get("chunks").and_then(json::Value::as_f64).map(|v| v >= 1.0) == Some(true),
+        "chunks must be >= 1",
+    );
+
+    let workers: Vec<f64> = doc
+        .get("worker_counts")
+        .and_then(json::Value::as_array)
+        .map(|a| a.iter().filter_map(json::Value::as_f64).collect())
+        .unwrap_or_default();
+    check(&mut errs, workers.len() >= 2, "worker_counts must list at least two counts");
+    check(&mut errs, workers.first() == Some(&1.0), "worker_counts must start at 1");
+
+    let codecs = doc.get("codecs").and_then(json::Value::as_array);
+    match codecs {
+        None => errs.push("codecs array missing".into()),
+        Some(list) => {
+            check(&mut errs, list.len() >= 5, "codecs must cover the five benchmarked codecs");
+            for c in list {
+                let name = c
+                    .get("name")
+                    .and_then(json::Value::as_str)
+                    .unwrap_or("<unnamed>")
+                    .to_string();
+                check(
+                    &mut errs,
+                    c.get("ratio").and_then(json::Value::as_f64).map(|r| r > 0.0 && r < 4.0)
+                        == Some(true),
+                    &format!("{name}: ratio must be in (0, 4)"),
+                );
+                for dir in ["encode", "decode"] {
+                    let arr = c.get(dir).and_then(json::Value::as_array);
+                    match arr {
+                        None => errs.push(format!("{name}: {dir} timings missing")),
+                        Some(ts) => {
+                            if ts.len() != workers.len() {
+                                errs.push(format!(
+                                    "{name}: {dir} must have one entry per worker count"
+                                ));
+                            }
+                            for t in ts {
+                                let ok = t
+                                    .get("mb_per_s")
+                                    .and_then(json::Value::as_f64)
+                                    .map(|v| v > 0.0)
+                                    == Some(true)
+                                    && t.get("secs").and_then(json::Value::as_f64).map(|v| v > 0.0)
+                                        == Some(true)
+                                    && t.get("workers").and_then(json::Value::as_f64).is_some();
+                                if !ok {
+                                    errs.push(format!(
+                                        "{name}: {dir} entry missing workers/secs/mb_per_s"
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+                check(
+                    &mut errs,
+                    c.get("pipeline").and_then(json::Value::as_array).map(|a| !a.is_empty())
+                        == Some(true),
+                    &format!("{name}: pipeline timings missing"),
+                );
+                check(
+                    &mut errs,
+                    c.get("encode_speedup").and_then(json::Value::as_f64).is_some(),
+                    &format!("{name}: encode_speedup missing"),
+                );
+            }
+        }
+    }
+    check(
+        &mut errs,
+        doc.get("max_encode_speedup").and_then(json::Value::as_f64).is_some(),
+        "max_encode_speedup missing",
+    );
+
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> BenchConfig {
+        BenchConfig {
+            npts: 4_096,
+            nlev: 2,
+            worker_counts: vec![1, 2],
+            reps: 1,
+            preset: "quick".into(),
+        }
+    }
+
+    #[test]
+    fn report_serializes_and_validates() {
+        let report = run(&tiny_config(), &mut |_| {});
+        let json = report.to_json();
+        validate(&json).expect("fresh report must satisfy its own schema");
+        assert_eq!(report.codecs.len(), 5);
+        for c in &report.codecs {
+            assert_eq!(c.encode.len(), 2);
+            assert_eq!(c.decode.len(), 2);
+            assert!(c.ratio > 0.0 && c.ratio < 2.0, "{}: {}", c.name, c.ratio);
+        }
+    }
+
+    #[test]
+    fn validator_rejects_damage() {
+        let report = run(&tiny_config(), &mut |_| {});
+        let good = report.to_json();
+        for bad in [
+            good.replace("cc-bench-throughput/1", "cc-bench-throughput/0"),
+            good.replace("\"worker_counts\": [1, 2]", "\"worker_counts\": [1]"),
+            good.replace("\"codecs\"", "\"kodecs\""),
+            "{not json".to_string(),
+        ] {
+            assert!(validate(&bad).is_err(), "must reject: {}", &bad[..60.min(bad.len())]);
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Chunked, data-parallel encode/decode over any [`Codec`].
+//!
+//! A field is split into independently-coded blocks along its
+//! slowest-varying axis — vertical levels for 3-D fields, embedding rows
+//! for 2-D fields — and the blocks fan out over the shared scoped-thread
+//! pool ([`cc_par`]). Each block is a complete, self-contained stream of
+//! the wrapped codec (including its own layout echo for the block's
+//! sub-layout), framed with a little-endian `u32` length prefix behind
+//! the whole-field 16-byte layout echo:
+//!
+//! ```text
+//! [16-byte layout echo][u32 chunk_count][u32 len_0][block_0] ... [u32 len_k-1][block_k-1]
+//! ```
+//!
+//! **Single-chunk pass-through.** When the partition yields exactly one
+//! chunk (any field at or under [`TARGET_CHUNK_ELEMS`]), the chunked
+//! stream *is* the wrapped codec's plain stream — no extra framing. This
+//! keeps small-field compression ratios byte-identical to the unchunked
+//! path (the scorecard's CR claims hold at every scale) and costs
+//! nothing: the decoder recomputes the same partition from the layout,
+//! so it knows which format to expect.
+//!
+//! **Determinism.** The partition ([`plan`]) is a pure function of the
+//! [`Layout`] alone — never of the worker count — and
+//! [`cc_par::par_map_with`] returns results in input order, so the bytes
+//! produced at any worker count are identical to the sequential
+//! (`workers = 1`) bytes, and a stream decodes to the same floats
+//! whatever parallelism the decoder uses. The determinism test suite
+//! (`crates/codecs/tests/determinism.rs`) enforces this for every paper
+//! codec.
+//!
+//! **Totality.** Decoding recomputes the expected partition from the
+//! caller's layout, so a corrupt chunk count or length can only produce
+//! [`CodecError::Corrupt`] — never an oversized allocation: the output
+//! buffer is sized from the caller-supplied layout and every block is
+//! decoded by the wrapped codec's own hardened path.
+
+use crate::{
+    check_layout_header, write_layout_header, Codec, CodecError, Layout, LAYOUT_HEADER_LEN,
+};
+
+/// Target number of f32 elements per chunk (256 KiB of raw data). Chosen
+/// so a ≥1M-point field yields enough blocks to keep 8+ workers busy
+/// while each block stays large enough for the codecs' internal windows
+/// (ISABELA sorting windows, APAX blocks, wavelet tiles) to behave as
+/// they do unchunked.
+pub const TARGET_CHUNK_ELEMS: usize = 64 * 1024;
+
+/// One block of the deterministic partition: `start` is the element
+/// offset into the level-major field, `layout` the block's sub-layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkSpec {
+    /// Element offset of the block within the field.
+    pub start: usize,
+    /// Sub-layout the block is coded under.
+    pub layout: Layout,
+}
+
+/// The deterministic partition of `layout` into chunk sub-layouts.
+///
+/// Pure in `layout`: the same layout always yields the same partition,
+/// which is what makes parallel output bit-identical to sequential. 3-D
+/// fields split along whole levels; 2-D fields split along whole rows of
+/// their 2-D embedding (so transform codecs keep row structure), with
+/// the final block absorbing any partial row.
+pub fn plan(layout: Layout) -> Vec<ChunkSpec> {
+    if layout.is_empty() {
+        return Vec::new();
+    }
+    let mut specs = Vec::new();
+    if layout.nlev > 1 {
+        let levs_per = (TARGET_CHUNK_ELEMS / layout.npts.max(1)).max(1);
+        let mut lev = 0;
+        while lev < layout.nlev {
+            let l1 = (lev + levs_per).min(layout.nlev);
+            specs.push(ChunkSpec {
+                start: lev * layout.npts,
+                layout: Layout {
+                    nlev: l1 - lev,
+                    npts: layout.npts,
+                    rows: layout.rows,
+                    cols: layout.cols,
+                },
+            });
+            lev = l1;
+        }
+    } else {
+        let cols = layout.cols.max(1);
+        let elems_per = (TARGET_CHUNK_ELEMS / cols).max(1) * cols;
+        let mut start = 0;
+        while start < layout.npts {
+            let end = (start + elems_per).min(layout.npts);
+            let n = end - start;
+            specs.push(ChunkSpec {
+                start,
+                layout: Layout { nlev: 1, npts: n, rows: n.div_ceil(cols), cols },
+            });
+            start = end;
+        }
+    }
+    specs
+}
+
+/// Compress `data` as a chunked stream, fanning blocks over `workers`
+/// threads. `workers = 1` is the sequential reference; any other count
+/// produces bit-identical bytes.
+pub fn compress_chunked(
+    codec: &dyn Codec,
+    data: &[f32],
+    layout: Layout,
+    workers: usize,
+) -> Vec<u8> {
+    assert_eq!(data.len(), layout.len(), "data length must match layout");
+    let specs = plan(layout);
+    if specs.len() == 1 {
+        // Pass-through: a single chunk is the whole field, so the plain
+        // stream (with its ordinary layout echo) is the chunked stream.
+        return codec.compress(data, layout);
+    }
+    let payloads: Vec<Vec<u8>> = cc_par::par_map_with(workers, &specs, |s| {
+        codec.compress(&data[s.start..s.start + s.layout.len()], s.layout)
+    });
+    let total = LAYOUT_HEADER_LEN + 4 + payloads.iter().map(|p| 4 + p.len()).sum::<usize>();
+    let mut out = Vec::with_capacity(total);
+    write_layout_header(&mut out, layout);
+    out.extend_from_slice(&(specs.len() as u32).to_le_bytes());
+    for p in &payloads {
+        out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+        out.extend_from_slice(p);
+    }
+    out
+}
+
+/// Decode a chunked stream produced by [`compress_chunked`]. Total over
+/// untrusted input: framing damage returns [`CodecError::Corrupt`] and
+/// block damage surfaces the wrapped codec's error; allocations are
+/// bounded by the caller-supplied layout.
+pub fn decompress_chunked(
+    codec: &dyn Codec,
+    bytes: &[u8],
+    layout: Layout,
+    workers: usize,
+) -> Result<Vec<f32>, CodecError> {
+    let specs = plan(layout);
+    if specs.len() == 1 {
+        let vals = codec.decompress(bytes, layout)?;
+        if vals.len() != layout.len() {
+            return Err(CodecError::Corrupt("stream decoded to wrong length"));
+        }
+        return Ok(vals);
+    }
+    let body = check_layout_header(bytes, layout)?;
+    if body.len() < 4 {
+        return Err(CodecError::Corrupt("truncated chunk count"));
+    }
+    let count = u32::from_le_bytes([body[0], body[1], body[2], body[3]]) as usize;
+    if count != specs.len() {
+        return Err(CodecError::Corrupt("chunk count does not match layout partition"));
+    }
+    let mut frames: Vec<(&[u8], ChunkSpec)> = Vec::with_capacity(specs.len());
+    let mut off = 4;
+    for s in &specs {
+        if body.len() - off < 4 {
+            return Err(CodecError::Corrupt("truncated chunk length prefix"));
+        }
+        let len =
+            u32::from_le_bytes([body[off], body[off + 1], body[off + 2], body[off + 3]]) as usize;
+        off += 4;
+        if body.len() - off < len {
+            return Err(CodecError::Corrupt("truncated chunk payload"));
+        }
+        frames.push((&body[off..off + len], *s));
+        off += len;
+    }
+    if off != body.len() {
+        return Err(CodecError::Corrupt("trailing bytes after chunk frames"));
+    }
+    let decoded: Vec<Result<Vec<f32>, CodecError>> =
+        cc_par::par_map_with(workers, &frames, |&(payload, spec)| {
+            let vals = codec.decompress(payload, spec.layout)?;
+            if vals.len() != spec.layout.len() {
+                return Err(CodecError::Corrupt("chunk decoded to wrong length"));
+            }
+            Ok(vals)
+        });
+    let mut out = Vec::with_capacity(layout.len());
+    for d in decoded {
+        out.extend_from_slice(&d?);
+    }
+    Ok(out)
+}
+
+/// [`Codec`] adapter running any inner codec through the chunked path at
+/// a fixed worker count, so chunked compression can slot anywhere a
+/// codec is expected (the bench harness, the `ccc` CLI).
+pub struct ChunkedCodec<C: Codec> {
+    inner: C,
+    workers: usize,
+}
+
+impl<C: Codec> ChunkedCodec<C> {
+    /// Wrap `inner`, fanning chunks over `workers` threads.
+    pub fn new(inner: C, workers: usize) -> Self {
+        ChunkedCodec { inner, workers }
+    }
+
+    /// The wrapped codec.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+impl<C: Codec> Codec for ChunkedCodec<C> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn properties(&self) -> crate::CodecProperties {
+        self.inner.properties()
+    }
+
+    fn compress(&self, data: &[f32], layout: Layout) -> Vec<u8> {
+        compress_chunked(&self.inner, data, layout, self.workers)
+    }
+
+    fn decompress(&self, bytes: &[u8], layout: Layout) -> Result<Vec<f32>, CodecError> {
+        decompress_chunked(&self.inner, bytes, layout, self.workers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdata::smooth_field;
+    use crate::Variant;
+
+    #[test]
+    fn plan_covers_field_exactly_once() {
+        for layout in [
+            Layout::linear(1),
+            Layout::linear(100),
+            Layout::linear(TARGET_CHUNK_ELEMS),
+            Layout::linear(TARGET_CHUNK_ELEMS + 1),
+            Layout::linear(5 * TARGET_CHUNK_ELEMS - 1),
+            Layout { nlev: 7, npts: 10_000, rows: 100, cols: 100 },
+            Layout { nlev: 30, npts: 48_602, rows: 221, cols: 220 },
+        ] {
+            let specs = plan(layout);
+            let mut covered = 0;
+            for (i, s) in specs.iter().enumerate() {
+                assert_eq!(s.start, covered, "chunk {i} not contiguous");
+                assert!(!s.layout.is_empty(), "empty chunk {i}");
+                assert!(
+                    s.layout.rows * s.layout.cols >= s.layout.npts,
+                    "chunk {i} embedding too small"
+                );
+                covered += s.layout.len();
+            }
+            assert_eq!(covered, layout.len(), "partition must cover the field");
+        }
+    }
+
+    #[test]
+    fn plan_empty_layout() {
+        assert!(plan(Layout::linear(0)).is_empty());
+        assert!(plan(Layout { nlev: 0, npts: 50, rows: 8, cols: 8 }).is_empty());
+    }
+
+    #[test]
+    fn multi_chunk_roundtrip_matches_sequential() {
+        let (data, layout) = smooth_field(50_000, 3);
+        assert!(plan(layout).len() >= 2, "field must span chunks");
+        let codec = Variant::Fpzip { bits: 24 }.codec();
+        let seq = compress_chunked(codec.as_ref(), &data, layout, 1);
+        let par = compress_chunked(codec.as_ref(), &data, layout, 4);
+        assert_eq!(seq, par, "parallel bytes must equal sequential bytes");
+        let a = decompress_chunked(codec.as_ref(), &seq, layout, 1).unwrap();
+        let b = decompress_chunked(codec.as_ref(), &seq, layout, 4).unwrap();
+        assert_eq!(a.len(), data.len());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wrapper_equals_free_functions() {
+        let (data, layout) = smooth_field(3_000, 2);
+        let inner = Variant::Apax { rate: 4.0 }.codec();
+        let bytes = compress_chunked(inner.as_ref(), &data, layout, 2);
+        let wrapped = ChunkedCodec::new(Variant::Apax { rate: 4.0 }.codec(), 2);
+        assert_eq!(wrapped.compress(&data, layout), bytes);
+        assert_eq!(
+            wrapped.decompress(&bytes, layout).unwrap(),
+            decompress_chunked(inner.as_ref(), &bytes, layout, 1).unwrap()
+        );
+    }
+
+    #[test]
+    fn single_chunk_stream_is_plain_stream() {
+        let (data, layout) = smooth_field(2_000, 1);
+        assert_eq!(plan(layout).len(), 1);
+        let codec = Variant::Fpzip { bits: 24 }.codec();
+        let chunked = compress_chunked(codec.as_ref(), &data, layout, 4);
+        let plain = codec.compress(&data, layout);
+        assert_eq!(chunked, plain, "single-chunk framing must be pass-through");
+        assert_eq!(
+            decompress_chunked(codec.as_ref(), &plain, layout, 4).unwrap(),
+            codec.decompress(&chunked, layout).unwrap()
+        );
+    }
+
+    #[test]
+    fn corrupt_count_and_lengths_error() {
+        let (data, layout) = smooth_field(40_000, 4);
+        assert!(plan(layout).len() >= 2, "field must span chunks");
+        let codec = Variant::NetCdf4.codec();
+        let good = compress_chunked(codec.as_ref(), &data, layout, 1);
+
+        // Truncated everywhere.
+        for cut in [0, 8, LAYOUT_HEADER_LEN, LAYOUT_HEADER_LEN + 2, good.len() - 1] {
+            assert!(
+                decompress_chunked(codec.as_ref(), &good[..cut], layout, 1).is_err(),
+                "cut at {cut} must error"
+            );
+        }
+        // Wrong chunk count.
+        let mut bad = good.clone();
+        bad[LAYOUT_HEADER_LEN] ^= 0x7F;
+        assert!(decompress_chunked(codec.as_ref(), &bad, layout, 1).is_err());
+        // Oversized chunk length.
+        let mut bad = good.clone();
+        bad[LAYOUT_HEADER_LEN + 4 + 3] = 0xFF;
+        assert!(decompress_chunked(codec.as_ref(), &bad, layout, 1).is_err());
+        // Trailing garbage.
+        let mut bad = good.clone();
+        bad.extend_from_slice(b"xx");
+        assert!(decompress_chunked(codec.as_ref(), &bad, layout, 1).is_err());
+        // Pristine stream still decodes.
+        assert_eq!(
+            decompress_chunked(codec.as_ref(), &good, layout, 1).unwrap(),
+            data
+        );
+    }
+
+    #[test]
+    fn empty_field_roundtrips() {
+        let layout = Layout::linear(0);
+        let codec = Variant::NetCdf4.codec();
+        let bytes = compress_chunked(codec.as_ref(), &[], layout, 4);
+        let back = decompress_chunked(codec.as_ref(), &bytes, layout, 4).unwrap();
+        assert!(back.is_empty());
+    }
+}

@@ -20,6 +20,7 @@
 //! NetCDF-4 lossless fallback used by the hybrid methods.
 
 pub mod apax;
+pub mod chunked;
 pub mod fpzip;
 pub mod fpzip64;
 pub mod grib2;
@@ -136,6 +137,24 @@ pub trait Codec: Send + Sync {
 
     /// Reconstruct a field from `bytes`; `layout` must match compression.
     fn decompress(&self, bytes: &[u8], layout: Layout) -> Result<Vec<f32>, CodecError>;
+}
+
+impl Codec for Box<dyn Codec> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn properties(&self) -> CodecProperties {
+        (**self).properties()
+    }
+
+    fn compress(&self, data: &[f32], layout: Layout) -> Vec<u8> {
+        (**self).compress(data, layout)
+    }
+
+    fn decompress(&self, bytes: &[u8], layout: Layout) -> Result<Vec<f32>, CodecError> {
+        (**self).decompress(bytes, layout)
+    }
 }
 
 /// Convenience: compress, measure, reconstruct in one call.

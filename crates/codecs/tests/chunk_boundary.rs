@@ -1,0 +1,132 @@
+//! Chunk-boundary property tests for the chunked codec path.
+//!
+//! The partition boundary cases that historically break block codecs:
+//! field lengths exactly on / one past / one short of a chunk edge,
+//! fields smaller than the worker count, and single-point fields. For
+//! each: lossless roundtrip exactness, parallel/sequential byte
+//! identity, and totality of decode over mutated streams.
+
+use cc_codecs::chunked::{compress_chunked, decompress_chunked, plan, TARGET_CHUNK_ELEMS};
+use cc_codecs::{Layout, Variant};
+use proptest::prelude::*;
+
+/// The boundary-straddling field lengths: len % chunk ∈ {0, 1, chunk-1}
+/// around one and two chunks, plus degenerate sizes.
+fn boundary_len() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(1usize),
+        Just(2usize),
+        Just(7usize), // fewer points than the 8-worker sweep
+        Just(TARGET_CHUNK_ELEMS - 1),
+        Just(TARGET_CHUNK_ELEMS),
+        Just(TARGET_CHUNK_ELEMS + 1),
+        Just(2 * TARGET_CHUNK_ELEMS - 1),
+        Just(2 * TARGET_CHUNK_ELEMS),
+        Just(2 * TARGET_CHUNK_ELEMS + 1),
+    ]
+}
+
+/// Deterministic pseudo-random field from a seed (proptest shrinks the
+/// seed, not 64Ki floats).
+fn gen_field(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // Map to a well-behaved climate-ish range.
+            200.0 + 100.0 * ((state >> 33) as f32 / (1u64 << 31) as f32)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn lossless_roundtrip_at_boundaries(len in boundary_len(), seed in 0u64..1000, workers in 1usize..9) {
+        let layout = Layout::linear(len);
+        let data = gen_field(len, seed);
+        for variant in [Variant::Fpzip { bits: 32 }, Variant::NetCdf4] {
+            let codec = variant.codec();
+            let bytes = compress_chunked(codec.as_ref(), &data, layout, workers);
+            let back = decompress_chunked(codec.as_ref(), &bytes, layout, workers).unwrap();
+            prop_assert_eq!(back.len(), data.len());
+            for (a, b) in data.iter().zip(&back) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_bytes_equal_sequential_at_boundaries(len in boundary_len(), seed in 0u64..1000) {
+        let layout = Layout::linear(len);
+        let data = gen_field(len, seed);
+        for variant in [
+            Variant::Apax { rate: 4.0 },
+            Variant::Isabela { rel_err: 0.005 },
+            Variant::Fpzip { bits: 24 },
+        ] {
+            let codec = variant.codec();
+            let seq = compress_chunked(codec.as_ref(), &data, layout, 1);
+            let par = compress_chunked(codec.as_ref(), &data, layout, 8);
+            prop_assert_eq!(&seq, &par, "{} parallel != sequential at len {}", variant.name(), len);
+            // Lossy decode still restores the exact element count.
+            let back = decompress_chunked(codec.as_ref(), &seq, layout, 3).unwrap();
+            prop_assert_eq!(back.len(), len);
+        }
+    }
+
+    #[test]
+    fn decode_is_total_over_mutated_streams(
+        len in prop_oneof![Just(1usize), Just(500), Just(TARGET_CHUNK_ELEMS + 1)],
+        seed in 0u64..1000,
+        flip_at in 0usize..10_000,
+        flip_mask in 1u8..=255,
+    ) {
+        let layout = Layout::linear(len);
+        let data = gen_field(len, seed);
+        let codec = Variant::NetCdf4.codec();
+        let mut bytes = compress_chunked(codec.as_ref(), &data, layout, 2);
+        let idx = flip_at % bytes.len();
+        bytes[idx] ^= flip_mask;
+        // Must return Ok or Err — never panic, never hang. A flip that
+        // lands in a chunk body may still decode (deflate stored blocks);
+        // the framing and length checks bound everything else.
+        let _ = decompress_chunked(codec.as_ref(), &bytes, layout, 2);
+    }
+
+    #[test]
+    fn truncation_is_total(
+        len in prop_oneof![
+            Just(TARGET_CHUNK_ELEMS + 1),
+            Just(2 * TARGET_CHUNK_ELEMS),
+            Just(2 * TARGET_CHUNK_ELEMS + 1),
+        ],
+        seed in 0u64..1000,
+        keep_permille in 0usize..1000,
+    ) {
+        let layout = Layout::linear(len);
+        let data = gen_field(len, seed);
+        let codec = Variant::Fpzip { bits: 24 }.codec();
+        let bytes = compress_chunked(codec.as_ref(), &data, layout, 2);
+        prop_assert!(plan(layout).len() >= 2);
+        let keep = bytes.len() * keep_permille / 1000;
+        // Multi-chunk framing rejects every proper prefix cleanly.
+        prop_assert!(decompress_chunked(codec.as_ref(), &bytes[..keep], layout, 2).is_err());
+    }
+}
+
+#[test]
+fn single_point_and_tiny_fields_roundtrip() {
+    for len in [1usize, 2, 3, 7] {
+        let layout = Layout::linear(len);
+        let data = gen_field(len, 42);
+        assert_eq!(plan(layout).len(), 1, "tiny field must be one chunk");
+        for workers in [1usize, 2, 8] {
+            let codec = Variant::NetCdf4.codec();
+            let bytes = compress_chunked(codec.as_ref(), &data, layout, workers);
+            let back = decompress_chunked(codec.as_ref(), &bytes, layout, workers).unwrap();
+            assert_eq!(back, data, "len {len} workers {workers}");
+        }
+    }
+}

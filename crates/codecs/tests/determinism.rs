@@ -1,0 +1,129 @@
+//! Determinism suite for the chunked parallel codec path.
+//!
+//! The contract under test: for every codec the paper evaluates (plus
+//! the lossless baselines), the bytes produced by `compress_chunked` and
+//! the floats produced by `decompress_chunked` are **bit-identical** at
+//! every worker count — parallelism is a pure throughput knob, never an
+//! output knob. Both a 3-D (level-major) and a 2-D (row-embedded) layout
+//! are exercised, each large enough to span multiple chunks.
+
+use cc_codecs::chunked::{compress_chunked, decompress_chunked, plan};
+use cc_codecs::{Layout, Variant};
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Every variant the determinism guarantee must hold for: the paper's
+/// nine lossy configurations plus the two lossless baselines.
+fn all_variants() -> Vec<Variant> {
+    let mut v = Variant::paper_set();
+    v.push(Variant::NetCdf4);
+    v.push(Variant::Fpzip { bits: 32 });
+    v
+}
+
+/// A 3-D field (6 levels) and a 2-D field, both spanning >= 2 chunks.
+fn layouts() -> Vec<Layout> {
+    let three_d = Layout { nlev: 6, npts: 20_000, rows: 142, cols: 142 };
+    let two_d = Layout::linear(70_000);
+    vec![three_d, two_d]
+}
+
+/// Deterministic climate-like field: smooth waves plus small dither, so
+/// lossy codecs exercise their real quantization paths.
+fn field(layout: Layout) -> Vec<f32> {
+    let mut data = Vec::with_capacity(layout.len());
+    for lev in 0..layout.nlev {
+        for p in 0..layout.npts {
+            let x = p as f32 / layout.npts as f32;
+            data.push(
+                250.0
+                    + 40.0 * (7.1 * x).sin()
+                    + 3.0 * (53.0 * x + lev as f32 * 0.7).cos()
+                    + 0.05 * ((p * 37 + lev * 11) % 97) as f32,
+            );
+        }
+    }
+    data
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn layouts_span_multiple_chunks() {
+    for layout in layouts() {
+        assert!(
+            plan(layout).len() >= 2,
+            "test layout {layout:?} must split into >= 2 chunks"
+        );
+    }
+}
+
+#[test]
+fn encode_bytes_bit_identical_across_workers() {
+    for layout in layouts() {
+        let data = field(layout);
+        for variant in all_variants() {
+            let codec = variant.codec();
+            let reference = compress_chunked(codec.as_ref(), &data, layout, 1);
+            for w in WORKER_COUNTS {
+                let bytes = compress_chunked(codec.as_ref(), &data, layout, w);
+                assert_eq!(
+                    bytes,
+                    reference,
+                    "{}: encode at {w} workers differs from sequential ({layout:?})",
+                    variant.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn decode_floats_bit_identical_across_workers() {
+    for layout in layouts() {
+        let data = field(layout);
+        for variant in all_variants() {
+            let codec = variant.codec();
+            let stream = compress_chunked(codec.as_ref(), &data, layout, 2);
+            let reference =
+                decompress_chunked(codec.as_ref(), &stream, layout, 1).expect("own stream");
+            assert_eq!(reference.len(), data.len());
+            for w in WORKER_COUNTS {
+                let decoded =
+                    decompress_chunked(codec.as_ref(), &stream, layout, w).expect("own stream");
+                assert_eq!(
+                    bits(&decoded),
+                    bits(&reference),
+                    "{}: decode at {w} workers differs from sequential ({layout:?})",
+                    variant.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn stream_is_decoder_worker_agnostic() {
+    // A stream encoded at any worker count decodes identically at any
+    // other: encode at 8, decode at 1/2/8, all equal the unchunked-path
+    // expectation of the layout length.
+    let layout = Layout { nlev: 6, npts: 20_000, rows: 142, cols: 142 };
+    let data = field(layout);
+    for variant in [Variant::Fpzip { bits: 32 }, Variant::NetCdf4] {
+        let codec = variant.codec();
+        let stream = compress_chunked(codec.as_ref(), &data, layout, 8);
+        for w in WORKER_COUNTS {
+            let decoded =
+                decompress_chunked(codec.as_ref(), &stream, layout, w).expect("own stream");
+            // Lossless variants must restore the input exactly.
+            assert_eq!(
+                bits(&decoded),
+                bits(&data),
+                "{}: lossless roundtrip at {w} workers",
+                variant.name()
+            );
+        }
+    }
+}

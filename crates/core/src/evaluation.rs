@@ -15,7 +15,8 @@
 //! 4. **bias** — 95%-confidence worst-case regression slope within 0.05 of
 //!    1 over the full reconstructed ensemble (eq. 9).
 
-use crate::par::par_map;
+use crate::par::par_map_with;
+use cc_codecs::chunked::{compress_chunked, decompress_chunked};
 use cc_codecs::{Layout, Variant};
 use cc_metrics::{ErrorMetrics, PEARSON_THRESHOLD};
 use cc_model::{Model, VariableSpec};
@@ -29,7 +30,10 @@ pub struct EvalConfig {
     /// How many members are sampled for the per-member tests ("generally
     /// three is sufficient").
     pub samples: usize,
-    /// Worker threads for the per-variable sweep.
+    /// Worker threads for the per-variable sweep (member synthesis and
+    /// full-ensemble reconstruction). Codec calls made *inside* those
+    /// sweeps always run the chunked path at workers = 1 — the nested
+    /// pool contexts must not oversubscribe on top of the sweep.
     pub workers: usize,
 }
 
@@ -85,6 +89,8 @@ pub struct VariableContext {
     pub enmax_dist: ScoreDistribution,
     /// Indices of the sampled members.
     pub sample_idx: Vec<usize>,
+    /// Worker threads for codec calls made at context top level.
+    pub workers: usize,
 }
 
 impl VariableContext {
@@ -97,7 +103,7 @@ impl VariableContext {
         let npts = layout.len();
 
         let members: Vec<usize> = (0..config.members).collect();
-        let fields: Vec<Vec<f32>> = par_map(&members, |&m| {
+        let fields: Vec<Vec<f32>> = par_map_with(config.workers, &members, |&m| {
             let member = model.member(m);
             model.synthesize(&member, var).data
         });
@@ -124,6 +130,7 @@ impl VariableContext {
             rmsz_orig: ScoreDistribution::new(rmsz),
             enmax_dist: ScoreDistribution::new(enmax),
             sample_idx: config.sample_indices(model.seed()),
+            workers: config.workers,
         }
     }
 
@@ -185,11 +192,15 @@ pub fn verdict_for(ctx: &VariableContext, variant: Variant) -> VariableVerdict {
     let mut sample_enmax = Vec::new();
     let mut metric_acc: Vec<ErrorMetrics> = Vec::new();
 
+    // Sampled members run at the context's worker count: the chunked
+    // codec path parallelizes over blocks inside this otherwise-serial
+    // loop. Nested pool contexts degrade to workers = 1 automatically.
     for &m in &ctx.sample_idx {
         let orig = &ctx.fields[m];
-        let bytes = codec.compress(orig, layout);
+        let bytes = compress_chunked(codec.as_ref(), orig, layout, ctx.workers);
         cr_sum += bytes.len() as f64 / ctx.raw_bytes() as f64;
-        let recon = codec.decompress(&bytes, layout).expect("own stream decodes");
+        let recon = decompress_chunked(codec.as_ref(), &bytes, layout, ctx.workers)
+            .expect("own stream decodes");
 
         if let Some(em) = ErrorMetrics::compare(orig, &recon) {
             if em.pearson < PEARSON_THRESHOLD && !em.is_exact() {
@@ -221,9 +232,11 @@ pub fn verdict_for(ctx: &VariableContext, variant: Variant) -> VariableVerdict {
         // Bit-exact reconstruction: slope exactly 1, trivially unbiased.
         (None, true)
     } else {
-        let recons: Vec<Vec<f32>> = par_map(&ctx.fields, |orig| {
-            let bytes = codec.compress(orig, layout);
-            codec.decompress(&bytes, layout).expect("own stream decodes")
+        // Parallel over members; the inner chunked calls pass workers = 1
+        // so the per-member fan-out is not multiplied by a per-block one.
+        let recons: Vec<Vec<f32>> = par_map_with(ctx.workers, &ctx.fields, |orig| {
+            let bytes = compress_chunked(codec.as_ref(), orig, layout, 1);
+            decompress_chunked(codec.as_ref(), &bytes, layout, 1).expect("own stream decodes")
         });
         let mut recon_stats = EnsembleStats::new(layout.len());
         for r in &recons {

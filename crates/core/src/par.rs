@@ -1,119 +1,10 @@
-//! Minimal data-parallel helpers on crossbeam scoped threads.
+//! Data-parallel helpers, re-exported from [`cc_par`].
 //!
-//! The evaluation sweeps are embarrassingly parallel over variables (and
-//! over ensemble members inside a variable); a scoped-thread worker pool
-//! with an atomic work index gives rayon-style `par_map` semantics without
-//! adding rayon to the dependency set. Results come back in input order.
+//! The implementation moved to the `cc-par` crate so the codec chunking
+//! layer (`cc_codecs::chunked`) and the container filter pipeline
+//! (`cc-ncdf`) can share the same pool discipline — including the
+//! nested-context guard that forces sequential execution inside pool
+//! workers — without a dependency cycle through `cc-core`. Existing
+//! `cc_core::par::...` paths keep working.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// Number of worker threads to use.
-pub fn default_workers() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-}
-
-/// Parallel map preserving input order. `f` must be `Sync` (called from
-/// many threads); items are claimed with an atomic cursor so imbalanced
-/// work (3-D vs 2-D variables) self-schedules.
-pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    par_map_with(default_workers(), items, f)
-}
-
-/// [`par_map`] with an explicit worker count (1 = sequential, used by
-/// tests and nested contexts).
-pub fn par_map_with<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = workers.clamp(1, n);
-    if workers == 1 {
-        return items.iter().map(&f).collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    // Each worker claims indices from the shared cursor and returns its
-    // (index, value) pairs; the parent merges them back in order.
-    std::thread::scope(|s| {
-        let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let cursor = &cursor;
-            let f = &f;
-            handles.push(s.spawn(move || {
-                let mut local: Vec<(usize, R)> = Vec::new();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    local.push((i, f(&items[i])));
-                }
-                local
-            }));
-        }
-        for h in handles {
-            for (i, r) in h.join().expect("worker panicked") {
-                results[i] = Some(r);
-            }
-        }
-    });
-    results.into_iter().map(|r| r.expect("all slots filled")).collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn preserves_order() {
-        let items: Vec<usize> = (0..1000).collect();
-        let out = par_map(&items, |&i| i * 2);
-        for (i, &v) in out.iter().enumerate() {
-            assert_eq!(v, i * 2);
-        }
-    }
-
-    #[test]
-    fn empty_input() {
-        let out: Vec<i32> = par_map(&[] as &[i32], |&v| v);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn single_worker_sequential() {
-        let items = vec![1, 2, 3];
-        let out = par_map_with(1, &items, |&v| v + 1);
-        assert_eq!(out, vec![2, 3, 4]);
-    }
-
-    #[test]
-    fn more_workers_than_items() {
-        let items = vec![5];
-        let out = par_map_with(64, &items, |&v| v);
-        assert_eq!(out, vec![5]);
-    }
-
-    #[test]
-    fn uneven_work_completes() {
-        let items: Vec<u64> = (0..64).collect();
-        let out = par_map(&items, |&i| {
-            // Simulate imbalanced work.
-            let mut acc = 0u64;
-            for k in 0..(i * 1000) {
-                acc = acc.wrapping_add(k);
-            }
-            acc.wrapping_add(i)
-        });
-        assert_eq!(out.len(), 64);
-    }
-}
+pub use cc_par::{default_workers, in_pool_worker, par_map, par_map_with, set_global_workers};

@@ -311,15 +311,20 @@ impl Dataset {
         let filters = self.vars[var].filters;
         let esize = self.vars[var].dtype.size();
         let chunk_bytes = CHUNK_ELEMS * esize;
-        let mut chunks = Vec::new();
-        for slice in raw.chunks(chunk_bytes.max(1)) {
+        // Chunks are filtered independently, so fan them out over the
+        // shared pool; par_map preserves input order (and degrades to
+        // sequential inside nested parallel contexts), so the stored
+        // chunk sequence is byte-identical to a sequential write.
+        let slices: Vec<&[u8]> = if raw.is_empty() {
+            Vec::new()
+        } else {
+            raw.chunks(chunk_bytes.max(1)).collect()
+        };
+        let chunks: Vec<Chunk> = cc_par::par_map(&slices, |slice| {
             let filtered = apply_filters(slice, esize, filters);
             let crc = crc32(&filtered);
-            chunks.push(Chunk { payload: filtered, crc, raw_len: slice.len() });
-        }
-        if raw.is_empty() {
-            chunks.clear();
-        }
+            Chunk { payload: filtered, crc, raw_len: slice.len() }
+        });
         self.vars[var].chunks = chunks;
         Ok(())
     }
@@ -332,13 +337,20 @@ impl Dataset {
         // Pre-allocation is additionally capped at 16x the stored payload
         // bytes; growth past that only follows actually-decoded chunks.
         let avail: usize = v.chunks.iter().map(|c| c.payload.len()).sum();
-        let mut out = Vec::with_capacity(expect.min(avail.saturating_mul(16)).min(1 << 26));
-        for (i, ch) in v.chunks.iter().enumerate() {
+        // Chunks verify and unfilter independently; fan them out, then
+        // reassemble in order (par_map preserves it) so the result is
+        // identical to a sequential read.
+        let idx: Vec<usize> = (0..v.chunks.len()).collect();
+        let parts: Vec<Result<Vec<u8>, Error>> = cc_par::par_map(&idx, |&i| {
+            let ch = &v.chunks[i];
             if crc32(&ch.payload) != ch.crc {
                 return Err(Error::Checksum { var: v.name.clone(), chunk: i });
             }
-            let raw = remove_filters(&ch.payload, ch.raw_len, v.dtype.size(), v.filters)?;
-            out.extend_from_slice(&raw);
+            remove_filters(&ch.payload, ch.raw_len, v.dtype.size(), v.filters)
+        });
+        let mut out = Vec::with_capacity(expect.min(avail.saturating_mul(16)).min(1 << 26));
+        for part in parts {
+            out.extend_from_slice(&part?);
         }
         if out.len() != expect {
             return Err(Error::Format("variable data length mismatch"));

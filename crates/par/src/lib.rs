@@ -1,0 +1,215 @@
+//! Minimal data-parallel helpers on crossbeam scoped threads.
+//!
+//! The evaluation sweeps are embarrassingly parallel over variables (and
+//! over ensemble members inside a variable), and the chunked codec path
+//! is parallel over blocks; a scoped-thread worker pool with an atomic
+//! work index gives rayon-style `par_map` semantics without adding rayon
+//! to the dependency set. Results come back in input order, so parallel
+//! callers see exactly the sequence a sequential loop would produce.
+//!
+//! This crate sits below `cc-codecs`, `cc-ncdf`, and `cc-core` so all
+//! three layers share one pool discipline — in particular the
+//! **nested-context guard**: code running *inside* a pool worker that
+//! calls back into [`par_map`]/[`par_map_with`] degrades to sequential
+//! execution instead of multiplying thread counts (an evaluation sweep
+//! over members that compresses each member with the chunked codec path
+//! would otherwise spawn `workers²` threads).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide worker-count override (0 = unset). Set from `--workers`
+/// style CLI flags; consulted by [`default_workers`].
+static GLOBAL_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True on threads spawned by [`par_map_with`] workers.
+    static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// True when the calling thread is a pool worker spawned by this crate.
+pub fn in_pool_worker() -> bool {
+    IN_POOL.with(|f| f.get())
+}
+
+/// Override the process-wide default worker count (`0` clears the
+/// override). Used by the CLI `--workers` flags; nested contexts still
+/// degrade to 1 regardless of the override.
+pub fn set_global_workers(n: usize) {
+    GLOBAL_WORKERS.store(n, Ordering::Relaxed);
+}
+
+/// Number of worker threads to use.
+///
+/// Nested-context guard: when called from inside a pool worker this
+/// returns 1, so parallel code invoked from an already-parallel sweep
+/// runs sequentially instead of oversubscribing the machine.
+pub fn default_workers() -> usize {
+    if in_pool_worker() {
+        return 1;
+    }
+    match GLOBAL_WORKERS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        n => n,
+    }
+}
+
+/// Parallel map preserving input order. `f` must be `Sync` (called from
+/// many threads); items are claimed with an atomic cursor so imbalanced
+/// work (3-D vs 2-D variables) self-schedules.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_with(default_workers(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count (1 = sequential, used by
+/// tests and nested contexts). A call from inside a pool worker is
+/// forced sequential whatever `workers` says — see the crate docs.
+pub fn par_map_with<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = if in_pool_worker() { 1 } else { workers.clamp(1, n) };
+    if workers == 1 {
+        return items.iter().map(&f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    // Each worker claims indices from the shared cursor and returns its
+    // (index, value) pairs; the parent merges them back in order.
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let cursor = &cursor;
+            let f = &f;
+            handles.push(s.spawn(move || {
+                IN_POOL.with(|flag| flag.set(true));
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(&items[i])));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            for (i, r) in h.join().expect("worker panicked") {
+                results[i] = Some(r);
+            }
+        }
+    });
+    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map(&items, |&i| i * 2);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * 2);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = par_map(&[] as &[i32], |&v| v);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_worker_sequential() {
+        let items = vec![1, 2, 3];
+        let out = par_map_with(1, &items, |&v| v + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        let items = vec![5];
+        let out = par_map_with(64, &items, |&v| v);
+        assert_eq!(out, vec![5]);
+    }
+
+    #[test]
+    fn uneven_work_completes() {
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(&items, |&i| {
+            // Simulate imbalanced work.
+            let mut acc = 0u64;
+            for k in 0..(i * 1000) {
+                acc = acc.wrapping_add(k);
+            }
+            acc.wrapping_add(i)
+        });
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn nested_context_degrades_to_sequential() {
+        // Regression: default_workers() consulted inside an
+        // already-parallel sweep must report 1 so nested par_map calls
+        // cannot multiply thread counts.
+        let items: Vec<usize> = (0..16).collect();
+        let flags = par_map_with(4, &items, |_| {
+            (in_pool_worker(), default_workers())
+        });
+        for (in_pool, workers) in flags {
+            assert!(in_pool, "pool worker must see the in-pool flag");
+            assert_eq!(workers, 1, "nested default_workers must be 1");
+        }
+        // Outside the pool the flag is clear again.
+        assert!(!in_pool_worker());
+        assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn nested_par_map_spawns_no_extra_threads() {
+        // Count concurrently-live closure invocations of the *inner*
+        // par_map: forced-sequential nesting means the inner map runs on
+        // the worker thread itself, so its concurrency never exceeds the
+        // outer worker count even when it asks for 8 workers.
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        static PEAK: AtomicUsize = AtomicUsize::new(0);
+        let outer: Vec<usize> = (0..8).collect();
+        let inner: Vec<usize> = (0..32).collect();
+        par_map_with(2, &outer, |_| {
+            par_map_with(8, &inner, |&v| {
+                let live = LIVE.fetch_add(1, Ordering::SeqCst) + 1;
+                PEAK.fetch_max(live, Ordering::SeqCst);
+                std::thread::yield_now();
+                LIVE.fetch_sub(1, Ordering::SeqCst);
+                v
+            })
+        });
+        assert!(
+            PEAK.load(Ordering::SeqCst) <= 2,
+            "nested par_map exploded concurrency: peak {}",
+            PEAK.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn global_override_respected() {
+        set_global_workers(3);
+        assert_eq!(default_workers(), 3);
+        set_global_workers(0);
+        assert!(default_workers() >= 1);
+    }
+}

@@ -32,6 +32,13 @@ fn main() {
         exit(2);
     };
     let flags = parse_flags(rest);
+    if let Some(w) = flags.get("workers") {
+        let w: usize = w.parse().unwrap_or_else(|_| {
+            eprintln!("--workers expects an integer, got {w}");
+            exit(2);
+        });
+        climate_compress::core::par::set_global_workers(w);
+    }
     match cmd.as_str() {
         "generate" => generate(&flags),
         "inspect" => inspect(rest),
@@ -53,7 +60,8 @@ fn usage() {
          \x20 generate --out FILE [--ne N] [--nlev N] [--seed S] [--member M]\n\
          \x20 inspect FILE\n\
          \x20 verify --var NAME [--codec NAME] [--members N] [--ne N] [--nlev N] [--seed S]\n\
-         \x20 profile --var NAME [--ne N] [--nlev N] [--seed S]"
+         \x20 profile --var NAME [--ne N] [--nlev N] [--seed S]\n\
+         every command also accepts --workers N (worker-pool width)"
     );
 }
 

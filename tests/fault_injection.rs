@@ -209,6 +209,66 @@ fn ncdf_dataset_decode_is_total() {
 }
 
 // ---------------------------------------------------------------------------
+// Chunked parallel frames (cc-codecs::chunked).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn chunked_decode_is_total() {
+    use cc_codecs::chunked::{compress_chunked, decompress_chunked};
+    // Multi-chunk 3-D stream so the corpus damages real frame boundaries.
+    let (data, layout) = smooth_field(40_000, 4);
+    for variant in [Variant::Fpzip { bits: 24 }, Variant::NetCdf4] {
+        let codec = variant.codec();
+        let stream = compress_chunked(codec.as_ref(), &data, layout, 2);
+        let name = format!("chunked/{}", variant.name());
+        fuzz_decoder(&name, data.len() * 4, &stream, &|bytes| {
+            let _ = decompress_chunked(codec.as_ref(), bytes, layout, 2);
+        });
+    }
+}
+
+#[test]
+fn chunked_frame_damage_is_rejected() {
+    use cc_codecs::chunked::{compress_chunked, decompress_chunked, plan};
+    use cc_codecs::LAYOUT_HEADER_LEN;
+    let (data, layout) = smooth_field(40_000, 4);
+    let codec = Variant::NetCdf4.codec();
+    let good = compress_chunked(codec.as_ref(), &data, layout, 2);
+    let nchunks = plan(layout).len();
+    assert!(nchunks >= 2, "stream must span chunks");
+
+    let decode = |bytes: &[u8]| decompress_chunked(codec.as_ref(), bytes, layout, 2);
+
+    // Chunk count rewritten to every nearby wrong value.
+    for wrong in [0u32, 1, nchunks as u32 - 1, nchunks as u32 + 1, u32::MAX] {
+        if wrong as usize == nchunks {
+            continue;
+        }
+        let mut bad = good.clone();
+        bad[LAYOUT_HEADER_LEN..LAYOUT_HEADER_LEN + 4].copy_from_slice(&wrong.to_le_bytes());
+        assert!(decode(&bad).is_err(), "chunk count {wrong} must be rejected");
+    }
+    // First chunk length inflated past the body / to absurd sizes.
+    for wrong in [u32::MAX, 1 << 30, good.len() as u32] {
+        let mut bad = good.clone();
+        bad[LAYOUT_HEADER_LEN + 4..LAYOUT_HEADER_LEN + 8].copy_from_slice(&wrong.to_le_bytes());
+        assert!(decode(&bad).is_err(), "chunk length {wrong} must be rejected");
+    }
+    // Truncation mid-frame: inside the count, inside a length prefix,
+    // and inside every chunk payload.
+    let step = (good.len() / 37).max(1);
+    for cut in (0..good.len()).step_by(step) {
+        assert!(decode(&good[..cut]).is_err(), "prefix of {cut} bytes must be rejected");
+    }
+    // Trailing bytes after the last frame.
+    let mut bad = good.clone();
+    bad.push(0);
+    assert!(decode(&bad).is_err(), "trailing byte must be rejected");
+    // Pristine stream still decodes.
+    assert_eq!(decode(&good).unwrap().len(), data.len());
+}
+
+// ---------------------------------------------------------------------------
 // Standalone double-precision fpzip.
 // ---------------------------------------------------------------------------
 
