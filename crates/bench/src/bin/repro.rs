@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of Baker et al. (HPDC'14).
 //!
 //! ```text
-//! repro [EXPERIMENTS] [FLAGS]
+//! repro [run] [EXPERIMENTS] [FLAGS]
 //!
 //! EXPERIMENTS  any of: table1 table2 table3 table4 table5 table6 table7
 //!              table8 fig1 fig2 fig3 fig4 scaling calibration ssim
@@ -12,19 +12,30 @@
 //!              --members N  --ne N  --nlev N  --seed S  --out DIR
 //!              --workers N  (override the worker-pool width)
 //!              --bench-out FILE  (BENCH.json path, default repo root)
+//!              --trace FILE  (record spans+metrics, write TRACE.json)
+//!              --metrics     (record counters/histograms, print table)
+//!              --quiet       (suppress progress lines on stderr)
 //! ```
+//!
+//! `run` is an optional no-op token, so the documented invocation
+//! `repro run table6 --trace trace.json` works verbatim.
 //!
 //! `bench` runs the chunked-codec throughput sweep and writes the
 //! schema'd `BENCH.json` (validated before the process exits);
 //! `bench-check FILE` re-validates an existing artifact and exits
-//! non-zero if it does not satisfy the schema.
+//! non-zero if it does not satisfy the schema. `trace-check [FILE]`
+//! does the same for a `TRACE.json` artifact (default `TRACE.json`).
 //!
 //! `scorecard` re-reads the CSV artifacts of earlier experiments and
 //! machine-checks the paper's shape claims (exits non-zero on a required
 //! failure), so a full reproduction is `repro all extensions scorecard`.
 //!
 //! Each experiment prints the same rows/series the paper reports and
-//! writes text + CSV artifacts under the output directory.
+//! writes text + CSV artifacts under the output directory. With
+//! `--trace`, every experiment runs under an `exp.<name>` span; the
+//! span tree and metrics snapshot are written to the given path (a
+//! `cc-trace/1` document, self-validated before landing on disk) and a
+//! per-stage summary table is printed at exit.
 
 use cc_bench::{RunConfig, FOCUS};
 use cc_codecs::{Codec, Variant};
@@ -34,15 +45,25 @@ use cc_core::{build_hybrid, build_nc_baseline, HybridResult};
 use cc_grid::Resolution;
 use cc_metrics::FieldStats;
 use cc_ncdf::{DType, Dataset, FilterPipeline};
+use cc_obs::progress;
 use std::collections::BTreeMap;
 use std::time::Instant;
 
 fn main() {
-    let (experiments, cfg, bench_opts) = parse_args();
+    let (experiments, cfg, bench_opts, obs) = parse_args();
+    if obs.quiet {
+        cc_obs::progress::set_quiet(true);
+    }
+    if obs.trace.is_some() {
+        cc_obs::enable_all();
+    } else if obs.metrics {
+        cc_obs::set_metrics_enabled(true);
+    }
     let mut runner = Runner { cfg, eval: None, focus_ctx: BTreeMap::new() };
     for exp in &experiments {
         let t0 = Instant::now();
-        eprintln!(">>> running {exp} ...");
+        progress!(">>> running {exp} ...");
+        let _exp_span = cc_obs::span_dyn(&format!("exp.{exp}"));
         match exp.as_str() {
             "table1" => runner.table1(),
             "table2" => runner.table2(),
@@ -61,6 +82,7 @@ fn main() {
             "ssim" => runner.ssim(),
             "bench" => run_bench(&bench_opts),
             "bench-check" => check_bench(&bench_opts),
+            "trace-check" => check_trace(&obs.check_path),
             "scorecard" => {
                 let claims = cc_bench::scorecard::evaluate(&runner.cfg.out_dir);
                 let (fails, text) = cc_bench::scorecard::render(&claims);
@@ -76,7 +98,63 @@ fn main() {
                 std::process::exit(2);
             }
         }
-        eprintln!(">>> {exp} done in {:.1}s", t0.elapsed().as_secs_f64());
+        drop(_exp_span);
+        progress!(">>> {exp} done in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+    finish_observability(&obs);
+}
+
+/// Observability flags.
+struct ObsOpts {
+    /// `--trace FILE`: record spans + metrics, write a `TRACE.json`.
+    trace: Option<std::path::PathBuf>,
+    /// `--metrics`: record counters/histograms, print the table at exit.
+    metrics: bool,
+    /// `--quiet`: suppress progress lines.
+    quiet: bool,
+    /// Positional path for `trace-check` (default `TRACE.json`).
+    check_path: std::path::PathBuf,
+}
+
+/// After all experiments: export the trace artifact and/or print the
+/// summary tables.
+fn finish_observability(obs: &ObsOpts) {
+    if obs.trace.is_none() && !obs.metrics {
+        return;
+    }
+    let report = cc_obs::trace::TraceReport::collect();
+    if let Some(path) = &obs.trace {
+        if let Err(e) = report.write(path) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        progress!("wrote trace to {}", path.display());
+        let summary = report.summary();
+        if !summary.is_empty() {
+            println!("{}", cc_core::report::trace_summary_table(&summary).render());
+        }
+    }
+    println!("{}", cc_core::report::metrics_table(&report.metrics).render());
+}
+
+fn check_trace(path: &std::path::Path) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    match cc_obs::trace::validate(&text) {
+        Ok(stats) => println!(
+            "{}: valid cc-trace/1 artifact ({} spans, depth {}, {} counters, {} histograms)",
+            path.display(),
+            stats.spans,
+            stats.max_depth,
+            stats.counters,
+            stats.histograms
+        ),
+        Err(e) => {
+            eprintln!("{}: invalid trace: {e}", path.display());
+            std::process::exit(1);
+        }
     }
 }
 
@@ -94,7 +172,7 @@ fn run_bench(opts: &BenchOpts) {
     } else {
         cc_bench::throughput::BenchConfig::default_scale()
     };
-    let report = cc_bench::throughput::run(&config, &mut |line| eprintln!("    {line}"));
+    let report = cc_bench::throughput::run(&config, &mut |line| progress!("    {line}"));
     let json = report.to_json();
     if let Err(errs) = cc_bench::throughput::validate(&json) {
         eprintln!("generated BENCH.json violates its own schema:");
@@ -132,7 +210,7 @@ fn check_bench(opts: &BenchOpts) {
         std::process::exit(1);
     });
     match cc_bench::throughput::validate(&text) {
-        Ok(()) => println!("{}: valid cc-bench-throughput/1 artifact", opts.path.display()),
+        Ok(()) => println!("{}: valid cc-bench-throughput artifact", opts.path.display()),
         Err(errs) => {
             eprintln!("{}: schema violations:", opts.path.display());
             for e in errs {
@@ -143,9 +221,15 @@ fn check_bench(opts: &BenchOpts) {
     }
 }
 
-fn parse_args() -> (Vec<String>, RunConfig, BenchOpts) {
+fn parse_args() -> (Vec<String>, RunConfig, BenchOpts, ObsOpts) {
     let mut cfg = RunConfig::default();
     let mut bench = BenchOpts { path: "BENCH.json".into(), quick: false };
+    let mut obs = ObsOpts {
+        trace: None,
+        metrics: false,
+        quiet: false,
+        check_path: "TRACE.json".into(),
+    };
     let mut exps: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1).peekable();
     let next_val = |args: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>| {
@@ -182,6 +266,11 @@ fn parse_args() -> (Vec<String>, RunConfig, BenchOpts) {
                 cc_core::par::set_global_workers(w);
             }
             "--bench-out" => bench.path = next_val(&mut args).into(),
+            "--trace" => obs.trace = Some(next_val(&mut args).into()),
+            "--metrics" => obs.metrics = true,
+            "--quiet" => obs.quiet = true,
+            // `repro run table6` reads naturally; `run` itself is a no-op.
+            "run" => {}
             "all" => exps.extend(
                 [
                     "table1", "table2", "table3", "table4", "table5", "table6", "table7",
@@ -206,6 +295,15 @@ fn parse_args() -> (Vec<String>, RunConfig, BenchOpts) {
                     }
                 }
             }
+            "trace-check" => {
+                exps.push("trace-check".to_string());
+                // Optional positional artifact path: `trace-check FILE`.
+                if let Some(next) = args.peek() {
+                    if !next.starts_with('-') {
+                        obs.check_path = args.next().unwrap().into();
+                    }
+                }
+            }
             other => exps.push(other.to_string()),
         }
     }
@@ -218,7 +316,7 @@ fn parse_args() -> (Vec<String>, RunConfig, BenchOpts) {
     }
     // table7 implies table8 (same computation); dedupe.
     exps.dedup();
-    (exps, cfg, bench)
+    (exps, cfg, bench, obs)
 }
 
 struct Runner {
@@ -230,7 +328,7 @@ struct Runner {
 impl Runner {
     fn eval(&mut self) -> &Evaluation {
         if self.eval.is_none() {
-            eprintln!(
+            progress!(
                 "    building model: ne={} nlev={} ({} horizontal points), {} members",
                 self.cfg.resolution.ne,
                 self.cfg.resolution.nlev,
@@ -253,7 +351,7 @@ impl Runner {
                 eprintln!("unknown focus variable {name}");
                 std::process::exit(2);
             });
-            eprintln!("    building ensemble context for {name} ...");
+            progress!("    building ensemble context for {name} ...");
             let ctx = eval.context(var);
             self.focus_ctx.insert(name.to_string(), ctx);
         }
@@ -438,7 +536,7 @@ impl Runner {
         for var in 0..nvars {
             let ctx = { self.eval().context(var) };
             if var % 17 == 0 {
-                eprintln!("    table6: variable {var}/{nvars} ({})", ctx.spec.name);
+                progress!("    table6: variable {var}/{nvars} ({})", ctx.spec.name);
             }
             for (vi, &variant) in variants.iter().enumerate() {
                 let v = verdict_for(&ctx, variant);
@@ -469,10 +567,10 @@ impl Runner {
         let eval = self.cfg.evaluation();
         let mut hybrids: Vec<HybridResult> = Vec::new();
         for family in cc_codecs::Family::all() {
-            eprintln!("    building hybrid for {} ...", family.name());
+            progress!("    building hybrid for {} ...", family.name());
             hybrids.push(build_hybrid(&eval, family));
         }
-        eprintln!("    building NC baseline ...");
+        progress!("    building NC baseline ...");
         hybrids.push(build_nc_baseline(&eval));
 
         let mut t7 = Table::new(
@@ -515,7 +613,7 @@ impl Runner {
         for var in 0..nvars {
             let ctx = { self.eval().context(var) };
             if var % 17 == 0 {
-                eprintln!("    fig1: variable {var}/{nvars} ({})", ctx.spec.name);
+                progress!("    fig1: variable {var}/{nvars} ({})", ctx.spec.name);
             }
             for (vi, &variant) in variants.iter().enumerate() {
                 // Only the sample metrics are needed — skip the bias pass

@@ -7,11 +7,11 @@
 //! codec. Results serialize to the schema'd `BENCH.json` at the repo
 //! root — the performance trajectory later PRs append to.
 //!
-//! # `BENCH.json` schema (`cc-bench-throughput/1`)
+//! # `BENCH.json` schema (`cc-bench-throughput/2`)
 //!
 //! ```json
 //! {
-//!   "schema": "cc-bench-throughput/1",
+//!   "schema": "cc-bench-throughput/2",
 //!   "preset": "default" | "quick",
 //!   "field": {"npts": N, "nlev": N, "elems": N, "bytes": N},
 //!   "chunks": N,
@@ -23,7 +23,11 @@
 //!       "encode":   [{"workers": 1, "secs": 0.5, "mb_per_s": 8.0}, ...],
 //!       "decode":   [{"workers": 1, "secs": 0.3, "mb_per_s": 13.0}, ...],
 //!       "pipeline": [{"workers": 1, "secs": 0.9}, ...],
-//!       "encode_speedup": 1.8
+//!       "encode_speedup": 1.8,
+//!       "telemetry": {
+//!         "encode_bytes_in": N, "encode_bytes_out": N,
+//!         "decode_bytes_in": N, "decode_bytes_out": N
+//!       }
 //!     }, ...
 //!   ],
 //!   "max_encode_speedup": 1.9
@@ -33,10 +37,15 @@
 //! `encode`/`decode` carry one entry per worker count (same order as
 //! `worker_counts`); `encode_speedup` is the best multi-worker encode
 //! rate over the `workers = 1` rate; `max_encode_speedup` is the maximum
-//! over codecs. [`validate`] machine-checks all of this via the minimal
-//! JSON parser in [`mod@json`], so CI can reject malformed artifacts.
+//! over codecs. `telemetry` is the delta of the per-codec `cc-obs` byte
+//! counters across the sweep — the counters are process-wide, so the
+//! deltas are lower-bounded by this run's traffic rather than exactly
+//! equal to it when other work shares the process. [`validate`]
+//! machine-checks all of this via the minimal JSON parser in
+//! [`mod@json`], so CI can reject malformed artifacts; it accepts the
+//! pre-telemetry `cc-bench-throughput/1` documents too.
 
-pub mod json;
+pub use cc_obs::json;
 
 use cc_codecs::chunked::{compress_chunked, decompress_chunked, plan};
 use cc_codecs::{Layout, Variant};
@@ -105,6 +114,44 @@ pub struct Timing {
     pub mb_per_s: f64,
 }
 
+/// Byte-counter deltas for one codec across its sweep, read from the
+/// process-wide `codec.<name>.{encode,decode}.{bytes_in,bytes_out}`
+/// counters maintained by `cc_codecs::ObsCodec`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CodecTelemetry {
+    /// Raw f32 payload bytes fed to encode.
+    pub encode_bytes_in: u64,
+    /// Coded stream bytes produced by encode.
+    pub encode_bytes_out: u64,
+    /// Coded stream bytes fed to decode.
+    pub decode_bytes_in: u64,
+    /// Raw f32 payload bytes reconstructed by decode.
+    pub decode_bytes_out: u64,
+}
+
+impl CodecTelemetry {
+    /// Read the current counter values for `codec.<name>.*`.
+    fn snapshot(name: &str) -> Self {
+        let read = |suffix: &str| cc_obs::counter_value(&format!("codec.{name}.{suffix}"));
+        CodecTelemetry {
+            encode_bytes_in: read("encode.bytes_in"),
+            encode_bytes_out: read("encode.bytes_out"),
+            decode_bytes_in: read("decode.bytes_in"),
+            decode_bytes_out: read("decode.bytes_out"),
+        }
+    }
+
+    /// Delta against an earlier snapshot.
+    fn since(self, before: CodecTelemetry) -> Self {
+        CodecTelemetry {
+            encode_bytes_in: self.encode_bytes_in.wrapping_sub(before.encode_bytes_in),
+            encode_bytes_out: self.encode_bytes_out.wrapping_sub(before.encode_bytes_out),
+            decode_bytes_in: self.decode_bytes_in.wrapping_sub(before.decode_bytes_in),
+            decode_bytes_out: self.decode_bytes_out.wrapping_sub(before.decode_bytes_out),
+        }
+    }
+}
+
 /// Per-codec results.
 #[derive(Debug, Clone)]
 pub struct CodecBench {
@@ -118,6 +165,8 @@ pub struct CodecBench {
     pub decode: Vec<Timing>,
     /// End-to-end pipeline seconds, one per worker count.
     pub pipeline: Vec<(usize, f64)>,
+    /// Byte-counter deltas over the sweep.
+    pub telemetry: CodecTelemetry,
 }
 
 impl CodecBench {
@@ -188,13 +237,20 @@ fn best_of<F: FnMut() -> R, R>(reps: usize, mut f: F) -> (f64, R) {
 }
 
 /// Run the sweep. `progress` receives one line per codec.
+///
+/// Enables `cc-obs` metric recording for the rest of the process so the
+/// per-codec byte counters behind [`CodecTelemetry`] accumulate; the
+/// timed sections are unchanged by this (one relaxed atomic add per
+/// chunk).
 pub fn run(config: &BenchConfig, progress: &mut dyn FnMut(&str)) -> BenchReport {
+    cc_obs::set_metrics_enabled(true);
     let (data, layout) = bench_field(config.npts, config.nlev);
     let raw_mb = (layout.len() * 4) as f64 / (1024.0 * 1024.0);
     let chunks = plan(layout).len();
     let mut codecs = Vec::new();
     for variant in bench_set() {
         let codec = variant.codec();
+        let counters_before = CodecTelemetry::snapshot(&variant.name());
         progress(&format!("benching {} ({} chunks, {:.1} MB raw)", variant.name(), chunks, raw_mb));
         let mut encode = Vec::new();
         let mut decode = Vec::new();
@@ -234,7 +290,8 @@ pub fn run(config: &BenchConfig, progress: &mut dyn FnMut(&str)) -> BenchReport 
             assert!(ok);
             pipeline.push((w, pipe_secs));
         }
-        codecs.push(CodecBench { name: variant.name(), ratio, encode, decode, pipeline });
+        let telemetry = CodecTelemetry::snapshot(&variant.name()).since(counters_before);
+        codecs.push(CodecBench { name: variant.name(), ratio, encode, decode, pipeline, telemetry });
     }
     BenchReport { config: config.clone(), layout, chunks, codecs }
 }
@@ -245,7 +302,7 @@ impl BenchReport {
         self.codecs.iter().map(|c| c.encode_speedup()).fold(0.0, f64::max)
     }
 
-    /// Serialize to the `cc-bench-throughput/1` JSON document.
+    /// Serialize to the `cc-bench-throughput/2` JSON document.
     pub fn to_json(&self) -> String {
         let timing_arr = |ts: &[Timing]| -> String {
             let items: Vec<String> = ts
@@ -261,7 +318,7 @@ impl BenchReport {
         };
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str("  \"schema\": \"cc-bench-throughput/1\",\n");
+        s.push_str("  \"schema\": \"cc-bench-throughput/2\",\n");
         s.push_str(&format!("  \"preset\": \"{}\",\n", self.config.preset));
         s.push_str(&format!(
             "  \"field\": {{\"npts\": {}, \"nlev\": {}, \"elems\": {}, \"bytes\": {}}},\n",
@@ -290,14 +347,22 @@ impl BenchReport {
                     .iter()
                     .map(|(w, t)| format!("{{\"workers\": {w}, \"secs\": {t:.6}}}"))
                     .collect();
+                let tel = format!(
+                    "{{\"encode_bytes_in\": {}, \"encode_bytes_out\": {}, \"decode_bytes_in\": {}, \"decode_bytes_out\": {}}}",
+                    c.telemetry.encode_bytes_in,
+                    c.telemetry.encode_bytes_out,
+                    c.telemetry.decode_bytes_in,
+                    c.telemetry.decode_bytes_out
+                );
                 format!(
-                    "    {{\"name\": \"{}\", \"ratio\": {:.6}, \"encode\": {}, \"decode\": {}, \"pipeline\": [{}], \"encode_speedup\": {:.3}}}",
+                    "    {{\"name\": \"{}\", \"ratio\": {:.6}, \"encode\": {}, \"decode\": {}, \"pipeline\": [{}], \"encode_speedup\": {:.3}, \"telemetry\": {}}}",
                     c.name,
                     c.ratio,
                     timing_arr(&c.encode),
                     timing_arr(&c.decode),
                     pipe.join(", "),
-                    c.encode_speedup()
+                    c.encode_speedup(),
+                    tel
                 )
             })
             .collect();
@@ -313,7 +378,9 @@ impl BenchReport {
 }
 
 /// Validate a `BENCH.json` document against the
-/// `cc-bench-throughput/1` schema. Returns every violation found.
+/// `cc-bench-throughput/2` schema (documents declaring the
+/// pre-telemetry `/1` schema are still accepted, without requiring the
+/// `telemetry` section). Returns every violation found.
 pub fn validate(text: &str) -> Result<(), Vec<String>> {
     let doc = match json::parse(text) {
         Ok(v) => v,
@@ -326,10 +393,12 @@ pub fn validate(text: &str) -> Result<(), Vec<String>> {
         }
     }
 
+    let schema = doc.get("schema").and_then(json::Value::as_str);
+    let telemetry_required = schema == Some("cc-bench-throughput/2");
     check(
         &mut errs,
-        doc.get("schema").and_then(json::Value::as_str) == Some("cc-bench-throughput/1"),
-        "schema must be \"cc-bench-throughput/1\"",
+        matches!(schema, Some("cc-bench-throughput/1") | Some("cc-bench-throughput/2")),
+        "schema must be \"cc-bench-throughput/1\" or \"cc-bench-throughput/2\"",
     );
     check(&mut errs, doc.get("preset").and_then(json::Value::as_str).is_some(), "preset missing");
     let field = doc.get("field");
@@ -411,6 +480,30 @@ pub fn validate(text: &str) -> Result<(), Vec<String>> {
                     c.get("encode_speedup").and_then(json::Value::as_f64).is_some(),
                     &format!("{name}: encode_speedup missing"),
                 );
+                if telemetry_required {
+                    // Counters are process-wide deltas: require positive
+                    // traffic in every direction, not exact byte
+                    // accounting (concurrent work in the same process
+                    // may also have incremented them).
+                    match c.get("telemetry") {
+                        None => errs.push(format!("{name}: telemetry section missing")),
+                        Some(t) => {
+                            for key in [
+                                "encode_bytes_in",
+                                "encode_bytes_out",
+                                "decode_bytes_in",
+                                "decode_bytes_out",
+                            ] {
+                                check(
+                                    &mut errs,
+                                    t.get(key).and_then(json::Value::as_f64).map(|v| v > 0.0)
+                                        == Some(true),
+                                    &format!("{name}: telemetry.{key} must be positive"),
+                                );
+                            }
+                        }
+                    }
+                }
             }
         }
     }
@@ -447,10 +540,17 @@ mod tests {
         let json = report.to_json();
         validate(&json).expect("fresh report must satisfy its own schema");
         assert_eq!(report.codecs.len(), 5);
+        let raw = (report.layout.len() * 4) as u64;
         for c in &report.codecs {
             assert_eq!(c.encode.len(), 2);
             assert_eq!(c.decode.len(), 2);
             assert!(c.ratio > 0.0 && c.ratio < 2.0, "{}: {}", c.name, c.ratio);
+            // Each worker count encodes+decodes the whole field at least
+            // once; the counters are process-wide so >= is the contract.
+            assert!(c.telemetry.encode_bytes_in >= 2 * raw, "{}: {:?}", c.name, c.telemetry);
+            assert!(c.telemetry.encode_bytes_out > 0, "{}: {:?}", c.name, c.telemetry);
+            assert!(c.telemetry.decode_bytes_in > 0, "{}: {:?}", c.name, c.telemetry);
+            assert!(c.telemetry.decode_bytes_out >= 2 * raw, "{}: {:?}", c.name, c.telemetry);
         }
     }
 
@@ -459,12 +559,23 @@ mod tests {
         let report = run(&tiny_config(), &mut |_| {});
         let good = report.to_json();
         for bad in [
-            good.replace("cc-bench-throughput/1", "cc-bench-throughput/0"),
+            good.replace("cc-bench-throughput/2", "cc-bench-throughput/0"),
             good.replace("\"worker_counts\": [1, 2]", "\"worker_counts\": [1]"),
             good.replace("\"codecs\"", "\"kodecs\""),
+            good.replace("\"telemetry\"", "\"telemetree\""),
             "{not json".to_string(),
         ] {
             assert!(validate(&bad).is_err(), "must reject: {}", &bad[..60.min(bad.len())]);
         }
+    }
+
+    #[test]
+    fn validator_accepts_v1_without_telemetry() {
+        let report = run(&tiny_config(), &mut |_| {});
+        let v1 = report
+            .to_json()
+            .replace("cc-bench-throughput/2", "cc-bench-throughput/1")
+            .replace("\"telemetry\"", "\"ignored\"");
+        validate(&v1).expect("v1 documents stay valid without telemetry");
     }
 }

@@ -1,0 +1,82 @@
+//! End-to-end trace coverage: a traced quick evaluation must produce a
+//! validating `cc-trace/1` document whose span tree reaches from the
+//! evaluation layer through the chunked codec fan-out down to the
+//! per-codec and lossless kernels, with nonzero byte counters.
+//!
+//! This is the integration pin behind the `--trace` flag: if an
+//! instrumentation site is dropped from any layer, the stage-name
+//! assertions here fail.
+
+use cc_codecs::Variant;
+use cc_core::evaluation::{verdict_for, EvalConfig, Evaluation};
+use cc_grid::Resolution;
+use cc_model::Model;
+
+#[test]
+fn traced_evaluation_covers_all_pipeline_layers() {
+    cc_obs::enable_all();
+
+    let model = Model::new(Resolution::reduced(3, 2), 2014);
+    let eval = Evaluation::new(model, EvalConfig::quick(7));
+    let var = eval.model.var_id("U").expect("registry has U");
+    let ctx = {
+        let _s = cc_obs::span("test.context");
+        eval.context(var)
+    };
+    // One lossy family (fpzip wraps in the chunked path) and the
+    // lossless NetCDF-4 baseline (exercises cc-lossless).
+    for variant in [Variant::Fpzip { bits: 24 }, Variant::NetCdf4] {
+        let v = verdict_for(&ctx, variant);
+        assert!(v.cr > 0.0);
+    }
+
+    let report = cc_obs::trace::TraceReport::collect();
+    let text = report.to_json();
+    let stats = cc_obs::trace::validate(&text).expect("trace must self-validate");
+    assert!(stats.spans > 0);
+    assert!(stats.max_depth >= 3, "expected nested stages, got depth {}", stats.max_depth);
+
+    // The summary is the per-stage aggregation of the same tree; every
+    // layer of the pipeline must appear in it.
+    let stages: Vec<String> = report.summary().into_iter().map(|s| s.name.to_string()).collect();
+    for required in [
+        // evaluation layer
+        "eval.context",
+        "eval.member_synth",
+        "eval.verdict",
+        "eval.sample",
+        "eval.test.rmsz",
+        "eval.test.enmax",
+        // chunked fan-out
+        "chunked.encode",
+        "chunked.decode",
+        // codec layer
+        "codec.fpzip-24.encode",
+        "codec.fpzip-24.decode",
+        "codec.NetCDF-4.encode",
+        // lossless kernels (behind the NetCDF-4 baseline)
+        "lossless.encode_f32",
+        "deflate.encode",
+    ] {
+        assert!(
+            stages.iter().any(|s| s == required),
+            "stage {required:?} missing from trace summary; stages: {stages:?}"
+        );
+    }
+
+    // Byte counters: raw-side encode traffic for both codecs is nonzero.
+    for counter in [
+        "codec.fpzip-24.encode.bytes_in",
+        "codec.fpzip-24.encode.bytes_out",
+        "codec.fpzip-24.decode.bytes_out",
+        "codec.NetCDF-4.encode.bytes_in",
+        "chunked.chunks_encoded",
+        "chunked.chunks_decoded",
+    ] {
+        assert!(
+            report.metrics.counter(counter) > 0,
+            "counter {counter:?} must be nonzero; counters: {:?}",
+            report.metrics.counters
+        );
+    }
+}

@@ -111,7 +111,9 @@ pub fn compress_chunked(
     workers: usize,
 ) -> Vec<u8> {
     assert_eq!(data.len(), layout.len(), "data length must match layout");
+    let _s = cc_obs::span("chunked.encode");
     let specs = plan(layout);
+    cc_obs::counter_add("chunked.chunks_encoded", specs.len() as u64);
     if specs.len() == 1 {
         // Pass-through: a single chunk is the whole field, so the plain
         // stream (with its ordinary layout echo) is the chunked stream.
@@ -141,45 +143,47 @@ pub fn decompress_chunked(
     layout: Layout,
     workers: usize,
 ) -> Result<Vec<f32>, CodecError> {
+    let _s = cc_obs::span("chunked.decode");
     let specs = plan(layout);
     if specs.len() == 1 {
         let vals = codec.decompress(bytes, layout)?;
         if vals.len() != layout.len() {
-            return Err(CodecError::Corrupt("stream decoded to wrong length"));
+            return Err(reject(CodecError::Corrupt("stream decoded to wrong length")));
         }
+        cc_obs::counter_inc("chunked.chunks_decoded");
         return Ok(vals);
     }
-    let body = check_layout_header(bytes, layout)?;
+    let body = check_layout_header(bytes, layout).map_err(reject)?;
     if body.len() < 4 {
-        return Err(CodecError::Corrupt("truncated chunk count"));
+        return Err(reject(CodecError::Corrupt("truncated chunk count")));
     }
     let count = u32::from_le_bytes([body[0], body[1], body[2], body[3]]) as usize;
     if count != specs.len() {
-        return Err(CodecError::Corrupt("chunk count does not match layout partition"));
+        return Err(reject(CodecError::Corrupt("chunk count does not match layout partition")));
     }
     let mut frames: Vec<(&[u8], ChunkSpec)> = Vec::with_capacity(specs.len());
     let mut off = 4;
     for s in &specs {
         if body.len() - off < 4 {
-            return Err(CodecError::Corrupt("truncated chunk length prefix"));
+            return Err(reject(CodecError::Corrupt("truncated chunk length prefix")));
         }
         let len =
             u32::from_le_bytes([body[off], body[off + 1], body[off + 2], body[off + 3]]) as usize;
         off += 4;
         if body.len() - off < len {
-            return Err(CodecError::Corrupt("truncated chunk payload"));
+            return Err(reject(CodecError::Corrupt("truncated chunk payload")));
         }
         frames.push((&body[off..off + len], *s));
         off += len;
     }
     if off != body.len() {
-        return Err(CodecError::Corrupt("trailing bytes after chunk frames"));
+        return Err(reject(CodecError::Corrupt("trailing bytes after chunk frames")));
     }
     let decoded: Vec<Result<Vec<f32>, CodecError>> =
         cc_par::par_map_with(workers, &frames, |&(payload, spec)| {
             let vals = codec.decompress(payload, spec.layout)?;
             if vals.len() != spec.layout.len() {
-                return Err(CodecError::Corrupt("chunk decoded to wrong length"));
+                return Err(reject(CodecError::Corrupt("chunk decoded to wrong length")));
             }
             Ok(vals)
         });
@@ -187,7 +191,16 @@ pub fn decompress_chunked(
     for d in decoded {
         out.extend_from_slice(&d?);
     }
+    cc_obs::counter_add("chunked.chunks_decoded", frames.len() as u64);
     Ok(out)
+}
+
+/// Count a chunked-framing rejection on the shared decode counters.
+/// Chunk payloads decoded by an instrumented inner codec are counted by
+/// that codec's own wrapper, so only framing errors are tallied here.
+fn reject(e: CodecError) -> CodecError {
+    crate::obs_wrap::count_decode_error(&e);
+    e
 }
 
 /// [`Codec`] adapter running any inner codec through the chunked path at

@@ -21,6 +21,7 @@
 
 pub mod apax;
 pub mod chunked;
+pub mod obs_wrap;
 pub mod fpzip;
 pub mod fpzip64;
 pub mod grib2;
@@ -30,6 +31,7 @@ pub mod wavelet;
 
 mod variant;
 
+pub use obs_wrap::ObsCodec;
 pub use variant::{Family, NetCdf4Codec, Variant};
 
 /// Spatial layout of a field handed to a codec.

@@ -1,0 +1,148 @@
+//! Observability adapter: wraps any [`Codec`] with `cc-obs` spans, byte
+//! counters, and decode-rejection counters.
+//!
+//! [`Variant::codec`](crate::Variant::codec) wraps every instantiated
+//! variant in [`ObsCodec`], so each encode/decode through the variant
+//! set records:
+//!
+//! * spans `codec.<name>.encode` / `codec.<name>.decode`;
+//! * counters `codec.<name>.encode.bytes_in` / `.bytes_out` and
+//!   `codec.<name>.decode.bytes_in` / `.bytes_out` (f32 payload bytes on
+//!   the raw side, stream bytes on the coded side);
+//! * global rejection counters `decode.corrupt`,
+//!   `decode.layout_mismatch`, and `decode.bits_error` on the matching
+//!   [`CodecError`].
+//!
+//! Counter and span names are derived from [`Codec::name`] once, lazily,
+//! the first time recording is actually enabled — so the disabled path
+//! stays at one atomic load per call and codec construction stays free.
+
+use crate::{Codec, CodecError, CodecProperties, Layout};
+use std::sync::OnceLock;
+
+/// Count a decode rejection on the matching global counter. No-op when
+/// metric recording is disabled.
+pub fn count_decode_error(e: &CodecError) {
+    if !cc_obs::metrics_enabled() {
+        return;
+    }
+    match e {
+        CodecError::Corrupt(_) => cc_obs::counter_inc("decode.corrupt"),
+        CodecError::LayoutMismatch => cc_obs::counter_inc("decode.layout_mismatch"),
+        CodecError::Bits(_) => cc_obs::counter_inc("decode.bits_error"),
+    }
+}
+
+struct ObsNames {
+    enc_span: &'static str,
+    dec_span: &'static str,
+    enc_in: &'static str,
+    enc_out: &'static str,
+    dec_in: &'static str,
+    dec_out: &'static str,
+}
+
+/// A [`Codec`] decorated with spans and metrics; transparent to the byte
+/// stream (compressing through the wrapper is bit-identical to the inner
+/// codec, so determinism and CR claims are untouched).
+pub struct ObsCodec<C: Codec> {
+    inner: C,
+    names: OnceLock<ObsNames>,
+}
+
+impl<C: Codec> ObsCodec<C> {
+    /// Wrap `inner`.
+    pub fn new(inner: C) -> Self {
+        ObsCodec { inner, names: OnceLock::new() }
+    }
+
+    /// The wrapped codec.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    fn names(&self) -> &ObsNames {
+        self.names.get_or_init(|| {
+            let name = self.inner.name();
+            ObsNames {
+                enc_span: cc_obs::intern(&format!("codec.{name}.encode")),
+                dec_span: cc_obs::intern(&format!("codec.{name}.decode")),
+                enc_in: cc_obs::intern(&format!("codec.{name}.encode.bytes_in")),
+                enc_out: cc_obs::intern(&format!("codec.{name}.encode.bytes_out")),
+                dec_in: cc_obs::intern(&format!("codec.{name}.decode.bytes_in")),
+                dec_out: cc_obs::intern(&format!("codec.{name}.decode.bytes_out")),
+            }
+        })
+    }
+}
+
+impl<C: Codec> Codec for ObsCodec<C> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn properties(&self) -> CodecProperties {
+        self.inner.properties()
+    }
+
+    fn compress(&self, data: &[f32], layout: Layout) -> Vec<u8> {
+        if !cc_obs::spans_enabled() && !cc_obs::metrics_enabled() {
+            return self.inner.compress(data, layout);
+        }
+        let names = self.names();
+        let _s = cc_obs::span(names.enc_span);
+        let out = self.inner.compress(data, layout);
+        cc_obs::counter_add(names.enc_in, (data.len() * 4) as u64);
+        cc_obs::counter_add(names.enc_out, out.len() as u64);
+        out
+    }
+
+    fn decompress(&self, bytes: &[u8], layout: Layout) -> Result<Vec<f32>, CodecError> {
+        if !cc_obs::spans_enabled() && !cc_obs::metrics_enabled() {
+            return self.inner.decompress(bytes, layout);
+        }
+        let names = self.names();
+        let _s = cc_obs::span(names.dec_span);
+        match self.inner.decompress(bytes, layout) {
+            Ok(vals) => {
+                cc_obs::counter_add(names.dec_in, bytes.len() as u64);
+                cc_obs::counter_add(names.dec_out, (vals.len() * 4) as u64);
+                Ok(vals)
+            }
+            Err(e) => {
+                count_decode_error(&e);
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdata::smooth_field;
+    use crate::Variant;
+
+    #[test]
+    fn wrapper_is_byte_transparent() {
+        let (data, layout) = smooth_field(3000, 2);
+        let plain = Variant::Fpzip { bits: 24 };
+        // Variant::codec() wraps in ObsCodec already; build the inner
+        // stack by hand for the reference bytes.
+        let inner = crate::guard::SpecialValueGuard::new(crate::fpzip::Fpzip::new(24));
+        let wrapped = ObsCodec::new(crate::guard::SpecialValueGuard::new(
+            crate::fpzip::Fpzip::new(24),
+        ));
+        let a = inner.compress(&data, layout);
+        let b = wrapped.compress(&data, layout);
+        let c = plain.codec().compress(&data, layout);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(
+            wrapped.decompress(&a, layout).unwrap(),
+            inner.decompress(&a, layout).unwrap()
+        );
+        assert_eq!(wrapped.name(), inner.name());
+        assert_eq!(wrapped.properties(), inner.properties());
+    }
+}

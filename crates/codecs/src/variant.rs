@@ -12,6 +12,7 @@ use crate::fpzip::Fpzip;
 use crate::grib2::Grib2;
 use crate::guard::SpecialValueGuard;
 use crate::isabela::Isabela;
+use crate::obs_wrap::ObsCodec;
 use crate::{Codec, CodecError, CodecProperties, Layout};
 
 /// One evaluated configuration; [`Variant::codec`] instantiates it with
@@ -91,20 +92,27 @@ impl Variant {
     }
 
     /// Instantiate the codec, with special-value support supplied by the
-    /// guard wherever the algorithm lacks it natively.
+    /// guard wherever the algorithm lacks it natively, and `cc-obs`
+    /// instrumentation (spans + byte counters) wrapped around the whole
+    /// stack. The wrapper is byte-transparent, so streams are identical
+    /// to the uninstrumented codec's.
     pub fn codec(&self) -> Box<dyn Codec> {
         match *self {
-            Variant::Grib2 { decimal_scale: None } => Box::new(Grib2::auto()),
-            Variant::Grib2 { decimal_scale: Some(d) } => Box::new(Grib2::fixed(d)),
+            Variant::Grib2 { decimal_scale: None } => Box::new(ObsCodec::new(Grib2::auto())),
+            Variant::Grib2 { decimal_scale: Some(d) } => Box::new(ObsCodec::new(Grib2::fixed(d))),
             Variant::Apax { rate } if rate <= 1.0 => {
-                Box::new(SpecialValueGuard::new(Apax::lossless()))
+                Box::new(ObsCodec::new(SpecialValueGuard::new(Apax::lossless())))
             }
-            Variant::Apax { rate } => Box::new(SpecialValueGuard::new(Apax::fixed_rate(rate))),
-            Variant::Fpzip { bits } => Box::new(SpecialValueGuard::new(Fpzip::new(bits))),
+            Variant::Apax { rate } => {
+                Box::new(ObsCodec::new(SpecialValueGuard::new(Apax::fixed_rate(rate))))
+            }
+            Variant::Fpzip { bits } => {
+                Box::new(ObsCodec::new(SpecialValueGuard::new(Fpzip::new(bits))))
+            }
             Variant::Isabela { rel_err } => {
-                Box::new(SpecialValueGuard::new(Isabela::new(rel_err)))
+                Box::new(ObsCodec::new(SpecialValueGuard::new(Isabela::new(rel_err))))
             }
-            Variant::NetCdf4 => Box::new(NetCdf4Codec),
+            Variant::NetCdf4 => Box::new(ObsCodec::new(NetCdf4Codec)),
         }
     }
 

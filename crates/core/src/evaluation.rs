@@ -97,6 +97,7 @@ impl VariableContext {
     /// Build the context for `var`: synthesize every member's field and
     /// derive the ensemble distributions.
     pub fn build(model: &Model, config: &EvalConfig, var: usize) -> Self {
+        let _s = cc_obs::span("eval.context");
         let spec = model.registry()[var].clone();
         let nlev = model.var_nlev(var);
         let layout = Layout::for_grid(model.grid(), nlev);
@@ -104,6 +105,7 @@ impl VariableContext {
 
         let members: Vec<usize> = (0..config.members).collect();
         let fields: Vec<Vec<f32>> = par_map_with(config.workers, &members, |&m| {
+            let _m = cc_obs::span("eval.member_synth");
             let member = model.member(m);
             model.synthesize(&member, var).data
         });
@@ -180,6 +182,7 @@ impl VariableVerdict {
 
 /// Score one variant against a prepared variable context.
 pub fn verdict_for(ctx: &VariableContext, variant: Variant) -> VariableVerdict {
+    let _s = cc_obs::span("eval.verdict");
     let codec = variant.codec();
     let layout = ctx.layout;
 
@@ -196,6 +199,7 @@ pub fn verdict_for(ctx: &VariableContext, variant: Variant) -> VariableVerdict {
     // codec path parallelizes over blocks inside this otherwise-serial
     // loop. Nested pool contexts degrade to workers = 1 automatically.
     for &m in &ctx.sample_idx {
+        let _sample = cc_obs::span("eval.sample");
         let orig = &ctx.fields[m];
         let bytes = compress_chunked(codec.as_ref(), orig, layout, ctx.workers);
         cr_sum += bytes.len() as f64 / ctx.raw_bytes() as f64;
@@ -206,15 +210,21 @@ pub fn verdict_for(ctx: &VariableContext, variant: Variant) -> VariableVerdict {
             if em.pearson < PEARSON_THRESHOLD && !em.is_exact() {
                 pearson_pass = false;
             }
-            let zo = ctx.stats.rmsz_excluding(orig, orig).unwrap_or(0.0);
-            let zr = ctx.stats.rmsz_excluding(orig, &recon).unwrap_or(zo);
-            sample_rmsz.push((zo, zr));
-            if !rmsz_test(&ctx.rmsz_orig, zo, zr).passed() {
-                rmsz_pass = false;
+            {
+                let _t = cc_obs::span("eval.test.rmsz");
+                let zo = ctx.stats.rmsz_excluding(orig, orig).unwrap_or(0.0);
+                let zr = ctx.stats.rmsz_excluding(orig, &recon).unwrap_or(zo);
+                sample_rmsz.push((zo, zr));
+                if !rmsz_test(&ctx.rmsz_orig, zo, zr).passed() {
+                    rmsz_pass = false;
+                }
             }
-            sample_enmax.push(em.e_nmax);
-            if !enmax_test(&ctx.enmax_dist, em.e_nmax).passed() {
-                enmax_pass = false;
+            {
+                let _t = cc_obs::span("eval.test.enmax");
+                sample_enmax.push(em.e_nmax);
+                if !enmax_test(&ctx.enmax_dist, em.e_nmax).passed() {
+                    enmax_pass = false;
+                }
             }
             metric_acc.push(em);
         }
@@ -232,9 +242,11 @@ pub fn verdict_for(ctx: &VariableContext, variant: Variant) -> VariableVerdict {
         // Bit-exact reconstruction: slope exactly 1, trivially unbiased.
         (None, true)
     } else {
+        let _t = cc_obs::span("eval.test.bias");
         // Parallel over members; the inner chunked calls pass workers = 1
         // so the per-member fan-out is not multiplied by a per-block one.
         let recons: Vec<Vec<f32>> = par_map_with(ctx.workers, &ctx.fields, |orig| {
+            let _m = cc_obs::span("eval.member_recon");
             let bytes = compress_chunked(codec.as_ref(), orig, layout, 1);
             decompress_chunked(codec.as_ref(), &bytes, layout, 1).expect("own stream decodes")
         });

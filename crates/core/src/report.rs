@@ -23,10 +23,34 @@ impl Table {
         }
     }
 
-    /// Append a row (must match the header count).
-    pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+    /// Append a row. A width mismatch must not abort a long pipeline
+    /// run (the old `assert_eq!` could lose hours of sweep progress to
+    /// one malformed row), so a bad row is repaired — truncated or
+    /// padded with empty cells to the header count — and tallied on the
+    /// `report.row_width_mismatch` counter so a trace or `--metrics` run
+    /// surfaces it. Use [`Table::try_row`] for the strict contract.
+    pub fn row(&mut self, mut cells: Vec<String>) {
+        let w = self.headers.len();
+        if cells.len() != w {
+            cc_obs::counter_inc("report.row_width_mismatch");
+            cells.resize(w, String::new());
+        }
         self.rows.push(cells);
+    }
+
+    /// Append a row, rejecting a width mismatch instead of repairing it.
+    pub fn try_row(&mut self, cells: Vec<String>) -> Result<(), String> {
+        let w = self.headers.len();
+        if cells.len() != w {
+            cc_obs::counter_inc("report.row_width_mismatch");
+            return Err(format!(
+                "table {:?}: row has {} cells, headers have {w}",
+                self.title,
+                cells.len()
+            ));
+        }
+        self.rows.push(cells);
+        Ok(())
     }
 
     /// Render as aligned text.
@@ -53,7 +77,7 @@ impl Table {
             s
         };
         out.push_str(&line(&self.headers, &widths));
-        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        let total: usize = widths.iter().sum::<usize>() + 2 * ncols.saturating_sub(1);
         out.push_str(&"-".repeat(total));
         out.push('\n');
         for row in &self.rows {
@@ -80,6 +104,48 @@ impl Table {
         }
         out
     }
+}
+
+/// Render a trace's per-stage aggregate — wall time, self time, call
+/// counts — as an aligned table, the human-readable companion of the
+/// `TRACE.json` artifact. Rows arrive sorted by descending wall time
+/// from [`cc_obs::trace::TraceReport::summary`].
+pub fn trace_summary_table(summary: &[cc_obs::trace::StageSummary]) -> Table {
+    let mut t = Table::new(
+        "Trace summary (per stage)",
+        &["stage", "calls", "wall ms", "self ms", "wall us/call"],
+    );
+    for r in summary {
+        t.row(vec![
+            r.name.clone(),
+            r.calls.to_string(),
+            format!("{:.3}", r.wall_ns as f64 / 1e6),
+            format!("{:.3}", r.self_ns as f64 / 1e6),
+            format!("{:.1}", r.wall_ns as f64 / r.calls.max(1) as f64 / 1e3),
+        ]);
+    }
+    t
+}
+
+/// Render every nonzero counter (and histogram count/mean) of a metrics
+/// snapshot as an aligned table.
+pub fn metrics_table(snapshot: &cc_obs::MetricsSnapshot) -> Table {
+    let mut t = Table::new("Metrics", &["name", "value", "mean"]);
+    for (name, value) in &snapshot.counters {
+        if *value > 0 {
+            t.row(vec![name.clone(), value.to_string(), String::new()]);
+        }
+    }
+    for (name, h) in &snapshot.histograms {
+        if h.count > 0 {
+            t.row(vec![
+                format!("{name} (hist)"),
+                h.count.to_string(),
+                format!("{:.1}", h.mean()),
+            ]);
+        }
+    }
+    t
 }
 
 /// Five-number summary for one box of a box plot.
@@ -262,10 +328,64 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "row width")]
-    fn row_width_checked() {
+    fn row_width_mismatch_repaired_not_fatal() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(vec!["only-one".into()]);
+        t.row(vec!["1".into(), "2".into(), "extra".into()]);
+        // Short row padded, long row truncated; rendering still works.
+        let r = t.render();
+        assert!(r.contains("only-one"));
+        assert!(!r.contains("extra"));
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.rows.iter().all(|row| row.len() == 2));
+    }
+
+    #[test]
+    fn try_row_rejects_width_mismatch() {
+        let mut t = Table::new("x", &["a", "b"]);
+        assert!(t.try_row(vec!["only-one".into()]).is_err());
+        assert!(t.try_row(vec!["1".into(), "2".into()]).is_ok());
+        assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    fn empty_header_table_renders_without_underflow() {
+        let t = Table::new("empty", &[]);
+        let r = t.render();
+        assert!(r.contains("== empty =="));
+    }
+
+    #[test]
+    fn trace_summary_table_renders() {
+        let summary = vec![
+            cc_obs::trace::StageSummary {
+                name: "eval.verdict".into(),
+                calls: 9,
+                wall_ns: 1_500_000,
+                self_ns: 300_000,
+            },
+            cc_obs::trace::StageSummary {
+                name: "chunked.encode".into(),
+                calls: 27,
+                wall_ns: 900_000,
+                self_ns: 900_000,
+            },
+        ];
+        let r = trace_summary_table(&summary).render();
+        assert!(r.contains("eval.verdict"));
+        assert!(r.contains("chunked.encode"));
+        assert!(r.contains("1.500"));
+    }
+
+    #[test]
+    fn metrics_table_skips_zeroes() {
+        let snap = cc_obs::MetricsSnapshot {
+            counters: vec![("a.zero".into(), 0), ("b.live".into(), 7)],
+            histograms: vec![],
+        };
+        let r = metrics_table(&snap).render();
+        assert!(!r.contains("a.zero"));
+        assert!(r.contains("b.live"));
     }
 
     #[test]

@@ -49,7 +49,11 @@ pub fn bwt_decompress(bytes: &[u8]) -> Result<Vec<u8>, Error> {
     }
     // Header-driven pre-allocation is capped at 16x the input; growth past
     // that only follows actually-decoded content.
-    let mut out = Vec::with_capacity(total.min(bytes.len().saturating_mul(16)));
+    let cap = bytes.len().saturating_mul(16);
+    if total > cap {
+        cc_obs::counter_inc("lossless.alloc_cap_hits");
+    }
+    let mut out = Vec::with_capacity(total.min(cap));
     while out.len() < total {
         let n = BLOCK_SIZE.min(total - out.len());
         decompress_block(&mut r, n, &mut out)?;

@@ -74,6 +74,7 @@ fn dist_code(dist: u16) -> (usize, u16, u8) {
 
 /// Compress `data` at the given effort level.
 pub fn compress(data: &[u8], level: Level) -> Vec<u8> {
+    let _s = cc_obs::span("deflate.encode");
     let tokens = lz77::tokenize(data, level);
     let mut w = BitWriter::new();
     // Length header, byte-aligned by construction.
@@ -185,6 +186,7 @@ fn write_block(w: &mut BitWriter, tokens: &[Token], raw: &[u8], is_final: bool) 
 
 /// Decompress a stream produced by [`compress`].
 pub fn decompress(data: &[u8]) -> Result<Vec<u8>, Error> {
+    let _s = cc_obs::span("deflate.decode");
     let mut r = BitReader::new(data);
     let lo = r.read_bits(32)?;
     let hi = r.read_bits(32)?;
@@ -197,7 +199,11 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, Error> {
     }
     // Pre-allocation from the (still untrusted) header is capped at 16x
     // the input; growth past that only follows actually-decoded content.
-    let mut out: Vec<u8> = Vec::with_capacity(total.min(data.len().saturating_mul(16)));
+    let cap = data.len().saturating_mul(16);
+    if total > cap {
+        cc_obs::counter_inc("lossless.alloc_cap_hits");
+    }
+    let mut out: Vec<u8> = Vec::with_capacity(total.min(cap));
 
     loop {
         let is_final = r.read_bit()?;

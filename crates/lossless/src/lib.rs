@@ -55,6 +55,7 @@ impl std::error::Error for Error {}
 
 /// Compress a `f32` slice the way NetCDF-4 does: byte-shuffle then deflate.
 pub fn compress_f32_shuffled(data: &[f32], level: Level) -> Vec<u8> {
+    let _s = cc_obs::span("lossless.encode_f32");
     let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
     let shuffled = shuffle(&bytes, 4);
     compress(&shuffled, level)
@@ -62,6 +63,7 @@ pub fn compress_f32_shuffled(data: &[f32], level: Level) -> Vec<u8> {
 
 /// Inverse of [`compress_f32_shuffled`].
 pub fn decompress_f32_shuffled(data: &[u8]) -> Result<Vec<f32>, Error> {
+    let _s = cc_obs::span("lossless.decode_f32");
     let shuffled = decompress(data)?;
     if shuffled.len() % 4 != 0 {
         return Err(Error::Corrupt("shuffled f32 payload not a multiple of 4"));
@@ -75,6 +77,7 @@ pub fn decompress_f32_shuffled(data: &[u8]) -> Result<Vec<f32>, Error> {
 
 /// Compress a `f64` slice (restart-file path): byte-shuffle then deflate.
 pub fn compress_f64_shuffled(data: &[f64], level: Level) -> Vec<u8> {
+    let _s = cc_obs::span("lossless.encode_f64");
     let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
     let shuffled = shuffle(&bytes, 8);
     compress(&shuffled, level)
@@ -82,6 +85,7 @@ pub fn compress_f64_shuffled(data: &[f64], level: Level) -> Vec<u8> {
 
 /// Inverse of [`compress_f64_shuffled`].
 pub fn decompress_f64_shuffled(data: &[u8]) -> Result<Vec<f64>, Error> {
+    let _s = cc_obs::span("lossless.decode_f64");
     let shuffled = decompress(data)?;
     if shuffled.len() % 8 != 0 {
         return Err(Error::Corrupt("shuffled f64 payload not a multiple of 8"));

@@ -299,6 +299,7 @@ impl Dataset {
     }
 
     fn store(&mut self, var: usize, raw: &[u8]) -> Result<(), Error> {
+        let _s = cc_obs::span("ncdf.store");
         let expect = self.var_len(var) * self.vars[var].dtype.size();
         if raw.len() != expect {
             return Err(Error::Usage(format!(
@@ -321,15 +322,18 @@ impl Dataset {
             raw.chunks(chunk_bytes.max(1)).collect()
         };
         let chunks: Vec<Chunk> = cc_par::par_map(&slices, |slice| {
+            let _c = cc_obs::span("ncdf.filter_chunk");
             let filtered = apply_filters(slice, esize, filters);
             let crc = crc32(&filtered);
             Chunk { payload: filtered, crc, raw_len: slice.len() }
         });
+        cc_obs::counter_add("ncdf.chunks_stored", chunks.len() as u64);
         self.vars[var].chunks = chunks;
         Ok(())
     }
 
     fn load(&self, var: usize) -> Result<Vec<u8>, Error> {
+        let _s = cc_obs::span("ncdf.load");
         let v = &self.vars[var];
         // The expected length comes from (possibly corrupted) metadata:
         // treat it as a hint, capped, never as a trusted allocation size.
@@ -342,13 +346,19 @@ impl Dataset {
         // identical to a sequential read.
         let idx: Vec<usize> = (0..v.chunks.len()).collect();
         let parts: Vec<Result<Vec<u8>, Error>> = cc_par::par_map(&idx, |&i| {
+            let _c = cc_obs::span("ncdf.unfilter_chunk");
             let ch = &v.chunks[i];
             if crc32(&ch.payload) != ch.crc {
+                cc_obs::counter_inc("ncdf.checksum_fail");
                 return Err(Error::Checksum { var: v.name.clone(), chunk: i });
             }
             remove_filters(&ch.payload, ch.raw_len, v.dtype.size(), v.filters)
         });
-        let mut out = Vec::with_capacity(expect.min(avail.saturating_mul(16)).min(1 << 26));
+        let cap = avail.saturating_mul(16).min(1 << 26);
+        if expect > cap {
+            cc_obs::counter_inc("ncdf.alloc_cap_hits");
+        }
+        let mut out = Vec::with_capacity(expect.min(cap));
         for part in parts {
             out.extend_from_slice(&part?);
         }
@@ -447,13 +457,18 @@ impl Dataset {
         // Capacity capped: `count` may trace back to corrupted metadata,
         // so bound it by what the stored payloads could possibly expand to.
         let avail: usize = v.chunks.iter().map(|c| c.payload.len()).sum();
-        let mut out = Vec::with_capacity(count.min(avail.saturating_mul(16) / esize).min(1 << 24));
+        let cap = (avail.saturating_mul(16) / esize).min(1 << 24);
+        if count > cap {
+            cc_obs::counter_inc("ncdf.alloc_cap_hits");
+        }
+        let mut out = Vec::with_capacity(count.min(cap));
         let mut chunk_start_elem = 0usize;
         for (ci, ch) in v.chunks.iter().enumerate() {
             let chunk_elems = ch.raw_len / esize;
             let chunk_end = chunk_start_elem + chunk_elems;
             if chunk_end > start && chunk_start_elem < start + count {
                 if crc32(&ch.payload) != ch.crc {
+                    cc_obs::counter_inc("ncdf.checksum_fail");
                     return Err(Error::Checksum { var: v.name.clone(), chunk: ci });
                 }
                 let raw = remove_filters(&ch.payload, ch.raw_len, esize, v.filters)?;
@@ -486,11 +501,13 @@ impl Dataset {
 
     /// Serialize the dataset to bytes (see [`mod@format`]).
     pub fn to_bytes(&self) -> Vec<u8> {
+        let _s = cc_obs::span("ncdf.serialize");
         format::encode(self)
     }
 
     /// Deserialize a dataset from bytes.
     pub fn from_bytes(data: &[u8]) -> Result<Self, Error> {
+        let _s = cc_obs::span("ncdf.parse");
         format::decode(data)
     }
 

@@ -1,10 +1,14 @@
-//! Minimal JSON reader for validating `BENCH.json`.
+//! Minimal JSON reader shared by the workspace's artifact validators.
 //!
 //! The build environment is offline (no serde), and the only JSON this
-//! workspace consumes is the bench artifact it also produces, so a small
-//! recursive-descent parser covering objects, arrays, strings, numbers,
-//! booleans, and null is sufficient. Strings support the standard
-//! escapes; numbers parse through `f64`.
+//! workspace consumes are the artifacts it also produces (`BENCH.json`,
+//! `TRACE.json`), so a small recursive-descent parser covering objects,
+//! arrays, strings, numbers, booleans, and null is sufficient. Strings
+//! support the standard escapes; numbers parse through `f64`.
+//!
+//! This module lives in `cc-obs` (the lowest layer) so every crate can
+//! validate what it writes; `cc_bench::throughput::json` re-exports it
+//! for backward compatibility.
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +59,24 @@ impl Value {
             _ => None,
         }
     }
+}
+
+/// Escape a string for embedding in a JSON document (no surrounding
+/// quotes). Handles the writer side of the escapes [`parse`] accepts.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Parse a complete JSON document (rejects trailing garbage).
@@ -257,5 +279,13 @@ mod tests {
     fn empty_containers() {
         assert_eq!(parse("{}").unwrap(), Value::Obj(vec![]));
         assert_eq!(parse("[]").unwrap(), Value::Arr(vec![]));
+    }
+
+    #[test]
+    fn escape_roundtrips_through_parse() {
+        let original = "a \"quoted\"\\path\nwith\tcontrol \u{1} bytes";
+        let doc = format!("{{\"k\": \"{}\"}}", escape(original));
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("k").unwrap().as_str(), Some(original));
     }
 }

@@ -1,0 +1,53 @@
+//! The progress sink: one layer for human-facing status lines.
+//!
+//! Binaries report progress through [`crate::progress!`] instead of
+//! ad-hoc `eprintln!`, so `--quiet` can silence every line at once and
+//! the formatting cost is skipped entirely when suppressed (the macro
+//! checks [`enabled`] before evaluating its format arguments).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static QUIET: AtomicBool = AtomicBool::new(false);
+
+/// Suppress (or restore) progress output process-wide.
+pub fn set_quiet(quiet: bool) {
+    QUIET.store(quiet, Ordering::Relaxed);
+}
+
+/// True when progress lines should be emitted.
+#[inline]
+pub fn enabled() -> bool {
+    !QUIET.load(Ordering::Relaxed)
+}
+
+/// Emit one pre-formatted progress line to stderr. Prefer the
+/// [`crate::progress!`] macro, which skips formatting when quiet.
+pub fn emit(line: std::fmt::Arguments<'_>) {
+    if enabled() {
+        eprintln!("{line}");
+    }
+}
+
+/// Report a progress line to stderr unless `--quiet` is active.
+/// Format arguments are only evaluated when the sink is enabled.
+#[macro_export]
+macro_rules! progress {
+    ($($arg:tt)*) => {
+        if $crate::progress::enabled() {
+            $crate::progress::emit(format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_toggles_enabled() {
+        set_quiet(true);
+        assert!(!enabled());
+        set_quiet(false);
+        assert!(enabled());
+    }
+}

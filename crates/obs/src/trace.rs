@@ -1,0 +1,472 @@
+//! The `TRACE.json` exporter: span tree + metrics snapshot, written by
+//! hand and validated by the same minimal parser that checks
+//! `BENCH.json`.
+//!
+//! Schema `cc-trace/1`:
+//!
+//! ```json
+//! {
+//!   "schema": "cc-trace/1",
+//!   "spans": [ { "name", "start_ns", "dur_ns", "children": [...] } ],
+//!   "summary": [ { "name", "calls", "wall_ns", "self_ns" } ],
+//!   "counters": [ { "name", "value" } ],
+//!   "histograms": [ { "name", "count", "sum", "buckets": [[idx, n], ...] } ]
+//! }
+//! ```
+//!
+//! `spans` is the stitched tree (children strictly inside their parent's
+//! interval); `summary` aggregates it by span name. [`validate`] checks
+//! both the shape and those invariants, and `repro trace-check` exposes
+//! it on the command line so CI can gate on a well-formed artifact.
+
+use crate::json::{self, Value};
+use crate::{metrics_snapshot, take_local_roots, MetricsSnapshot, SpanNode};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Everything one traced run produced: the stitched span tree plus a
+/// snapshot of every counter and histogram.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    /// Root spans recorded (and adopted) on the collecting thread.
+    pub spans: Vec<SpanNode>,
+    /// Metrics at collection time.
+    pub metrics: MetricsSnapshot,
+}
+
+/// Per-name aggregate over the span tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSummary {
+    /// Span name.
+    pub name: String,
+    /// Number of spans with this name.
+    pub calls: u64,
+    /// Summed wall-clock duration.
+    pub wall_ns: u64,
+    /// Summed self time (wall minus direct children, per span).
+    pub self_ns: u64,
+}
+
+impl TraceReport {
+    /// Collect the current thread's finished spans and a metrics
+    /// snapshot into a report. Call from the thread that owns the
+    /// top-level spans (the main thread, after pool joins).
+    pub fn collect() -> TraceReport {
+        TraceReport { spans: take_local_roots(), metrics: metrics_snapshot() }
+    }
+
+    /// Aggregate the span tree by name, sorted by descending wall time.
+    pub fn summary(&self) -> Vec<StageSummary> {
+        let mut by_name: BTreeMap<&'static str, (u64, u64, u64)> = BTreeMap::new();
+        fn walk(node: &SpanNode, acc: &mut BTreeMap<&'static str, (u64, u64, u64)>) {
+            let e = acc.entry(node.name).or_insert((0, 0, 0));
+            e.0 += 1;
+            e.1 += node.dur_ns;
+            e.2 += node.self_ns();
+            for c in &node.children {
+                walk(c, acc);
+            }
+        }
+        for root in &self.spans {
+            walk(root, &mut by_name);
+        }
+        let mut rows: Vec<StageSummary> = by_name
+            .into_iter()
+            .map(|(name, (calls, wall_ns, self_ns))| StageSummary {
+                name: name.to_string(),
+                calls,
+                wall_ns,
+                self_ns,
+            })
+            .collect();
+        rows.sort_by(|a, b| b.wall_ns.cmp(&a.wall_ns).then(a.name.cmp(&b.name)));
+        rows
+    }
+
+    /// Render the report as a `cc-trace/1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"cc-trace/1\",\n  \"spans\": [");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            write_span(&mut out, s, 2);
+        }
+        if !self.spans.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"summary\": [");
+        let summary = self.summary();
+        for (i, r) in summary.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{}\", \"calls\": {}, \"wall_ns\": {}, \"self_ns\": {}}}",
+                json::escape(&r.name),
+                r.calls,
+                r.wall_ns,
+                r.self_ns
+            );
+        }
+        if !summary.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"counters\": [");
+        for (i, (name, value)) in self.metrics.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {{\"name\": \"{}\", \"value\": {value}}}", json::escape(name));
+        }
+        if !self.metrics.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"histograms\": [");
+        for (i, (name, h)) in self.metrics.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{}\", \"count\": {}, \"sum\": {}, \"buckets\": [",
+                json::escape(name),
+                h.count,
+                h.sum
+            );
+            for (j, (idx, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "[{idx}, {n}]");
+            }
+            out.push_str("]}");
+        }
+        if !self.metrics.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Write the report to `path`, self-validating the bytes first so a
+    /// malformed artifact can never land on disk.
+    pub fn write(&self, path: &std::path::Path) -> Result<(), String> {
+        let text = self.to_json();
+        validate(&text).map_err(|e| format!("refusing to write invalid trace: {e}"))?;
+        std::fs::write(path, text).map_err(|e| format!("write {}: {e}", path.display()))
+    }
+}
+
+fn write_span(out: &mut String, s: &SpanNode, depth: usize) {
+    let pad = "  ".repeat(depth);
+    let _ = write!(
+        out,
+        "{pad}{{\"name\": \"{}\", \"start_ns\": {}, \"dur_ns\": {}, \"children\": [",
+        json::escape(s.name),
+        s.start_ns,
+        s.dur_ns
+    );
+    for (i, c) in s.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        write_span(out, c, depth + 1);
+    }
+    if !s.children.is_empty() {
+        let _ = write!(out, "\n{pad}");
+    }
+    out.push_str("]}");
+}
+
+/// Validate a `cc-trace/1` document: schema string, required sections,
+/// span-tree well-formedness (non-negative integer times, children
+/// contained in their parent's interval), summary consistency
+/// (`self_ns <= wall_ns`, calls ≥ 1, names matching the tree), and
+/// histogram bucket totals. Returns a count of spans checked.
+pub fn validate(text: &str) -> Result<TraceStats, String> {
+    let doc = json::parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing schema")?;
+    if schema != "cc-trace/1" {
+        return Err(format!("unsupported schema {schema:?} (expected \"cc-trace/1\")"));
+    }
+
+    let spans = doc
+        .get("spans")
+        .and_then(Value::as_array)
+        .ok_or("missing spans array")?;
+    let mut stats = TraceStats::default();
+    let mut tree_names: BTreeMap<String, u64> = BTreeMap::new();
+    for s in spans {
+        check_span(s, None, &mut stats, &mut tree_names)?;
+    }
+
+    let summary = doc
+        .get("summary")
+        .and_then(Value::as_array)
+        .ok_or("missing summary array")?;
+    for row in summary {
+        let name = row
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("summary row missing name")?;
+        let calls = non_negative_int(row.get("calls"), "summary calls")?;
+        let wall = non_negative_int(row.get("wall_ns"), "summary wall_ns")?;
+        let self_ns = non_negative_int(row.get("self_ns"), "summary self_ns")?;
+        if calls == 0 {
+            return Err(format!("summary row {name:?} has zero calls"));
+        }
+        if self_ns > wall {
+            return Err(format!("summary row {name:?}: self_ns {self_ns} > wall_ns {wall}"));
+        }
+        match tree_names.get(name) {
+            Some(&n) if n == calls => {}
+            Some(&n) => {
+                return Err(format!(
+                    "summary row {name:?} claims {calls} calls but the tree has {n}"
+                ))
+            }
+            None => return Err(format!("summary row {name:?} not present in span tree")),
+        }
+    }
+    if summary.len() != tree_names.len() {
+        return Err(format!(
+            "summary covers {} names but the tree has {}",
+            summary.len(),
+            tree_names.len()
+        ));
+    }
+
+    let counters = doc
+        .get("counters")
+        .and_then(Value::as_array)
+        .ok_or("missing counters array")?;
+    for c in counters {
+        let name = c
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("counter missing name")?;
+        non_negative_int(c.get("value"), &format!("counter {name:?} value"))?;
+        stats.counters += 1;
+    }
+
+    let hists = doc
+        .get("histograms")
+        .and_then(Value::as_array)
+        .ok_or("missing histograms array")?;
+    for h in hists {
+        let name = h
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("histogram missing name")?;
+        let count = non_negative_int(h.get("count"), &format!("histogram {name:?} count"))?;
+        non_negative_int(h.get("sum"), &format!("histogram {name:?} sum"))?;
+        let buckets = h
+            .get("buckets")
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("histogram {name:?} missing buckets"))?;
+        let mut total = 0u64;
+        for b in buckets {
+            let pair = b
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| format!("histogram {name:?}: bucket is not an [idx, n] pair"))?;
+            let idx = non_negative_int(Some(&pair[0]), "bucket index")?;
+            if idx as usize >= crate::HIST_BUCKETS {
+                return Err(format!("histogram {name:?}: bucket index {idx} out of range"));
+            }
+            total += non_negative_int(Some(&pair[1]), "bucket count")?;
+        }
+        if total != count {
+            return Err(format!(
+                "histogram {name:?}: buckets sum to {total} but count is {count}"
+            ));
+        }
+        stats.histograms += 1;
+    }
+
+    Ok(stats)
+}
+
+/// What [`validate`] saw in a well-formed document.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total spans in the tree.
+    pub spans: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Counter entries.
+    pub counters: usize,
+    /// Histogram entries.
+    pub histograms: usize,
+}
+
+fn check_span(
+    v: &Value,
+    parent: Option<(u64, u64)>,
+    stats: &mut TraceStats,
+    names: &mut BTreeMap<String, u64>,
+) -> Result<(u64, u64), String> {
+    let name = v
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or("span missing name")?;
+    if name.is_empty() {
+        return Err("span has empty name".into());
+    }
+    let start = non_negative_int(v.get("start_ns"), &format!("span {name:?} start_ns"))?;
+    let dur = non_negative_int(v.get("dur_ns"), &format!("span {name:?} dur_ns"))?;
+    let end = start
+        .checked_add(dur)
+        .ok_or_else(|| format!("span {name:?}: interval overflows"))?;
+    if let Some((pstart, pend)) = parent {
+        if start < pstart || end > pend {
+            return Err(format!(
+                "span {name:?} [{start}, {end}] escapes its parent [{pstart}, {pend}]"
+            ));
+        }
+    }
+    stats.spans += 1;
+    *names.entry(name.to_string()).or_insert(0) += 1;
+    let children = v
+        .get("children")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("span {name:?} missing children array"))?;
+    let mut depth = 1;
+    for c in children {
+        check_span(c, Some((start, end)), stats, names)?;
+        depth = depth.max(1 + subtree_depth(c));
+    }
+    stats.max_depth = stats.max_depth.max(depth);
+    Ok((start, end))
+}
+
+fn subtree_depth(v: &Value) -> usize {
+    match v.get("children").and_then(Value::as_array) {
+        Some(children) if !children.is_empty() => {
+            1 + children.iter().map(subtree_depth).max().unwrap_or(0)
+        }
+        _ => 1,
+    }
+}
+
+fn non_negative_int(v: Option<&Value>, what: &str) -> Result<u64, String> {
+    let n = v
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("{what} missing or not a number"))?;
+    if !(n.is_finite() && n >= 0.0 && n.fract() == 0.0) {
+        return Err(format!("{what} is not a non-negative integer: {n}"));
+    }
+    Ok(n as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(name: &'static str, start: u64, dur: u64, children: Vec<SpanNode>) -> SpanNode {
+        SpanNode { name, start_ns: start, dur_ns: dur, children }
+    }
+
+    fn sample_report() -> TraceReport {
+        let tree = node(
+            "eval.verdict",
+            100,
+            900,
+            vec![
+                node("chunked.encode", 150, 300, vec![node("fpzip.encode", 160, 250, vec![])]),
+                node("chunked.decode", 500, 400, vec![]),
+            ],
+        );
+        let mut metrics = MetricsSnapshot::default();
+        metrics.counters.push(("codec.fpzip-24.encode.bytes_in".into(), 4096));
+        metrics.histograms.push((
+            "par.task_run_ns".into(),
+            crate::HistogramSnapshot { count: 3, sum: 700, buckets: vec![(8, 2), (9, 1)] },
+        ));
+        TraceReport { spans: vec![tree], metrics }
+    }
+
+    #[test]
+    fn roundtrip_validates() {
+        let report = sample_report();
+        let text = report.to_json();
+        let stats = validate(&text).expect("artifact must validate");
+        assert_eq!(stats.spans, 4);
+        assert_eq!(stats.max_depth, 3);
+        assert_eq!(stats.counters, 1);
+        assert_eq!(stats.histograms, 1);
+    }
+
+    #[test]
+    fn summary_aggregates_by_name() {
+        let report = sample_report();
+        let summary = report.summary();
+        assert_eq!(summary[0].name, "eval.verdict");
+        assert_eq!(summary[0].calls, 1);
+        assert_eq!(summary[0].wall_ns, 900);
+        // 900 - (300 + 400) direct children.
+        assert_eq!(summary[0].self_ns, 200);
+        let fpzip = summary.iter().find(|r| r.name == "fpzip.encode").unwrap();
+        assert_eq!(fpzip.wall_ns, 250);
+        assert_eq!(fpzip.self_ns, 250);
+    }
+
+    #[test]
+    fn rejects_child_escaping_parent() {
+        let report = TraceReport {
+            spans: vec![node("a", 100, 50, vec![node("b", 90, 10, vec![])])],
+            metrics: MetricsSnapshot::default(),
+        };
+        let err = validate(&report.to_json()).unwrap_err();
+        assert!(err.contains("escapes"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_shape() {
+        assert!(validate("{}").is_err());
+        assert!(validate("{\"schema\": \"cc-trace/9\"}").is_err());
+        assert!(validate("not json").is_err());
+        let missing_sections = "{\"schema\": \"cc-trace/1\", \"spans\": []}";
+        assert!(validate(missing_sections).is_err());
+    }
+
+    #[test]
+    fn rejects_inconsistent_histogram() {
+        let doc = r#"{
+  "schema": "cc-trace/1",
+  "spans": [],
+  "summary": [],
+  "counters": [],
+  "histograms": [{"name": "h", "count": 5, "sum": 10, "buckets": [[1, 2]]}]
+}"#;
+        let err = validate(doc).unwrap_err();
+        assert!(err.contains("buckets sum"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn rejects_summary_tree_mismatch() {
+        let doc = r#"{
+  "schema": "cc-trace/1",
+  "spans": [{"name": "a", "start_ns": 0, "dur_ns": 5, "children": []}],
+  "summary": [{"name": "a", "calls": 2, "wall_ns": 5, "self_ns": 5}],
+  "counters": [],
+  "histograms": []
+}"#;
+        let err = validate(doc).unwrap_err();
+        assert!(err.contains("claims"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn empty_report_validates() {
+        let report = TraceReport::default();
+        validate(&report.to_json()).unwrap();
+    }
+}

@@ -14,6 +14,17 @@
 //! execution instead of multiplying thread counts (an evaluation sweep
 //! over members that compresses each member with the chunked codec path
 //! would otherwise spawn `workers²` threads).
+//!
+//! **Observability.** The pool is the stitching point for `cc-obs` span
+//! trees: each worker drains its thread-local finished spans at the end
+//! of its run loop, and the caller adopts them (in worker order) under
+//! whatever span the parallel region ran inside, so one traced run
+//! yields one well-formed tree regardless of worker count. With metrics
+//! enabled the pool also records per-job task counts (`par.jobs`,
+//! `par.tasks`) and per-worker queue/run-time histograms
+//! (`par.task_queue_ns`, `par.task_run_ns`). All of it is gated on the
+//! usual single atomic load, checked once per job, so the disabled path
+//! is unchanged.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -82,10 +93,21 @@ where
     if workers == 1 {
         return items.iter().map(&f).collect();
     }
+    // Observability gates, read once per job so workers pay nothing
+    // per task on the disabled path.
+    let record_metrics = cc_obs::metrics_enabled();
+    let record_spans = cc_obs::spans_enabled();
+    if record_metrics {
+        cc_obs::counter_inc("par.jobs");
+        cc_obs::counter_add("par.tasks", n as u64);
+    }
+    let job_start_ns = if record_metrics { cc_obs::now_ns() } else { 0 };
     let cursor = AtomicUsize::new(0);
     let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
     // Each worker claims indices from the shared cursor and returns its
-    // (index, value) pairs; the parent merges them back in order.
+    // (index, value) pairs; the parent merges them back in order. With
+    // spans enabled the worker also returns its finished span roots,
+    // which the parent stitches into its own tree.
     std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
@@ -93,19 +115,42 @@ where
             let f = &f;
             handles.push(s.spawn(move || {
                 IN_POOL.with(|flag| flag.set(true));
+                if record_metrics {
+                    // Spawn-to-first-claim latency for this worker.
+                    cc_obs::observe(
+                        "par.task_queue_ns",
+                        cc_obs::now_ns().saturating_sub(job_start_ns),
+                    );
+                }
                 let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
-                    local.push((i, f(&items[i])));
+                    if record_metrics {
+                        let t0 = cc_obs::now_ns();
+                        local.push((i, f(&items[i])));
+                        cc_obs::observe(
+                            "par.task_run_ns",
+                            cc_obs::now_ns().saturating_sub(t0),
+                        );
+                    } else {
+                        local.push((i, f(&items[i])));
+                    }
                 }
-                local
+                let spans = if record_spans {
+                    cc_obs::take_local_roots()
+                } else {
+                    Vec::new()
+                };
+                (local, spans)
             }));
         }
         for h in handles {
-            for (i, r) in h.join().expect("worker panicked") {
+            let (local, spans) = h.join().expect("worker panicked");
+            cc_obs::adopt(spans);
+            for (i, r) in local {
                 results[i] = Some(r);
             }
         }

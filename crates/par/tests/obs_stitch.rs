@@ -1,0 +1,95 @@
+//! Concurrent-recording stress test: fans counters and spans over
+//! `par_map_with` at worker counts {1, 2, 8} and asserts that counter
+//! totals are exact, that the stitched span tree is well-formed (every
+//! task span a child of the enclosing job span, every child interval
+//! inside its parent), and that results are identical to a sequential
+//! map whether recording is on or off.
+//!
+//! Runs in its own test binary so flipping the process-wide recording
+//! gates cannot race with unrelated tests.
+
+use cc_obs::SpanNode;
+use cc_par::par_map_with;
+
+const ITEMS: usize = 257; // odd and prime, so no worker count divides it
+
+fn run_job(workers: usize, round: u64) -> Vec<u64> {
+    let items: Vec<u64> = (0..ITEMS as u64).collect();
+    let counter = format!("stress.round{round}.sum");
+    let _job = cc_obs::span("stress.job");
+    par_map_with(workers, &items, |&i| {
+        let _t = cc_obs::span("stress.task");
+        cc_obs::counter_add(&counter, i + 1);
+        cc_obs::observe("stress.value", i);
+        i * 3 + round
+    })
+}
+
+fn check_tree(roots: &[SpanNode], workers: usize) {
+    assert_eq!(roots.len(), 1, "workers={workers}: expected one root, got {roots:?}");
+    let job = &roots[0];
+    assert_eq!(job.name, "stress.job");
+    assert_eq!(
+        job.children.len(),
+        ITEMS,
+        "workers={workers}: every task span must stitch under the job span"
+    );
+    for task in &job.children {
+        assert_eq!(task.name, "stress.task");
+        assert!(task.children.is_empty());
+        assert!(
+            task.start_ns >= job.start_ns && task.end_ns() <= job.end_ns(),
+            "workers={workers}: task [{}, {}] escapes job [{}, {}]",
+            task.start_ns,
+            task.end_ns(),
+            job.start_ns,
+            job.end_ns()
+        );
+    }
+}
+
+#[test]
+fn stitched_spans_and_exact_counters_across_worker_counts() {
+    cc_obs::enable_all();
+    let expected_sum: u64 = (1..=ITEMS as u64).sum();
+    for (round, &workers) in [1usize, 2, 8].iter().enumerate() {
+        let round = round as u64;
+        let out = run_job(workers, round);
+        let expect: Vec<u64> = (0..ITEMS as u64).map(|i| i * 3 + round).collect();
+        assert_eq!(out, expect, "workers={workers}: parallel map must preserve order");
+
+        let roots = cc_obs::take_local_roots();
+        check_tree(&roots, workers);
+
+        let counter = format!("stress.round{round}.sum");
+        assert_eq!(
+            cc_obs::counter_value(&counter),
+            expected_sum,
+            "workers={workers}: concurrent increments must be exact"
+        );
+
+        // The stitched tree must survive the exporter's validator too.
+        let report = cc_obs::trace::TraceReport {
+            spans: roots,
+            metrics: cc_obs::metrics_snapshot(),
+        };
+        cc_obs::trace::validate(&report.to_json())
+            .unwrap_or_else(|e| panic!("workers={workers}: trace invalid: {e}"));
+    }
+    // Every observation landed: 3 rounds x ITEMS values.
+    let snap = cc_obs::metrics_snapshot();
+    let (_, hist) = snap
+        .histograms
+        .iter()
+        .find(|(n, _)| n == "stress.value")
+        .expect("stress.value histogram registered");
+    assert_eq!(hist.count, 3 * ITEMS as u64);
+    cc_obs::set_spans_enabled(false);
+    cc_obs::set_metrics_enabled(false);
+
+    // Disabled recording: same results, nothing recorded.
+    let out = run_job(8, 99);
+    assert_eq!(out.len(), ITEMS);
+    assert!(cc_obs::take_local_roots().is_empty());
+    assert_eq!(cc_obs::counter_value("stress.round99.sum"), 0);
+}

@@ -13,9 +13,17 @@
 //!
 //! ccc profile --var NAME [--ne N] [--nlev N]
 //!     APAX-profiler sweep with a recommended encoding rate.
+//!
+//! ccc trace-check [FILE]
+//!     Validate a TRACE.json artifact (default TRACE.json).
 //! ```
+//!
+//! Every command also accepts `--trace FILE` (record spans + metrics and
+//! write a `cc-trace/1` artifact), `--metrics` (print the counter table
+//! at exit), and `--quiet` (suppress progress lines).
 
 use climate_compress::codecs::apax::Profiler;
+use climate_compress::obs::progress;
 use climate_compress::codecs::{Layout, Variant};
 use climate_compress::core::evaluation::{verdict_for, EvalConfig, Evaluation};
 use climate_compress::grid::Resolution;
@@ -32,6 +40,16 @@ fn main() {
         exit(2);
     };
     let flags = parse_flags(rest);
+    if flags.contains_key("quiet") {
+        climate_compress::obs::progress::set_quiet(true);
+    }
+    let trace_path = flags.get("trace").map(PathBuf::from);
+    let metrics = flags.contains_key("metrics");
+    if trace_path.is_some() {
+        climate_compress::obs::enable_all();
+    } else if metrics {
+        climate_compress::obs::set_metrics_enabled(true);
+    }
     if let Some(w) = flags.get("workers") {
         let w: usize = w.parse().unwrap_or_else(|_| {
             eprintln!("--workers expects an integer, got {w}");
@@ -39,16 +57,60 @@ fn main() {
         });
         climate_compress::core::par::set_global_workers(w);
     }
-    match cmd.as_str() {
-        "generate" => generate(&flags),
-        "inspect" => inspect(rest),
-        "verify" => verify(&flags),
-        "profile" => profile(&flags),
-        "help" | "--help" | "-h" => usage(),
-        other => {
-            eprintln!("unknown command: {other}\n");
-            usage();
-            exit(2);
+    {
+        let _cmd_span = climate_compress::obs::span_dyn(&format!("cmd.{cmd}"));
+        match cmd.as_str() {
+            "generate" => generate(&flags),
+            "inspect" => inspect(rest),
+            "verify" => verify(&flags),
+            "profile" => profile(&flags),
+            "trace-check" => trace_check(rest),
+            "help" | "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown command: {other}\n");
+                usage();
+                exit(2);
+            }
+        }
+    }
+    if trace_path.is_some() || metrics {
+        let report = climate_compress::obs::trace::TraceReport::collect();
+        if let Some(path) = &trace_path {
+            if let Err(e) = report.write(path) {
+                eprintln!("{e}");
+                exit(1);
+            }
+            progress!("wrote trace to {}", path.display());
+            let summary = report.summary();
+            if !summary.is_empty() {
+                println!(
+                    "{}",
+                    climate_compress::core::report::trace_summary_table(&summary).render()
+                );
+            }
+        }
+        println!("{}", climate_compress::core::report::metrics_table(&report.metrics).render());
+    }
+}
+
+fn trace_check(args: &[String]) {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("TRACE.json");
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    match climate_compress::obs::trace::validate(&text) {
+        Ok(stats) => println!(
+            "{path}: valid cc-trace/1 artifact ({} spans, depth {}, {} counters, {} histograms)",
+            stats.spans, stats.max_depth, stats.counters, stats.histograms
+        ),
+        Err(e) => {
+            eprintln!("{path}: invalid trace: {e}");
+            exit(1);
         }
     }
 }
@@ -61,15 +123,24 @@ fn usage() {
          \x20 inspect FILE\n\
          \x20 verify --var NAME [--codec NAME] [--members N] [--ne N] [--nlev N] [--seed S]\n\
          \x20 profile --var NAME [--ne N] [--nlev N] [--seed S]\n\
-         every command also accepts --workers N (worker-pool width)"
+         \x20 trace-check [FILE]\n\
+         every command also accepts --workers N (worker-pool width),\n\
+         --trace FILE, --metrics, and --quiet"
     );
 }
+
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["metrics", "quiet"];
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut flags = HashMap::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(key) = a.strip_prefix("--") {
+            if BOOL_FLAGS.contains(&key) {
+                flags.insert(key.to_string(), "true".to_string());
+                continue;
+            }
             let value = it.next().cloned().unwrap_or_else(|| {
                 eprintln!("flag --{key} needs a value");
                 exit(2);
@@ -106,7 +177,7 @@ fn generate(flags: &HashMap<String, String>) {
     };
     let model = model_from_flags(flags);
     let m = flag_usize(flags, "member", 0);
-    eprintln!(
+    progress!(
         "synthesizing member {m} on {} points x {} levels ...",
         model.grid().len(),
         model.grid().resolution().nlev
@@ -193,7 +264,7 @@ fn verify(flags: &HashMap<String, String>) {
         eprintln!("unknown variable {var_name} (170 CAM names, e.g. U, FSDSC, Z3, CCN3)");
         exit(2);
     };
-    eprintln!("building {members}-member ensemble context for {var_name} ...");
+    progress!("building {members}-member ensemble context for {var_name} ...");
     let ctx = eval.context(var);
     let variants: Vec<Variant> = match flags.get("codec") {
         Some(name) => match variant_by_name(name) {

@@ -18,10 +18,13 @@
 //! * [`pvt`] — the CESM-PVT ensemble consistency tests of Section 4.3.
 //! * [`core`] — the evaluation pipeline, four-test verdicts, and hybrid
 //!   per-variable customization of Section 5.
+//! * [`obs`] — structured tracing spans, atomic metrics, and the
+//!   `TRACE.json` exporter behind the `--trace` / `--metrics` flags.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub use cc_codecs as codecs;
+pub use cc_obs as obs;
 pub use cc_core as core;
 pub use cc_grid as grid;
 pub use cc_lossless as lossless;
