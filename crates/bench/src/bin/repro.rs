@@ -12,6 +12,8 @@
 //!              --members N  --ne N  --nlev N  --seed S  --out DIR
 //!              --workers N  (override the worker-pool width)
 //!              --bench-out FILE  (BENCH.json path, default repo root)
+//!              --against FILE    (bench-check: compare throughput vs baseline)
+//!              --tolerance X     (allowed fractional slowdown, default 0.25)
 //!              --trace FILE  (record spans+metrics, write TRACE.json)
 //!              --metrics     (record counters/histograms, print table)
 //!              --quiet       (suppress progress lines on stderr)
@@ -23,8 +25,11 @@
 //! `bench` runs the chunked-codec throughput sweep and writes the
 //! schema'd `BENCH.json` (validated before the process exits);
 //! `bench-check FILE` re-validates an existing artifact and exits
-//! non-zero if it does not satisfy the schema. `trace-check [FILE]`
-//! does the same for a `TRACE.json` artifact (default `TRACE.json`).
+//! non-zero if it does not satisfy the schema — with `--against
+//! BASELINE.json` it additionally compares single-worker throughput per
+//! codec and fails when any rate drops below `(1 - tolerance)` of the
+//! baseline. `trace-check [FILE]` does the same for a `TRACE.json`
+//! artifact (default `TRACE.json`).
 //!
 //! `scorecard` re-reads the CSV artifacts of earlier experiments and
 //! machine-checks the paper's shape claims (exits non-zero on a required
@@ -164,6 +169,11 @@ struct BenchOpts {
     path: std::path::PathBuf,
     /// Use the smoke-scale sweep.
     quick: bool,
+    /// `--against FILE`: baseline document for a throughput comparison.
+    against: Option<std::path::PathBuf>,
+    /// `--tolerance X`: allowed fractional slowdown vs the baseline
+    /// (0.25 = rates may drop to 75% of baseline before failing).
+    tolerance: f64,
 }
 
 fn run_bench(opts: &BenchOpts) {
@@ -219,11 +229,36 @@ fn check_bench(opts: &BenchOpts) {
             std::process::exit(1);
         }
     }
+    if let Some(baseline_path) = &opts.against {
+        let baseline = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {}: {e}", baseline_path.display());
+            std::process::exit(1);
+        });
+        let rows = cc_bench::throughput::compare(&text, &baseline, opts.tolerance)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot compare against {}: {e}", baseline_path.display());
+                std::process::exit(1);
+            });
+        let (table, fails) = cc_bench::throughput::render_compare(&rows, opts.tolerance);
+        println!(
+            "throughput vs baseline {} (workers=1):\n{table}",
+            baseline_path.display()
+        );
+        if fails > 0 {
+            eprintln!("{fails} codec(s) regressed beyond tolerance");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn parse_args() -> (Vec<String>, RunConfig, BenchOpts, ObsOpts) {
     let mut cfg = RunConfig::default();
-    let mut bench = BenchOpts { path: "BENCH.json".into(), quick: false };
+    let mut bench = BenchOpts {
+        path: "BENCH.json".into(),
+        quick: false,
+        against: None,
+        tolerance: 0.25,
+    };
     let mut obs = ObsOpts {
         trace: None,
         metrics: false,
@@ -266,6 +301,10 @@ fn parse_args() -> (Vec<String>, RunConfig, BenchOpts, ObsOpts) {
                 cc_core::par::set_global_workers(w);
             }
             "--bench-out" => bench.path = next_val(&mut args).into(),
+            "--against" => bench.against = Some(next_val(&mut args).into()),
+            "--tolerance" => {
+                bench.tolerance = next_val(&mut args).parse().expect("--tolerance X");
+            }
             "--trace" => obs.trace = Some(next_val(&mut args).into()),
             "--metrics" => obs.metrics = true,
             "--quiet" => obs.quiet = true,

@@ -520,6 +520,115 @@ pub fn validate(text: &str) -> Result<(), Vec<String>> {
     }
 }
 
+/// One row of a baseline comparison: single-worker encode/decode rates
+/// of one codec in the current document versus the baseline.
+#[derive(Debug, Clone)]
+pub struct CompareRow {
+    /// Codec display name.
+    pub name: String,
+    /// Baseline workers=1 encode MB/s.
+    pub base_encode: f64,
+    /// Current workers=1 encode MB/s.
+    pub cur_encode: f64,
+    /// Baseline workers=1 decode MB/s.
+    pub base_decode: f64,
+    /// Current workers=1 decode MB/s.
+    pub cur_decode: f64,
+    /// Both rates at or above `(1 - tolerance) ×` baseline.
+    pub pass: bool,
+}
+
+/// Extract `(name, encode MB/s, decode MB/s)` at workers=1 per codec.
+fn single_worker_rates(text: &str) -> Result<Vec<(String, f64, f64)>, String> {
+    let doc = json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let codecs = doc
+        .get("codecs")
+        .and_then(json::Value::as_array)
+        .ok_or("codecs array missing")?;
+    let mut out = Vec::new();
+    for c in codecs {
+        let name = c
+            .get("name")
+            .and_then(json::Value::as_str)
+            .ok_or("codec name missing")?
+            .to_string();
+        let rate = |dir: &str| -> Result<f64, String> {
+            c.get(dir)
+                .and_then(json::Value::as_array)
+                .and_then(|a| a.first())
+                .and_then(|t| t.get("mb_per_s"))
+                .and_then(json::Value::as_f64)
+                .ok_or_else(|| format!("{name}: {dir} workers=1 rate missing"))
+        };
+        let (e, d) = (rate("encode")?, rate("decode")?);
+        out.push((name, e, d));
+    }
+    Ok(out)
+}
+
+/// Compare `current` against `baseline` (both `BENCH.json` documents).
+///
+/// A codec passes when its single-worker encode *and* decode rates are
+/// at least `(1 - tolerance)` times the baseline's; codecs present in
+/// only one document are ignored (the schema check already pins the
+/// required set). Returns the per-codec rows for rendering.
+pub fn compare(current: &str, baseline: &str, tolerance: f64) -> Result<Vec<CompareRow>, String> {
+    let cur = single_worker_rates(current)?;
+    let base = single_worker_rates(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let floor = 1.0 - tolerance;
+    let mut rows = Vec::new();
+    for (name, be, bd) in base {
+        if let Some((_, ce, cd)) = cur.iter().find(|(n, _, _)| *n == name) {
+            rows.push(CompareRow {
+                name,
+                base_encode: be,
+                cur_encode: *ce,
+                base_decode: bd,
+                cur_decode: *cd,
+                pass: *ce >= be * floor && *cd >= bd * floor,
+            });
+        }
+    }
+    if rows.is_empty() {
+        return Err("no codec appears in both documents".into());
+    }
+    Ok(rows)
+}
+
+/// Render comparison rows as a pass/fail table; returns the rendering
+/// and the number of failing codecs.
+pub fn render_compare(rows: &[CompareRow], tolerance: f64) -> (String, usize) {
+    let mut s = format!(
+        "{:<10} {:>12} {:>12} {:>7}  {:>12} {:>12} {:>7}  {}\n",
+        "codec", "enc base", "enc now", "Δ", "dec base", "dec now", "Δ", "status"
+    );
+    let mut fails = 0;
+    for r in rows {
+        let pct = |cur: f64, base: f64| {
+            if base > 0.0 { format!("{:+.0}%", (cur / base - 1.0) * 100.0) } else { "n/a".into() }
+        };
+        if !r.pass {
+            fails += 1;
+        }
+        s.push_str(&format!(
+            "{:<10} {:>10.1}MB {:>10.1}MB {:>7}  {:>10.1}MB {:>10.1}MB {:>7}  {}\n",
+            r.name,
+            r.base_encode,
+            r.cur_encode,
+            pct(r.cur_encode, r.base_encode),
+            r.base_decode,
+            r.cur_decode,
+            pct(r.cur_decode, r.base_decode),
+            if r.pass { "ok" } else { "REGRESSED" },
+        ));
+    }
+    s.push_str(&format!(
+        "tolerance: rates must reach {:.0}% of baseline\n",
+        (1.0 - tolerance) * 100.0
+    ));
+    (s, fails)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -567,6 +676,50 @@ mod tests {
         ] {
             assert!(validate(&bad).is_err(), "must reject: {}", &bad[..60.min(bad.len())]);
         }
+    }
+
+    /// Minimal document `compare` accepts: one codec, workers=1 rates.
+    fn doc_with_rates(encode: f64, decode: f64) -> String {
+        format!(
+            "{{\"codecs\": [{{\"name\": \"fpzip-24\", \
+             \"encode\": [{{\"workers\": 1, \"secs\": 1.0, \"mb_per_s\": {encode}}}], \
+             \"decode\": [{{\"workers\": 1, \"secs\": 1.0, \"mb_per_s\": {decode}}}]}}]}}"
+        )
+    }
+
+    #[test]
+    fn compare_flags_regressions_within_tolerance() {
+        let base = doc_with_rates(100.0, 200.0);
+        // Identical documents always pass.
+        let rows = compare(&base, &base, 0.1).unwrap();
+        assert!(rows.iter().all(|r| r.pass));
+        let (text, fails) = render_compare(&rows, 0.1);
+        assert_eq!(fails, 0);
+        assert!(text.contains("ok"));
+
+        // 12% slower encode fails a 10% tolerance but passes 15%.
+        let slower = doc_with_rates(88.0, 200.0);
+        let rows = compare(&slower, &base, 0.1).unwrap();
+        assert!(!rows[0].pass);
+        let (text, fails) = render_compare(&rows, 0.1);
+        assert_eq!(fails, 1);
+        assert!(text.contains("REGRESSED"));
+        assert!(compare(&slower, &base, 0.15).unwrap()[0].pass);
+
+        // A decode-only regression also fails.
+        let slow_decode = doc_with_rates(100.0, 150.0);
+        assert!(!compare(&slow_decode, &base, 0.1).unwrap()[0].pass);
+        // Faster is always fine.
+        assert!(compare(&doc_with_rates(300.0, 400.0), &base, 0.0).unwrap()[0].pass);
+
+        // Garbage inputs error instead of passing.
+        assert!(compare("{", &base, 0.1).is_err());
+        assert!(compare(&base, "{\"codecs\": []}", 0.1).is_err());
+        assert!(
+            compare(&doc_with_rates(1.0, 1.0), "{\"codecs\": [{\"name\": \"other\"}]}", 0.1)
+                .is_err(),
+            "disjoint codec sets must error"
+        );
     }
 
     #[test]

@@ -30,10 +30,12 @@
 //! codec.
 //!
 //! **Totality.** Decoding recomputes the expected partition from the
-//! caller's layout, so a corrupt chunk count or length can only produce
-//! [`CodecError::Corrupt`] — never an oversized allocation: the output
-//! buffer is sized from the caller-supplied layout and every block is
-//! decoded by the wrapped codec's own hardened path.
+//! caller's layout (accepting either the current partition's frame count
+//! or the pre-overhaul whole-level partition's, for streams written
+//! before sub-level splitting), so a corrupt chunk count or length can
+//! only produce [`CodecError::Corrupt`] — never an oversized allocation:
+//! the output buffer is sized from the caller-supplied layout and every
+//! block is decoded by the wrapped codec's own hardened path.
 
 use crate::{
     check_layout_header, write_layout_header, Codec, CodecError, Layout, LAYOUT_HEADER_LEN,
@@ -59,11 +61,70 @@ pub struct ChunkSpec {
 /// The deterministic partition of `layout` into chunk sub-layouts.
 ///
 /// Pure in `layout`: the same layout always yields the same partition,
-/// which is what makes parallel output bit-identical to sequential. 3-D
-/// fields split along whole levels; 2-D fields split along whole rows of
-/// their 2-D embedding (so transform codecs keep row structure), with
-/// the final block absorbing any partial row.
+/// which is what makes parallel output bit-identical to sequential.
+/// Small 3-D fields group whole levels per chunk; 3-D fields whose
+/// levels each exceed [`TARGET_CHUNK_ELEMS`] split *within* every level
+/// along whole embedding rows, so a four-level bench field keeps eight
+/// workers busy instead of idling half the pool on four whole-level
+/// blocks. 2-D fields split along whole rows of their 2-D embedding (so
+/// transform codecs keep row structure), with the final block absorbing
+/// any partial row.
 pub fn plan(layout: Layout) -> Vec<ChunkSpec> {
+    if layout.is_empty() {
+        return Vec::new();
+    }
+    let mut specs = Vec::new();
+    if layout.nlev > 1 && layout.npts > TARGET_CHUNK_ELEMS {
+        // Levels too large to be a chunk each: split within every level
+        // along whole rows, exactly as the 2-D rule does per level.
+        for lev in 0..layout.nlev {
+            push_row_chunks(&mut specs, lev * layout.npts, layout.npts, layout.cols);
+        }
+    } else if layout.nlev > 1 {
+        let levs_per = (TARGET_CHUNK_ELEMS / layout.npts.max(1)).max(1);
+        let mut lev = 0;
+        while lev < layout.nlev {
+            let l1 = (lev + levs_per).min(layout.nlev);
+            specs.push(ChunkSpec {
+                start: lev * layout.npts,
+                layout: Layout {
+                    nlev: l1 - lev,
+                    npts: layout.npts,
+                    rows: layout.rows,
+                    cols: layout.cols,
+                },
+            });
+            lev = l1;
+        }
+    } else {
+        push_row_chunks(&mut specs, 0, layout.npts, layout.cols);
+    }
+    specs
+}
+
+/// Append row-aligned chunks covering `npts` elements starting at field
+/// offset `base`, each at most [`TARGET_CHUNK_ELEMS`] (rounded up to
+/// whole rows of `cols`).
+fn push_row_chunks(specs: &mut Vec<ChunkSpec>, base: usize, npts: usize, cols: usize) {
+    let cols = cols.max(1);
+    let elems_per = (TARGET_CHUNK_ELEMS / cols).max(1) * cols;
+    let mut start = 0;
+    while start < npts {
+        let end = (start + elems_per).min(npts);
+        let n = end - start;
+        specs.push(ChunkSpec {
+            start: base + start,
+            layout: Layout { nlev: 1, npts: n, rows: n.div_ceil(cols), cols },
+        });
+        start = end;
+    }
+}
+
+/// The pre-overhaul partition: 3-D fields always split along whole
+/// levels, never within one. Kept (and tried by [`decompress_chunked`]
+/// when the stream's frame count does not match [`plan`]) so chunked
+/// streams written before sub-level splitting still decode.
+pub fn plan_legacy(layout: Layout) -> Vec<ChunkSpec> {
     if layout.is_empty() {
         return Vec::new();
     }
@@ -85,18 +146,7 @@ pub fn plan(layout: Layout) -> Vec<ChunkSpec> {
             lev = l1;
         }
     } else {
-        let cols = layout.cols.max(1);
-        let elems_per = (TARGET_CHUNK_ELEMS / cols).max(1) * cols;
-        let mut start = 0;
-        while start < layout.npts {
-            let end = (start + elems_per).min(layout.npts);
-            let n = end - start;
-            specs.push(ChunkSpec {
-                start,
-                layout: Layout { nlev: 1, npts: n, rows: n.div_ceil(cols), cols },
-            });
-            start = end;
-        }
+        push_row_chunks(&mut specs, 0, layout.npts, layout.cols);
     }
     specs
 }
@@ -117,10 +167,10 @@ pub fn compress_chunked(
     if specs.len() == 1 {
         // Pass-through: a single chunk is the whole field, so the plain
         // stream (with its ordinary layout echo) is the chunked stream.
-        return codec.compress(data, layout);
+        return encode_chunk(codec, data, layout);
     }
     let payloads: Vec<Vec<u8>> = cc_par::par_map_with(workers, &specs, |s| {
-        codec.compress(&data[s.start..s.start + s.layout.len()], s.layout)
+        encode_chunk(codec, &data[s.start..s.start + s.layout.len()], s.layout)
     });
     let total = LAYOUT_HEADER_LEN + 4 + payloads.iter().map(|p| 4 + p.len()).sum::<usize>();
     let mut out = Vec::with_capacity(total);
@@ -133,10 +183,27 @@ pub fn compress_chunked(
     out
 }
 
+/// Compress one chunk, recording its wall time on the
+/// `chunked.chunk_encode_us` histogram and its in/out volume on the
+/// per-chunk byte counters.
+fn encode_chunk(codec: &dyn Codec, data: &[f32], layout: Layout) -> Vec<u8> {
+    let t0 = cc_obs::now_ns();
+    let out = codec.compress(data, layout);
+    cc_obs::observe("chunked.chunk_encode_us", (cc_obs::now_ns() - t0) / 1_000);
+    cc_obs::counter_add("chunked.chunk_bytes_in", (data.len() * 4) as u64);
+    cc_obs::counter_add("chunked.chunk_bytes_out", out.len() as u64);
+    out
+}
+
 /// Decode a chunked stream produced by [`compress_chunked`]. Total over
 /// untrusted input: framing damage returns [`CodecError::Corrupt`] and
 /// block damage surfaces the wrapped codec's error; allocations are
 /// bounded by the caller-supplied layout.
+///
+/// The frame count is read from the stream and matched against the
+/// current partition first and the pre-overhaul whole-level partition
+/// ([`plan_legacy`]) second, so streams written before sub-level
+/// splitting still decode; a count matching neither is [`CodecError::Corrupt`].
 pub fn decompress_chunked(
     codec: &dyn Codec,
     bytes: &[u8],
@@ -158,9 +225,20 @@ pub fn decompress_chunked(
         return Err(reject(CodecError::Corrupt("truncated chunk count")));
     }
     let count = u32::from_le_bytes([body[0], body[1], body[2], body[3]]) as usize;
-    if count != specs.len() {
-        return Err(reject(CodecError::Corrupt("chunk count does not match layout partition")));
-    }
+    let specs = if count == specs.len() {
+        specs
+    } else {
+        // Pre-overhaul streams partitioned 3-D fields along whole levels;
+        // accept their frame count too. (The counts can only coincide when
+        // the partitions are identical, so there is no ambiguity.)
+        let legacy = plan_legacy(layout);
+        if count != legacy.len() {
+            return Err(reject(CodecError::Corrupt(
+                "chunk count matches neither current nor legacy partition",
+            )));
+        }
+        legacy
+    };
     let mut frames: Vec<(&[u8], ChunkSpec)> = Vec::with_capacity(specs.len());
     let mut off = 4;
     for s in &specs {
@@ -257,6 +335,8 @@ mod tests {
             Layout::linear(5 * TARGET_CHUNK_ELEMS - 1),
             Layout { nlev: 7, npts: 10_000, rows: 100, cols: 100 },
             Layout { nlev: 30, npts: 48_602, rows: 221, cols: 220 },
+            Layout { nlev: 4, npts: 3 * TARGET_CHUNK_ELEMS + 5, rows: 444, cols: 443 },
+            Layout { nlev: 2, npts: 100_000, rows: 317, cols: 317 },
         ] {
             let specs = plan(layout);
             let mut covered = 0;
@@ -351,6 +431,56 @@ mod tests {
             decompress_chunked(codec.as_ref(), &good, layout, 1).unwrap(),
             data
         );
+    }
+
+    #[test]
+    fn sub_level_plan_splits_large_levels() {
+        // Bench shape: 4 levels, each level ~3 chunks' worth of points.
+        let layout = Layout { nlev: 4, npts: 3 * TARGET_CHUNK_ELEMS, rows: 444, cols: 443 };
+        let specs = plan(layout);
+        assert!(
+            specs.len() >= 2 * layout.nlev,
+            "large levels must split within levels: got {} chunks",
+            specs.len()
+        );
+        assert!(specs.iter().all(|s| s.layout.nlev == 1));
+        // Each chunk begins on a row boundary of its level.
+        for s in &specs {
+            let within = s.start % layout.npts;
+            assert_eq!(within % layout.cols, 0, "chunk at {} not row-aligned", s.start);
+        }
+        // Small levels keep the whole-level grouping.
+        let small = Layout { nlev: 4, npts: 10_000, rows: 100, cols: 100 };
+        assert_eq!(plan(small), plan_legacy(small));
+    }
+
+    #[test]
+    fn legacy_whole_level_stream_decodes() {
+        // A field whose levels exceed TARGET_CHUNK_ELEMS: the current
+        // plan splits within levels, the pre-overhaul plan did not.
+        let layout = Layout { nlev: 2, npts: 100_000, rows: 317, cols: 317 };
+        let (data, _) = smooth_field(layout.len(), 1);
+        let legacy_specs = plan_legacy(layout);
+        assert_eq!(legacy_specs.len(), 2);
+        assert_ne!(plan(layout).len(), legacy_specs.len(), "plans must diverge here");
+
+        let codec = Variant::NetCdf4.codec();
+        // Rebuild the pre-overhaul stream from per-chunk plain streams.
+        let mut legacy = Vec::new();
+        write_layout_header(&mut legacy, layout);
+        legacy.extend_from_slice(&(legacy_specs.len() as u32).to_le_bytes());
+        for s in &legacy_specs {
+            let p = codec.compress(&data[s.start..s.start + s.layout.len()], s.layout);
+            legacy.extend_from_slice(&(p.len() as u32).to_le_bytes());
+            legacy.extend_from_slice(&p);
+        }
+        let back = decompress_chunked(codec.as_ref(), &legacy, layout, 2).unwrap();
+        assert_eq!(back, data, "legacy whole-level stream must still decode");
+
+        // A frame count matching neither partition is corrupt.
+        let mut bad = legacy.clone();
+        bad[LAYOUT_HEADER_LEN] = 7;
+        assert!(decompress_chunked(codec.as_ref(), &bad, layout, 1).is_err());
     }
 
     #[test]

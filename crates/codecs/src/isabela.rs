@@ -77,7 +77,7 @@ impl Isabela {
         self.rel_err
     }
 
-    fn compress_window(&self, window: &[f32], w: &mut BitWriter) {
+    fn compress_window(&self, window: &[f32], w: &mut BitWriter, scratch: &mut WindowScratch) {
         let n = window.len();
         let idx_bits = bits_for(n);
 
@@ -91,33 +91,44 @@ impl Isabela {
         }
         w.write_bits(1, 1); // fitted marker
 
-        // Sort positions by value (ties by index for determinism).
-        let mut order: Vec<u32> = (0..n as u32).collect();
-        order.sort_by(|&a, &b| {
-            let (x, y) = (window[a as usize], window[b as usize]);
-            x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
-        });
-        let sorted: Vec<f64> = order.iter().map(|&i| window[i as usize] as f64).collect();
+        // Sort positions by value, ties by index: a stable LSD radix sort
+        // on a total-order u32 key packed above the index. No per-window
+        // allocation — the key buffers live in the caller's scratch.
+        scratch.packed.clear();
+        scratch
+            .packed
+            .extend(window.iter().enumerate().map(|(i, &v)| ((sort_key(v) as u64) << 32) | i as u64));
+        radix_sort_by_high32(&mut scratch.packed, &mut scratch.radix_tmp);
+        scratch.sorted.clear();
+        scratch
+            .sorted
+            .extend(scratch.packed.iter().map(|&p| window[(p & 0xFFFF_FFFF) as usize] as f64));
+        let sorted = &scratch.sorted;
 
         // Fit the sorted, monotone curve with the configured family.
         // Coefficients are rounded to f32 *before* the correction pass so
         // encoder and decoder evaluate the identical curve.
         let ncoeff = NCOEFF.min(n / 2).max(4);
-        let coeffs: Vec<f64> = match self.fit {
-            Fit::BSpline => fit_bspline(&sorted, ncoeff),
-            Fit::Wavelet => fit_wavelet(&sorted, ncoeff),
+        if self.fit == Fit::BSpline {
+            scratch.basis.ensure(n, ncoeff);
         }
-        .into_iter()
-        .map(|c| c as f32 as f64)
-        .collect();
+        scratch.coeffs.clear();
+        match self.fit {
+            Fit::BSpline => fit_bspline_cached(sorted, ncoeff, &scratch.basis, &mut scratch.ata, &mut scratch.coeffs),
+            Fit::Wavelet => scratch.coeffs.extend(fit_wavelet(sorted, ncoeff)),
+        }
+        for c in scratch.coeffs.iter_mut() {
+            *c = *c as f32 as f64;
+        }
+        let coeffs = &scratch.coeffs;
 
         // Permutation index: 10 bits per point at the standard window size.
-        for &i in &order {
-            w.write_bits(i as u64, idx_bits);
+        for &p in &scratch.packed {
+            w.write_bits(p & 0xFFFF_FFFF, idx_bits);
         }
         // Spline coefficients as f32.
         w.write_bits(ncoeff as u64, 8);
-        for &c in &coeffs {
+        for &c in coeffs.iter() {
             w.write_bits((c as f32).to_bits() as u64, 32);
         }
         // Error-compensation stream (ISABELA's "error quantization"): a
@@ -126,33 +137,33 @@ impl Isabela {
         // data, so the Rice stream stays small. Points the quantized
         // correction cannot rescue (|fit| ≪ |v|, sign flips, exact zeros)
         // fall back to exact f32 escapes.
-        let mut qs: Vec<u64> = Vec::with_capacity(n);
-        let mut escapes: Vec<(u32, f32)> = Vec::new();
+        scratch.qs.clear();
+        scratch.escapes.clear();
         for (s, &v) in sorted.iter().enumerate() {
-            let fit = self.eval_curve(&coeffs, s, n);
+            let fit = self.eval_curve_cached(coeffs, s, n, &scratch.basis);
             let step = self.rel_err * fit.abs().max(1e-300);
             let q = ((v - fit) / step).round();
             let recon = (fit + q * step) as f32;
             let ok = q.abs() < 1e9
                 && ((recon as f64 - v) / v.abs().max(1e-30)).abs() <= self.rel_err;
             if ok {
-                qs.push(zigzag_i64(q as i64));
+                scratch.qs.push(zigzag_i64(q as i64));
             } else {
-                qs.push(0);
-                escapes.push((s as u32, v as f32));
+                scratch.qs.push(0);
+                scratch.escapes.push((s as u32, v as f32));
             }
         }
-        let mean = qs.iter().sum::<u64>() / n as u64;
+        let mean = scratch.qs.iter().sum::<u64>() / n as u64;
         let mut k = 0u32;
         while (1u64 << (k + 1)) <= mean + 1 && k < 30 {
             k += 1;
         }
         w.write_bits(k as u64, 6);
-        for &q in &qs {
+        for &q in &scratch.qs {
             w.write_rice(q, k);
         }
-        w.write_bits(escapes.len() as u64, 32);
-        for &(pos, val) in &escapes {
+        w.write_bits(scratch.escapes.len() as u64, 32);
+        for &(pos, val) in &scratch.escapes {
             w.write_bits(pos as u64, idx_bits);
             w.write_bits(val.to_bits() as u64, 32);
         }
@@ -163,6 +174,7 @@ impl Isabela {
         &self,
         r: &mut BitReader<'_>,
         n: usize,
+        basis: &mut BasisCache,
     ) -> Result<Vec<f32>, CodecError> {
         let idx_bits = bits_for(n);
         let fitted = r.read_bits(1)? == 1;
@@ -194,9 +206,12 @@ impl Isabela {
         if k > 40 {
             return Err(CodecError::Corrupt("bad rice parameter"));
         }
+        if self.fit == Fit::BSpline {
+            basis.ensure(n, ncoeff);
+        }
         let mut sorted: Vec<f32> = Vec::with_capacity(n);
         for s in 0..n {
-            let fit = self.eval_curve(&coeffs, s, n);
+            let fit = self.eval_curve_cached(&coeffs, s, n, basis);
             let q = unzigzag_i64(r.read_rice(k)?) as f64;
             let step = self.rel_err * fit.abs().max(1e-300);
             sorted.push((fit + q * step) as f32);
@@ -256,18 +271,140 @@ impl Isabela {
         }
         let n = WINDOW.min(n_total - window_idx * WINDOW);
         let mut r = BitReader::new(&bytes[off..]);
-        self.decompress_window_inner(&mut r, n)
+        self.decompress_window_inner(&mut r, n, &mut BasisCache::default())
     }
 }
 
 impl Isabela {
-    /// Evaluate the fitted curve at sorted position `s` under the
-    /// configured fit family.
-    fn eval_curve(&self, coeffs: &[f64], s: usize, n: usize) -> f64 {
+    /// Evaluate the fitted curve at sorted position `s`, using the basis
+    /// cache for the B-spline family (the caller must have `ensure`d it
+    /// for this `(n, coeffs.len())`).
+    fn eval_curve_cached(&self, coeffs: &[f64], s: usize, n: usize, basis: &BasisCache) -> f64 {
         match self.fit {
-            Fit::BSpline => eval_bspline(coeffs, s, n),
+            Fit::BSpline => {
+                let (first, wts) = basis.at(s);
+                let mut v = 0.0;
+                for a in 0..4 {
+                    if first + a < coeffs.len() {
+                        v += wts[a] * coeffs[first + a];
+                    }
+                }
+                v
+            }
             Fit::Wavelet => eval_wavelet(coeffs, s, n),
         }
+    }
+}
+
+/// Per-field scratch threaded through [`Isabela::compress_window`]: the
+/// sort buffers, the fit workspace, and the quantization streams are
+/// allocated once per field instead of twice per 1024-point window.
+#[derive(Debug, Default)]
+struct WindowScratch {
+    /// `(sort_key << 32) | index`, radix-sorted by the high half.
+    packed: Vec<u64>,
+    /// Radix ping-pong buffer.
+    radix_tmp: Vec<u64>,
+    /// Window values in sorted order.
+    sorted: Vec<f64>,
+    /// Fitted coefficients (f32-rounded).
+    coeffs: Vec<f64>,
+    /// Zigzagged quantized corrections.
+    qs: Vec<u64>,
+    /// Exact-value escapes `(sorted position, value)`.
+    escapes: Vec<(u32, f32)>,
+    /// Normal-equation matrix workspace for the B-spline fit.
+    ata: Vec<f64>,
+    /// Memoized B-spline basis rows.
+    basis: BasisCache,
+}
+
+/// Memoized cubic B-spline basis: row `s` holds `bspline_basis(u_s, c)`
+/// for `u_s = s/(n-1)`. Both the least-squares fit and curve evaluation
+/// sample the basis at exactly these parameters, so one table serves the
+/// fit, the encoder's correction pass, and the decoder — and memoization
+/// changes no arithmetic, keeping streams bit-identical. All full
+/// windows share `(n, c) = (1024, 30)`, so the table is built once per
+/// field.
+#[derive(Debug, Default)]
+struct BasisCache {
+    n: usize,
+    c: usize,
+    entries: Vec<(u32, [f64; 4])>,
+}
+
+impl BasisCache {
+    /// Recompute the table iff the `(n, c)` signature changed.
+    fn ensure(&mut self, n: usize, c: usize) {
+        if self.n == n && self.c == c && !self.entries.is_empty() {
+            return;
+        }
+        self.n = n;
+        self.c = c;
+        self.entries.clear();
+        self.entries.reserve(n);
+        for s in 0..n {
+            let u = if n <= 1 { 0.0 } else { s as f64 / (n - 1) as f64 };
+            let (first, wts) = bspline_basis(u, c);
+            self.entries.push((first as u32, wts));
+        }
+    }
+
+    /// Basis row for sorted position `s`.
+    #[inline]
+    fn at(&self, s: usize) -> (usize, &[f64; 4]) {
+        let (first, ref wts) = self.entries[s];
+        (first as usize, wts)
+    }
+}
+
+/// Map an `f32` to a `u32` whose unsigned order matches `<` on all
+/// non-NaN values, with `-0.0` collapsed onto `+0.0` so the two zeros
+/// stay tied (resolved by index, as the old comparator did). NaNs get a
+/// consistent position past the infinities — deterministic, and never
+/// reached through [`crate::guard::SpecialValueGuard`], which fills
+/// non-finite values before the inner codec runs.
+#[inline]
+fn sort_key(v: f32) -> u32 {
+    let b = v.to_bits();
+    if b == 0x8000_0000 {
+        0x8000_0000 // -0.0 → same key as +0.0
+    } else if b & 0x8000_0000 != 0 {
+        !b
+    } else {
+        b ^ 0x8000_0000
+    }
+}
+
+/// Stable LSD radix sort of `packed` by its high 32 bits (four 8-bit
+/// passes). Stability plus index-major packing reproduces the old
+/// `sort_by(value, then index)` order exactly. Passes whose byte is
+/// constant across the slice are skipped — on climate-like data the top
+/// (sign/exponent) byte almost always is.
+fn radix_sort_by_high32(packed: &mut Vec<u64>, tmp: &mut Vec<u64>) {
+    let len = packed.len();
+    tmp.resize(len, 0);
+    for pass in 0..4 {
+        let shift = 32 + pass * 8;
+        let mut hist = [0u32; 256];
+        for &v in packed.iter() {
+            hist[((v >> shift) & 0xFF) as usize] += 1;
+        }
+        if hist.iter().any(|&h| h as usize == len) {
+            continue; // single bucket: the pass is the identity
+        }
+        let mut starts = [0u32; 256];
+        let mut acc = 0u32;
+        for (b, &h) in hist.iter().enumerate() {
+            starts[b] = acc;
+            acc += h;
+        }
+        for &v in packed.iter() {
+            let b = ((v >> shift) & 0xFF) as usize;
+            tmp[starts[b] as usize] = v;
+            starts[b] += 1;
+        }
+        std::mem::swap(packed, tmp);
     }
 }
 
@@ -356,19 +493,29 @@ fn bspline_basis(u: f64, c: usize) -> (usize, [f64; 4]) {
 
 /// Least-squares fit of `c` B-spline coefficients to `data` sampled at
 /// `u_i = i/(n-1)`: normal equations + Cholesky (c ≤ 255, dense is fine).
-fn fit_bspline(data: &[f64], c: usize) -> Vec<f64> {
-    let n = data.len();
-    let mut ata = vec![0.0f64; c * c];
-    let mut atb = vec![0.0f64; c];
+/// The basis rows come from the memoized cache; `ata` is the caller's
+/// reusable `c × c` workspace and the solution lands in `coeffs`.
+fn fit_bspline_cached(
+    data: &[f64],
+    c: usize,
+    basis: &BasisCache,
+    ata: &mut Vec<f64>,
+    coeffs: &mut Vec<f64>,
+) {
+    debug_assert_eq!(basis.n, data.len());
+    debug_assert_eq!(basis.c, c);
+    ata.clear();
+    ata.resize(c * c, 0.0);
+    coeffs.clear();
+    coeffs.resize(c, 0.0);
     for (i, &y) in data.iter().enumerate() {
-        let u = if n <= 1 { 0.0 } else { i as f64 / (n - 1) as f64 };
-        let (first, wts) = bspline_basis(u, c);
+        let (first, wts) = basis.at(i);
         for a in 0..4 {
             let ia = first + a;
             if ia >= c {
                 continue;
             }
-            atb[ia] += wts[a] * y;
+            coeffs[ia] += wts[a] * y;
             for b in 0..4 {
                 let ib = first + b;
                 if ib < c {
@@ -382,11 +529,23 @@ fn fit_bspline(data: &[f64], c: usize) -> Vec<f64> {
     for i in 0..c {
         ata[i * c + i] += 1e-9 * (1.0 + ata[i * c + i]);
     }
-    cholesky_solve(&mut ata, &mut atb, c);
-    atb
+    cholesky_solve(ata, coeffs, c);
 }
 
-/// Evaluate the fitted spline at sorted position `s` of `n`.
+/// Convenience wrapper over [`fit_bspline_cached`] with a fresh cache
+/// (tests and one-off fits).
+#[cfg(test)]
+fn fit_bspline(data: &[f64], c: usize) -> Vec<f64> {
+    let mut basis = BasisCache::default();
+    basis.ensure(data.len(), c);
+    let (mut ata, mut coeffs) = (Vec::new(), Vec::new());
+    fit_bspline_cached(data, c, &basis, &mut ata, &mut coeffs);
+    coeffs
+}
+
+/// Evaluate the fitted spline at sorted position `s` of `n` (test oracle
+/// for the cached path).
+#[cfg(test)]
 fn eval_bspline(coeffs: &[f64], s: usize, n: usize) -> f64 {
     let u = if n <= 1 { 0.0 } else { s as f64 / (n - 1) as f64 };
     let (first, wts) = bspline_basis(u, coeffs.len());
@@ -455,35 +614,61 @@ impl Codec for Isabela {
     fn compress(&self, data: &[f32], layout: Layout) -> Vec<u8> {
         assert_eq!(data.len(), layout.len(), "data length must match layout");
         let n_windows = data.len().div_ceil(WINDOW);
-        // Compress each window to its own byte block, then assemble with an
-        // offset table enabling random access.
-        let mut blocks: Vec<Vec<u8>> = Vec::with_capacity(n_windows);
+        // Every window ends byte-aligned, so all windows stream into one
+        // contiguous buffer and the random-access offset table is read off
+        // the writer's length — no per-window Vec, same bytes as the old
+        // block-per-window assembly.
+        let mut scratch = WindowScratch::default();
+        let mut w = BitWriter::new();
+        let body_base = 4 + 4 * n_windows;
+        let mut offsets: Vec<u32> = Vec::with_capacity(n_windows);
         for window in data.chunks(WINDOW) {
-            let mut w = BitWriter::new();
-            self.compress_window(window, &mut w);
-            blocks.push(w.finish());
+            debug_assert_eq!(w.bit_len() % 8, 0);
+            offsets.push((body_base + w.bit_len() / 8) as u32);
+            self.compress_window(window, &mut w, &mut scratch);
         }
-        let mut out = Vec::new();
+        let body = w.finish();
+        let mut out =
+            Vec::with_capacity(crate::LAYOUT_HEADER_LEN + body_base + body.len());
         crate::write_layout_header(&mut out, layout);
         // Window offsets are relative to the start of the post-header body.
         out.extend_from_slice(&(n_windows as u32).to_le_bytes());
-        let mut off = 4 + 4 * n_windows;
-        for b in &blocks {
-            out.extend_from_slice(&(off as u32).to_le_bytes());
-            off += b.len();
+        for off in &offsets {
+            out.extend_from_slice(&off.to_le_bytes());
         }
-        for b in &blocks {
-            out.extend_from_slice(b);
-        }
+        out.extend_from_slice(&body);
         out
     }
 
     fn decompress(&self, bytes: &[u8], layout: Layout) -> Result<Vec<f32>, CodecError> {
+        let body = crate::check_layout_header(bytes, layout)?;
         let n_total = layout.len();
         let n_windows = n_total.div_ceil(WINDOW);
+        if body.len() < 4 + 4 * n_windows {
+            return Err(CodecError::Corrupt("truncated window table"));
+        }
+        let count = u32::from_le_bytes([body[0], body[1], body[2], body[3]]) as usize;
+        if count != n_windows {
+            return Err(CodecError::LayoutMismatch);
+        }
+        // One basis cache serves every window of the field (they share
+        // `(n, ncoeff)` except possibly the final partial window).
+        let mut basis = BasisCache::default();
         let mut out = Vec::with_capacity(n_total);
         for widx in 0..n_windows {
-            out.extend(self.decompress_window(bytes, layout, widx)?);
+            let off_pos = 4 + 4 * widx;
+            let off = u32::from_le_bytes([
+                body[off_pos],
+                body[off_pos + 1],
+                body[off_pos + 2],
+                body[off_pos + 3],
+            ]) as usize;
+            if off > body.len() {
+                return Err(CodecError::Corrupt("window offset out of range"));
+            }
+            let n = WINDOW.min(n_total - widx * WINDOW);
+            let mut r = BitReader::new(&body[off..]);
+            out.extend(self.decompress_window_inner(&mut r, n, &mut basis)?);
         }
         Ok(out)
     }

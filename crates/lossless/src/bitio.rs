@@ -4,6 +4,14 @@
 //! `cc-codecs` (fpzip residual coding, APAX block payloads, GRIB2 packing,
 //! ISABELA index/correction streams). Bits are packed least-significant
 //! first within each byte, deflate-style.
+//!
+//! Both directions run on 64-bit accumulators with whole-word fast paths:
+//! the writer flushes eight bytes at a time once the accumulator fills,
+//! and the reader refills with a single unaligned little-endian word load
+//! while eight or more input bytes remain. The byte stream produced is
+//! identical to the historical byte-at-a-time implementation (pinned by
+//! `tests/golden.rs`); only the number of memory operations per bit
+//! changes.
 
 use crate::Error;
 
@@ -11,9 +19,10 @@ use crate::Error;
 #[derive(Debug, Default)]
 pub struct BitWriter {
     buf: Vec<u8>,
-    /// Bits pending in `acc` (0..8).
+    /// Bits pending in `acc` (0..64). Bits at positions `>= nbits` are
+    /// always zero, so flushing is a plain little-endian store.
     nbits: u32,
-    acc: u8,
+    acc: u64,
 }
 
 impl BitWriter {
@@ -23,21 +32,26 @@ impl BitWriter {
     }
 
     /// Write the low `n` bits of `value` (`n ≤ 57` per call).
+    #[inline]
     pub fn write_bits(&mut self, value: u64, n: u32) {
         debug_assert!(n <= 57, "write_bits supports at most 57 bits per call");
         debug_assert!(n == 64 || value < (1u64 << n), "value {value} wider than {n} bits");
-        let mut acc = self.acc as u64 | (value << self.nbits);
-        let mut total = self.nbits + n;
-        while total >= 8 {
-            self.buf.push((acc & 0xFF) as u8);
-            acc >>= 8;
-            total -= 8;
+        let value = if n == 0 { 0 } else { value & (u64::MAX >> (64 - n)) };
+        self.acc |= value << self.nbits;
+        let total = self.nbits + n;
+        if total >= 64 {
+            self.buf.extend_from_slice(&self.acc.to_le_bytes());
+            self.nbits = total - 64;
+            // The bits that did not fit: `value`'s top `total - 64` bits.
+            // The shift is in 1..=63 because this branch needs nbits ≥ 7.
+            self.acc = value >> (n - self.nbits);
+        } else {
+            self.nbits = total;
         }
-        self.acc = acc as u8;
-        self.nbits = total;
     }
 
     /// Write a single bit.
+    #[inline]
     pub fn write_bit(&mut self, bit: bool) {
         self.write_bits(bit as u64, 1);
     }
@@ -45,14 +59,13 @@ impl BitWriter {
     /// Write an Elias-gamma-style unary prefix + binary remainder
     /// (Golomb-Rice with parameter `k`): quotient in unary, remainder in
     /// `k` bits. Suited to geometrically distributed residuals.
+    #[inline]
     pub fn write_rice(&mut self, value: u64, k: u32) {
         let q = value >> k;
-        // Escape very large quotients so pathological inputs stay O(bits).
         if q < 48 {
-            for _ in 0..q {
-                self.write_bit(true);
-            }
-            self.write_bit(false);
+            // `q` ones and the zero terminator in one call (≤ 48 bits),
+            // then the remainder: at most two `write_bits` calls total.
+            self.write_bits((1u64 << q) - 1, q as u32 + 1);
             if k > 0 {
                 self.write_bits(value & ((1u64 << k) - 1), k);
             }
@@ -60,18 +73,31 @@ impl BitWriter {
             // Escape: 48 ones (no terminator — the reader switches to the
             // escape branch as soon as it counts 48), then the full 64-bit
             // value in two 32-bit halves.
-            for _ in 0..48 {
-                self.write_bit(true);
-            }
+            self.write_bits((1u64 << 48) - 1, 48);
             self.write_bits(value & 0xFFFF_FFFF, 32);
             self.write_bits(value >> 32, 32);
         }
     }
 
+    /// Append whole bytes. The writer must be byte-aligned (call
+    /// [`Self::align_byte`] first if unsure); the bytes land in the output
+    /// exactly as given, with no bit-shifting.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        debug_assert!(self.nbits.is_multiple_of(8), "write_bytes requires byte alignment");
+        let pending = (self.nbits / 8) as usize;
+        let le = self.acc.to_le_bytes();
+        self.buf.extend_from_slice(&le[..pending]);
+        self.acc = 0;
+        self.nbits = 0;
+        self.buf.extend_from_slice(bytes);
+    }
+
     /// Align to the next byte boundary with zero bits.
     pub fn align_byte(&mut self) {
         if self.nbits > 0 {
-            self.buf.push(self.acc);
+            let bytes = self.nbits.div_ceil(8) as usize;
+            let le = self.acc.to_le_bytes();
+            self.buf.extend_from_slice(&le[..bytes]);
             self.acc = 0;
             self.nbits = 0;
         }
@@ -90,6 +116,13 @@ impl BitWriter {
 }
 
 /// Reads bits LSB-first from a byte slice.
+///
+/// Invariant (the word-refill trick): with `consumed = pos * 8 - nbits`,
+/// accumulator bits `[0, nbits)` hold stream bits `[consumed, consumed +
+/// nbits)`, and every bit at position `>= nbits` is either zero or equal
+/// to the corresponding stream bit at `pos * 8` onward. Refilling may
+/// therefore OR a full word over the live bits: overlapping positions
+/// receive the same value they already hold.
 #[derive(Debug)]
 pub struct BitReader<'a> {
     data: &'a [u8],
@@ -106,15 +139,34 @@ impl<'a> BitReader<'a> {
         BitReader { data, pos: 0, acc: 0, nbits: 0 }
     }
 
+    #[inline]
     fn refill(&mut self) {
-        while self.nbits <= 56 && self.pos < self.data.len() {
-            self.acc |= (self.data[self.pos] as u64) << self.nbits;
-            self.pos += 1;
-            self.nbits += 8;
+        if self.nbits >= 57 {
+            // Already full enough for any single read; also keeps the
+            // shift below in range when unread_bits pushed nbits to 64.
+            return;
+        }
+        if self.data.len() - self.pos >= 8 {
+            let w = u64::from_le_bytes(self.data[self.pos..self.pos + 8].try_into().unwrap());
+            self.acc |= w << self.nbits;
+            // Count exactly the whole bytes that fit (1..=8), leaving
+            // nbits in 57..=64 so any single ≤57-bit read succeeds; the
+            // loaded tail above the counted bits stays as a valid stale
+            // prefix of data[pos..].
+            let take = (64 - self.nbits) >> 3;
+            self.pos += take as usize;
+            self.nbits += take * 8;
+        } else {
+            while self.nbits <= 56 && self.pos < self.data.len() {
+                self.acc |= (self.data[self.pos] as u64) << self.nbits;
+                self.pos += 1;
+                self.nbits += 8;
+            }
         }
     }
 
     /// Read `n ≤ 57` bits; errors if the stream is exhausted.
+    #[inline]
     pub fn read_bits(&mut self, n: u32) -> Result<u64, Error> {
         debug_assert!(n <= 57);
         if self.nbits < n {
@@ -130,23 +182,82 @@ impl<'a> BitReader<'a> {
     }
 
     /// Read one bit.
+    #[inline]
     pub fn read_bit(&mut self) -> Result<bool, Error> {
         Ok(self.read_bits(1)? != 0)
     }
 
-    /// Inverse of [`BitWriter::write_rice`].
+    /// Inverse of [`BitWriter::write_rice`]. The unary quotient is decoded
+    /// by counting trailing ones in the accumulator word, not bit by bit.
     pub fn read_rice(&mut self, k: u32) -> Result<u64, Error> {
-        let mut q = 0u64;
-        while self.read_bit()? {
-            q += 1;
-            if q == 48 {
-                let lo = self.read_bits(32)?;
-                let hi = self.read_bits(32)?;
-                return Ok(lo | (hi << 32));
+        let mut q = 0u32;
+        loop {
+            if self.nbits == 0 {
+                self.refill();
+                if self.nbits == 0 {
+                    return Err(Error::UnexpectedEof);
+                }
             }
+            let run = (!self.acc).trailing_zeros();
+            if run >= self.nbits {
+                // Every live bit is a one; consume them (capped at the
+                // escape threshold) and refill for more.
+                let take = self.nbits.min(48 - q);
+                self.acc = if take == 64 { 0 } else { self.acc >> take };
+                self.nbits -= take;
+                q += take;
+                if q == 48 {
+                    break;
+                }
+                continue;
+            }
+            if q + run >= 48 {
+                // The escape threshold is reached before the terminator;
+                // the remaining ones belong to the escape payload.
+                let take = 48 - q;
+                self.acc >>= take;
+                self.nbits -= take;
+                break;
+            }
+            // `run` ones then the zero terminator, all live.
+            self.acc >>= run + 1;
+            self.nbits -= run + 1;
+            q += run;
+            let r = if k > 0 { self.read_bits(k)? } else { 0 };
+            return Ok(((q as u64) << k) | r);
         }
-        let r = if k > 0 { self.read_bits(k)? } else { 0 };
-        Ok((q << k) | r)
+        let lo = self.read_bits(32)?;
+        let hi = self.read_bits(32)?;
+        Ok(lo | (hi << 32))
+    }
+
+    /// Fill `out` with whole bytes. The reader must be byte-aligned
+    /// (`bits_consumed() % 8 == 0`); bytes are copied directly with no
+    /// bit-shifting. Errors (consuming nothing further) if fewer than
+    /// `out.len()` bytes remain.
+    pub fn read_bytes(&mut self, out: &mut [u8]) -> Result<(), Error> {
+        debug_assert!(self.bits_consumed().is_multiple_of(8), "read_bytes requires byte alignment");
+        let buffered = (self.nbits / 8) as usize;
+        let from_acc = buffered.min(out.len());
+        let rest = out.len() - from_acc;
+        if self.data.len() - self.pos < rest {
+            return Err(Error::UnexpectedEof);
+        }
+        for slot in out.iter_mut().take(from_acc) {
+            *slot = (self.acc & 0xFF) as u8;
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+        if rest > 0 {
+            // Aligned and the accumulator is drained of counted bits, but
+            // its stale tail referenced data[pos..] which we now step
+            // past: clear it to restore the refill invariant.
+            debug_assert_eq!(self.nbits, 0);
+            self.acc = 0;
+            out[from_acc..].copy_from_slice(&self.data[self.pos..self.pos + rest]);
+            self.pos += rest;
+        }
+        Ok(())
     }
 
     /// Push the low `n` bits of `value` back onto the stream so the next
@@ -155,6 +266,7 @@ impl<'a> BitReader<'a> {
     ///
     /// The caller must not unread more bits than it has just read (the
     /// accumulator holds at most 64 bits).
+    #[inline]
     pub fn unread_bits(&mut self, value: u64, n: u32) {
         debug_assert!(self.nbits + n <= 64, "unread overflow");
         self.acc = (self.acc << n) | (value & if n == 0 { 0 } else { u64::MAX >> (64 - n) });
@@ -220,10 +332,42 @@ mod tests {
     }
 
     #[test]
+    fn rice_escape_boundary() {
+        // Quotients around the 48-ones escape threshold, including values
+        // whose escape payload starts with more ones.
+        for k in [0u32, 1, 5, 11] {
+            let mut w = BitWriter::new();
+            let values: Vec<u64> =
+                (44..52).map(|q| ((q as u64) << k) | (k as u64 & ((1 << k) - 1))).collect();
+            for &v in &values {
+                w.write_rice(v, k);
+            }
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            for &v in &values {
+                assert_eq!(r.read_rice(k).unwrap(), v, "k={k}");
+            }
+            // Only zero padding from finish() may remain.
+            r.align_byte();
+            assert!(r.is_exhausted());
+        }
+    }
+
+    #[test]
     fn eof_is_error() {
         let bytes = BitWriter::new().finish();
         let mut r = BitReader::new(&bytes);
         assert_eq!(r.read_bits(1), Err(Error::UnexpectedEof));
+    }
+
+    #[test]
+    fn rice_truncated_run_is_eof() {
+        // A stream that ends inside a unary run must error, not loop.
+        let mut w = BitWriter::new();
+        w.write_bits(0xFF, 8);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_rice(4), Err(Error::UnexpectedEof));
     }
 
     #[test]
@@ -238,6 +382,101 @@ mod tests {
         assert_eq!(r.read_bits(2).unwrap(), 0b11);
         r.align_byte();
         assert_eq!(r.read_bits(8).unwrap(), 0xAB);
+    }
+
+    #[test]
+    fn bulk_bytes_roundtrip() {
+        let payload: Vec<u8> = (0..1000u32).map(|i| (i * 131 % 251) as u8).collect();
+        let mut w = BitWriter::new();
+        w.write_bits(0b1_0110, 5);
+        w.align_byte();
+        w.write_bytes(&payload);
+        w.write_bits(0x3FF, 10);
+        w.align_byte();
+        w.write_bytes(&payload[..7]);
+        let bytes = w.finish();
+
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(5).unwrap(), 0b1_0110);
+        r.align_byte();
+        let mut back = vec![0u8; payload.len()];
+        r.read_bytes(&mut back).unwrap();
+        assert_eq!(back, payload);
+        assert_eq!(r.read_bits(10).unwrap(), 0x3FF);
+        r.align_byte();
+        let mut tail = vec![0u8; 7];
+        r.read_bytes(&mut tail).unwrap();
+        assert_eq!(tail, payload[..7]);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn read_bytes_past_end_is_eof() {
+        let mut w = BitWriter::new();
+        w.write_bytes(&[1, 2, 3]);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let mut out = [0u8; 4];
+        assert_eq!(r.read_bytes(&mut out), Err(Error::UnexpectedEof));
+    }
+
+    #[test]
+    fn bulk_bytes_equal_bitwise_writes() {
+        // write_bytes must produce the same stream as eight write_bits(…, 8)
+        // calls — the bulk path is a fast path, not a format change.
+        let payload: Vec<u8> = (0..257u32).map(|i| (i % 256) as u8).collect();
+        let mut a = BitWriter::new();
+        a.write_bits(0x5, 3);
+        a.align_byte();
+        a.write_bytes(&payload);
+        let mut b = BitWriter::new();
+        b.write_bits(0x5, 3);
+        b.align_byte();
+        for &byte in &payload {
+            b.write_bits(byte as u64, 8);
+        }
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn unread_bits_roundtrip_after_word_refill() {
+        // Exercise unread against the word-refill stale-bit invariant.
+        let mut w = BitWriter::new();
+        for i in 0..64u64 {
+            w.write_bits(i, 6);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for i in 0..64u64 {
+            let peek = r.read_bits(6).unwrap();
+            r.unread_bits(peek, 6);
+            assert_eq!(r.read_bits(6).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn wide_reads_at_every_phase() {
+        // A 57-bit read must succeed at any bit phase, in particular at
+        // byte-aligned positions where a refill that counts `nbits | 56`
+        // bits (instead of exactly) tops out at 56 and spuriously EOFs.
+        // This is the GRIB2 header shape: 8 bits, then 57 + 7.
+        for lead in 0..16u32 {
+            let mut w = BitWriter::new();
+            w.write_bits(0x5A5A & ((1 << lead) - 1), lead);
+            w.write_bits(0x00FF_F0F0_ABCD_1234 & ((1u64 << 57) - 1), 57);
+            w.write_bits(0x55, 7);
+            w.write_bits(0xDEAD_BEEF, 32);
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            assert_eq!(r.read_bits(lead).unwrap(), (0x5A5A & ((1 << lead) - 1)) as u64);
+            assert_eq!(
+                r.read_bits(57).unwrap(),
+                0x00FF_F0F0_ABCD_1234 & ((1u64 << 57) - 1),
+                "lead={lead}"
+            );
+            assert_eq!(r.read_bits(7).unwrap(), 0x55);
+            assert_eq!(r.read_bits(32).unwrap(), 0xDEAD_BEEF);
+        }
     }
 
     #[test]

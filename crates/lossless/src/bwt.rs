@@ -62,13 +62,49 @@ pub fn bwt_decompress(bytes: &[u8]) -> Result<Vec<u8>, Error> {
 }
 
 // --------------------------------------------------------------------
-// Burrows-Wheeler transform via suffix array (SA-IS would be fancier; a
-// doubling sort is O(n log² n) and dependency-free).
+// Burrows-Wheeler transform via a linear-time SA-IS suffix array.
+//
+// Rotations are sorted by building the suffix array of `data · data` and
+// keeping the positions below `n`: a rotation is exactly the first `n`
+// characters of the corresponding doubled-string suffix, so any
+// difference between two rotations shows up at the same offset in their
+// suffixes. Equal rotations (periodic inputs) are identical rows of the
+// conceptual sort matrix, so their relative order cannot change the BWT
+// bytes — and the LF inverse walks their shorter cycle the right number
+// of times regardless of which row is marked primary.
 // --------------------------------------------------------------------
 
 /// Forward BWT over the *rotations* of `data`. Returns the transformed
 /// bytes plus the primary index (row of the original string).
 pub fn bwt_forward(data: &[u8]) -> (Vec<u8>, usize) {
+    let n = data.len();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let mut doubled = Vec::with_capacity(2 * n);
+    doubled.extend_from_slice(data);
+    doubled.extend_from_slice(data);
+    let sa = suffix_array(&doubled);
+    let mut out = Vec::with_capacity(n);
+    let mut primary = 0usize;
+    let mut row = 0usize;
+    for &p in &sa {
+        let start = p as usize;
+        if start < n {
+            if start == 0 {
+                primary = row;
+            }
+            out.push(data[(start + n - 1) % n]);
+            row += 1;
+        }
+    }
+    (out, primary)
+}
+
+/// Reference rotation sort: the original O(n log² n) prefix-doubling
+/// implementation, retained verbatim as the equivalence oracle for the
+/// SA-IS path (`tests/sais_equivalence.rs`). Not used by the codec.
+pub fn bwt_forward_doubling(data: &[u8]) -> (Vec<u8>, usize) {
     let n = data.len();
     if n == 0 {
         return (Vec::new(), 0);
@@ -116,6 +152,172 @@ pub fn bwt_forward(data: &[u8]) -> (Vec<u8>, usize) {
         out.push(data[(start + n - 1) % n]);
     }
     (out, primary)
+}
+
+/// Linear-time suffix array over bytes (SA-IS, induced sorting with an
+/// implicit sentinel smaller than every character).
+pub fn suffix_array(data: &[u8]) -> Vec<u32> {
+    assert!(data.len() < u32::MAX as usize, "input too large for u32 suffix array");
+    let text: Vec<u32> = data.iter().map(|&b| b as u32).collect();
+    sais(&text, 256)
+}
+
+/// `sa[i] == EMPTY` marks an unfilled slot during induced sorting.
+const EMPTY: u32 = u32::MAX;
+
+/// SA-IS over a `u32` alphabet `0..k`. Characters are compared with the
+/// usual convention of a virtual sentinel at `s.len()` that is strictly
+/// smaller than every character (the sentinel's suffix is *not* part of
+/// the returned array).
+fn sais(s: &[u32], k: usize) -> Vec<u32> {
+    let n = s.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![0];
+    }
+
+    // Suffix types: is_s[i] ⇔ suffix(i) < suffix(i+1). The last suffix is
+    // L-type because the sentinel suffix after it is the smallest.
+    let mut is_s = vec![false; n];
+    for i in (0..n - 1).rev() {
+        is_s[i] = s[i] < s[i + 1] || (s[i] == s[i + 1] && is_s[i + 1]);
+    }
+    let lms = |i: usize| i > 0 && is_s[i] && !is_s[i - 1];
+
+    // bucket[c] = first SA slot of character c's bucket; bucket[c+1] its end.
+    let mut bucket = vec![0u32; k + 1];
+    for &c in s {
+        bucket[c as usize + 1] += 1;
+    }
+    for c in 0..k {
+        bucket[c + 1] += bucket[c];
+    }
+
+    let mut sa = vec![EMPTY; n];
+
+    // Pass 1: drop LMS suffixes at their bucket tails in any order, then
+    // induce; this sorts the LMS *substrings*.
+    let mut tails: Vec<u32> = bucket[1..=k].to_vec();
+    for (i, &ch) in s.iter().enumerate().skip(1) {
+        if lms(i) {
+            let c = ch as usize;
+            tails[c] -= 1;
+            sa[tails[c] as usize] = i as u32;
+        }
+    }
+    induce(s, &is_s, &bucket, &mut sa);
+
+    // Name LMS substrings in their sorted order.
+    let lms_pos: Vec<u32> = (1..n).filter(|&i| lms(i)).map(|i| i as u32).collect();
+    let lms_sorted: Vec<u32> = sa.iter().copied().filter(|&j| lms(j as usize)).collect();
+    debug_assert_eq!(lms_pos.len(), lms_sorted.len());
+    let mut name_of = vec![EMPTY; n];
+    let mut name = 0u32;
+    let mut prev: Option<usize> = None;
+    for &j in &lms_sorted {
+        let j = j as usize;
+        if let Some(p) = prev {
+            if !lms_substrings_equal(s, &is_s, p, j) {
+                name += 1;
+            }
+        }
+        name_of[j] = name;
+        prev = Some(j);
+    }
+    let names = name as usize + 1;
+
+    // True order of LMS suffixes: direct if all substrings are distinct,
+    // otherwise from the suffix array of the reduced (named) string.
+    let lms_order: Vec<u32> = if names == lms_pos.len() {
+        lms_sorted
+    } else {
+        let reduced: Vec<u32> = lms_pos.iter().map(|&i| name_of[i as usize]).collect();
+        let rsa = sais(&reduced, names);
+        rsa.iter().map(|&ri| lms_pos[ri as usize]).collect()
+    };
+
+    // Pass 2: seed the buckets with LMS suffixes in their true order and
+    // induce the rest.
+    sa.fill(EMPTY);
+    let mut tails: Vec<u32> = bucket[1..=k].to_vec();
+    for &j in lms_order.iter().rev() {
+        let c = s[j as usize] as usize;
+        tails[c] -= 1;
+        sa[tails[c] as usize] = j;
+    }
+    induce(s, &is_s, &bucket, &mut sa);
+    sa
+}
+
+/// Both induced-sorting sweeps: L-type suffixes left-to-right from bucket
+/// heads, then S-type right-to-left from bucket tails.
+fn induce(s: &[u32], is_s: &[bool], bucket: &[u32], sa: &mut [u32]) {
+    let n = s.len();
+    let k = bucket.len() - 1;
+    let mut heads: Vec<u32> = bucket[..k].to_vec();
+    // The suffix preceding the virtual sentinel induces first.
+    {
+        let p = n - 1;
+        if !is_s[p] {
+            let c = s[p] as usize;
+            sa[heads[c] as usize] = p as u32;
+            heads[c] += 1;
+        }
+    }
+    for i in 0..n {
+        let j = sa[i];
+        if j != EMPTY && j != 0 {
+            let p = j as usize - 1;
+            if !is_s[p] {
+                let c = s[p] as usize;
+                sa[heads[c] as usize] = p as u32;
+                heads[c] += 1;
+            }
+        }
+    }
+    let mut tails: Vec<u32> = bucket[1..=k].to_vec();
+    for i in (0..n).rev() {
+        let j = sa[i];
+        if j != EMPTY && j != 0 {
+            let p = j as usize - 1;
+            if is_s[p] {
+                let c = s[p] as usize;
+                tails[c] -= 1;
+                sa[tails[c] as usize] = p as u32;
+            }
+        }
+    }
+}
+
+/// Compare the LMS substrings starting at `a` and `b` (both LMS
+/// positions): equal iff they have the same characters and types up to
+/// and including the next LMS position. Reaching the end of the text is
+/// a mismatch — the sentinel is unique.
+fn lms_substrings_equal(s: &[u32], is_s: &[bool], a: usize, b: usize) -> bool {
+    let n = s.len();
+    if a == b {
+        return true;
+    }
+    let lms = |i: usize| i > 0 && is_s[i] && !is_s[i - 1];
+    let mut i = 0usize;
+    loop {
+        let (pa, pb) = (a + i, b + i);
+        if pa >= n || pb >= n {
+            return false;
+        }
+        if s[pa] != s[pb] {
+            return false;
+        }
+        if i > 0 {
+            let (la, lb) = (lms(pa), lms(pb));
+            if la || lb {
+                return la && lb;
+            }
+        }
+        i += 1;
+    }
 }
 
 /// Inverse BWT.

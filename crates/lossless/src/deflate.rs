@@ -55,19 +55,60 @@ const DIST_TABLE: [(u16, u8); 30] = [
     (16385, 13), (24577, 13),
 ];
 
+/// `LEN_CODE_OF[len]` = index into [`LEN_TABLE`] of the last base ≤ `len`,
+/// for `len` in 3..=258. Replaces a per-token binary search in the hot
+/// encode loops.
+const LEN_CODE_OF: [u8; 259] = {
+    let mut t = [0u8; 259];
+    let mut len = 3usize;
+    while len <= 258 {
+        let mut idx = 0usize;
+        while idx + 1 < LEN_TABLE.len() && LEN_TABLE[idx + 1].0 as usize <= len {
+            idx += 1;
+        }
+        t[len] = idx as u8;
+        len += 1;
+    }
+    t
+};
+
+/// Distance-code lookup split the zlib way: slots 0..256 cover `dist - 1`
+/// for distances ≤ 256; slots 256..512 cover `(dist - 1) >> 7` for larger
+/// distances (every code ≥ 16 spans whole 128-aligned ranges, so the
+/// shifted index is unambiguous).
+const DIST_CODE_OF: [u8; 512] = {
+    let mut t = [0u8; 512];
+    let mut s = 0usize;
+    while s < 512 {
+        // Representative distance for the slot: the smallest one mapping
+        // to it. High slots cover [k·128 + 1, (k+1)·128] and every code
+        // ≥ 16 spans whole such ranges, so one probe covers the slot.
+        let d = if s < 256 { s + 1 } else { ((s - 256) << 7) + 1 };
+        let mut idx = 0usize;
+        while idx + 1 < DIST_TABLE.len() && DIST_TABLE[idx + 1].0 as usize <= d {
+            idx += 1;
+        }
+        t[s] = idx as u8;
+        s += 1;
+    }
+    t
+};
+
 /// Map a match length (3..=258) to `(code_index, extra_value, extra_bits)`.
+#[inline]
 fn length_code(len: u16) -> (usize, u16, u8) {
     debug_assert!((3..=258).contains(&len));
-    // Binary search the last base ≤ len.
-    let idx = LEN_TABLE.partition_point(|&(base, _)| base <= len) - 1;
+    let idx = LEN_CODE_OF[len as usize] as usize;
     let (base, extra) = LEN_TABLE[idx];
     (257 + idx, len - base, extra)
 }
 
 /// Map a distance (1..=32768) to `(code_index, extra_value, extra_bits)`.
+#[inline]
 fn dist_code(dist: u16) -> (usize, u16, u8) {
     debug_assert!(dist >= 1);
-    let idx = DIST_TABLE.partition_point(|&(base, _)| base <= dist) - 1;
+    let d = dist as usize - 1;
+    let idx = if d < 256 { DIST_CODE_OF[d] } else { DIST_CODE_OF[256 + (d >> 7)] } as usize;
     let (base, extra) = DIST_TABLE[idx];
     (idx, dist - base, extra)
 }
@@ -130,18 +171,22 @@ fn write_block(w: &mut BitWriter, tokens: &[Token], raw: &[u8], is_final: bool) 
     let lit_enc = Encoder::from_freqs(&lit_freq, crate::huffman::MAX_CODE_LEN);
     let dist_enc = Encoder::from_freqs(&dist_freq, crate::huffman::MAX_CODE_LEN);
 
-    // Estimate the dynamic-block cost and compare with stored.
+    // Estimate the dynamic-block cost and compare with stored. Every
+    // token's bit cost is its symbol's code length plus the code's fixed
+    // extra-bit count, so summing over the (tiny) alphabets instead of the
+    // token stream gives the same total. The EOB count added above folds
+    // its code length in too.
     let header_bits = 2 + (NLIT + NDIST) * 4;
-    let mut body_bits = lit_enc.symbol_len(EOB) as u64;
-    for t in tokens {
-        match *t {
-            Token::Literal(b) => body_bits += lit_enc.symbol_len(b as usize) as u64,
-            Token::Match { len, dist } => {
-                let (lc, _, le) = length_code(len);
-                let (dc, _, de) = dist_code(dist);
-                body_bits += (lit_enc.symbol_len(lc) + le as u32) as u64;
-                body_bits += (dist_enc.symbol_len(dc) + de as u32) as u64;
-            }
+    let mut body_bits = 0u64;
+    for (sym, &f) in lit_freq.iter().enumerate() {
+        if f > 0 {
+            let extra = if sym > EOB { LEN_TABLE[sym - 257].1 as u32 } else { 0 };
+            body_bits += f * (lit_enc.symbol_len(sym) + extra) as u64;
+        }
+    }
+    for (sym, &f) in dist_freq.iter().enumerate() {
+        if f > 0 {
+            body_bits += f * (dist_enc.symbol_len(sym) + DIST_TABLE[sym].1 as u32) as u64;
         }
     }
     let dynamic_bits = header_bits as u64 + body_bits;
@@ -152,9 +197,7 @@ fn write_block(w: &mut BitWriter, tokens: &[Token], raw: &[u8], is_final: bool) 
         w.write_bit(false); // stored
         w.align_byte();
         w.write_bits(raw.len() as u64, 32);
-        for &b in raw {
-            w.write_bits(b as u64, 8);
-        }
+        w.write_bytes(raw);
         return;
     }
     w.write_bit(true); // huffman
@@ -168,16 +211,22 @@ fn write_block(w: &mut BitWriter, tokens: &[Token], raw: &[u8], is_final: bool) 
         match *t {
             Token::Literal(b) => lit_enc.write_symbol(w, b as usize),
             Token::Match { len, dist } => {
+                // Pack length code + extra + distance code + extra into one
+                // LSB-first write: ≤ 15 + 5 + 15 + 13 = 48 bits, the same
+                // bit sequence four separate writes would produce.
                 let (lc, lv, le) = length_code(len);
-                lit_enc.write_symbol(w, lc);
-                if le > 0 {
-                    w.write_bits(lv as u64, le as u32);
-                }
                 let (dc, dv, de) = dist_code(dist);
-                dist_enc.write_symbol(w, dc);
-                if de > 0 {
-                    w.write_bits(dv as u64, de as u32);
-                }
+                let (lcode, llen) = lit_enc.code(lc);
+                let (dcode, dlen) = dist_enc.code(dc);
+                let mut bits = lcode as u64;
+                let mut n = llen;
+                bits |= (lv as u64) << n;
+                n += le as u32;
+                bits |= (dcode as u64) << n;
+                n += dlen;
+                bits |= (dv as u64) << n;
+                n += de as u32;
+                w.write_bits(bits, n);
             }
         }
     }
@@ -214,9 +263,14 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, Error> {
             if out.len() + len > total {
                 return Err(Error::Corrupt("stored block overruns declared length"));
             }
-            for _ in 0..len {
-                out.push(r.read_bits(8)? as u8);
+            // Check availability before the bulk resize so a damaged
+            // length can't trigger an oversized allocation.
+            if len > data.len().saturating_sub(r.bits_consumed() / 8) {
+                return Err(Error::UnexpectedEof);
             }
+            let start = out.len();
+            out.resize(start + len, 0);
+            r.read_bytes(&mut out[start..])?;
         } else {
             let mut lit_lengths = [0u32; NLIT];
             for l in lit_lengths.iter_mut() {
@@ -258,9 +312,13 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, Error> {
                         return Err(Error::Corrupt("match overruns declared length"));
                     }
                     let start = out.len() - dist;
-                    for k in 0..len {
-                        let b = out[start + k];
-                        out.push(b);
+                    if dist >= len {
+                        out.extend_from_within(start..start + len);
+                    } else {
+                        for k in 0..len {
+                            let b = out[start + k];
+                            out.push(b);
+                        }
                     }
                 }
             }

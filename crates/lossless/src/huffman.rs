@@ -34,43 +34,48 @@ pub fn code_lengths(freqs: &[u64], max_len: u32) -> Vec<u32> {
         active.len()
     );
 
-    // Package-merge. Items are (weight, bitset-of-original-symbols) but we
-    // only need per-symbol counts; represent packages as weight + list of
-    // leaf indices (indices into `active`). For our alphabet sizes
-    // (≤ 320 symbols) the simple O(L·n log n)形 is plenty fast.
-    #[derive(Clone)]
-    struct Pkg {
-        weight: u64,
-        leaves: Vec<u32>,
+    // Package-merge. Packages are Copy nodes — a leaf (index into
+    // `active`) or a pair of indices into the previous level's sorted
+    // array — so each level is a flat clone + stable sort with no
+    // per-package allocation. Construction order (leaves first, then
+    // pairs) and the stable sort keep tie-breaking, and therefore the
+    // resulting length vector, identical to the list-of-leaves form.
+    #[derive(Clone, Copy)]
+    enum Node {
+        Leaf(u32),
+        Pair(u32, u32),
     }
-    let leaf_pkgs: Vec<Pkg> = active
+    let leaf_items: Vec<(u64, Node)> = active
         .iter()
         .enumerate()
-        .map(|(j, &i)| Pkg { weight: freqs[i], leaves: vec![j as u32] })
+        .map(|(j, &i)| (freqs[i], Node::Leaf(j as u32)))
         .collect();
 
-    let mut prev: Vec<Pkg> = Vec::new();
+    let mut levels: Vec<Vec<(u64, Node)>> = Vec::with_capacity(max_len as usize);
     for _level in 0..max_len {
-        // Merge leaf packages with pairings from the previous level.
-        let mut merged: Vec<Pkg> = leaf_pkgs.clone();
-        let mut pairs: Vec<Pkg> = Vec::with_capacity(prev.len() / 2);
-        let mut it = prev.chunks_exact(2);
-        for pair in &mut it {
-            let mut leaves = pair[0].leaves.clone();
-            leaves.extend_from_slice(&pair[1].leaves);
-            pairs.push(Pkg { weight: pair[0].weight + pair[1].weight, leaves });
+        let mut merged = leaf_items.clone();
+        if let Some(prev) = levels.last() {
+            for (k, pair) in prev.chunks_exact(2).enumerate() {
+                merged.push((pair[0].0 + pair[1].0, Node::Pair(2 * k as u32, 2 * k as u32 + 1)));
+            }
         }
-        merged.extend(pairs);
-        merged.sort_by_key(|p| p.weight);
-        prev = merged;
+        merged.sort_by_key(|p| p.0);
+        levels.push(merged);
     }
 
-    // Take the cheapest 2(n-1) packages; each occurrence of a leaf adds one
-    // to that symbol's code length.
+    // Take the cheapest 2(n-1) packages of the last level; each leaf
+    // reachable from a taken package adds one to its symbol's length.
+    // Iterative traversal over (level, index) pairs.
     let take = 2 * (active.len() - 1);
-    for pkg in prev.iter().take(take) {
-        for &j in &pkg.leaves {
-            lengths[active[j as usize]] += 1;
+    let top = levels.len() - 1;
+    let mut stack: Vec<(usize, u32)> = (0..take).map(|i| (top, i as u32)).collect();
+    while let Some((level, idx)) = stack.pop() {
+        match levels[level][idx as usize].1 {
+            Node::Leaf(j) => lengths[active[j as usize]] += 1,
+            Node::Pair(a, b) => {
+                stack.push((level - 1, a));
+                stack.push((level - 1, b));
+            }
         }
     }
     debug_assert!(lengths.iter().all(|&l| l <= max_len));
@@ -143,6 +148,14 @@ impl Encoder {
     /// Length in bits of `symbol`'s code (0 if absent).
     pub fn symbol_len(&self, symbol: usize) -> u32 {
         self.lengths[symbol]
+    }
+
+    /// The `(code, length)` pair for `symbol`, with the code already
+    /// bit-reversed for LSB-first writing. Lets callers pack a symbol
+    /// together with its extra bits into a single bit-write.
+    #[inline]
+    pub fn code(&self, symbol: usize) -> (u32, u32) {
+        (self.codes[symbol], self.lengths[symbol])
     }
 }
 

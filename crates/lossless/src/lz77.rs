@@ -57,9 +57,40 @@ impl Effort {
 const HASH_BITS: u32 = 15;
 const HASH_SIZE: usize = 1 << HASH_BITS;
 
+/// Length of the common prefix of `data[a..]` and `data[b..]`, capped at
+/// `max_len`, with `b + max_len <= data.len()` and `a < b`. Compares
+/// whole 64-bit words and locates the first differing byte with a
+/// trailing-zero count, so runs extend eight bytes per iteration; the
+/// result is exactly the byte-loop answer.
+#[inline]
+fn match_len(data: &[u8], a: usize, b: usize, max_len: usize) -> usize {
+    let mut l = 0usize;
+    while l + 8 <= max_len {
+        let wa = u64::from_le_bytes(data[a + l..a + l + 8].try_into().unwrap());
+        let wb = u64::from_le_bytes(data[b + l..b + l + 8].try_into().unwrap());
+        let x = wa ^ wb;
+        if x != 0 {
+            return l + (x.trailing_zeros() / 8) as usize;
+        }
+        l += 8;
+    }
+    while l < max_len && data[a + l] == data[b + l] {
+        l += 1;
+    }
+    l
+}
+
 #[inline]
 fn hash3(data: &[u8], i: usize) -> usize {
-    let v = (data[i] as u32) | ((data[i + 1] as u32) << 8) | ((data[i + 2] as u32) << 16);
+    // One unaligned 32-bit load masked to the low 3 bytes — the same value
+    // the byte-assembled form produces, so every chain decision (and thus
+    // the token stream) is unchanged. The byte fallback only runs within
+    // 4 bytes of the end.
+    let v = if i + 4 <= data.len() {
+        u32::from_le_bytes(data[i..i + 4].try_into().unwrap()) & 0x00FF_FFFF
+    } else {
+        (data[i] as u32) | ((data[i + 1] as u32) << 8) | ((data[i + 2] as u32) << 16)
+    };
     (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
 }
 
@@ -79,37 +110,36 @@ pub fn tokenize(data: &[u8], effort: Effort) -> Vec<Token> {
     let max_chain = effort.max_chain();
     let nice = effort.nice_length();
 
+    // `hash` is the precomputed hash3 at `pos` (the main loop computes it
+    // once per position and shares it with the insert at the same spot).
     let find_match = |data: &[u8],
                       head: &[u32],
                       prev: &[u32],
-                      pos: usize|
+                      pos: usize,
+                      hash: usize|
      -> Option<(usize, usize)> {
-        if pos + MIN_MATCH > data.len() {
-            return None;
-        }
-        let mut cand = head[hash3(data, pos)] as usize;
+        let mut cand = head[hash] as usize;
         let max_len = MAX_MATCH.min(data.len() - pos);
         let mut best_len = MIN_MATCH - 1;
         let mut best_dist = 0usize;
         let mut chain = 0usize;
-        while cand > 0 && chain < max_chain && best_len < max_len {
+        // Quick-reject byte after the current best; loop-invariant between
+        // improvements (in bounds: best_len < max_len ≤ data.len() - pos).
+        let mut scan_byte = data[pos + best_len];
+        while cand > 0 && chain < max_chain {
             let c = cand - 1;
             if c >= pos || pos - c > WINDOW {
                 break;
             }
-            // Quick reject on the byte after the current best (in bounds:
-            // best_len < max_len ≤ data.len() - pos).
-            if data[c + best_len] == data[pos + best_len] {
-                let mut l = 0usize;
-                while l < max_len && data[c + l] == data[pos + l] {
-                    l += 1;
-                }
+            if data[c + best_len] == scan_byte {
+                let l = match_len(data, c, pos, max_len);
                 if l > best_len {
                     best_len = l;
                     best_dist = pos - c;
-                    if l >= nice {
+                    if l >= nice || best_len >= max_len {
                         break;
                     }
+                    scan_byte = data[pos + best_len];
                 }
             }
             cand = prev[c & (WINDOW - 1)] as usize;
@@ -122,6 +152,12 @@ pub fn tokenize(data: &[u8], effort: Effort) -> Vec<Token> {
         }
     };
 
+    // Insert with the hash already in hand (caller guarantees
+    // `i + MIN_MATCH <= data.len()`).
+    let insert_at = |head: &mut [u32], prev: &mut [u32], h: usize, i: usize| {
+        prev[i & (WINDOW - 1)] = head[h];
+        head[h] = (i + 1) as u32;
+    };
     let insert = |head: &mut [u32], prev: &mut [u32], data: &[u8], i: usize| {
         if i + MIN_MATCH <= data.len() {
             let h = hash3(data, i);
@@ -133,7 +169,9 @@ pub fn tokenize(data: &[u8], effort: Effort) -> Vec<Token> {
     let mut i = 0usize;
     let mut pending: Option<(usize, usize)> = None; // lazy-held match at i-1
     while i < n {
-        let cur = find_match(data, &head, &prev, i);
+        let tail = i + MIN_MATCH > n;
+        let h = if tail { 0 } else { hash3(data, i) };
+        let cur = if tail { None } else { find_match(data, &head, &prev, i, h) };
         if let Some((plen, pdist)) = pending {
             // Lazy evaluation: if the current match is strictly better,
             // emit a literal for i-1 and keep searching from i.
@@ -141,7 +179,7 @@ pub fn tokenize(data: &[u8], effort: Effort) -> Vec<Token> {
             if cur_better {
                 tokens.push(Token::Literal(data[i - 1]));
                 pending = cur;
-                insert(&mut head, &mut prev, data, i);
+                insert_at(&mut head, &mut prev, h, i);
                 i += 1;
                 continue;
             } else {
@@ -150,7 +188,9 @@ pub fn tokenize(data: &[u8], effort: Effort) -> Vec<Token> {
                 // Insert hash entries for the matched span (minus the one
                 // already inserted at i-1 and the probe at i).
                 let end = (i - 1) + plen;
-                insert(&mut head, &mut prev, data, i);
+                if !tail {
+                    insert_at(&mut head, &mut prev, h, i);
+                }
                 for j in i + 1..end {
                     insert(&mut head, &mut prev, data, j);
                 }
@@ -163,12 +203,13 @@ pub fn tokenize(data: &[u8], effort: Effort) -> Vec<Token> {
             Some((len, dist)) => {
                 if effort.lazy() && len < nice && i + 1 < n {
                     pending = Some((len, dist));
-                    insert(&mut head, &mut prev, data, i);
+                    insert_at(&mut head, &mut prev, h, i);
                     i += 1;
                 } else {
                     tokens.push(Token::Match { len: len as u16, dist: dist as u16 });
                     let end = i + len;
-                    for j in i..end {
+                    insert_at(&mut head, &mut prev, h, i);
+                    for j in i + 1..end {
                         insert(&mut head, &mut prev, data, j);
                     }
                     i = end;
@@ -176,7 +217,9 @@ pub fn tokenize(data: &[u8], effort: Effort) -> Vec<Token> {
             }
             None => {
                 tokens.push(Token::Literal(data[i]));
-                insert(&mut head, &mut prev, data, i);
+                if !tail {
+                    insert_at(&mut head, &mut prev, h, i);
+                }
                 i += 1;
             }
         }
@@ -203,11 +246,15 @@ pub fn expand(tokens: &[Token], size_hint: usize) -> Vec<u8> {
                 let len = len as usize;
                 assert!(dist >= 1 && dist <= out.len(), "invalid distance");
                 let start = out.len() - dist;
-                // Overlapping copies (dist < len) must replicate bytes
-                // produced earlier in this same match.
-                for k in 0..len {
-                    let b = out[start + k];
-                    out.push(b);
+                if dist >= len {
+                    out.extend_from_within(start..start + len);
+                } else {
+                    // Overlapping copies (dist < len) must replicate bytes
+                    // produced earlier in this same match.
+                    for k in 0..len {
+                        let b = out[start + k];
+                        out.push(b);
+                    }
                 }
             }
         }

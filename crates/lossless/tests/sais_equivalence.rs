@@ -1,0 +1,128 @@
+//! SA-IS vs the retained prefix-doubling rotation sort.
+//!
+//! The BWT bytes must be identical for every input: equal rotations are
+//! identical rows of the sort matrix, so even where the two algorithms
+//! may order ties differently (periodic inputs), the transformed bytes
+//! cannot differ. The primary index may legitimately differ on periodic
+//! inputs, so it is compared only when all rotations are distinct, and
+//! both indices are always validated through the inverse transform.
+
+use cc_lossless::bwt::{bwt_forward, bwt_forward_doubling, bwt_inverse, suffix_array};
+use proptest::prelude::*;
+
+/// O(n² log n) oracle for the suffix array.
+fn naive_suffix_array(data: &[u8]) -> Vec<u32> {
+    let mut sa: Vec<u32> = (0..data.len() as u32).collect();
+    sa.sort_by(|&a, &b| data[a as usize..].cmp(&data[b as usize..]));
+    sa
+}
+
+fn assert_equivalent(data: &[u8]) {
+    let (fast, p_fast) = bwt_forward(data);
+    let (slow, p_slow) = bwt_forward_doubling(data);
+    assert_eq!(fast, slow, "BWT bytes differ on {} bytes", data.len());
+    assert_eq!(
+        bwt_inverse(&fast, p_fast).unwrap(),
+        data,
+        "SA-IS primary fails to invert"
+    );
+    assert_eq!(
+        bwt_inverse(&slow, p_slow).unwrap(),
+        data,
+        "doubling primary fails to invert"
+    );
+    // All rotations distinct ⇒ a unique sort ⇒ identical primaries.
+    let mut rots: Vec<Vec<u8>> = (0..data.len())
+        .map(|i| {
+            let mut r = data[i..].to_vec();
+            r.extend_from_slice(&data[..i]);
+            r
+        })
+        .collect();
+    rots.sort();
+    rots.dedup();
+    if rots.len() == data.len() {
+        assert_eq!(p_fast, p_slow, "primaries differ on tie-free input");
+    }
+}
+
+#[test]
+fn pathological_all_equal() {
+    for n in [1usize, 2, 3, 7, 64, 255, 1000] {
+        assert_equivalent(&vec![0xAB; n]);
+        assert_equivalent(&vec![0x00; n]);
+    }
+}
+
+#[test]
+fn pathological_sawtooth() {
+    for period in [2usize, 3, 5, 17, 255] {
+        let data: Vec<u8> = (0..2000).map(|i| (i % period) as u8).collect();
+        assert_equivalent(&data);
+        let desc: Vec<u8> = (0..2000).map(|i| (period - 1 - i % period) as u8).collect();
+        assert_equivalent(&desc);
+    }
+}
+
+#[test]
+fn pathological_long_runs() {
+    let mut data = Vec::new();
+    for (byte, len) in [(0u8, 400usize), (255, 300), (0, 200), (7, 500), (7, 1), (0, 100)] {
+        data.extend(std::iter::repeat_n(byte, len));
+    }
+    assert_equivalent(&data);
+    // Fibonacci-like string: worst case for naive LMS recursion depth.
+    let (mut a, mut b) = (vec![0u8], vec![0u8, 1]);
+    while b.len() < 3000 {
+        let next = [b.clone(), a.clone()].concat();
+        a = b;
+        b = next;
+    }
+    assert_equivalent(&b);
+}
+
+#[test]
+fn suffix_array_matches_naive_on_edges() {
+    for data in [
+        b"".as_slice(),
+        b"a",
+        b"ba",
+        b"aab",
+        b"banana",
+        b"mississippi",
+        b"abababab",
+        b"zyxwvut",
+    ] {
+        assert_eq!(suffix_array(data), naive_suffix_array(data), "{data:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn sais_matches_naive_random(data in proptest::collection::vec(any::<u8>(), 0..400)) {
+        prop_assert_eq!(suffix_array(&data), naive_suffix_array(&data));
+    }
+
+    #[test]
+    fn sais_matches_naive_small_alphabet(data in proptest::collection::vec(0u8..3, 0..500)) {
+        prop_assert_eq!(suffix_array(&data), naive_suffix_array(&data));
+    }
+
+    #[test]
+    fn bwt_equivalent_random(data in proptest::collection::vec(any::<u8>(), 0..600)) {
+        assert_equivalent(&data);
+    }
+
+    #[test]
+    fn bwt_equivalent_runs(
+        runs in proptest::collection::vec((any::<u8>(), 1usize..120), 0..20)
+    ) {
+        let mut data = Vec::new();
+        for (byte, len) in runs {
+            data.extend(std::iter::repeat_n(byte, len));
+        }
+        assert_equivalent(&data);
+    }
+}
