@@ -5,7 +5,8 @@
 //!
 //! EXPERIMENTS  any of: table1 table2 table3 table4 table5 table6 table7
 //!              table8 fig1 fig2 fig3 fig4 scaling calibration ssim
-//!              scorecard bench | all | focus (tables 2-5 + figs 2-4) |
+//!              scorecard bench serve-bench | all |
+//!              focus (tables 2-5 + figs 2-4) |
 //!              sweep (table 6 + fig 1 + tables 7-8) |
 //!              extensions (scaling + calibration + ssim)
 //! FLAGS        --quick | --full | --paper-scale   preset configurations
@@ -24,6 +25,10 @@
 //!
 //! `bench` runs the chunked-codec throughput sweep and writes the
 //! schema'd `BENCH.json` (validated before the process exits);
+//! `serve-bench` drives a loopback `cc-serve` daemon with concurrent
+//! pipelined clients and appends a `serve` section (req/s, p50/p99
+//! latency from the server's own histograms, busy rate) to that
+//! document, bumping its schema additively to `cc-bench-throughput/3`;
 //! `bench-check FILE` re-validates an existing artifact and exits
 //! non-zero if it does not satisfy the schema — with `--against
 //! BASELINE.json` it additionally compares single-worker throughput per
@@ -56,14 +61,7 @@ use std::time::Instant;
 
 fn main() {
     let (experiments, cfg, bench_opts, obs) = parse_args();
-    if obs.quiet {
-        cc_obs::progress::set_quiet(true);
-    }
-    if obs.trace.is_some() {
-        cc_obs::enable_all();
-    } else if obs.metrics {
-        cc_obs::set_metrics_enabled(true);
-    }
+    obs.cli.apply();
     let mut runner = Runner { cfg, eval: None, focus_ctx: BTreeMap::new() };
     for exp in &experiments {
         let t0 = Instant::now();
@@ -86,6 +84,7 @@ fn main() {
             "calibration" => runner.calibration(),
             "ssim" => runner.ssim(),
             "bench" => run_bench(&bench_opts),
+            "serve-bench" => run_serve_bench(&bench_opts),
             "bench-check" => check_bench(&bench_opts),
             "trace-check" => check_trace(&obs.check_path),
             "scorecard" => {
@@ -106,40 +105,16 @@ fn main() {
         drop(_exp_span);
         progress!(">>> {exp} done in {:.1}s", t0.elapsed().as_secs_f64());
     }
-    finish_observability(&obs);
+    obs.cli.finish();
 }
 
-/// Observability flags.
+/// Observability flags: the shared `--trace`/`--metrics`/`--quiet`
+/// bracket plus repro's `trace-check` positional path.
 struct ObsOpts {
-    /// `--trace FILE`: record spans + metrics, write a `TRACE.json`.
-    trace: Option<std::path::PathBuf>,
-    /// `--metrics`: record counters/histograms, print the table at exit.
-    metrics: bool,
-    /// `--quiet`: suppress progress lines.
-    quiet: bool,
+    /// The shared observability trio (apply at start, finish at exit).
+    cli: cc_core::cli::ObsCli,
     /// Positional path for `trace-check` (default `TRACE.json`).
     check_path: std::path::PathBuf,
-}
-
-/// After all experiments: export the trace artifact and/or print the
-/// summary tables.
-fn finish_observability(obs: &ObsOpts) {
-    if obs.trace.is_none() && !obs.metrics {
-        return;
-    }
-    let report = cc_obs::trace::TraceReport::collect();
-    if let Some(path) = &obs.trace {
-        if let Err(e) = report.write(path) {
-            eprintln!("{e}");
-            std::process::exit(1);
-        }
-        progress!("wrote trace to {}", path.display());
-        let summary = report.summary();
-        if !summary.is_empty() {
-            println!("{}", cc_core::report::trace_summary_table(&summary).render());
-        }
-    }
-    println!("{}", cc_core::report::metrics_table(&report.metrics).render());
 }
 
 fn check_trace(path: &std::path::Path) {
@@ -214,6 +189,43 @@ fn run_bench(opts: &BenchOpts) {
     );
 }
 
+/// `serve-bench`: loopback daemon throughput, appended to `BENCH.json`.
+fn run_serve_bench(opts: &BenchOpts) {
+    let config = if opts.quick {
+        cc_bench::serve_bench::ServeBenchConfig::quick()
+    } else {
+        cc_bench::serve_bench::ServeBenchConfig::default_scale()
+    };
+    let base = std::fs::read_to_string(&opts.path).unwrap_or_else(|e| {
+        eprintln!(
+            "cannot read {}: {e}\nserve-bench appends to an existing artifact — run `repro bench` first",
+            opts.path.display()
+        );
+        std::process::exit(1);
+    });
+    let report = cc_bench::serve_bench::run(&config, &mut |line| progress!("    {line}"));
+    let merged = report.merge_into_bench(&base).unwrap_or_else(|errs| {
+        eprintln!("cannot append serve section to {}:", opts.path.display());
+        for e in errs {
+            eprintln!("  - {e}");
+        }
+        std::process::exit(1);
+    });
+    std::fs::write(&opts.path, &merged).expect("write BENCH.json");
+    for r in &report.runs {
+        println!(
+            "serve workers={:<2} {:>8.0} req/s  p50 {:>6}us  p99 {:>6}us  busy rate {:.3}",
+            r.workers, r.req_per_s, r.p50_us, r.p99_us, r.busy_rate
+        );
+    }
+    println!(
+        "appended serve section to {} ({} clients x {} requests, schema cc-bench-throughput/3)",
+        opts.path.display(),
+        config.clients,
+        config.requests_per_client
+    );
+}
+
 fn check_bench(opts: &BenchOpts) {
     let text = std::fs::read_to_string(&opts.path).unwrap_or_else(|e| {
         eprintln!("cannot read {}: {e}", opts.path.display());
@@ -260,9 +272,7 @@ fn parse_args() -> (Vec<String>, RunConfig, BenchOpts, ObsOpts) {
         tolerance: 0.25,
     };
     let mut obs = ObsOpts {
-        trace: None,
-        metrics: false,
-        quiet: false,
+        cli: cc_core::cli::ObsCli::default(),
         check_path: "TRACE.json".into(),
     };
     let mut exps: Vec<String> = Vec::new();
@@ -305,9 +315,9 @@ fn parse_args() -> (Vec<String>, RunConfig, BenchOpts, ObsOpts) {
             "--tolerance" => {
                 bench.tolerance = next_val(&mut args).parse().expect("--tolerance X");
             }
-            "--trace" => obs.trace = Some(next_val(&mut args).into()),
-            "--metrics" => obs.metrics = true,
-            "--quiet" => obs.quiet = true,
+            "--trace" => obs.cli.trace = Some(next_val(&mut args).into()),
+            "--metrics" => obs.cli.metrics = true,
+            "--quiet" => obs.cli.quiet = true,
             // `repro run table6` reads naturally; `run` itself is a no-op.
             "run" => {}
             "all" => exps.extend(

@@ -8,6 +8,7 @@
 
 pub mod faults;
 pub mod scorecard;
+pub mod serve_bench;
 pub mod throughput;
 
 use cc_core::evaluation::{EvalConfig, Evaluation};

@@ -43,7 +43,9 @@
 //! equal to it when other work shares the process. [`validate`]
 //! machine-checks all of this via the minimal JSON parser in
 //! [`mod@json`], so CI can reject malformed artifacts; it accepts the
-//! pre-telemetry `cc-bench-throughput/1` documents too.
+//! pre-telemetry `cc-bench-throughput/1` documents too, and the
+//! `cc-bench-throughput/3` documents produced when `repro serve-bench`
+//! appends its `serve` section (see [`crate::serve_bench`]).
 
 pub use cc_obs::json;
 
@@ -378,9 +380,11 @@ impl BenchReport {
 }
 
 /// Validate a `BENCH.json` document against the
-/// `cc-bench-throughput/2` schema (documents declaring the
-/// pre-telemetry `/1` schema are still accepted, without requiring the
-/// `telemetry` section). Returns every violation found.
+/// `cc-bench-throughput/3` schema. Earlier schema levels are accepted
+/// additively: `/1` documents need no `telemetry` sections, `/1` and
+/// `/2` documents need no `serve` section (that section is appended by
+/// `repro serve-bench`, which also bumps the declared schema to `/3`).
+/// Returns every violation found.
 pub fn validate(text: &str) -> Result<(), Vec<String>> {
     let doc = match json::parse(text) {
         Ok(v) => v,
@@ -394,12 +398,22 @@ pub fn validate(text: &str) -> Result<(), Vec<String>> {
     }
 
     let schema = doc.get("schema").and_then(json::Value::as_str);
-    let telemetry_required = schema == Some("cc-bench-throughput/2");
+    let telemetry_required =
+        matches!(schema, Some("cc-bench-throughput/2") | Some("cc-bench-throughput/3"));
+    let serve_required = schema == Some("cc-bench-throughput/3");
     check(
         &mut errs,
-        matches!(schema, Some("cc-bench-throughput/1") | Some("cc-bench-throughput/2")),
-        "schema must be \"cc-bench-throughput/1\" or \"cc-bench-throughput/2\"",
+        matches!(
+            schema,
+            Some("cc-bench-throughput/1")
+                | Some("cc-bench-throughput/2")
+                | Some("cc-bench-throughput/3")
+        ),
+        "schema must be \"cc-bench-throughput/1\", \"/2\", or \"/3\"",
     );
+    if serve_required {
+        validate_serve(&mut errs, doc.get("serve"));
+    }
     check(&mut errs, doc.get("preset").and_then(json::Value::as_str).is_some(), "preset missing");
     let field = doc.get("field");
     for key in ["npts", "nlev", "elems", "bytes"] {
@@ -517,6 +531,39 @@ pub fn validate(text: &str) -> Result<(), Vec<String>> {
         Ok(())
     } else {
         Err(errs)
+    }
+}
+
+/// Check the `/3` `serve` section appended by `repro serve-bench`.
+fn validate_serve(errs: &mut Vec<String>, serve: Option<&json::Value>) {
+    let Some(serve) = serve else {
+        errs.push("/3 document must carry a serve section".into());
+        return;
+    };
+    for key in ["clients", "requests_per_client", "payload_elems"] {
+        if serve.get(key).and_then(json::Value::as_f64).map(|v| v > 0.0) != Some(true) {
+            errs.push(format!("serve.{key} must be a positive number"));
+        }
+    }
+    let runs = serve.get("runs").and_then(json::Value::as_array).unwrap_or_default();
+    if runs.len() < 2 {
+        errs.push("serve.runs must cover at least two worker counts".into());
+    }
+    for (i, r) in runs.iter().enumerate() {
+        let num = |key: &str| r.get(key).and_then(json::Value::as_f64);
+        if num("workers").map(|v| v >= 1.0) != Some(true)
+            || num("requests").map(|v| v >= 1.0) != Some(true)
+            || num("req_per_s").map(|v| v > 0.0) != Some(true)
+        {
+            errs.push(format!("serve.runs[{i}]: workers/requests/req_per_s must be positive"));
+        }
+        match (num("p50_us"), num("p99_us")) {
+            (Some(p50), Some(p99)) if p99 >= p50 && p50 >= 0.0 => {}
+            _ => errs.push(format!("serve.runs[{i}]: need p50_us <= p99_us")),
+        }
+        if num("busy_rate").map(|v| (0.0..=1.0).contains(&v)) != Some(true) {
+            errs.push(format!("serve.runs[{i}]: busy_rate must be in [0, 1]"));
+        }
     }
 }
 

@@ -116,6 +116,17 @@ impl Variant {
         }
     }
 
+    /// Resolve a display name (case-insensitive) back to a variant.
+    /// Covers the paper set plus the lossless fallbacks `NetCDF-4` and
+    /// `fpzip-32` — the names `ccc verify --codec` and the `cc-serve`
+    /// wire protocol accept.
+    pub fn by_name(name: &str) -> Option<Variant> {
+        Variant::paper_set()
+            .into_iter()
+            .chain([Variant::NetCdf4, Variant::Fpzip { bits: 32 }])
+            .find(|v| v.name().eq_ignore_ascii_case(name))
+    }
+
     /// True if this configuration reconstructs bit-exactly.
     pub fn is_lossless(&self) -> bool {
         matches!(

@@ -13,6 +13,9 @@
 //!   work in the paper's conclusions.
 //! * [`report`] — text/CSV rendering of every table and figure.
 //! * [`par`] — scoped-thread data parallelism used throughout.
+//! * [`cli`] — the flag dialect shared by the `ccc` and `repro`
+//!   binaries (`--flag value` parsing, `--workers`, the `--trace` /
+//!   `--metrics` / `--quiet` observability bracket).
 //!
 //! ```no_run
 //! use cc_core::evaluation::{EvalConfig, Evaluation, verdict_for};
@@ -28,6 +31,7 @@
 //! ```
 
 pub mod calibration;
+pub mod cli;
 pub mod diagnostics;
 pub mod energy;
 pub mod evaluation;

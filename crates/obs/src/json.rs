@@ -59,6 +59,76 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Set `key` on an object (replacing an existing member in place,
+    /// appending otherwise). No-op on non-objects.
+    pub fn set(&mut self, key: &str, value: Value) {
+        if let Value::Obj(members) = self {
+            match members.iter_mut().find(|(k, _)| k == key) {
+                Some((_, v)) => *v = value,
+                None => members.push((key.to_string(), value)),
+            }
+        }
+    }
+
+    /// Serialize back to JSON text. Round-trips through [`parse`]:
+    /// object member order is preserved, numbers print through `f64`'s
+    /// shortest representation (integers without a fraction).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out, 0);
+        out
+    }
+
+    fn write_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Value::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    v.write_into(out, indent);
+                }
+                out.push(']');
+            }
+            Value::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                let pad = "  ".repeat(indent + 1);
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&pad);
+                    out.push('"');
+                    out.push_str(&escape(k));
+                    out.push_str("\": ");
+                    v.write_into(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
 }
 
 /// Escape a string for embedding in a JSON document (no surrounding
@@ -279,6 +349,25 @@ mod tests {
     fn empty_containers() {
         assert_eq!(parse("{}").unwrap(), Value::Obj(vec![]));
         assert_eq!(parse("[]").unwrap(), Value::Arr(vec![]));
+    }
+
+    #[test]
+    fn to_json_roundtrips_and_set_replaces() {
+        let text = r#"{"schema": "x/2", "n": 3, "arr": [1, 2.5, true, null], "s": "a\nb"}"#;
+        let mut v = parse(text).unwrap();
+        let back = parse(&v.to_json()).unwrap();
+        assert_eq!(v, back, "serializer must round-trip through the parser");
+        v.set("schema", Value::Str("x/3".into()));
+        v.set("extra", Value::Num(7.0));
+        let again = parse(&v.to_json()).unwrap();
+        assert_eq!(again.get("schema").unwrap().as_str(), Some("x/3"));
+        assert_eq!(again.get("extra").unwrap().as_f64(), Some(7.0));
+        // Member order preserved: schema stays first.
+        if let Value::Obj(members) = &again {
+            assert_eq!(members[0].0, "schema");
+        } else {
+            panic!("not an object");
+        }
     }
 
     #[test]

@@ -26,7 +26,9 @@
 //! usual single atomic load, checked once per job, so the disabled path
 //! is unchanged.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 /// Process-wide worker-count override (0 = unset). Set from `--workers`
 /// style CLI flags; consulted by [`default_workers`].
@@ -158,6 +160,132 @@ where
     results.into_iter().map(|r| r.expect("all slots filled")).collect()
 }
 
+// ---------------------------------------------------------------------
+// Bounded work queue + persistent worker pool (the `cc-serve` substrate).
+// ---------------------------------------------------------------------
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded blocking MPMC queue.
+///
+/// Producers use [`BoundedQueue::try_push`], which *never blocks*: a full
+/// (or closed) queue hands the item straight back so the caller can apply
+/// backpressure (the `cc-serve` acceptor answers `Busy`) instead of
+/// growing memory without bound. Consumers block in [`BoundedQueue::pop`]
+/// until an item arrives or the queue is closed *and* drained — so
+/// [`BoundedQueue::close`] gives graceful-drain semantics for free:
+/// already-queued work is still handed out, then every popper unblocks
+/// with `None`.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    cap: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `cap` items (`cap` is clamped to ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            not_empty: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState<T>> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Enqueue `item` without blocking. Returns the queue depth after the
+    /// push, or gives `item` back if the queue is full or closed.
+    pub fn try_push(&self, item: T) -> Result<usize, T> {
+        let mut st = self.lock();
+        if st.closed || st.items.len() >= self.cap {
+            return Err(item);
+        }
+        st.items.push_back(item);
+        let depth = st.items.len();
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Dequeue, blocking until an item is available. Returns `None` once
+    /// the queue has been closed and every queued item drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.lock();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Close the queue: rejects new pushes, wakes every blocked popper.
+    /// Queued items remain poppable (drain-then-stop).
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True once [`BoundedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+}
+
+/// Run a persistent worker pool over `queue`: `workers` scoped threads
+/// each loop popping items into `f` until the queue is closed and
+/// drained. Blocks until then.
+///
+/// Pool threads are marked with the same nested-context guard as
+/// [`par_map_with`] workers, so codec/evaluation code invoked from a
+/// handler degrades to sequential instead of oversubscribing (one server
+/// request never fans out a second thread pool). Span trees recorded on
+/// the workers are stitched into the caller's tree at join, exactly as
+/// the data-parallel pool does.
+pub fn run_pool<T, F>(workers: usize, queue: &BoundedQueue<T>, f: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    let record_spans = cc_obs::spans_enabled();
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workers.max(1));
+        for _ in 0..workers.max(1) {
+            let f = &f;
+            handles.push(s.spawn(move || {
+                IN_POOL.with(|flag| flag.set(true));
+                while let Some(item) = queue.pop() {
+                    f(item);
+                }
+                if record_spans { cc_obs::take_local_roots() } else { Vec::new() }
+            }));
+        }
+        for h in handles {
+            let spans = h.join().expect("pool worker panicked");
+            cc_obs::adopt(spans);
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,6 +376,59 @@ mod tests {
             "nested par_map exploded concurrency: peak {}",
             PEAK.load(Ordering::SeqCst)
         );
+    }
+
+    #[test]
+    fn bounded_queue_backpressure_and_drain() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        // Full: the item comes straight back, nothing blocks.
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.len(), 2);
+        q.close();
+        // Closed queues reject pushes but still drain queued items.
+        assert_eq!(q.try_push(4), Err(4));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_closed());
+    }
+
+    #[test]
+    fn pop_blocks_until_push_or_close() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        std::thread::scope(|s| {
+            let h = s.spawn(|| {
+                let first = q.pop();
+                let second = q.pop();
+                (first, second)
+            });
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            q.try_push(7).unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            q.close();
+            assert_eq!(h.join().unwrap(), (Some(7), None));
+        });
+    }
+
+    #[test]
+    fn run_pool_processes_everything_and_nests_sequentially() {
+        static SUM: AtomicUsize = AtomicUsize::new(0);
+        static NESTED_WORKERS: AtomicUsize = AtomicUsize::new(0);
+        let q: BoundedQueue<usize> = BoundedQueue::new(64);
+        for i in 0..64 {
+            q.try_push(i).unwrap();
+        }
+        q.close();
+        run_pool(4, &q, |i| {
+            // Pool workers carry the nested-context guard, so inner
+            // parallel calls degrade to sequential.
+            NESTED_WORKERS.fetch_max(default_workers(), Ordering::SeqCst);
+            SUM.fetch_add(i, Ordering::SeqCst);
+        });
+        assert_eq!(SUM.load(Ordering::SeqCst), (0..64).sum());
+        assert_eq!(NESTED_WORKERS.load(Ordering::SeqCst), 1);
     }
 
     #[test]

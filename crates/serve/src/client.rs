@@ -1,0 +1,252 @@
+//! Blocking client for the `cc-wire/1` protocol.
+//!
+//! [`Client::connect`] retries with jittered exponential backoff (the
+//! jitter is derived from a splitmix of the attempt counter and the
+//! address hash — deterministic per call site, no clock entropy), then
+//! issues requests over one connection. Request ids are assigned
+//! monotonically; because the server echoes them, [`Client::pipeline`]
+//! can write a whole batch before reading any response and still match
+//! replies to requests.
+
+use crate::wire::{
+    self, decode_error, encode_frame, read_frame, CompressRequest, DecompressRequest, ErrCode,
+    EvalRequest, EvalResponse, Frame, Opcode, WireError, OP_BUSY, OP_ERROR,
+};
+use cc_codecs::Layout;
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Typed client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// TCP connect failed after every retry.
+    Connect(std::io::Error),
+    /// The connection died or timed out mid-request.
+    Wire(WireError),
+    /// The server answered `Busy` (bounded queue full) — retry later.
+    Busy,
+    /// The server answered a typed error frame.
+    Server(ErrCode, String),
+    /// The server replied with an unexpected opcode or request id.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect(e) => write!(f, "connect failed: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Busy => write!(f, "server busy (queue full)"),
+            ClientError::Server(code, msg) => write!(f, "server error ({code:?}): {msg}"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// Connection options.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Connect attempts before giving up.
+    pub connect_attempts: u32,
+    /// Base backoff between attempts (doubled each retry, ±50% jitter).
+    pub backoff: Duration,
+    /// Per-response read deadline.
+    pub read_timeout: Duration,
+    /// Per-request write deadline.
+    pub write_timeout: Duration,
+    /// Largest response payload this client will accept.
+    pub max_payload: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_attempts: 5,
+            backoff: Duration::from_millis(20),
+            read_timeout: Duration::from_secs(60),
+            write_timeout: Duration::from_secs(10),
+            max_payload: wire::DEFAULT_MAX_PAYLOAD,
+        }
+    }
+}
+
+/// A blocking connection to a `cc-serve` daemon.
+pub struct Client {
+    stream: TcpStream,
+    cfg: ClientConfig,
+    next_id: u64,
+}
+
+fn jitter_mix(x: u64) -> u64 {
+    // splitmix64 finalizer — cheap, deterministic jitter source.
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Client {
+    /// Connect with defaults.
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect, retrying `connect_attempts` times with jittered
+    /// exponential backoff.
+    pub fn connect_with(addr: &str, cfg: ClientConfig) -> Result<Client, ClientError> {
+        let addr_hash: u64 =
+            addr.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+            });
+        let mut last_err = None;
+        for attempt in 0..cfg.connect_attempts.max(1) {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+                    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+                    return Ok(Client { stream, cfg, next_id: 1 });
+                }
+                Err(e) => {
+                    last_err = Some(e);
+                    // base · 2^attempt, scaled by a jitter in [0.5, 1.5).
+                    let base = cfg.backoff.as_micros() as u64;
+                    let exp = base.saturating_mul(1u64 << attempt.min(10));
+                    let jitter = jitter_mix(addr_hash ^ attempt as u64) % 1000;
+                    let us = exp / 2 + exp.saturating_mul(jitter) / 1000;
+                    std::thread::sleep(Duration::from_micros(us));
+                }
+            }
+        }
+        Err(ClientError::Connect(
+            last_err.unwrap_or_else(|| std::io::Error::other("no connect attempts made")),
+        ))
+    }
+
+    fn send(&mut self, opcode: Opcode, payload: &[u8]) -> Result<u64, ClientError> {
+        let req_id = self.next_id;
+        self.next_id += 1;
+        self.stream
+            .write_all(&encode_frame(opcode as u8, req_id, payload))
+            .map_err(|e| ClientError::Wire(WireError::Io(e)))?;
+        Ok(req_id)
+    }
+
+    fn recv(&mut self) -> Result<Frame, ClientError> {
+        Ok(read_frame(&mut self.stream, self.cfg.max_payload)?)
+    }
+
+    /// Check one response frame against the request it answers.
+    fn expect(frame: Frame, opcode: Opcode, req_id: u64) -> Result<Vec<u8>, ClientError> {
+        if frame.opcode == OP_BUSY {
+            return Err(ClientError::Busy);
+        }
+        if frame.opcode == OP_ERROR {
+            let (code, msg) = decode_error(&frame.payload);
+            return Err(ClientError::Server(code, msg));
+        }
+        if frame.opcode != opcode.reply() {
+            return Err(ClientError::Protocol(format!(
+                "expected reply to {}, got opcode 0x{:02x}",
+                opcode.name(),
+                frame.opcode
+            )));
+        }
+        if frame.req_id != req_id {
+            return Err(ClientError::Protocol(format!(
+                "response id {} does not match request id {req_id}",
+                frame.req_id
+            )));
+        }
+        Ok(frame.payload)
+    }
+
+    fn call(&mut self, opcode: Opcode, payload: &[u8]) -> Result<Vec<u8>, ClientError> {
+        let req_id = self.send(opcode, payload)?;
+        let frame = self.recv()?;
+        Self::expect(frame, opcode, req_id)
+    }
+
+    /// Round-trip an empty `Ping`.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.call(Opcode::Ping, &[]).map(|_| ())
+    }
+
+    /// Compress `data` (shaped by `layout`) with the named variant;
+    /// returns the compressed stream.
+    pub fn compress(
+        &mut self,
+        variant: &str,
+        layout: Layout,
+        data: &[f32],
+    ) -> Result<Vec<u8>, ClientError> {
+        let req =
+            CompressRequest { variant: variant.to_string(), layout, data: data.to_vec() };
+        self.call(Opcode::Compress, &req.encode())
+    }
+
+    /// Decompress `stream` back into `layout.len()` f32 values.
+    pub fn decompress(
+        &mut self,
+        variant: &str,
+        layout: Layout,
+        stream: &[u8],
+    ) -> Result<Vec<f32>, ClientError> {
+        let req = DecompressRequest {
+            variant: variant.to_string(),
+            layout,
+            stream: stream.to_vec(),
+        };
+        let payload = self.call(Opcode::Decompress, &req.encode())?;
+        wire::decode_f32_payload(&payload)
+            .map_err(|_| ClientError::Protocol("odd-length f32 response".into()))
+    }
+
+    /// Run a quick-scale evaluation of `variant` on variable `var`
+    /// server-side; returns the verdict summary.
+    pub fn evaluate(&mut self, req: &EvalRequest) -> Result<EvalResponse, ClientError> {
+        let payload = self.call(Opcode::Evaluate, &req.encode())?;
+        EvalResponse::decode(&payload)
+            .map_err(|_| ClientError::Protocol("malformed Evaluate response".into()))
+    }
+
+    /// Fetch the server's counter snapshot as `name value` lines.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        let payload = self.call(Opcode::Stats, &[])?;
+        String::from_utf8(payload)
+            .map_err(|_| ClientError::Protocol("non-UTF-8 stats response".into()))
+    }
+
+    /// Ask the server to drain and stop.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.call(Opcode::Shutdown, &[]).map(|_| ())
+    }
+
+    /// Pipeline a batch of raw requests: write them all, then read the
+    /// responses in order, matching ids. Each result is the reply
+    /// payload or the per-request error.
+    pub fn pipeline(
+        &mut self,
+        requests: &[(Opcode, Vec<u8>)],
+    ) -> Result<Vec<Result<Vec<u8>, ClientError>>, ClientError> {
+        let mut ids = Vec::with_capacity(requests.len());
+        for (opcode, payload) in requests {
+            ids.push(self.send(*opcode, payload)?);
+        }
+        let mut out = Vec::with_capacity(requests.len());
+        for (&id, (opcode, _)) in ids.iter().zip(requests) {
+            let frame = self.recv()?;
+            out.push(Self::expect(frame, *opcode, id));
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,28 @@
+//! `cc-serve`: the compression/evaluation service layer.
+//!
+//! A dependency-free (`std::net`) TCP daemon speaking the framed binary
+//! protocol **cc-wire/1** ([`wire`]), with an acceptor → bounded queue →
+//! worker pool core ([`server`], backed by `cc_par::BoundedQueue` /
+//! `run_pool`) and a blocking client library ([`client`]). The service
+//! exposes the repo's compression pipeline over the network: compress /
+//! decompress any named codec variant, run a quick-scale four-test
+//! evaluation (`cc_core::evaluation`), and read live counters.
+//!
+//! Design invariants (DESIGN.md §11):
+//! - every frame decode is **total** over untrusted bytes — corrupt
+//!   input yields a typed error frame or a clean close, never a panic,
+//!   and allocation is bounded by bytes actually received;
+//! - backpressure is explicit — a full queue answers `Busy`, it never
+//!   queues unboundedly;
+//! - responses echo request ids, so clients may pipeline;
+//! - byte determinism — server responses are identical to what the
+//!   sequential in-process pipeline produces, at any worker count.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientConfig, ClientError};
+pub use server::{EvalLimits, Server, ServerConfig};

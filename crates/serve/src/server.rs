@@ -1,0 +1,425 @@
+//! The `cc-serve` daemon: acceptor → bounded queue → worker pool.
+//!
+//! One acceptor thread accepts TCP connections, stamps per-request
+//! deadlines on them (`set_read_timeout` / `set_write_timeout`), and
+//! pushes them onto a **bounded** [`cc_par::BoundedQueue`]. A full queue
+//! answers a typed `Busy` frame and closes — backpressure, never
+//! unbounded memory. A worker pool (`cc_par::run_pool`, so every worker
+//! carries the nested-context guard and codec calls inside a request
+//! never fan out a second thread pool) drains the queue, serving each
+//! connection's pipelined requests in order and echoing request ids.
+//!
+//! Shutdown is a graceful drain: the stop flag halts the acceptor, the
+//! queue closes (already-accepted connections are still served), workers
+//! finish their in-flight request and exit. The `Shutdown` opcode
+//! triggers the same path remotely.
+//!
+//! Every stage is instrumented through `cc-obs`: `serve.accept`,
+//! `serve.busy`, `serve.queue_depth`, `serve.frame_corrupt`,
+//! `serve.requests`, `serve.req_us`, and per-opcode byte counters —
+//! all exportable through the usual `--trace` / `TRACE.json` path.
+
+use crate::wire::{
+    self, encode_error, encode_frame, read_frame, CompressRequest, DecompressRequest, ErrCode,
+    EvalRequest, EvalResponse, Frame, Opcode, WireError, OP_BUSY, OP_ERROR,
+};
+use cc_codecs::chunked::{compress_chunked, decompress_chunked};
+use cc_codecs::Variant;
+use cc_core::evaluation::{verdict_for, EvalConfig, Evaluation};
+use cc_grid::Resolution;
+use cc_model::Model;
+use cc_par::BoundedQueue;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Resource caps on `Evaluate` requests (each one synthesizes an
+/// ensemble server-side, so untrusted parameters must be bounded).
+#[derive(Debug, Clone, Copy)]
+pub struct EvalLimits {
+    /// Maximum ensemble size.
+    pub max_members: u16,
+    /// Maximum grid `ne`.
+    pub max_ne: u16,
+    /// Maximum vertical levels.
+    pub max_nlev: u16,
+}
+
+impl Default for EvalLimits {
+    fn default() -> Self {
+        EvalLimits { max_members: 16, max_ne: 6, max_nlev: 8 }
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free loopback port).
+    pub addr: String,
+    /// Worker threads draining the connection queue.
+    pub workers: usize,
+    /// Bounded queue depth; a full queue answers `Busy`.
+    pub queue_depth: usize,
+    /// Per-connection payload cap; larger declared frames are rejected.
+    pub max_payload: usize,
+    /// Requests served per connection before the server closes it.
+    pub max_requests_per_conn: u64,
+    /// Per-request read deadline (also the idle timeout between
+    /// pipelined requests).
+    pub read_timeout: Duration,
+    /// Per-response write deadline.
+    pub write_timeout: Duration,
+    /// Caps on `Evaluate` work.
+    pub eval_limits: EvalLimits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_depth: 64,
+            max_payload: wire::DEFAULT_MAX_PAYLOAD,
+            max_requests_per_conn: 100_000,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            eval_limits: EvalLimits::default(),
+        }
+    }
+}
+
+/// Counters surfaced by the `Stats` opcode (and in `TRACE.json`).
+pub const STAT_COUNTERS: &[&str] = &[
+    "serve.accept",
+    "serve.busy",
+    "serve.requests",
+    "serve.errors",
+    "serve.frame_corrupt",
+    "serve.conn_closed",
+    "serve.request_cap_hit",
+    "serve.panic",
+    "serve.op.ping.bytes_in",
+    "serve.op.compress.bytes_in",
+    "serve.op.compress.bytes_out",
+    "serve.op.decompress.bytes_in",
+    "serve.op.decompress.bytes_out",
+    "serve.op.evaluate.bytes_in",
+    "serve.op.stats.bytes_out",
+];
+
+struct Shared {
+    cfg: ServerConfig,
+    stop: AtomicBool,
+    queue: BoundedQueue<TcpStream>,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+/// A running server. Dropping it triggers a graceful drain and joins
+/// both threads; [`Server::shutdown`] does the same explicitly.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    pool: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving. Metric recording is enabled process-wide
+    /// (the server's `Stats` opcode and backpressure counters are part
+    /// of its contract, not an opt-in).
+    pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        cc_obs::set_metrics_enabled(true);
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(cfg.queue_depth),
+            cfg,
+            stop: AtomicBool::new(false),
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("cc-serve-acceptor".into())
+                .spawn(move || accept_loop(listener, &shared))?
+        };
+        let pool = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new().name("cc-serve-pool".into()).spawn(move || {
+                cc_par::run_pool(shared.cfg.workers, &shared.queue, |conn| {
+                    serve_conn(conn, &shared);
+                });
+            })?
+        };
+        Ok(Server { addr, shared, acceptor: Some(acceptor), pool: Some(pool) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begin a graceful drain without blocking: stop accepting, close
+    /// the queue. Workers finish in-flight and queued connections.
+    pub fn trigger_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Block until the server has fully drained (either after
+    /// [`Server::trigger_shutdown`] or a remote `Shutdown` request).
+    pub fn join(mut self) {
+        self.join_inner();
+    }
+
+    /// Graceful drain: trigger shutdown and join both threads.
+    pub fn shutdown(mut self) {
+        self.trigger_shutdown();
+        self.join_inner();
+    }
+
+    fn join_inner(&mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.pool.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shared.begin_shutdown();
+        self.join_inner();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    let cfg = &shared.cfg;
+    loop {
+        if shared.stopping() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                cc_obs::counter_inc("serve.accept");
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+                let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+                match shared.queue.try_push(stream) {
+                    Ok(depth) => cc_obs::observe("serve.queue_depth", depth as u64),
+                    Err(mut stream) => {
+                        // Backpressure: a typed Busy frame, then close.
+                        cc_obs::counter_inc("serve.busy");
+                        let _ = stream.write_all(&encode_frame(OP_BUSY, 0, &[]));
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                if shared.stopping() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+/// Serve one connection's pipelined requests in order.
+fn serve_conn(mut conn: TcpStream, shared: &Shared) {
+    let _span = cc_obs::span("serve.conn");
+    let cfg = &shared.cfg;
+    let mut served = 0u64;
+    loop {
+        let frame = match read_frame(&mut conn, cfg.max_payload) {
+            Ok(f) => f,
+            Err(WireError::Closed) => break,
+            Err(e) if e.is_timeout() => {
+                // Idle deadline expired (or we are draining): close.
+                break;
+            }
+            Err(e) if e.is_corrupt() => {
+                // Frame boundaries are lost after damage — answer one
+                // well-formed error frame and close.
+                cc_obs::counter_inc("serve.frame_corrupt");
+                let payload = encode_error(ErrCode::BadPayload, &e.to_string());
+                let _ = conn.write_all(&encode_frame(OP_ERROR, 0, &payload));
+                break;
+            }
+            Err(WireError::Io(_)) => break,
+            // read_frame only returns the variants handled above; the
+            // arms are spelled out so a new variant fails to compile.
+            Err(WireError::BadMagic)
+            | Err(WireError::BadVersion(_))
+            | Err(WireError::TooLarge { .. })
+            | Err(WireError::Truncated) => unreachable!("covered by is_corrupt"),
+        };
+        served += 1;
+        if served > cfg.max_requests_per_conn {
+            cc_obs::counter_inc("serve.request_cap_hit");
+            let payload = encode_error(ErrCode::RequestCap, "per-connection request cap reached");
+            let _ = conn.write_all(&encode_frame(OP_ERROR, frame.req_id, &payload));
+            break;
+        }
+        let req_id = frame.req_id;
+        let is_shutdown = frame.opcode == Opcode::Shutdown as u8;
+        let t0 = cc_obs::now_ns();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| handle_request(&frame, shared)))
+            .unwrap_or_else(|_| {
+                cc_obs::counter_inc("serve.panic");
+                Err((ErrCode::Internal, "request handler panicked".into()))
+            });
+        cc_obs::observe("serve.req_us", (cc_obs::now_ns().saturating_sub(t0)) / 1_000);
+        cc_obs::counter_inc("serve.requests");
+        let (opcode, payload) = match result {
+            Ok((op, payload)) => (op, payload),
+            Err((code, msg)) => {
+                cc_obs::counter_inc("serve.errors");
+                (OP_ERROR, encode_error(code, &msg))
+            }
+        };
+        if conn.write_all(&encode_frame(opcode, req_id, &payload)).is_err() {
+            break;
+        }
+        if is_shutdown || shared.stopping() {
+            // Draining: finish this response, then close the connection.
+            break;
+        }
+    }
+    cc_obs::counter_inc("serve.conn_closed");
+}
+
+type HandlerResult = Result<(u8, Vec<u8>), (ErrCode, String)>;
+
+fn handle_request(frame: &Frame, shared: &Shared) -> HandlerResult {
+    let Some(op) = Opcode::from_u8(frame.opcode) else {
+        return Err((ErrCode::BadPayload, format!("unknown opcode 0x{:02x}", frame.opcode)));
+    };
+    let _span = cc_obs::span_dyn(&format!("serve.req.{}", op.name()));
+    cc_obs::counter_add(&format!("serve.op.{}.bytes_in", op.name()), frame.payload.len() as u64);
+    let out: HandlerResult = match op {
+        Opcode::Ping => Ok((op.reply(), Vec::new())),
+        Opcode::Compress => handle_compress(&frame.payload).map(|p| (op.reply(), p)),
+        Opcode::Decompress => {
+            handle_decompress(&frame.payload, shared).map(|p| (op.reply(), p))
+        }
+        Opcode::Evaluate => handle_evaluate(&frame.payload, shared).map(|p| (op.reply(), p)),
+        Opcode::Stats => Ok((op.reply(), stats_text().into_bytes())),
+        Opcode::Shutdown => {
+            shared.begin_shutdown();
+            Ok((op.reply(), Vec::new()))
+        }
+    };
+    if let Ok((_, payload)) = &out {
+        cc_obs::counter_add(&format!("serve.op.{}.bytes_out", op.name()), payload.len() as u64);
+    }
+    out
+}
+
+fn resolve_variant(name: &str) -> Result<Variant, (ErrCode, String)> {
+    Variant::by_name(name)
+        .ok_or_else(|| (ErrCode::UnknownVariant, format!("unknown codec variant {name:?}")))
+}
+
+fn handle_compress(payload: &[u8]) -> Result<Vec<u8>, (ErrCode, String)> {
+    let req = CompressRequest::decode(payload)
+        .map_err(|_| (ErrCode::BadPayload, "malformed Compress payload".into()))?;
+    let variant = resolve_variant(&req.variant)?;
+    let codec = variant.codec();
+    // Workers = 1: this thread is already a pool worker; concurrency
+    // comes from serving many requests, not from fanning out inside one.
+    Ok(compress_chunked(codec.as_ref(), &req.data, req.layout, 1))
+}
+
+fn handle_decompress(payload: &[u8], shared: &Shared) -> Result<Vec<u8>, (ErrCode, String)> {
+    let req = DecompressRequest::decode(payload)
+        .map_err(|_| (ErrCode::BadPayload, "malformed Decompress payload".into()))?;
+    // The declared layout drives the output allocation; cap it at 4× the
+    // payload cap in *elements* (16× in bytes), mirroring the decode
+    // prealloc discipline of DESIGN.md §7.
+    if req.layout.len() > shared.cfg.max_payload * 4 {
+        return Err((
+            ErrCode::TooLarge,
+            format!("layout declares {} elements, above the cap", req.layout.len()),
+        ));
+    }
+    let variant = resolve_variant(&req.variant)?;
+    let codec = variant.codec();
+    let data = decompress_chunked(codec.as_ref(), &req.stream, req.layout, 1)
+        .map_err(|e| (ErrCode::Codec, e.to_string()))?;
+    Ok(wire::encode_f32_payload(&data))
+}
+
+fn handle_evaluate(payload: &[u8], shared: &Shared) -> Result<Vec<u8>, (ErrCode, String)> {
+    let req = EvalRequest::decode(payload)
+        .map_err(|_| (ErrCode::BadPayload, "malformed Evaluate payload".into()))?;
+    let lim = shared.cfg.eval_limits;
+    if req.members < 3 || req.ne < 3 || req.nlev < 2 {
+        return Err((
+            ErrCode::BadPayload,
+            "Evaluate needs members >= 3, ne >= 3, nlev >= 2".into(),
+        ));
+    }
+    if req.members > lim.max_members || req.ne > lim.max_ne || req.nlev > lim.max_nlev {
+        return Err((
+            ErrCode::TooLarge,
+            format!(
+                "Evaluate caps: members <= {}, ne <= {}, nlev <= {}",
+                lim.max_members, lim.max_ne, lim.max_nlev
+            ),
+        ));
+    }
+    let variant = resolve_variant(&req.variant)?;
+    let model = Model::new(Resolution::reduced(req.ne as usize, req.nlev as usize), req.seed);
+    let Some(var) = model.var_id(&req.var) else {
+        return Err((ErrCode::UnknownVariable, format!("unknown variable {:?}", req.var)));
+    };
+    // Workers = 1: already inside a pool worker (the nested-context
+    // guard would force it anyway).
+    let eval = Evaluation::new(
+        model,
+        EvalConfig { members: req.members as usize, samples: 3, workers: 1 },
+    );
+    let ctx = eval.context(var);
+    let v = verdict_for(&ctx, variant);
+    Ok(EvalResponse {
+        cr: v.cr,
+        pearson_pass: v.pearson_pass,
+        rmsz_pass: v.rmsz_pass,
+        enmax_pass: v.enmax_pass,
+        bias_pass: v.bias_pass,
+    }
+    .encode())
+}
+
+/// The `Stats` response body: one `name value` line per counter in
+/// [`STAT_COUNTERS`] (reads are ungated, so this works even when metric
+/// recording was toggled off after start).
+pub fn stats_text() -> String {
+    let mut out = String::new();
+    for name in STAT_COUNTERS {
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&cc_obs::counter_value(name).to_string());
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,718 @@
+//! The `cc-wire/1` framed binary protocol.
+//!
+//! Every message — request or response — is one frame:
+//!
+//! | bytes | field | notes |
+//! |---|---|---|
+//! | 0..4 | magic `b"CCW1"` | protocol + major version |
+//! | 4 | version | `1` |
+//! | 5 | opcode | request `0x01..=0x06`, response `op \| 0x80`, `0xFE` Busy, `0xFF` Error |
+//! | 6..14 | request id | `u64` LE, echoed verbatim in the response so clients can pipeline |
+//! | 14..18 | payload length | `u32` LE |
+//! | 18.. | payload | opcode-specific |
+//!
+//! Frame decode is **total over untrusted bytes**: every read is
+//! bounds-checked, a declared payload length above the connection's cap
+//! is rejected before any allocation, and payload buffers grow
+//! incrementally in [`READ_CHUNK`]-sized steps so no allocation ever
+//! exceeds a small multiple of the bytes actually received — the same
+//! discipline the codec decode paths follow (DESIGN.md §7), enforced
+//! end-to-end by the wire fault-injection harness.
+
+use std::io::Read;
+
+/// Frame magic: `cc-wire`, major version 1.
+pub const MAGIC: [u8; 4] = *b"CCW1";
+/// Protocol version carried in every frame.
+pub const VERSION: u8 = 1;
+/// Fixed header length (magic, version, opcode, request id, payload len).
+pub const HEADER_LEN: usize = 18;
+/// Payload read granularity: buffers grow by at most this much per read,
+/// so a corrupt header declaring a huge payload cannot drive a large
+/// allocation before the bytes actually arrive.
+pub const READ_CHUNK: usize = 64 * 1024;
+/// Default per-connection payload cap (64 MiB).
+pub const DEFAULT_MAX_PAYLOAD: usize = 64 << 20;
+
+/// Request opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Liveness probe; empty payload, empty response.
+    Ping = 0x01,
+    /// Compress a field: [`CompressRequest`] payload → compressed stream.
+    Compress = 0x02,
+    /// Decompress a stream: [`DecompressRequest`] payload → f32 LE field.
+    Decompress = 0x03,
+    /// Quick-scale four-test verdict: [`EvalRequest`] → [`EvalResponse`].
+    Evaluate = 0x04,
+    /// Server counter snapshot; empty payload → UTF-8 `name value` lines.
+    Stats = 0x05,
+    /// Graceful drain: stop accepting, finish queued work, exit.
+    Shutdown = 0x06,
+}
+
+impl Opcode {
+    /// Decode a request opcode byte.
+    pub fn from_u8(b: u8) -> Option<Opcode> {
+        match b {
+            0x01 => Some(Opcode::Ping),
+            0x02 => Some(Opcode::Compress),
+            0x03 => Some(Opcode::Decompress),
+            0x04 => Some(Opcode::Evaluate),
+            0x05 => Some(Opcode::Stats),
+            0x06 => Some(Opcode::Shutdown),
+            _ => None,
+        }
+    }
+
+    /// The success-response opcode for this request.
+    pub fn reply(self) -> u8 {
+        self as u8 | 0x80
+    }
+
+    /// Static span/counter name for this opcode.
+    pub fn name(self) -> &'static str {
+        match self {
+            Opcode::Ping => "ping",
+            Opcode::Compress => "compress",
+            Opcode::Decompress => "decompress",
+            Opcode::Evaluate => "evaluate",
+            Opcode::Stats => "stats",
+            Opcode::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Response opcode: the server cannot take the request (queue full).
+pub const OP_BUSY: u8 = 0xFE;
+/// Response opcode: typed error, payload = `u16` code + UTF-8 message.
+pub const OP_ERROR: u8 = 0xFF;
+
+/// Typed error codes carried in [`OP_ERROR`] payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrCode {
+    /// Payload failed to parse or violated a structural invariant.
+    BadPayload = 1,
+    /// Codec name not in [`cc_codecs::Variant::by_name`]'s set.
+    UnknownVariant = 2,
+    /// Variable name not in the 170-entry registry.
+    UnknownVariable = 3,
+    /// The codec rejected the stream (corrupt / layout mismatch).
+    Codec = 4,
+    /// Request exceeds a server resource cap.
+    TooLarge = 5,
+    /// Per-connection request cap reached; reconnect to continue.
+    RequestCap = 6,
+    /// Server is draining; no further requests on this connection.
+    ShuttingDown = 7,
+    /// Handler panicked or hit an unexpected condition.
+    Internal = 8,
+}
+
+impl ErrCode {
+    /// Decode a wire error code (unknown values map to `Internal`).
+    pub fn from_u16(v: u16) -> ErrCode {
+        match v {
+            1 => ErrCode::BadPayload,
+            2 => ErrCode::UnknownVariant,
+            3 => ErrCode::UnknownVariable,
+            4 => ErrCode::Codec,
+            5 => ErrCode::TooLarge,
+            6 => ErrCode::RequestCap,
+            7 => ErrCode::ShuttingDown,
+            _ => ErrCode::Internal,
+        }
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Raw opcode byte (requests validate via [`Opcode::from_u8`]).
+    pub opcode: u8,
+    /// Request id, echoed in responses.
+    pub req_id: u64,
+    /// Opcode-specific payload.
+    pub payload: Vec<u8>,
+}
+
+/// Frame-level decode failures.
+#[derive(Debug)]
+pub enum WireError {
+    /// Clean EOF at a frame boundary (peer closed).
+    Closed,
+    /// I/O failure mid-frame (includes read/write timeouts).
+    Io(std::io::Error),
+    /// First four bytes were not [`MAGIC`].
+    BadMagic,
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Declared payload length exceeds the connection's cap.
+    TooLarge {
+        /// Length the header declared.
+        declared: u64,
+        /// The connection's cap.
+        cap: usize,
+    },
+    /// Stream ended inside a frame.
+    Truncated,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::TooLarge { declared, cap } => {
+                write!(f, "declared payload {declared} exceeds cap {cap}")
+            }
+            WireError::Truncated => write!(f, "frame truncated"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl WireError {
+    /// True when the failure is a read/write deadline expiring rather
+    /// than damage or disconnect.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            WireError::Io(e) if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            )
+        )
+    }
+
+    /// True when the frame itself was damaged (as opposed to transport
+    /// conditions): bad magic/version, oversized declaration, truncation.
+    pub fn is_corrupt(&self) -> bool {
+        matches!(
+            self,
+            WireError::BadMagic
+                | WireError::BadVersion(_)
+                | WireError::TooLarge { .. }
+                | WireError::Truncated
+        )
+    }
+}
+
+/// Encode one frame.
+pub fn encode_frame(opcode: u8, req_id: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(opcode);
+    out.extend_from_slice(&req_id.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Read exactly `buf.len()` bytes, mapping a zero-byte first read to
+/// `Closed` when `at_boundary` (distinguishes a peer hanging up between
+/// frames from one dying mid-frame).
+fn read_full(r: &mut dyn Read, buf: &mut [u8], at_boundary: bool) -> Result<(), WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if at_boundary && filled == 0 {
+                    WireError::Closed
+                } else {
+                    WireError::Truncated
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Read one frame. Total over untrusted bytes: the declared payload
+/// length is checked against `max_payload` before any payload
+/// allocation, and the payload buffer grows in [`READ_CHUNK`] steps so
+/// peak allocation tracks bytes actually received.
+pub fn read_frame(r: &mut dyn Read, max_payload: usize) -> Result<Frame, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    read_full(r, &mut header, true)?;
+    if header[0..4] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    if header[4] != VERSION {
+        return Err(WireError::BadVersion(header[4]));
+    }
+    let opcode = header[5];
+    let req_id = u64::from_le_bytes(header[6..14].try_into().expect("8 bytes"));
+    let declared = u32::from_le_bytes(header[14..18].try_into().expect("4 bytes")) as usize;
+    if declared > max_payload {
+        return Err(WireError::TooLarge { declared: declared as u64, cap: max_payload });
+    }
+    let mut payload = Vec::with_capacity(declared.min(READ_CHUNK));
+    while payload.len() < declared {
+        let take = (declared - payload.len()).min(READ_CHUNK);
+        let start = payload.len();
+        payload.resize(start + take, 0);
+        read_full(r, &mut payload[start..], false)?;
+    }
+    Ok(Frame { opcode, req_id, payload })
+}
+
+// ---------------------------------------------------------------------
+// Payload codecs. All parsers are total: bounds-checked cursor reads,
+// structural invariants validated before any data-sized allocation.
+// ---------------------------------------------------------------------
+
+use cc_codecs::Layout;
+
+/// Bounds-checked little-endian payload cursor.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PayloadError> {
+        let end = self.pos.checked_add(n).ok_or(PayloadError)?;
+        if end > self.buf.len() {
+            return Err(PayloadError);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, PayloadError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, PayloadError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, PayloadError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, PayloadError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, PayloadError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// `u8` length-prefixed UTF-8 string (names: codec, variable).
+    fn name(&mut self) -> Result<String, PayloadError> {
+        let len = self.u8()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| PayloadError)
+    }
+
+    fn rest(self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+}
+
+/// A payload failed to parse (caller maps to [`ErrCode::BadPayload`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PayloadError;
+
+fn push_name(out: &mut Vec<u8>, name: &str) {
+    let bytes = name.as_bytes();
+    debug_assert!(bytes.len() <= u8::MAX as usize, "wire names are u8-length-prefixed");
+    out.push(bytes.len().min(u8::MAX as usize) as u8);
+    out.extend_from_slice(&bytes[..bytes.len().min(u8::MAX as usize)]);
+}
+
+fn push_layout(out: &mut Vec<u8>, layout: Layout) {
+    for v in [layout.nlev, layout.npts, layout.rows, layout.cols] {
+        out.extend_from_slice(&(v as u32).to_le_bytes());
+    }
+}
+
+fn read_layout(c: &mut Cursor) -> Result<Layout, PayloadError> {
+    let nlev = c.u32()? as usize;
+    let npts = c.u32()? as usize;
+    let rows = c.u32()? as usize;
+    let cols = c.u32()? as usize;
+    // Structural sanity shared by both directions: non-degenerate, the
+    // element count can't overflow, and the 2-D embedding covers npts.
+    let len = nlev.checked_mul(npts).ok_or(PayloadError)?;
+    let embed = rows.checked_mul(cols).ok_or(PayloadError)?;
+    if len == 0 || embed < npts {
+        return Err(PayloadError);
+    }
+    Ok(Layout { nlev, npts, rows, cols })
+}
+
+/// `Compress` request: codec name, layout, raw f32 field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressRequest {
+    /// Codec display name ([`cc_codecs::Variant::by_name`]).
+    pub variant: String,
+    /// Field layout.
+    pub layout: Layout,
+    /// Field values, length `layout.len()`.
+    pub data: Vec<f32>,
+}
+
+impl CompressRequest {
+    /// Serialize to a request payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + self.variant.len() + 16 + self.data.len() * 4);
+        push_name(&mut out, &self.variant);
+        push_layout(&mut out, self.layout);
+        for v in &self.data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parse from an untrusted payload. The field length must match the
+    /// declared layout exactly, so allocation is bounded by the payload
+    /// bytes actually present.
+    pub fn decode(payload: &[u8]) -> Result<CompressRequest, PayloadError> {
+        let mut c = Cursor::new(payload);
+        let variant = c.name()?;
+        let layout = read_layout(&mut c)?;
+        let rest = c.rest();
+        let want = layout.len().checked_mul(4).ok_or(PayloadError)?;
+        if rest.len() != want {
+            return Err(PayloadError);
+        }
+        let data = rest
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes(b.try_into().expect("4 bytes")))
+            .collect();
+        Ok(CompressRequest { variant, layout, data })
+    }
+}
+
+/// `Decompress` request: codec name, layout, compressed stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecompressRequest {
+    /// Codec display name.
+    pub variant: String,
+    /// Layout the stream was compressed under.
+    pub layout: Layout,
+    /// The compressed stream.
+    pub stream: Vec<u8>,
+}
+
+impl DecompressRequest {
+    /// Serialize to a request payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + self.variant.len() + 16 + self.stream.len());
+        push_name(&mut out, &self.variant);
+        push_layout(&mut out, self.layout);
+        out.extend_from_slice(&self.stream);
+        out
+    }
+
+    /// Parse from an untrusted payload. The declared layout bounds the
+    /// decode-side output allocation; the server additionally caps
+    /// `layout.len()` against its payload cap before decompressing.
+    pub fn decode(payload: &[u8]) -> Result<DecompressRequest, PayloadError> {
+        let mut c = Cursor::new(payload);
+        let variant = c.name()?;
+        let layout = read_layout(&mut c)?;
+        let stream = c.rest().to_vec();
+        Ok(DecompressRequest { variant, layout, stream })
+    }
+}
+
+/// `Evaluate` request: run the paper's four acceptance tests for one
+/// variable × variant at a quick scale chosen by the client (bounded by
+/// the server's [`crate::server::EvalLimits`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalRequest {
+    /// Codec display name.
+    pub variant: String,
+    /// CAM variable name (e.g. `U`, `FSDSC`).
+    pub var: String,
+    /// Ensemble members to synthesize.
+    pub members: u16,
+    /// Grid resolution parameter.
+    pub ne: u16,
+    /// Vertical levels.
+    pub nlev: u16,
+    /// Model seed.
+    pub seed: u64,
+}
+
+impl EvalRequest {
+    /// Serialize to a request payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        push_name(&mut out, &self.variant);
+        push_name(&mut out, &self.var);
+        out.extend_from_slice(&self.members.to_le_bytes());
+        out.extend_from_slice(&self.ne.to_le_bytes());
+        out.extend_from_slice(&self.nlev.to_le_bytes());
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out
+    }
+
+    /// Parse from an untrusted payload.
+    pub fn decode(payload: &[u8]) -> Result<EvalRequest, PayloadError> {
+        let mut c = Cursor::new(payload);
+        let variant = c.name()?;
+        let var = c.name()?;
+        let members = c.u16()?;
+        let ne = c.u16()?;
+        let nlev = c.u16()?;
+        let seed = c.u64()?;
+        if !c.rest().is_empty() {
+            return Err(PayloadError);
+        }
+        Ok(EvalRequest { variant, var, members, ne, nlev, seed })
+    }
+}
+
+/// `Evaluate` response: compression ratio plus the four test outcomes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalResponse {
+    /// Compressed / raw bytes, averaged over sampled members.
+    pub cr: f64,
+    /// Pearson-correlation test.
+    pub pearson_pass: bool,
+    /// RMSZ ensemble test.
+    pub rmsz_pass: bool,
+    /// E_nmax ensemble test.
+    pub enmax_pass: bool,
+    /// Bias regression test.
+    pub bias_pass: bool,
+}
+
+impl EvalResponse {
+    /// All four tests passed ("indistinguishable").
+    pub fn all_pass(&self) -> bool {
+        self.pearson_pass && self.rmsz_pass && self.enmax_pass && self.bias_pass
+    }
+
+    /// Serialize to a response payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(9);
+        out.extend_from_slice(&self.cr.to_le_bytes());
+        let flags = (self.pearson_pass as u8)
+            | (self.rmsz_pass as u8) << 1
+            | (self.enmax_pass as u8) << 2
+            | (self.bias_pass as u8) << 3;
+        out.push(flags);
+        out
+    }
+
+    /// Parse from an untrusted payload.
+    pub fn decode(payload: &[u8]) -> Result<EvalResponse, PayloadError> {
+        let mut c = Cursor::new(payload);
+        let cr = c.f64()?;
+        let flags = c.u8()?;
+        if !c.rest().is_empty() {
+            return Err(PayloadError);
+        }
+        Ok(EvalResponse {
+            cr,
+            pearson_pass: flags & 1 != 0,
+            rmsz_pass: flags & 2 != 0,
+            enmax_pass: flags & 4 != 0,
+            bias_pass: flags & 8 != 0,
+        })
+    }
+}
+
+/// Encode an [`OP_ERROR`] payload.
+pub fn encode_error(code: ErrCode, message: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 + message.len());
+    out.extend_from_slice(&(code as u16).to_le_bytes());
+    out.extend_from_slice(message.as_bytes());
+    out
+}
+
+/// Decode an [`OP_ERROR`] payload (lossy UTF-8 on the message).
+pub fn decode_error(payload: &[u8]) -> (ErrCode, String) {
+    if payload.len() < 2 {
+        return (ErrCode::Internal, "malformed error payload".into());
+    }
+    let code = ErrCode::from_u16(u16::from_le_bytes([payload[0], payload[1]]));
+    (code, String::from_utf8_lossy(&payload[2..]).into_owned())
+}
+
+/// Decode an f32 LE field payload (the `Decompress` success response).
+pub fn decode_f32_payload(payload: &[u8]) -> Result<Vec<f32>, PayloadError> {
+    if !payload.len().is_multiple_of(4) {
+        return Err(PayloadError);
+    }
+    Ok(payload
+        .chunks_exact(4)
+        .map(|b| f32::from_le_bytes(b.try_into().expect("4 bytes")))
+        .collect())
+}
+
+/// Encode a field as an f32 LE payload.
+pub fn encode_f32_payload(data: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 4);
+    for v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrips() {
+        let payload = vec![1u8, 2, 3, 4, 5];
+        let bytes = encode_frame(Opcode::Compress as u8, 42, &payload);
+        assert_eq!(bytes.len(), HEADER_LEN + payload.len());
+        let frame = read_frame(&mut bytes.as_slice(), 1 << 20).unwrap();
+        assert_eq!(frame.opcode, Opcode::Compress as u8);
+        assert_eq!(frame.req_id, 42);
+        assert_eq!(frame.payload, payload);
+    }
+
+    #[test]
+    fn empty_read_is_clean_close() {
+        let empty: &[u8] = &[];
+        assert!(matches!(read_frame(&mut &*empty, 1024), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn header_damage_is_detected() {
+        let good = encode_frame(Opcode::Ping as u8, 7, &[]);
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(matches!(
+            read_frame(&mut bad_magic.as_slice(), 1024),
+            Err(WireError::BadMagic)
+        ));
+        let mut bad_version = good.clone();
+        bad_version[4] = 9;
+        assert!(matches!(
+            read_frame(&mut bad_version.as_slice(), 1024),
+            Err(WireError::BadVersion(9))
+        ));
+        let truncated = &good[..HEADER_LEN - 3];
+        assert!(matches!(
+            read_frame(&mut &*truncated, 1024),
+            Err(WireError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn oversized_declaration_rejected_before_allocation() {
+        let mut bytes = encode_frame(Opcode::Ping as u8, 1, &[]);
+        bytes[14..18].copy_from_slice(&u32::MAX.to_le_bytes());
+        match read_frame(&mut bytes.as_slice(), 1024) {
+            Err(WireError::TooLarge { declared, cap }) => {
+                assert_eq!(declared, u32::MAX as u64);
+                assert_eq!(cap, 1024);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_payload_is_truncated_not_closed() {
+        let bytes = encode_frame(Opcode::Stats as u8, 3, &[9u8; 100]);
+        let cut = &bytes[..HEADER_LEN + 10];
+        assert!(matches!(read_frame(&mut &*cut, 1024), Err(WireError::Truncated)));
+    }
+
+    #[test]
+    fn compress_request_roundtrips_and_rejects_length_mismatch() {
+        let req = CompressRequest {
+            variant: "fpzip-24".into(),
+            layout: Layout::linear(100),
+            data: (0..100).map(|i| i as f32).collect(),
+        };
+        let payload = req.encode();
+        assert_eq!(CompressRequest::decode(&payload).unwrap(), req);
+        // One trailing byte breaks the exact-length invariant.
+        let mut longer = payload.clone();
+        longer.push(0);
+        assert!(CompressRequest::decode(&longer).is_err());
+        assert!(CompressRequest::decode(&payload[..payload.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn degenerate_layouts_rejected() {
+        let mut bad = Vec::new();
+        push_name(&mut bad, "fpzip-24");
+        // nlev = 0.
+        for v in [0u32, 10, 4, 4] {
+            bad.extend_from_slice(&v.to_le_bytes());
+        }
+        assert!(CompressRequest::decode(&bad).is_err());
+        // Overflowing nlev × npts.
+        let mut huge = Vec::new();
+        push_name(&mut huge, "fpzip-24");
+        for v in [u32::MAX, u32::MAX, 4, 4] {
+            huge.extend_from_slice(&v.to_le_bytes());
+        }
+        assert!(CompressRequest::decode(&huge).is_err());
+        // Embedding smaller than npts.
+        let mut small_embed = Vec::new();
+        push_name(&mut small_embed, "fpzip-24");
+        for v in [1u32, 100, 2, 2] {
+            small_embed.extend_from_slice(&v.to_le_bytes());
+        }
+        assert!(DecompressRequest::decode(&small_embed).is_err());
+    }
+
+    #[test]
+    fn eval_request_and_response_roundtrip() {
+        let req = EvalRequest {
+            variant: "GRIB2".into(),
+            var: "U".into(),
+            members: 5,
+            ne: 3,
+            nlev: 4,
+            seed: 2014,
+        };
+        assert_eq!(EvalRequest::decode(&req.encode()).unwrap(), req);
+        let resp = EvalResponse {
+            cr: 0.25,
+            pearson_pass: true,
+            rmsz_pass: false,
+            enmax_pass: true,
+            bias_pass: true,
+        };
+        let back = EvalResponse::decode(&resp.encode()).unwrap();
+        assert_eq!(back, resp);
+        assert!(!back.all_pass());
+    }
+
+    #[test]
+    fn error_payload_roundtrips() {
+        let payload = encode_error(ErrCode::UnknownVariant, "no such codec");
+        let (code, msg) = decode_error(&payload);
+        assert_eq!(code, ErrCode::UnknownVariant);
+        assert_eq!(msg, "no such codec");
+        // Short payloads degrade gracefully.
+        let (code, _) = decode_error(&[1]);
+        assert_eq!(code, ErrCode::Internal);
+    }
+
+    #[test]
+    fn f32_payload_roundtrips() {
+        let data = vec![1.5f32, -2.25, 0.0, f32::MAX];
+        let payload = encode_f32_payload(&data);
+        assert_eq!(decode_f32_payload(&payload).unwrap(), data);
+        assert!(decode_f32_payload(&payload[..payload.len() - 1]).is_err());
+    }
+}

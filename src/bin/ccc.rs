@@ -14,6 +14,13 @@
 //! ccc profile --var NAME [--ne N] [--nlev N]
 //!     APAX-profiler sweep with a recommended encoding rate.
 //!
+//! ccc serve [--addr A] [--workers N] [--queue-depth N]
+//!     Run the cc-wire/1 compression/evaluation daemon until a remote
+//!     shutdown request drains it.
+//!
+//! ccc remote <ping|compress|decompress|eval|stats|shutdown> [--addr A] ...
+//!     Issue one request against a running daemon.
+//!
 //! ccc trace-check [FILE]
 //!     Validate a TRACE.json artifact (default TRACE.json).
 //! ```
@@ -23,15 +30,22 @@
 //! at exit), and `--quiet` (suppress progress lines).
 
 use climate_compress::codecs::apax::Profiler;
-use climate_compress::obs::progress;
+use climate_compress::codecs::chunked::decompress_chunked;
 use climate_compress::codecs::{Layout, Variant};
+use climate_compress::core::cli::{self, flag_u64, flag_usize, ObsCli};
 use climate_compress::core::evaluation::{verdict_for, EvalConfig, Evaluation};
 use climate_compress::grid::Resolution;
 use climate_compress::model::Model;
 use climate_compress::ncdf::{AttrValue, Dataset};
+use climate_compress::obs::progress;
+use climate_compress::serve::wire::EvalRequest;
+use climate_compress::serve::{Client, Server, ServerConfig};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::exit;
+
+/// Default daemon address for `serve` and `remote`.
+const DEFAULT_ADDR: &str = "127.0.0.1:4014";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,24 +53,10 @@ fn main() {
         usage();
         exit(2);
     };
-    let flags = parse_flags(rest);
-    if flags.contains_key("quiet") {
-        climate_compress::obs::progress::set_quiet(true);
-    }
-    let trace_path = flags.get("trace").map(PathBuf::from);
-    let metrics = flags.contains_key("metrics");
-    if trace_path.is_some() {
-        climate_compress::obs::enable_all();
-    } else if metrics {
-        climate_compress::obs::set_metrics_enabled(true);
-    }
-    if let Some(w) = flags.get("workers") {
-        let w: usize = w.parse().unwrap_or_else(|_| {
-            eprintln!("--workers expects an integer, got {w}");
-            exit(2);
-        });
-        climate_compress::core::par::set_global_workers(w);
-    }
+    let flags = cli::parse_flags(rest);
+    let obs = ObsCli::from_flags(&flags);
+    obs.apply();
+    cli::apply_workers(&flags);
     {
         let _cmd_span = climate_compress::obs::span_dyn(&format!("cmd.{cmd}"));
         match cmd.as_str() {
@@ -64,6 +64,8 @@ fn main() {
             "inspect" => inspect(rest),
             "verify" => verify(&flags),
             "profile" => profile(&flags),
+            "serve" => serve(&flags),
+            "remote" => remote(rest, &flags),
             "trace-check" => trace_check(rest),
             "help" | "--help" | "-h" => usage(),
             other => {
@@ -73,24 +75,7 @@ fn main() {
             }
         }
     }
-    if trace_path.is_some() || metrics {
-        let report = climate_compress::obs::trace::TraceReport::collect();
-        if let Some(path) = &trace_path {
-            if let Err(e) = report.write(path) {
-                eprintln!("{e}");
-                exit(1);
-            }
-            progress!("wrote trace to {}", path.display());
-            let summary = report.summary();
-            if !summary.is_empty() {
-                println!(
-                    "{}",
-                    climate_compress::core::report::trace_summary_table(&summary).render()
-                );
-            }
-        }
-        println!("{}", climate_compress::core::report::metrics_table(&report.metrics).render());
-    }
+    obs.finish();
 }
 
 fn trace_check(args: &[String]) {
@@ -123,50 +108,21 @@ fn usage() {
          \x20 inspect FILE\n\
          \x20 verify --var NAME [--codec NAME] [--members N] [--ne N] [--nlev N] [--seed S]\n\
          \x20 profile --var NAME [--ne N] [--nlev N] [--seed S]\n\
+         \x20 serve [--addr A] [--workers N] [--queue-depth N] [--max-payload BYTES]\n\
+         \x20 remote ping|stats|shutdown [--addr A]\n\
+         \x20 remote compress --codec NAME --var NAME [--out FILE] [model flags]\n\
+         \x20 remote decompress --codec NAME --var NAME --in FILE [model flags]\n\
+         \x20 remote eval --codec NAME --var NAME [--members N] [model flags]\n\
          \x20 trace-check [FILE]\n\
          every command also accepts --workers N (worker-pool width),\n\
          --trace FILE, --metrics, and --quiet"
     );
 }
 
-/// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["metrics", "quiet"];
-
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
-    let mut flags = HashMap::new();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if let Some(key) = a.strip_prefix("--") {
-            if BOOL_FLAGS.contains(&key) {
-                flags.insert(key.to_string(), "true".to_string());
-                continue;
-            }
-            let value = it.next().cloned().unwrap_or_else(|| {
-                eprintln!("flag --{key} needs a value");
-                exit(2);
-            });
-            flags.insert(key.to_string(), value);
-        }
-    }
-    flags
-}
-
-fn flag_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> usize {
-    flags
-        .get(key)
-        .map(|v| {
-            v.parse().unwrap_or_else(|_| {
-                eprintln!("--{key} expects an integer, got {v}");
-                exit(2);
-            })
-        })
-        .unwrap_or(default)
-}
-
 fn model_from_flags(flags: &HashMap<String, String>) -> Model {
     let ne = flag_usize(flags, "ne", 6);
     let nlev = flag_usize(flags, "nlev", 6);
-    let seed = flag_usize(flags, "seed", 2014) as u64;
+    let seed = flag_u64(flags, "seed", 2014);
     Model::new(Resolution::reduced(ne, nlev), seed)
 }
 
@@ -245,13 +201,6 @@ fn fmt_attr(v: &AttrValue) -> String {
     }
 }
 
-fn variant_by_name(name: &str) -> Option<Variant> {
-    Variant::paper_set()
-        .into_iter()
-        .chain([Variant::NetCdf4, Variant::Fpzip { bits: 32 }])
-        .find(|v| v.name().eq_ignore_ascii_case(name))
-}
-
 fn verify(flags: &HashMap<String, String>) {
     let Some(var_name) = flags.get("var") else {
         eprintln!("verify needs --var NAME");
@@ -267,7 +216,7 @@ fn verify(flags: &HashMap<String, String>) {
     progress!("building {members}-member ensemble context for {var_name} ...");
     let ctx = eval.context(var);
     let variants: Vec<Variant> = match flags.get("codec") {
-        Some(name) => match variant_by_name(name) {
+        Some(name) => match Variant::by_name(name) {
             Some(v) => vec![v],
             None => {
                 eprintln!("unknown codec {name}; try GRIB2, APAX-4, fpzip-24, ISA-0.5, NetCDF-4");
@@ -317,5 +266,192 @@ fn profile(flags: &HashMap<String, String>) {
     match recommended {
         Some(rate) => println!("recommended rate: {rate} ({rate}:1 compression)"),
         None => println!("no rate meets rho >= 0.99999; use a lossless mode"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// The service daemon and its client commands.
+// ---------------------------------------------------------------------
+
+fn serve(flags: &HashMap<String, String>) {
+    let cfg = ServerConfig {
+        addr: flags.get("addr").cloned().unwrap_or_else(|| DEFAULT_ADDR.into()),
+        workers: flag_usize(flags, "workers", 2),
+        queue_depth: flag_usize(flags, "queue-depth", 64),
+        max_payload: flag_usize(
+            flags,
+            "max-payload",
+            climate_compress::serve::wire::DEFAULT_MAX_PAYLOAD,
+        ),
+        ..ServerConfig::default()
+    };
+    let workers = cfg.workers;
+    let queue_depth = cfg.queue_depth;
+    let server = Server::start(cfg).unwrap_or_else(|e| {
+        eprintln!("cannot bind: {e}");
+        exit(1);
+    });
+    let addr = server.addr();
+    println!("serving cc-wire/1 on {addr} (workers={workers}, queue-depth={queue_depth})");
+    println!("stop with: ccc remote shutdown --addr {addr}");
+    server.join();
+    progress!("server drained");
+}
+
+fn connect(flags: &HashMap<String, String>) -> Client {
+    let addr = flags.get("addr").map(String::as_str).unwrap_or(DEFAULT_ADDR);
+    Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("cannot reach server at {addr}: {e}");
+        exit(1);
+    })
+}
+
+/// Synthesize the field a remote compress/decompress request is about.
+fn remote_field(flags: &HashMap<String, String>) -> (Vec<f32>, Layout, String) {
+    let Some(var_name) = flags.get("var") else {
+        eprintln!("this remote command needs --var NAME");
+        exit(2);
+    };
+    let model = model_from_flags(flags);
+    let Some(var) = model.var_id(var_name) else {
+        eprintln!("unknown variable {var_name}");
+        exit(2);
+    };
+    let member = model.member(flag_usize(flags, "member", 0));
+    let field = model.synthesize(&member, var);
+    let layout = Layout::for_grid(model.grid(), field.nlev);
+    (field.data, layout, var_name.clone())
+}
+
+fn remote_codec(flags: &HashMap<String, String>) -> String {
+    let Some(name) = flags.get("codec") else {
+        eprintln!("this remote command needs --codec NAME");
+        exit(2);
+    };
+    if Variant::by_name(name).is_none() {
+        eprintln!("unknown codec {name}; try GRIB2, APAX-4, fpzip-24, ISA-0.5, NetCDF-4");
+        exit(2);
+    }
+    name.clone()
+}
+
+fn remote(args: &[String], flags: &HashMap<String, String>) {
+    let Some(sub) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("remote needs a subcommand: ping|compress|decompress|eval|stats|shutdown");
+        exit(2);
+    };
+    match sub.as_str() {
+        "ping" => {
+            let mut client = connect(flags);
+            let t0 = std::time::Instant::now();
+            client.ping().unwrap_or_else(|e| {
+                eprintln!("ping failed: {e}");
+                exit(1);
+            });
+            println!("pong in {:.1}us", t0.elapsed().as_secs_f64() * 1e6);
+        }
+        "compress" => {
+            let codec = remote_codec(flags);
+            let (data, layout, var) = remote_field(flags);
+            let mut client = connect(flags);
+            let stream = client.compress(&codec, layout, &data).unwrap_or_else(|e| {
+                eprintln!("remote compress failed: {e}");
+                exit(1);
+            });
+            let raw = data.len() * 4;
+            println!(
+                "{var}: {raw} -> {} bytes over the wire with {codec} (CR {:.3})",
+                stream.len(),
+                stream.len() as f64 / raw as f64
+            );
+            if let Some(out) = flags.get("out") {
+                std::fs::write(out, &stream).unwrap_or_else(|e| {
+                    eprintln!("cannot write {out}: {e}");
+                    exit(1);
+                });
+                println!("wrote stream to {out}");
+            }
+        }
+        "decompress" => {
+            let codec = remote_codec(flags);
+            let Some(input) = flags.get("in") else {
+                eprintln!("remote decompress needs --in FILE (a stream from remote compress)");
+                exit(2);
+            };
+            let stream = std::fs::read(input).unwrap_or_else(|e| {
+                eprintln!("cannot read {input}: {e}");
+                exit(1);
+            });
+            let (_, layout, var) = remote_field(flags);
+            let mut client = connect(flags);
+            let data = client.decompress(&codec, layout, &stream).unwrap_or_else(|e| {
+                eprintln!("remote decompress failed: {e}");
+                exit(1);
+            });
+            // The server must produce exactly the bytes the in-process
+            // pipeline does — check it against a local decode.
+            let variant = Variant::by_name(&codec).expect("validated above");
+            let local = decompress_chunked(variant.codec().as_ref(), &stream, layout, 1);
+            let matches = local.as_ref().map(|l| l == &data).unwrap_or(false);
+            println!(
+                "{var}: {} bytes -> {} values with {codec}; matches local decode: {}",
+                stream.len(),
+                data.len(),
+                if matches { "yes" } else { "NO" }
+            );
+            if !matches {
+                exit(1);
+            }
+        }
+        "eval" => {
+            let codec = remote_codec(flags);
+            let Some(var) = flags.get("var") else {
+                eprintln!("remote eval needs --var NAME");
+                exit(2);
+            };
+            let req = EvalRequest {
+                variant: codec.clone(),
+                var: var.clone(),
+                members: flag_usize(flags, "members", 8) as u16,
+                ne: flag_usize(flags, "ne", 4) as u16,
+                nlev: flag_usize(flags, "nlev", 4) as u16,
+                seed: flag_u64(flags, "seed", 2014),
+            };
+            let mut client = connect(flags);
+            let v = client.evaluate(&req).unwrap_or_else(|e| {
+                eprintln!("remote eval failed: {e}");
+                exit(1);
+            });
+            let mark = |b: bool| if b { "pass" } else { "FAIL" };
+            println!(
+                "{var} x {codec}: CR {:.3} | rho {} RMSZ {} Enmax {} bias {} | {}",
+                v.cr,
+                mark(v.pearson_pass),
+                mark(v.rmsz_pass),
+                mark(v.enmax_pass),
+                mark(v.bias_pass),
+                if v.all_pass() { "indistinguishable" } else { "climate-changing" }
+            );
+        }
+        "stats" => {
+            let mut client = connect(flags);
+            let text = client.stats().unwrap_or_else(|e| {
+                eprintln!("remote stats failed: {e}");
+                exit(1);
+            });
+            print!("{text}");
+        }
+        "shutdown" => {
+            let mut client = connect(flags);
+            client.shutdown_server().unwrap_or_else(|e| {
+                eprintln!("remote shutdown failed: {e}");
+                exit(1);
+            });
+            println!("server draining");
+        }
+        other => {
+            eprintln!("unknown remote subcommand: {other}");
+            exit(2);
+        }
     }
 }

@@ -20,6 +20,9 @@
 //!   per-variable customization of Section 5.
 //! * [`obs`] — structured tracing spans, atomic metrics, and the
 //!   `TRACE.json` exporter behind the `--trace` / `--metrics` flags.
+//! * [`serve`] — the cc-wire/1 TCP service daemon and blocking client:
+//!   compression, decompression, and quick-scale evaluation over the
+//!   network with bounded-queue backpressure.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -32,3 +35,4 @@ pub use cc_metrics as metrics;
 pub use cc_model as model;
 pub use cc_ncdf as ncdf;
 pub use cc_pvt as pvt;
+pub use cc_serve as serve;
