@@ -25,10 +25,11 @@
 //!
 //! `bench` runs the chunked-codec throughput sweep and writes the
 //! schema'd `BENCH.json` (validated before the process exits);
-//! `serve-bench` drives a loopback `cc-serve` daemon with concurrent
-//! pipelined clients and appends a `serve` section (req/s, p50/p99
-//! latency from the server's own histograms, busy rate) to that
-//! document, bumping its schema additively to `cc-bench-throughput/3`;
+//! `serve-bench` drives a loopback `cc-serve` daemon with swept counts
+//! of concurrent pipelined clients and appends a `serve` section
+//! (req/s, p50/p99/p999 latency from the server's own histograms, busy
+//! rate per client count) to that document, bumping its schema
+//! additively to `cc-bench-throughput/4`;
 //! `bench-check FILE` re-validates an existing artifact and exits
 //! non-zero if it does not satisfy the schema — with `--against
 //! BASELINE.json` it additionally compares single-worker throughput per
@@ -214,14 +215,15 @@ fn run_serve_bench(opts: &BenchOpts) {
     std::fs::write(&opts.path, &merged).expect("write BENCH.json");
     for r in &report.runs {
         println!(
-            "serve workers={:<2} {:>8.0} req/s  p50 {:>6}us  p99 {:>6}us  busy rate {:.3}",
-            r.workers, r.req_per_s, r.p50_us, r.p99_us, r.busy_rate
+            "serve workers={:<2} clients={:<4} {:>8.0} req/s  p50 {:>6}us  p99 {:>6}us  p999 {:>6}us  busy rate {:.3}",
+            r.workers, r.clients, r.req_per_s, r.p50_us, r.p99_us, r.p999_us, r.busy_rate
         );
     }
     println!(
-        "appended serve section to {} ({} clients x {} requests, schema cc-bench-throughput/3)",
+        "appended serve section to {} (shards {}, clients {:?} x {} requests, schema cc-bench-throughput/4)",
         opts.path.display(),
-        config.clients,
+        config.shards,
+        config.client_counts,
         config.requests_per_client
     );
 }

@@ -1,24 +1,31 @@
 //! `repro serve-bench`: loopback throughput of the `cc-serve` daemon.
 //!
-//! Starts an in-process server per worker count, drives it with N
-//! concurrent client threads issuing pipelined `Compress` requests, and
-//! reports requests/second plus latency percentiles read from the
-//! server's own `serve.req_us` histogram (log2 buckets, diffed across
-//! the run — the same telemetry `--trace` exports). The result merges
-//! into an existing `BENCH.json` as a `serve` section, bumping the
-//! schema additively to `cc-bench-throughput/3`
+//! Starts an in-process reactor server per worker count, drives it with
+//! swept numbers of concurrent client threads issuing pipelined
+//! `Compress` requests, and reports requests/second plus latency
+//! percentiles read from the server's own `serve.req_us` histogram
+//! (log2 buckets, diffed across the run — the same telemetry `--trace`
+//! exports; percentiles are conservative bucket upper bounds via
+//! [`cc_obs::percentile_upper_bound`]). The result merges into an
+//! existing `BENCH.json` as a `serve` section, bumping the schema
+//! additively to `cc-bench-throughput/4`
 //! (see [`crate::throughput`] for the base document).
 //!
 //! ```json
 //! "serve": {
-//!   "clients": N, "requests_per_client": N, "pipeline_depth": N,
-//!   "payload_elems": N,
+//!   "shards": N, "requests_per_client": N, "pipeline_depth": N,
+//!   "payload_elems": N, "client_counts": [8, 128, ...],
 //!   "runs": [
-//!     {"workers": 1, "requests": N, "req_per_s": X,
-//!      "p50_us": N, "p99_us": N, "busy_rate": X}, ...
+//!     {"workers": 1, "clients": 8, "requests": N, "req_per_s": X,
+//!      "p50_us": N, "p99_us": N, "p999_us": N, "busy_rate": X}, ...
 //!   ]
 //! }
 //! ```
+//!
+//! The sweep runs at the server's **default** `queue_depth` and
+//! connection cap deliberately: the acceptance criterion is that
+//! hundreds of pipelined clients complete without a `Busy` storm, so
+//! the bench must not widen the queue to hide one.
 
 use crate::throughput::bench_field;
 use cc_obs::json::{self, Value};
@@ -31,8 +38,10 @@ use std::time::Instant;
 pub struct ServeBenchConfig {
     /// Server worker counts to sweep (the schema requires >= 2).
     pub worker_counts: Vec<usize>,
-    /// Concurrent client threads.
-    pub clients: usize,
+    /// Reactor shards (fixed across the sweep).
+    pub shards: usize,
+    /// Concurrent client-thread counts to sweep per worker count.
+    pub client_counts: Vec<usize>,
     /// Requests issued by each client.
     pub requests_per_client: usize,
     /// Requests in flight per client (pipelining batch size).
@@ -44,25 +53,28 @@ pub struct ServeBenchConfig {
 }
 
 impl ServeBenchConfig {
-    /// CI smoke scale.
+    /// CI smoke scale: still reaches 128 concurrent pipelined clients
+    /// (the acceptance floor) with a tiny payload.
     pub fn quick() -> Self {
         ServeBenchConfig {
             worker_counts: vec![1, 2],
-            clients: 4,
-            requests_per_client: 8,
+            shards: 2,
+            client_counts: vec![8, 128],
+            requests_per_client: 4,
             pipeline_depth: 4,
             npts: 4_096,
-            nlev: 2,
+            nlev: 1,
         }
     }
 
     /// Default scale: the worker sweep the acceptance criterion is
-    /// stated against (1 and 8 workers), 16 clients.
+    /// stated against (1 and 8 workers), up to 256 clients.
     pub fn default_scale() -> Self {
         ServeBenchConfig {
             worker_counts: vec![1, 2, 8],
-            clients: 16,
-            requests_per_client: 16,
+            shards: 2,
+            client_counts: vec![16, 64, 256],
+            requests_per_client: 8,
             pipeline_depth: 4,
             npts: 16_384,
             nlev: 2,
@@ -70,11 +82,13 @@ impl ServeBenchConfig {
     }
 }
 
-/// One worker-count measurement.
+/// One (worker count, client count) measurement.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeRun {
     /// Server worker threads.
     pub workers: usize,
+    /// Concurrent client connections.
+    pub clients: usize,
     /// Requests completed.
     pub requests: u64,
     /// Requests per second (wall clock across all clients).
@@ -83,6 +97,8 @@ pub struct ServeRun {
     pub p50_us: u64,
     /// 99th-percentile request-handling latency, µs.
     pub p99_us: u64,
+    /// 99.9th-percentile request-handling latency, µs.
+    pub p999_us: u64,
     /// `Busy` responses per accepted connection over the run.
     pub busy_rate: f64,
 }
@@ -92,26 +108,8 @@ pub struct ServeRun {
 pub struct ServeBenchReport {
     /// Configuration used.
     pub config: ServeBenchConfig,
-    /// One entry per worker count.
+    /// One entry per (worker count, client count) pair.
     pub runs: Vec<ServeRun>,
-}
-
-/// Latency percentile from a log2-bucket count delta: the upper bound
-/// `2^i` of the bucket where the cumulative count crosses `q`.
-fn percentile_us(buckets: &[u64], q: f64) -> u64 {
-    let total: u64 = buckets.iter().sum();
-    if total == 0 {
-        return 0;
-    }
-    let target = ((total as f64) * q).ceil().max(1.0) as u64;
-    let mut cum = 0u64;
-    for (i, &n) in buckets.iter().enumerate() {
-        cum += n;
-        if cum >= target {
-            return if i == 0 { 0 } else { 1u64 << i };
-        }
-    }
-    1u64 << (buckets.len() - 1)
 }
 
 /// Dense per-bucket counts of a histogram snapshot.
@@ -123,74 +121,78 @@ fn dense_buckets(snap: &cc_obs::HistogramSnapshot) -> Vec<u64> {
     out
 }
 
-/// Run the sweep. `progress` receives one line per worker count.
+/// Run the sweep. `progress` receives one line per run.
 pub fn run(config: &ServeBenchConfig, progress: &mut dyn FnMut(&str)) -> ServeBenchReport {
     let (data, layout) = bench_field(config.npts, config.nlev);
     let mut runs = Vec::new();
     for &workers in &config.worker_counts {
-        let server = Server::start(ServerConfig {
-            workers,
-            // Deep enough that this throughput run measures service
-            // time, not admission-control rejections.
-            queue_depth: (config.clients * 2).max(8),
-            ..ServerConfig::default()
-        })
-        .expect("bind loopback");
-        let addr = server.addr().to_string();
+        for &clients in &config.client_counts {
+            let server = Server::start(ServerConfig {
+                workers,
+                shards: config.shards,
+                ..ServerConfig::default()
+            })
+            .expect("bind loopback");
+            let addr = server.addr().to_string();
 
-        let hist_before = dense_buckets(&cc_obs::histogram("serve.req_us").snapshot());
-        let busy_before = cc_obs::counter_value("serve.busy");
-        let accept_before = cc_obs::counter_value("serve.accept");
+            let hist_before = dense_buckets(&cc_obs::histogram("serve.req_us").snapshot());
+            let busy_before = cc_obs::counter_value("serve.busy");
+            let accept_before = cc_obs::counter_value("serve.accept");
 
-        let t0 = Instant::now();
-        std::thread::scope(|s| {
-            for _ in 0..config.clients {
-                let addr = &addr;
-                let data = &data;
-                s.spawn(move || {
-                    let mut client = Client::connect(addr).expect("connect");
-                    let req = CompressRequest {
-                        variant: "fpzip-24".to_string(),
-                        layout,
-                        data: data.clone(),
-                    };
-                    let payload = req.encode();
-                    let mut remaining = config.requests_per_client;
-                    while remaining > 0 {
-                        let batch = remaining.min(config.pipeline_depth.max(1));
-                        let reqs: Vec<(Opcode, Vec<u8>)> =
-                            (0..batch).map(|_| (Opcode::Compress, payload.clone())).collect();
-                        let results = client.pipeline(&reqs).expect("pipeline");
-                        for r in results {
-                            r.expect("compress succeeds");
+            let t0 = Instant::now();
+            std::thread::scope(|s| {
+                for _ in 0..clients {
+                    let addr = &addr;
+                    let data = &data;
+                    s.spawn(move || {
+                        let mut client = Client::connect(addr).expect("connect");
+                        let req = CompressRequest {
+                            variant: "fpzip-24".to_string(),
+                            layout,
+                            data: data.clone(),
+                        };
+                        let payload = req.encode().expect("encode");
+                        let mut remaining = config.requests_per_client;
+                        while remaining > 0 {
+                            let batch = remaining.min(config.pipeline_depth.max(1));
+                            let reqs: Vec<(Opcode, Vec<u8>)> = (0..batch)
+                                .map(|_| (Opcode::Compress, payload.clone()))
+                                .collect();
+                            let results = client.pipeline(&reqs).expect("pipeline");
+                            for r in results {
+                                r.expect("compress succeeds");
+                            }
+                            remaining -= batch;
                         }
-                        remaining -= batch;
-                    }
-                });
-            }
-        });
-        let secs = t0.elapsed().as_secs_f64();
-        server.shutdown();
+                    });
+                }
+            });
+            let secs = t0.elapsed().as_secs_f64();
+            server.shutdown();
 
-        let hist_after = dense_buckets(&cc_obs::histogram("serve.req_us").snapshot());
-        let delta: Vec<u64> =
-            hist_after.iter().zip(&hist_before).map(|(a, b)| a.saturating_sub(*b)).collect();
-        let requests = (config.clients * config.requests_per_client) as u64;
-        let accepts = cc_obs::counter_value("serve.accept").saturating_sub(accept_before);
-        let busy = cc_obs::counter_value("serve.busy").saturating_sub(busy_before);
-        let run = ServeRun {
-            workers,
-            requests,
-            req_per_s: requests as f64 / secs.max(1e-9),
-            p50_us: percentile_us(&delta, 0.50),
-            p99_us: percentile_us(&delta, 0.99),
-            busy_rate: busy as f64 / (accepts.max(1)) as f64,
-        };
-        progress(&format!(
-            "workers={:<2} {:>7.0} req/s  p50 {:>6}us  p99 {:>6}us  busy {:.3}",
-            run.workers, run.req_per_s, run.p50_us, run.p99_us, run.busy_rate
-        ));
-        runs.push(run);
+            let hist_after = dense_buckets(&cc_obs::histogram("serve.req_us").snapshot());
+            let delta: Vec<u64> =
+                hist_after.iter().zip(&hist_before).map(|(a, b)| a.saturating_sub(*b)).collect();
+            let requests = (clients * config.requests_per_client) as u64;
+            let accepts = cc_obs::counter_value("serve.accept").saturating_sub(accept_before);
+            let busy = cc_obs::counter_value("serve.busy").saturating_sub(busy_before);
+            let run = ServeRun {
+                workers,
+                clients,
+                requests,
+                req_per_s: requests as f64 / secs.max(1e-9),
+                p50_us: cc_obs::percentile_upper_bound(&delta, 0.50),
+                p99_us: cc_obs::percentile_upper_bound(&delta, 0.99),
+                p999_us: cc_obs::percentile_upper_bound(&delta, 0.999),
+                busy_rate: busy as f64 / (accepts.max(1)) as f64,
+            };
+            progress(&format!(
+                "workers={:<2} clients={:<4} {:>7.0} req/s  p50 {:>6}us  p99 {:>6}us  p999 {:>6}us  busy {:.3}",
+                run.workers, run.clients, run.req_per_s, run.p50_us, run.p99_us, run.p999_us,
+                run.busy_rate
+            ));
+            runs.push(run);
+        }
     }
     ServeBenchReport { config: config.clone(), runs }
 }
@@ -203,26 +205,31 @@ impl ServeBenchReport {
             .iter()
             .map(|r| {
                 format!(
-                    "{{\"workers\": {}, \"requests\": {}, \"req_per_s\": {:.3}, \
-                     \"p50_us\": {}, \"p99_us\": {}, \"busy_rate\": {:.6}}}",
-                    r.workers, r.requests, r.req_per_s, r.p50_us, r.p99_us, r.busy_rate
+                    "{{\"workers\": {}, \"clients\": {}, \"requests\": {}, \
+                     \"req_per_s\": {:.3}, \"p50_us\": {}, \"p99_us\": {}, \
+                     \"p999_us\": {}, \"busy_rate\": {:.6}}}",
+                    r.workers, r.clients, r.requests, r.req_per_s, r.p50_us, r.p99_us, r.p999_us,
+                    r.busy_rate
                 )
             })
             .collect();
+        let counts: Vec<String> =
+            self.config.client_counts.iter().map(|c| c.to_string()).collect();
         let text = format!(
-            "{{\"clients\": {}, \"requests_per_client\": {}, \"pipeline_depth\": {}, \
-             \"payload_elems\": {}, \"runs\": [{}]}}",
-            self.config.clients,
+            "{{\"shards\": {}, \"requests_per_client\": {}, \"pipeline_depth\": {}, \
+             \"payload_elems\": {}, \"client_counts\": [{}], \"runs\": [{}]}}",
+            self.config.shards,
             self.config.requests_per_client,
             self.config.pipeline_depth,
             self.config.npts * self.config.nlev,
+            counts.join(", "),
             runs.join(", ")
         );
         json::parse(&text).expect("serve section serializes to valid JSON")
     }
 
     /// Merge this report into an existing `BENCH.json` document: set the
-    /// `serve` section and bump the schema to `cc-bench-throughput/3`.
+    /// `serve` section and bump the schema to `cc-bench-throughput/4`.
     /// The result is re-validated before being returned, so a document
     /// that cannot legally carry the section (e.g. a pre-telemetry `/1`
     /// artifact) errors instead of producing an invalid file.
@@ -232,7 +239,7 @@ impl ServeBenchReport {
         if doc.get("schema").and_then(Value::as_str).is_none() {
             return Err(vec!["existing BENCH.json has no schema field".into()]);
         }
-        doc.set("schema", Value::Str("cc-bench-throughput/3".into()));
+        doc.set("schema", Value::Str("cc-bench-throughput/4".into()));
         doc.set("serve", self.to_value());
         let merged = doc.to_json();
         crate::throughput::validate(&merged)?;
@@ -245,22 +252,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn percentiles_walk_log2_buckets() {
-        let mut buckets = vec![0u64; cc_obs::HIST_BUCKETS];
-        buckets[0] = 0;
-        buckets[5] = 90; // values in [16, 32)
-        buckets[8] = 10; // values in [128, 256)
-        assert_eq!(percentile_us(&buckets, 0.50), 32);
-        assert_eq!(percentile_us(&buckets, 0.90), 32);
-        assert_eq!(percentile_us(&buckets, 0.99), 256);
-        assert_eq!(percentile_us(&[0u64; 64], 0.5), 0);
-    }
-
-    #[test]
     fn tiny_sweep_measures_and_merges() {
         let config = ServeBenchConfig {
             worker_counts: vec![1, 2],
-            clients: 2,
+            shards: 2,
+            client_counts: vec![2],
             requests_per_client: 3,
             pipeline_depth: 2,
             npts: 512,
@@ -269,13 +265,15 @@ mod tests {
         let report = run(&config, &mut |_| {});
         assert_eq!(report.runs.len(), 2);
         for r in &report.runs {
+            assert_eq!(r.clients, 2);
             assert_eq!(r.requests, 6);
             assert!(r.req_per_s > 0.0);
             assert!(r.p99_us >= r.p50_us);
+            assert!(r.p999_us >= r.p99_us);
             assert!(r.busy_rate >= 0.0);
         }
 
-        // Merging into a fresh /2 document yields a valid /3 one.
+        // Merging into a fresh /2 document yields a valid /4 one.
         let base = crate::throughput::run(
             &crate::throughput::BenchConfig {
                 npts: 2_048,
@@ -287,15 +285,22 @@ mod tests {
             &mut |_| {},
         );
         let merged = report.merge_into_bench(&base.to_json()).expect("merge");
-        crate::throughput::validate(&merged).expect("merged document is /3-valid");
+        crate::throughput::validate(&merged).expect("merged document is /4-valid");
         let doc = json::parse(&merged).unwrap();
         assert_eq!(
             doc.get("schema").and_then(Value::as_str),
-            Some("cc-bench-throughput/3")
+            Some("cc-bench-throughput/4")
         );
         assert_eq!(
             doc.get("serve").and_then(|s| s.get("runs")).and_then(Value::as_array).map(|a| a.len()),
             Some(2)
+        );
+        assert_eq!(
+            doc.get("serve")
+                .and_then(|s| s.get("client_counts"))
+                .and_then(Value::as_array)
+                .map(|a| a.len()),
+            Some(1)
         );
 
         // A schema-less document refuses the merge.

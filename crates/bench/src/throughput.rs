@@ -44,8 +44,9 @@
 //! machine-checks all of this via the minimal JSON parser in
 //! [`mod@json`], so CI can reject malformed artifacts; it accepts the
 //! pre-telemetry `cc-bench-throughput/1` documents too, and the
-//! `cc-bench-throughput/3` documents produced when `repro serve-bench`
-//! appends its `serve` section (see [`crate::serve_bench`]).
+//! `cc-bench-throughput/3` and `/4` documents produced when `repro
+//! serve-bench` appends its `serve` section (`/4` sweeps client counts
+//! and adds p999; see [`crate::serve_bench`]).
 
 pub use cc_obs::json;
 
@@ -380,10 +381,11 @@ impl BenchReport {
 }
 
 /// Validate a `BENCH.json` document against the
-/// `cc-bench-throughput/3` schema. Earlier schema levels are accepted
+/// `cc-bench-throughput/4` schema. Earlier schema levels are accepted
 /// additively: `/1` documents need no `telemetry` sections, `/1` and
 /// `/2` documents need no `serve` section (that section is appended by
-/// `repro serve-bench`, which also bumps the declared schema to `/3`).
+/// `repro serve-bench`, which also bumps the declared schema — to `/3`
+/// historically, `/4` since the reactor server's client-count sweep).
 /// Returns every violation found.
 pub fn validate(text: &str) -> Result<(), Vec<String>> {
     let doc = match json::parse(text) {
@@ -398,9 +400,12 @@ pub fn validate(text: &str) -> Result<(), Vec<String>> {
     }
 
     let schema = doc.get("schema").and_then(json::Value::as_str);
-    let telemetry_required =
-        matches!(schema, Some("cc-bench-throughput/2") | Some("cc-bench-throughput/3"));
-    let serve_required = schema == Some("cc-bench-throughput/3");
+    let telemetry_required = matches!(
+        schema,
+        Some("cc-bench-throughput/2")
+            | Some("cc-bench-throughput/3")
+            | Some("cc-bench-throughput/4")
+    );
     check(
         &mut errs,
         matches!(
@@ -408,11 +413,14 @@ pub fn validate(text: &str) -> Result<(), Vec<String>> {
             Some("cc-bench-throughput/1")
                 | Some("cc-bench-throughput/2")
                 | Some("cc-bench-throughput/3")
+                | Some("cc-bench-throughput/4")
         ),
-        "schema must be \"cc-bench-throughput/1\", \"/2\", or \"/3\"",
+        "schema must be \"cc-bench-throughput/1\", \"/2\", \"/3\", or \"/4\"",
     );
-    if serve_required {
-        validate_serve(&mut errs, doc.get("serve"));
+    if schema == Some("cc-bench-throughput/3") {
+        validate_serve(&mut errs, doc.get("serve"), false);
+    } else if schema == Some("cc-bench-throughput/4") {
+        validate_serve(&mut errs, doc.get("serve"), true);
     }
     check(&mut errs, doc.get("preset").and_then(json::Value::as_str).is_some(), "preset missing");
     let field = doc.get("field");
@@ -534,20 +542,37 @@ pub fn validate(text: &str) -> Result<(), Vec<String>> {
     }
 }
 
-/// Check the `/3` `serve` section appended by `repro serve-bench`.
-fn validate_serve(errs: &mut Vec<String>, serve: Option<&json::Value>) {
+/// Check the `serve` section appended by `repro serve-bench`. `/3`
+/// documents (pre-reactor) carry a flat `clients` count and p50/p99;
+/// `/4` documents (`v4`) sweep `client_counts` and add per-run
+/// `clients` and `p999_us`.
+fn validate_serve(errs: &mut Vec<String>, serve: Option<&json::Value>, v4: bool) {
     let Some(serve) = serve else {
-        errs.push("/3 document must carry a serve section".into());
+        errs.push("serve-schema document must carry a serve section".into());
         return;
     };
-    for key in ["clients", "requests_per_client", "payload_elems"] {
+    let scalar_keys: &[&str] = if v4 {
+        &["shards", "requests_per_client", "payload_elems"]
+    } else {
+        &["clients", "requests_per_client", "payload_elems"]
+    };
+    for key in scalar_keys {
         if serve.get(key).and_then(json::Value::as_f64).map(|v| v > 0.0) != Some(true) {
             errs.push(format!("serve.{key} must be a positive number"));
         }
     }
+    if v4
+        && serve
+            .get("client_counts")
+            .and_then(json::Value::as_array)
+            .map(|a| a.iter().all(|v| v.as_f64().map(|c| c >= 1.0) == Some(true)) && !a.is_empty())
+            != Some(true)
+    {
+        errs.push("serve.client_counts must be a non-empty array of positive counts".into());
+    }
     let runs = serve.get("runs").and_then(json::Value::as_array).unwrap_or_default();
     if runs.len() < 2 {
-        errs.push("serve.runs must cover at least two worker counts".into());
+        errs.push("serve.runs must cover at least two sweep points".into());
     }
     for (i, r) in runs.iter().enumerate() {
         let num = |key: &str| r.get(key).and_then(json::Value::as_f64);
@@ -557,8 +582,15 @@ fn validate_serve(errs: &mut Vec<String>, serve: Option<&json::Value>) {
         {
             errs.push(format!("serve.runs[{i}]: workers/requests/req_per_s must be positive"));
         }
+        if v4 && num("clients").map(|v| v >= 1.0) != Some(true) {
+            errs.push(format!("serve.runs[{i}]: clients must be >= 1"));
+        }
         match (num("p50_us"), num("p99_us")) {
-            (Some(p50), Some(p99)) if p99 >= p50 && p50 >= 0.0 => {}
+            (Some(p50), Some(p99)) if p99 >= p50 && p50 >= 0.0 => {
+                if v4 && num("p999_us").map(|p999| p999 >= p99) != Some(true) {
+                    errs.push(format!("serve.runs[{i}]: need p99_us <= p999_us"));
+                }
+            }
             _ => errs.push(format!("serve.runs[{i}]: need p50_us <= p99_us")),
         }
         if num("busy_rate").map(|v| (0.0..=1.0).contains(&v)) != Some(true) {

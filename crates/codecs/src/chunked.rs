@@ -183,6 +183,44 @@ pub fn compress_chunked(
     out
 }
 
+/// Compress `data` as a chunked stream, emitting bytes through `sink`
+/// as each chunk finishes encoding instead of materializing the whole
+/// stream first. The concatenation of every `sink` call is byte-for-byte
+/// identical to `compress_chunked(codec, data, layout, 1)` — chunks are
+/// encoded sequentially in plan order, so a consumer (e.g. a streaming
+/// server reply) can forward early pieces while later chunks are still
+/// being compressed. Returns the total bytes emitted.
+pub fn compress_chunked_stream(
+    codec: &dyn Codec,
+    data: &[f32],
+    layout: Layout,
+    sink: &mut dyn FnMut(&[u8]),
+) -> usize {
+    assert_eq!(data.len(), layout.len(), "data length must match layout");
+    let _s = cc_obs::span("chunked.encode");
+    let specs = plan(layout);
+    cc_obs::counter_add("chunked.chunks_encoded", specs.len() as u64);
+    if specs.len() == 1 {
+        // Pass-through, same as compress_chunked: the plain stream is
+        // the chunked stream, delivered as one piece.
+        let block = encode_chunk(codec, data, layout);
+        sink(&block);
+        return block.len();
+    }
+    let mut header = Vec::with_capacity(LAYOUT_HEADER_LEN + 4);
+    write_layout_header(&mut header, layout);
+    header.extend_from_slice(&(specs.len() as u32).to_le_bytes());
+    sink(&header);
+    let mut total = header.len();
+    for s in &specs {
+        let block = encode_chunk(codec, &data[s.start..s.start + s.layout.len()], s.layout);
+        sink(&(block.len() as u32).to_le_bytes());
+        sink(&block);
+        total += 4 + block.len();
+    }
+    total
+}
+
 /// Compress one chunk, recording its wall time on the
 /// `chunked.chunk_encode_us` histogram and its in/out volume on the
 /// per-chunk byte counters.
@@ -371,6 +409,38 @@ mod tests {
         let b = decompress_chunked(codec.as_ref(), &seq, layout, 4).unwrap();
         assert_eq!(a.len(), data.len());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streaming_encode_concatenates_to_sequential_bytes() {
+        // Multi-chunk: pieces must arrive incrementally (more than one
+        // sink call) and concatenate to the workers=1 reference.
+        let (data, layout) = smooth_field(50_000, 3);
+        assert!(plan(layout).len() >= 2, "field must span chunks");
+        for variant in [Variant::Fpzip { bits: 24 }, Variant::NetCdf4] {
+            let codec = variant.codec();
+            let reference = compress_chunked(codec.as_ref(), &data, layout, 1);
+            let mut pieces = 0usize;
+            let mut streamed = Vec::new();
+            let total = compress_chunked_stream(codec.as_ref(), &data, layout, &mut |b| {
+                pieces += 1;
+                streamed.extend_from_slice(b);
+            });
+            assert_eq!(total, streamed.len());
+            assert_eq!(streamed, reference, "streamed bytes must equal sequential bytes");
+            assert!(pieces > 2, "multi-chunk encode must emit incrementally, got {pieces}");
+        }
+        // Single-chunk pass-through: one piece, equal to the plain stream.
+        let (data, layout) = smooth_field(2_000, 1);
+        let codec = Variant::Fpzip { bits: 24 }.codec();
+        let mut pieces = 0usize;
+        let mut streamed = Vec::new();
+        compress_chunked_stream(codec.as_ref(), &data, layout, &mut |b| {
+            pieces += 1;
+            streamed.extend_from_slice(b);
+        });
+        assert_eq!(pieces, 1);
+        assert_eq!(streamed, compress_chunked(codec.as_ref(), &data, layout, 1));
     }
 
     #[test]

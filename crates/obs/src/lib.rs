@@ -346,6 +346,36 @@ impl HistogramSnapshot {
     }
 }
 
+/// Conservative percentile over dense log2 bucket counts
+/// (`buckets[i]` = observations in bucket `i`, the layout
+/// [`Histogram::observe`] writes).
+///
+/// Walks the cumulative distribution to the bucket containing the
+/// `q`-quantile observation and reports that bucket's **upper** bound:
+/// `0` for bucket 0, `2^i` for bucket `i > 0`. Reporting the upper
+/// bound is deliberate — a log2 bucket spans a 2× range, and a latency
+/// percentile that quotes the lower edge under-reports by up to that
+/// factor; quoting the edge no observation exceeded keeps the figure
+/// honest. The last bucket is saturated (it also absorbs values at or
+/// above `2^63`), so its nominal upper bound `2^63` is a floor, not an
+/// exact ceiling. Returns 0 for an empty histogram.
+pub fn percentile_upper_bound(buckets: &[u64], q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+    let mut cum = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        cum += n;
+        if cum >= target {
+            return if i == 0 { 0 } else { 1u64 << i.min(63) };
+        }
+    }
+    // Unreachable with total > 0; the saturated last bucket's bound.
+    1u64 << 63
+}
+
 #[derive(Default)]
 struct Registry {
     names: BTreeMap<&'static str, ()>,
@@ -480,6 +510,43 @@ mod tests {
     /// The recording gates are process-wide, so tests that flip them
     /// must not interleave.
     static SERIAL: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn percentile_reports_bucket_upper_bounds() {
+        // Edge bucket 0: all observations are zero, every percentile is 0.
+        let mut zeros = vec![0u64; HIST_BUCKETS];
+        zeros[0] = 50;
+        assert_eq!(percentile_upper_bound(&zeros, 0.5), 0);
+        assert_eq!(percentile_upper_bound(&zeros, 0.999), 0);
+
+        // Edge bucket 63 (saturated): mass at the top reports the
+        // nominal upper bound 2^63, never a lower edge.
+        let mut top = vec![0u64; HIST_BUCKETS];
+        top[63] = 10;
+        assert_eq!(percentile_upper_bound(&top, 0.5), 1u64 << 63);
+
+        // Mid-distribution: 90 observations in bucket 3 ([4, 8)), 10 in
+        // bucket 7 ([64, 128)). p50 lands in bucket 3 and must report 8
+        // — the value no observation in that bucket exceeded — not the
+        // lower edge 4. p99 lands in bucket 7 and must report 128.
+        let mut mid = vec![0u64; HIST_BUCKETS];
+        mid[3] = 90;
+        mid[7] = 10;
+        assert_eq!(percentile_upper_bound(&mid, 0.5), 8);
+        assert_eq!(percentile_upper_bound(&mid, 0.90), 8);
+        assert_eq!(percentile_upper_bound(&mid, 0.99), 128);
+        assert_eq!(percentile_upper_bound(&mid, 1.0), 128);
+
+        // Empty histogram degrades to 0.
+        assert_eq!(percentile_upper_bound(&vec![0u64; HIST_BUCKETS], 0.99), 0);
+
+        // The bucket math this helper assumes: observe() puts value v>0
+        // in the bucket whose upper bound is the smallest 2^i > v.
+        let h = Histogram::new();
+        h.observe(5);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets, vec![(3, 1)]);
+    }
 
     fn with_spans<R>(f: impl FnOnce() -> R) -> R {
         let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());

@@ -7,24 +7,40 @@
 //! monotonically; because the server echoes them, [`Client::pipeline`]
 //! can write a whole batch before reading any response and still match
 //! replies to requests.
+//!
+//! **Deadlines.** Every response is read under one overall
+//! [`ClientConfig::request_deadline`]: the socket read timeout is
+//! re-armed with the *remaining* budget before each `read()`, so a
+//! server dribbling one byte per timeout window cannot stall a request
+//! (or a pipelined batch) indefinitely — the failure surfaces as the
+//! typed [`ClientError::Timeout`].
+//!
+//! **Streamed replies.** A server may split a large response into
+//! [`OP_STREAM`] continuation frames followed by the terminal reply.
+//! The client reassembles by concatenation (bounded by
+//! [`ClientConfig::max_payload`]), so callers always see the complete
+//! payload, byte-identical to an unstreamed reply.
 
 use crate::wire::{
-    self, decode_error, encode_frame, read_frame, CompressRequest, DecompressRequest, ErrCode,
-    EvalRequest, EvalResponse, Frame, Opcode, WireError, OP_BUSY, OP_ERROR,
+    self, decode_error, read_frame, try_encode_frame, CompressRequest, DecompressRequest,
+    ErrCode, EvalRequest, EvalResponse, Frame, Opcode, WireError, OP_BUSY, OP_ERROR, OP_STREAM,
 };
 use cc_codecs::Layout;
-use std::io::Write;
+use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Typed client-side failure.
 #[derive(Debug)]
 pub enum ClientError {
     /// TCP connect failed after every retry.
     Connect(std::io::Error),
-    /// The connection died or timed out mid-request.
+    /// The connection died mid-request.
     Wire(WireError),
-    /// The server answered `Busy` (bounded queue full) — retry later.
+    /// The overall per-request deadline expired before the full
+    /// response arrived (carries the configured deadline).
+    Timeout(Duration),
+    /// The server answered `Busy` (connection cap reached) — retry later.
     Busy,
     /// The server answered a typed error frame.
     Server(ErrCode, String),
@@ -37,7 +53,10 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Connect(e) => write!(f, "connect failed: {e}"),
             ClientError::Wire(e) => write!(f, "wire error: {e}"),
-            ClientError::Busy => write!(f, "server busy (queue full)"),
+            ClientError::Timeout(d) => {
+                write!(f, "request deadline ({d:?}) expired before the response completed")
+            }
+            ClientError::Busy => write!(f, "server busy (connection cap reached)"),
             ClientError::Server(code, msg) => write!(f, "server error ({code:?}): {msg}"),
             ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
         }
@@ -59,11 +78,15 @@ pub struct ClientConfig {
     pub connect_attempts: u32,
     /// Base backoff between attempts (doubled each retry, ±50% jitter).
     pub backoff: Duration,
-    /// Per-response read deadline.
-    pub read_timeout: Duration,
+    /// Overall deadline for one complete response (all of its frames).
+    /// Enforced by re-arming the socket timeout with the remaining
+    /// budget before every read, so it cannot be defeated by a server
+    /// that keeps trickling bytes.
+    pub request_deadline: Duration,
     /// Per-request write deadline.
     pub write_timeout: Duration,
-    /// Largest response payload this client will accept.
+    /// Largest response payload this client will accept (streamed
+    /// responses are capped on their reassembled size).
     pub max_payload: usize,
 }
 
@@ -72,7 +95,7 @@ impl Default for ClientConfig {
         ClientConfig {
             connect_attempts: 5,
             backoff: Duration::from_millis(20),
-            read_timeout: Duration::from_secs(60),
+            request_deadline: Duration::from_secs(60),
             write_timeout: Duration::from_secs(10),
             max_payload: wire::DEFAULT_MAX_PAYLOAD,
         }
@@ -94,6 +117,29 @@ fn jitter_mix(x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// A `Read` adapter that re-arms the socket read timeout with the time
+/// remaining until a fixed deadline before every read — the mechanism
+/// that turns a per-read timeout into an overall per-response deadline.
+struct DeadlineStream<'a> {
+    stream: &'a TcpStream,
+    deadline: Instant,
+}
+
+impl Read for DeadlineStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let remaining = self.deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "request deadline exceeded",
+            ));
+        }
+        self.stream.set_read_timeout(Some(remaining))?;
+        let mut s = self.stream;
+        s.read(buf)
+    }
+}
+
 impl Client {
     /// Connect with defaults.
     pub fn connect(addr: &str) -> Result<Client, ClientError> {
@@ -112,7 +158,7 @@ impl Client {
             match TcpStream::connect(addr) {
                 Ok(stream) => {
                     let _ = stream.set_nodelay(true);
-                    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+                    let _ = stream.set_read_timeout(Some(cfg.request_deadline));
                     let _ = stream.set_write_timeout(Some(cfg.write_timeout));
                     return Ok(Client { stream, cfg, next_id: 1 });
                 }
@@ -135,17 +181,27 @@ impl Client {
     fn send(&mut self, opcode: Opcode, payload: &[u8]) -> Result<u64, ClientError> {
         let req_id = self.next_id;
         self.next_id += 1;
+        let frame = try_encode_frame(opcode as u8, req_id, payload).map_err(ClientError::Wire)?;
         self.stream
-            .write_all(&encode_frame(opcode as u8, req_id, payload))
+            .write_all(&frame)
             .map_err(|e| ClientError::Wire(WireError::Io(e)))?;
         Ok(req_id)
     }
 
-    fn recv(&mut self) -> Result<Frame, ClientError> {
-        Ok(read_frame(&mut self.stream, self.cfg.max_payload)?)
+    /// Read one frame under `deadline`; an expiring read surfaces as
+    /// the typed [`ClientError::Timeout`].
+    fn recv_frame(&mut self, deadline: Instant) -> Result<Frame, ClientError> {
+        let mut ds = DeadlineStream { stream: &self.stream, deadline };
+        read_frame(&mut ds, self.cfg.max_payload).map_err(|e| {
+            if e.is_timeout() {
+                ClientError::Timeout(self.cfg.request_deadline)
+            } else {
+                ClientError::Wire(e)
+            }
+        })
     }
 
-    /// Check one response frame against the request it answers.
+    /// Check one terminal response frame against the request it answers.
     fn expect(frame: Frame, opcode: Opcode, req_id: u64) -> Result<Vec<u8>, ClientError> {
         if frame.opcode == OP_BUSY {
             return Err(ClientError::Busy);
@@ -170,10 +226,44 @@ impl Client {
         Ok(frame.payload)
     }
 
+    /// Receive one complete response — zero or more `OP_STREAM` pieces
+    /// plus the terminal frame — reassembled by concatenation, all
+    /// under a single per-request deadline.
+    fn recv_response(&mut self, opcode: Opcode, req_id: u64) -> Result<Vec<u8>, ClientError> {
+        let deadline = Instant::now() + self.cfg.request_deadline;
+        let mut acc: Option<Vec<u8>> = None;
+        loop {
+            let frame = self.recv_frame(deadline)?;
+            if frame.opcode == OP_STREAM {
+                if frame.req_id != req_id {
+                    return Err(ClientError::Protocol(format!(
+                        "stream piece for id {}, expected {req_id}",
+                        frame.req_id
+                    )));
+                }
+                let acc = acc.get_or_insert_with(Vec::new);
+                if acc.len().saturating_add(frame.payload.len()) > self.cfg.max_payload {
+                    return Err(ClientError::Protocol(
+                        "streamed response exceeds the payload cap".into(),
+                    ));
+                }
+                acc.extend_from_slice(&frame.payload);
+                continue;
+            }
+            let terminal = Self::expect(frame, opcode, req_id)?;
+            return Ok(match acc {
+                Some(mut assembled) => {
+                    assembled.extend_from_slice(&terminal);
+                    assembled
+                }
+                None => terminal,
+            });
+        }
+    }
+
     fn call(&mut self, opcode: Opcode, payload: &[u8]) -> Result<Vec<u8>, ClientError> {
         let req_id = self.send(opcode, payload)?;
-        let frame = self.recv()?;
-        Self::expect(frame, opcode, req_id)
+        self.recv_response(opcode, req_id)
     }
 
     /// Round-trip an empty `Ping`.
@@ -191,7 +281,8 @@ impl Client {
     ) -> Result<Vec<u8>, ClientError> {
         let req =
             CompressRequest { variant: variant.to_string(), layout, data: data.to_vec() };
-        self.call(Opcode::Compress, &req.encode())
+        let payload = req.encode().map_err(ClientError::Wire)?;
+        self.call(Opcode::Compress, &payload)
     }
 
     /// Decompress `stream` back into `layout.len()` f32 values.
@@ -206,7 +297,8 @@ impl Client {
             layout,
             stream: stream.to_vec(),
         };
-        let payload = self.call(Opcode::Decompress, &req.encode())?;
+        let payload = req.encode().map_err(ClientError::Wire)?;
+        let payload = self.call(Opcode::Decompress, &payload)?;
         wire::decode_f32_payload(&payload)
             .map_err(|_| ClientError::Protocol("odd-length f32 response".into()))
     }
@@ -214,7 +306,8 @@ impl Client {
     /// Run a quick-scale evaluation of `variant` on variable `var`
     /// server-side; returns the verdict summary.
     pub fn evaluate(&mut self, req: &EvalRequest) -> Result<EvalResponse, ClientError> {
-        let payload = self.call(Opcode::Evaluate, &req.encode())?;
+        let payload = req.encode().map_err(ClientError::Wire)?;
+        let payload = self.call(Opcode::Evaluate, &payload)?;
         EvalResponse::decode(&payload)
             .map_err(|_| ClientError::Protocol("malformed Evaluate response".into()))
     }
@@ -233,7 +326,8 @@ impl Client {
 
     /// Pipeline a batch of raw requests: write them all, then read the
     /// responses in order, matching ids. Each result is the reply
-    /// payload or the per-request error.
+    /// payload or the per-request error; transport-level failures
+    /// (connection death, deadline expiry) abort the whole batch.
     pub fn pipeline(
         &mut self,
         requests: &[(Opcode, Vec<u8>)],
@@ -244,8 +338,10 @@ impl Client {
         }
         let mut out = Vec::with_capacity(requests.len());
         for (&id, (opcode, _)) in ids.iter().zip(requests) {
-            let frame = self.recv()?;
-            out.push(Self::expect(frame, *opcode, id));
+            match self.recv_response(*opcode, id) {
+                Err(e @ (ClientError::Wire(_) | ClientError::Timeout(_))) => return Err(e),
+                result => out.push(result),
+            }
         }
         Ok(out)
     }

@@ -1,41 +1,83 @@
-//! The `cc-serve` daemon: acceptor → bounded queue → worker pool.
+//! The `cc-serve` daemon: acceptor → reactor shards → compute pool.
 //!
-//! One acceptor thread accepts TCP connections, stamps per-request
-//! deadlines on them (`set_read_timeout` / `set_write_timeout`), and
-//! pushes them onto a **bounded** [`cc_par::BoundedQueue`]. A full queue
-//! answers a typed `Busy` frame and closes — backpressure, never
-//! unbounded memory. A worker pool (`cc_par::run_pool`, so every worker
-//! carries the nested-context guard and codec calls inside a request
-//! never fan out a second thread pool) drains the queue, serving each
-//! connection's pipelined requests in order and echoing request ids.
+//! One acceptor thread accepts TCP connections and deals them
+//! round-robin to N **reactor shards**. Each shard owns its connections
+//! outright: sockets are nonblocking, and a std-only poll loop drives a
+//! per-connection read state machine (an incremental
+//! [`wire::FrameDecoder`] sharing the total header validation with the
+//! blocking path) and a write state machine (an outbound frame queue
+//! with partial-write resumption — writes go out in
+//! [`ServerConfig::write_chunk`]-sized slices and pick up exactly where
+//! a short write left off). A slow or idle connection therefore costs
+//! its shard one nonblocking syscall per tick, not a parked thread:
+//! concurrency is capped by [`ServerConfig::max_conns`], not pool width.
 //!
-//! Shutdown is a graceful drain: the stop flag halts the acceptor, the
-//! queue closes (already-accepted connections are still served), workers
-//! finish their in-flight request and exit. The `Shutdown` opcode
+//! Parsed requests are handed to the compute pool (`cc_par::run_pool`
+//! over a **bounded** [`cc_par::BoundedQueue`], so every worker carries
+//! the nested-context guard and codec calls inside a request never fan
+//! out a second thread pool). Each connection has at most one request
+//! in flight at a time — pipelined requests queue on the connection and
+//! submit in arrival order, which is what keeps responses in request
+//! order without reorder buffers. A full compute queue is backpressure,
+//! not failure: the shard simply retries the submit on a later tick and
+//! stops reading that connection once its pending window fills.
+//!
+//! **Streaming replies.** A large `Compress` reply does not wait for
+//! the last chunk: the handler emits the stream through
+//! `compress_chunked_stream`, and every time the accumulated bytes
+//! cross [`ServerConfig::stream_threshold`] a [`wire::OP_STREAM`]
+//! continuation frame is posted back to the owning shard and starts
+//! flowing while later chunks are still being compressed. The terminal
+//! frame (the normal reply opcode) carries the remainder; the client
+//! reassembles by concatenation, so the response payload stays
+//! byte-identical to the sequential in-process reference at any shard ×
+//! worker count — the correctness pin every loopback test enforces.
+//!
+//! **Admission and backpressure.** Accepts beyond `max_conns` answer a
+//! typed `Busy` frame and close — bounded memory, never an unbounded
+//! connection table. Inside a connection, at most [`PENDING_CAP`]
+//! parsed-but-unserved requests are held before the shard stops reading
+//! more bytes from that socket.
+//!
+//! **Timeouts.** `read_timeout` is a frame-progress deadline: a
+//! complete frame must arrive within it (measured from the previous
+//! frame, or accept). That single rule covers both the idle connection
+//! and the slow-loris client trickling header bytes — dribbling resets
+//! nothing. `write_timeout` bounds time without write progress while
+//! output is queued.
+//!
+//! Shutdown is a graceful drain: the stop flag halts the acceptor and
+//! stops shards reading; in-flight requests finish, their replies
+//! flush, connections close, shards exit, and only then does the
+//! compute queue close and the pool join. The `Shutdown` opcode
 //! triggers the same path remotely.
 //!
-//! Every stage is instrumented through `cc-obs`: `serve.accept`,
-//! `serve.busy`, `serve.queue_depth`, `serve.frame_corrupt`,
-//! `serve.requests`, `serve.req_us`, and per-opcode byte counters —
-//! all exportable through the usual `--trace` / `TRACE.json` path.
+//! Every stage is instrumented through `cc-obs`: the global counters
+//! (`serve.accept`, `serve.busy`, `serve.requests`, `serve.req_us`,
+//! per-opcode byte counters, …) plus per-shard counters
+//! (`serve.shard{i}.frames`, `.bytes_in`, `.bytes_out`, `.conns`) and a
+//! per-shard `serve.shard{i}.wake_msgs` histogram — all exportable
+//! through the usual `--trace` / `TRACE.json` path.
 
 use crate::wire::{
-    self, encode_error, encode_frame, read_frame, CompressRequest, DecompressRequest, ErrCode,
-    EvalRequest, EvalResponse, Frame, Opcode, WireError, OP_BUSY, OP_ERROR,
+    self, encode_error, encode_frame, try_encode_frame, CompressRequest, DecompressRequest,
+    ErrCode, EvalRequest, EvalResponse, Frame, FrameDecoder, Opcode, WireError, OP_BUSY,
+    OP_ERROR, OP_STREAM,
 };
-use cc_codecs::chunked::{compress_chunked, decompress_chunked};
+use cc_codecs::chunked::{compress_chunked_stream, decompress_chunked};
 use cc_codecs::Variant;
 use cc_core::evaluation::{verdict_for, EvalConfig, Evaluation};
 use cc_grid::Resolution;
 use cc_model::Model;
-use cc_par::BoundedQueue;
-use std::io::Write;
+use cc_par::{BoundedQueue, Mailbox};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Resource caps on `Evaluate` requests (each one synthesizes an
 /// ensemble server-side, so untrusted parameters must be bounded).
@@ -60,19 +102,31 @@ impl Default for EvalLimits {
 pub struct ServerConfig {
     /// Bind address (`127.0.0.1:0` picks a free loopback port).
     pub addr: String,
-    /// Worker threads draining the connection queue.
+    /// Reactor shards, each owning a slice of the connections.
+    pub shards: usize,
+    /// Compute-pool worker threads draining the request queue.
     pub workers: usize,
-    /// Bounded queue depth; a full queue answers `Busy`.
+    /// Bounded compute-queue depth; a full queue delays submission
+    /// (backpressure by retry), it does not reject connections.
     pub queue_depth: usize,
+    /// Live-connection cap; accepts beyond it answer `Busy` and close.
+    pub max_conns: usize,
     /// Per-connection payload cap; larger declared frames are rejected.
     pub max_payload: usize,
     /// Requests served per connection before the server closes it.
     pub max_requests_per_conn: u64,
-    /// Per-request read deadline (also the idle timeout between
-    /// pipelined requests).
+    /// Frame-progress deadline: a complete frame must arrive within
+    /// this of the previous one (also the idle timeout, and the
+    /// slow-loris kill switch — trickled bytes do not reset it).
     pub read_timeout: Duration,
-    /// Per-response write deadline.
+    /// Write-progress deadline while output is queued.
     pub write_timeout: Duration,
+    /// Replies at or above this many bytes stream as `OP_STREAM`
+    /// continuation frames instead of one terminal frame.
+    pub stream_threshold: usize,
+    /// Largest slice handed to one socket write. Lowering it (tests use
+    /// 7) forces many partial writes through the resumption path.
+    pub write_chunk: usize,
     /// Caps on `Evaluate` work.
     pub eval_limits: EvalLimits,
 }
@@ -81,16 +135,29 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
+            shards: 2,
             workers: 2,
             queue_depth: 64,
+            max_conns: 1024,
             max_payload: wire::DEFAULT_MAX_PAYLOAD,
             max_requests_per_conn: 100_000,
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(10),
+            stream_threshold: 256 << 10,
+            write_chunk: 64 << 10,
             eval_limits: EvalLimits::default(),
         }
     }
 }
+
+/// Parsed-but-unserved requests a connection may hold before its shard
+/// stops reading more bytes from it (per-connection flow control).
+pub const PENDING_CAP: usize = 32;
+
+/// Nonblocking read attempts per connection per tick (fairness bound).
+const READ_PASSES: usize = 4;
+/// Write slices attempted per connection per tick (fairness bound).
+const WRITE_PASSES: usize = 8;
 
 /// Counters surfaced by the `Stats` opcode (and in `TRACE.json`).
 pub const STAT_COUNTERS: &[&str] = &[
@@ -102,6 +169,8 @@ pub const STAT_COUNTERS: &[&str] = &[
     "serve.conn_closed",
     "serve.request_cap_hit",
     "serve.panic",
+    "serve.queue_full_retry",
+    "serve.stream.frames",
     "serve.op.ping.bytes_in",
     "serve.op.compress.bytes_in",
     "serve.op.compress.bytes_out",
@@ -111,16 +180,37 @@ pub const STAT_COUNTERS: &[&str] = &[
     "serve.op.stats.bytes_out",
 ];
 
+/// One parsed request travelling to the compute pool.
+struct Job {
+    shard: usize,
+    conn: u64,
+    frame: Frame,
+}
+
+/// Messages a reactor shard drains from its inbox each tick.
+enum ShardMsg {
+    /// A freshly accepted (already nonblocking) connection.
+    Accept(TcpStream),
+    /// A piece of a streaming reply, to go out as an `OP_STREAM` frame.
+    Partial { conn: u64, req_id: u64, bytes: Vec<u8> },
+    /// The terminal reply for a request; clears the in-flight slot.
+    Done { conn: u64, req_id: u64, opcode: u8, payload: Vec<u8> },
+}
+
 struct Shared {
     cfg: ServerConfig,
     stop: AtomicBool,
-    queue: BoundedQueue<TcpStream>,
+    queue: BoundedQueue<Job>,
+    inboxes: Vec<Arc<Mailbox<ShardMsg>>>,
+    conns: AtomicUsize,
 }
 
 impl Shared {
     fn begin_shutdown(&self) {
         self.stop.store(true, Ordering::SeqCst);
-        self.queue.close();
+        for inbox in &self.inboxes {
+            inbox.ring();
+        }
     }
 
     fn stopping(&self) -> bool {
@@ -129,11 +219,12 @@ impl Shared {
 }
 
 /// A running server. Dropping it triggers a graceful drain and joins
-/// both threads; [`Server::shutdown`] does the same explicitly.
+/// every thread; [`Server::shutdown`] does the same explicitly.
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
+    shards: Vec<JoinHandle<()>>,
     pool: Option<JoinHandle<()>>,
 }
 
@@ -146,10 +237,15 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let nshards = cfg.shards.max(1);
+        let inboxes: Vec<Arc<Mailbox<ShardMsg>>> =
+            (0..nshards).map(|_| Arc::new(Mailbox::new())).collect();
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(cfg.queue_depth),
             cfg,
             stop: AtomicBool::new(false),
+            inboxes,
+            conns: AtomicUsize::new(0),
         });
 
         let acceptor = {
@@ -158,15 +254,24 @@ impl Server {
                 .name("cc-serve-acceptor".into())
                 .spawn(move || accept_loop(listener, &shared))?
         };
+        let mut shards = Vec::with_capacity(nshards);
+        for idx in 0..nshards {
+            let shared = Arc::clone(&shared);
+            shards.push(
+                std::thread::Builder::new()
+                    .name(format!("cc-serve-shard{idx}"))
+                    .spawn(move || shard_loop(idx, &shared))?,
+            );
+        }
         let pool = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new().name("cc-serve-pool".into()).spawn(move || {
-                cc_par::run_pool(shared.cfg.workers, &shared.queue, |conn| {
-                    serve_conn(conn, &shared);
+                cc_par::run_pool(shared.cfg.workers, &shared.queue, |job| {
+                    handle_job(job, &shared);
                 });
             })?
         };
-        Ok(Server { addr, shared, acceptor: Some(acceptor), pool: Some(pool) })
+        Ok(Server { addr, shared, acceptor: Some(acceptor), shards, pool: Some(pool) })
     }
 
     /// The bound address (useful with port 0).
@@ -174,8 +279,9 @@ impl Server {
         self.addr
     }
 
-    /// Begin a graceful drain without blocking: stop accepting, close
-    /// the queue. Workers finish in-flight and queued connections.
+    /// Begin a graceful drain without blocking: stop accepting and stop
+    /// shards reading; in-flight requests finish and their replies
+    /// flush before connections close.
     pub fn trigger_shutdown(&self) {
         self.shared.begin_shutdown();
     }
@@ -186,7 +292,7 @@ impl Server {
         self.join_inner();
     }
 
-    /// Graceful drain: trigger shutdown and join both threads.
+    /// Graceful drain: trigger shutdown and join every thread.
     pub fn shutdown(mut self) {
         self.trigger_shutdown();
         self.join_inner();
@@ -196,6 +302,12 @@ impl Server {
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
+        for h in self.shards.drain(..) {
+            let _ = h.join();
+        }
+        // Shards are gone, so nothing submits anymore: close the compute
+        // queue (drain-then-stop) and the pool exits.
+        self.shared.queue.close();
         if let Some(h) = self.pool.take() {
             let _ = h.join();
         }
@@ -211,6 +323,8 @@ impl Drop for Server {
 
 fn accept_loop(listener: TcpListener, shared: &Shared) {
     let cfg = &shared.cfg;
+    let nshards = shared.inboxes.len();
+    let mut next_shard = 0usize;
     loop {
         if shared.stopping() {
             break;
@@ -219,16 +333,20 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
             Ok((stream, _peer)) => {
                 cc_obs::counter_inc("serve.accept");
                 let _ = stream.set_nodelay(true);
-                let _ = stream.set_read_timeout(Some(cfg.read_timeout));
-                let _ = stream.set_write_timeout(Some(cfg.write_timeout));
-                match shared.queue.try_push(stream) {
-                    Ok(depth) => cc_obs::observe("serve.queue_depth", depth as u64),
-                    Err(mut stream) => {
-                        // Backpressure: a typed Busy frame, then close.
-                        cc_obs::counter_inc("serve.busy");
-                        let _ = stream.write_all(&encode_frame(OP_BUSY, 0, &[]));
-                    }
+                if shared.conns.load(Ordering::SeqCst) >= cfg.max_conns {
+                    // Admission control: a typed Busy frame, then close.
+                    cc_obs::counter_inc("serve.busy");
+                    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+                    let mut stream = stream;
+                    let _ = stream.write_all(&encode_frame(OP_BUSY, 0, &[]));
+                    continue;
                 }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                shared.conns.fetch_add(1, Ordering::SeqCst);
+                shared.inboxes[next_shard].send(ShardMsg::Accept(stream));
+                next_shard = (next_shard + 1) % nshards;
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(2));
@@ -243,73 +361,388 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
     }
 }
 
-/// Serve one connection's pipelined requests in order.
-fn serve_conn(mut conn: TcpStream, shared: &Shared) {
-    let _span = cc_obs::span("serve.conn");
+/// Per-shard interned metric handles, resolved once at shard start so
+/// the poll loop never takes the registry lock.
+struct ShardStats {
+    frames: &'static AtomicU64,
+    bytes_in: &'static AtomicU64,
+    bytes_out: &'static AtomicU64,
+    conns: &'static AtomicU64,
+    wake_msgs: &'static cc_obs::Histogram,
+}
+
+impl ShardStats {
+    fn new(idx: usize) -> ShardStats {
+        ShardStats {
+            frames: cc_obs::counter(&format!("serve.shard{idx}.frames")),
+            bytes_in: cc_obs::counter(&format!("serve.shard{idx}.bytes_in")),
+            bytes_out: cc_obs::counter(&format!("serve.shard{idx}.bytes_out")),
+            conns: cc_obs::counter(&format!("serve.shard{idx}.conns")),
+            wake_msgs: cc_obs::histogram(&format!("serve.shard{idx}.wake_msgs")),
+        }
+    }
+}
+
+/// One connection owned by a reactor shard.
+struct Conn {
+    stream: TcpStream,
+    dec: FrameDecoder,
+    /// Parsed requests not yet submitted to the compute pool.
+    pending: VecDeque<Frame>,
+    /// A request of this connection is in the pool or queue (at most
+    /// one — this is what keeps responses in request order).
+    inflight: bool,
+    /// Encoded frames awaiting write, resumed mid-buffer after short
+    /// writes via `out_pos`.
+    outq: VecDeque<Vec<u8>>,
+    out_pos: usize,
+    /// Terminal error frame to send once pending work drains, after
+    /// which the connection closes.
+    fatal: Option<Vec<u8>>,
+    served: u64,
+    /// Stop reading; serve what is pending, flush, close.
+    closing: bool,
+    /// Peer half-closed its write side (EOF on our reads). Pending
+    /// requests still get answers — the fuzz harness half-closes after
+    /// writing and then reads the response.
+    read_closed: bool,
+    /// Remove immediately (I/O error or deadline hit).
+    dead: bool,
+    /// Last frame completion (or accept): the frame-progress clock.
+    last_progress: Instant,
+    write_stalled_since: Option<Instant>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, max_payload: usize) -> Conn {
+        Conn {
+            stream,
+            dec: FrameDecoder::new(max_payload),
+            pending: VecDeque::new(),
+            inflight: false,
+            outq: VecDeque::new(),
+            out_pos: 0,
+            fatal: None,
+            served: 0,
+            closing: false,
+            read_closed: false,
+            dead: false,
+            last_progress: Instant::now(),
+            write_stalled_since: None,
+        }
+    }
+
+    /// All output (including a deferred fatal frame) has left.
+    fn flushed(&self) -> bool {
+        self.outq.is_empty() && self.fatal.is_none()
+    }
+
+    /// No request of this connection is anywhere in the pipeline.
+    fn quiesced(&self) -> bool {
+        self.pending.is_empty() && !self.inflight
+    }
+}
+
+fn shard_loop(idx: usize, shared: &Shared) {
     let cfg = &shared.cfg;
-    let mut served = 0u64;
+    let inbox = &shared.inboxes[idx];
+    let stats = ShardStats::new(idx);
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_id = 0u64;
+    let mut scratch = vec![0u8; wire::READ_CHUNK];
+    let mut frames: Vec<Frame> = Vec::new();
     loop {
-        let frame = match read_frame(&mut conn, cfg.max_payload) {
-            Ok(f) => f,
-            Err(WireError::Closed) => break,
-            Err(e) if e.is_timeout() => {
-                // Idle deadline expired (or we are draining): close.
-                break;
-            }
-            Err(e) if e.is_corrupt() => {
-                // Frame boundaries are lost after damage — answer one
-                // well-formed error frame and close.
-                cc_obs::counter_inc("serve.frame_corrupt");
-                let payload = encode_error(ErrCode::BadPayload, &e.to_string());
-                let _ = conn.write_all(&encode_frame(OP_ERROR, 0, &payload));
-                break;
-            }
-            Err(WireError::Io(_)) => break,
-            // read_frame only returns the variants handled above; the
-            // arms are spelled out so a new variant fails to compile.
-            Err(WireError::BadMagic)
-            | Err(WireError::BadVersion(_))
-            | Err(WireError::TooLarge { .. })
-            | Err(WireError::Truncated) => unreachable!("covered by is_corrupt"),
+        // Sockets can become readable without anyone ringing the inbox,
+        // so the park must stay short while connections exist; an empty
+        // shard can sleep longer (accepts ring the bell).
+        let park = if conns.is_empty() {
+            Duration::from_millis(25)
+        } else {
+            Duration::from_millis(1)
         };
-        served += 1;
-        if served > cfg.max_requests_per_conn {
-            cc_obs::counter_inc("serve.request_cap_hit");
-            let payload = encode_error(ErrCode::RequestCap, "per-connection request cap reached");
-            let _ = conn.write_all(&encode_frame(OP_ERROR, frame.req_id, &payload));
-            break;
+        let msgs = inbox.drain_timeout(park);
+        let metrics = cc_obs::metrics_enabled();
+        if metrics && !msgs.is_empty() {
+            stats.wake_msgs.observe(msgs.len() as u64);
         }
-        let req_id = frame.req_id;
-        let is_shutdown = frame.opcode == Opcode::Shutdown as u8;
-        let t0 = cc_obs::now_ns();
-        let result = std::panic::catch_unwind(AssertUnwindSafe(|| handle_request(&frame, shared)))
-            .unwrap_or_else(|_| {
-                cc_obs::counter_inc("serve.panic");
-                Err((ErrCode::Internal, "request handler panicked".into()))
-            });
-        cc_obs::observe("serve.req_us", (cc_obs::now_ns().saturating_sub(t0)) / 1_000);
-        cc_obs::counter_inc("serve.requests");
-        let (opcode, payload) = match result {
-            Ok((op, payload)) => (op, payload),
-            Err((code, msg)) => {
-                cc_obs::counter_inc("serve.errors");
-                (OP_ERROR, encode_error(code, &msg))
+        for msg in msgs {
+            match msg {
+                ShardMsg::Accept(stream) => {
+                    conns.insert(next_id, Conn::new(stream, cfg.max_payload));
+                    next_id += 1;
+                    if metrics {
+                        stats.conns.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                ShardMsg::Partial { conn, req_id, bytes } => {
+                    if let Some(c) = conns.get_mut(&conn) {
+                        // A streamed piece: encode and queue immediately
+                        // so it starts flowing before the terminal frame
+                        // (or even the next piece) exists.
+                        c.outq.push_back(encode_frame(OP_STREAM, req_id, &bytes));
+                    }
+                }
+                ShardMsg::Done { conn, req_id, opcode, payload } => {
+                    if let Some(c) = conns.get_mut(&conn) {
+                        c.inflight = false;
+                        c.last_progress = Instant::now();
+                        let frame = try_encode_frame(opcode, req_id, &payload)
+                            .unwrap_or_else(|_| {
+                                encode_frame(
+                                    OP_ERROR,
+                                    req_id,
+                                    &encode_error(
+                                        ErrCode::TooLarge,
+                                        "reply exceeds the frame length field",
+                                    ),
+                                )
+                            });
+                        c.outq.push_back(frame);
+                    }
+                }
             }
-        };
-        if conn.write_all(&encode_frame(opcode, req_id, &payload)).is_err() {
-            break;
         }
-        if is_shutdown || shared.stopping() {
-            // Draining: finish this response, then close the connection.
+
+        let stopping = shared.stopping();
+        let now = Instant::now();
+        let mut reap = Vec::new();
+        let mut ids: Vec<u64> = conns.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let c = conns.get_mut(&id).expect("conn present");
+            step_read(c, &mut scratch, &mut frames, cfg, &stats, metrics);
+            if stopping {
+                // Draining: answer nothing new; what is in flight
+                // finishes and flushes.
+                c.pending.clear();
+                c.closing = true;
+            }
+            // Submit the next pending request unless one is already in
+            // flight. A full queue is backpressure — retry next tick.
+            while !c.inflight && !c.dead {
+                let Some(frame) = c.pending.pop_front() else { break };
+                match shared.queue.try_push(Job { shard: idx, conn: id, frame }) {
+                    Ok(depth) => {
+                        cc_obs::observe("serve.queue_depth", depth as u64);
+                        c.inflight = true;
+                    }
+                    Err(job) => {
+                        cc_obs::counter_inc("serve.queue_full_retry");
+                        c.pending.push_front(job.frame);
+                        break;
+                    }
+                }
+            }
+            // A deferred fatal frame goes out only after every earlier
+            // request got its reply, preserving response order.
+            if c.fatal.is_some() && c.quiesced() {
+                let frame = c.fatal.take().expect("fatal present");
+                c.outq.push_back(frame);
+                c.closing = true;
+            }
+            step_write(c, cfg, &stats, metrics);
+
+            // Deadlines. The frame-progress clock runs while waiting
+            // for bytes (idle or mid-frame — the loris case); it pauses
+            // while we owe the peer work. The write clock runs while
+            // output is queued but nothing leaves.
+            let waiting = (!c.dec.at_boundary() || (c.quiesced() && c.flushed()))
+                && !c.read_closed;
+            if waiting && now.duration_since(c.last_progress) > cfg.read_timeout {
+                c.dead = true;
+            }
+            if let Some(t) = c.write_stalled_since {
+                if now.duration_since(t) > cfg.write_timeout {
+                    c.dead = true;
+                }
+            }
+
+            let done_gracefully = c.quiesced() && c.flushed() && (c.closing || c.read_closed);
+            if c.dead || done_gracefully {
+                reap.push(id);
+            }
+        }
+        for id in reap {
+            conns.remove(&id);
+            cc_obs::counter_inc("serve.conn_closed");
+            shared.conns.fetch_sub(1, Ordering::SeqCst);
+        }
+        if stopping && conns.is_empty() {
             break;
         }
     }
-    cc_obs::counter_inc("serve.conn_closed");
+}
+
+/// Drain readable bytes into the connection's frame decoder and promote
+/// completed frames to the pending queue, enforcing the request cap.
+fn step_read(
+    c: &mut Conn,
+    scratch: &mut [u8],
+    frames: &mut Vec<Frame>,
+    cfg: &ServerConfig,
+    stats: &ShardStats,
+    metrics: bool,
+) {
+    if c.closing || c.read_closed || c.dead {
+        return;
+    }
+    for _ in 0..READ_PASSES {
+        if c.pending.len() >= PENDING_CAP {
+            break;
+        }
+        match (&c.stream).read(scratch) {
+            Ok(0) => {
+                c.read_closed = true;
+                if !c.dec.at_boundary() {
+                    // EOF inside a frame: same truncation error the
+                    // blocking path reported.
+                    cc_obs::counter_inc("serve.frame_corrupt");
+                    c.fatal = Some(encode_frame(
+                        OP_ERROR,
+                        0,
+                        &encode_error(ErrCode::BadPayload, &WireError::Truncated.to_string()),
+                    ));
+                }
+                break;
+            }
+            Ok(n) => {
+                if metrics {
+                    stats.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                }
+                match c.dec.feed(&scratch[..n], frames) {
+                    Ok(()) => {}
+                    Err(e) => {
+                        // Frame boundaries are lost after damage —
+                        // answer one well-formed error frame (after any
+                        // requests completed earlier) and close.
+                        cc_obs::counter_inc("serve.frame_corrupt");
+                        c.fatal = Some(encode_frame(
+                            OP_ERROR,
+                            0,
+                            &encode_error(ErrCode::BadPayload, &e.to_string()),
+                        ));
+                        c.closing = true;
+                        break;
+                    }
+                }
+                if n < scratch.len() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                c.dead = true;
+                break;
+            }
+        }
+    }
+    for frame in frames.drain(..) {
+        if c.closing {
+            break;
+        }
+        c.last_progress = Instant::now();
+        if metrics {
+            stats.frames.fetch_add(1, Ordering::Relaxed);
+        }
+        c.served += 1;
+        if c.served > cfg.max_requests_per_conn {
+            cc_obs::counter_inc("serve.request_cap_hit");
+            c.fatal = Some(encode_frame(
+                OP_ERROR,
+                frame.req_id,
+                &encode_error(ErrCode::RequestCap, "per-connection request cap reached"),
+            ));
+            c.closing = true;
+            break;
+        }
+        c.pending.push_back(frame);
+    }
+    frames.clear();
+}
+
+/// Push queued output, at most `write_chunk` bytes per syscall, resuming
+/// mid-buffer after short writes.
+fn step_write(c: &mut Conn, cfg: &ServerConfig, stats: &ShardStats, metrics: bool) {
+    if c.dead {
+        return;
+    }
+    let chunk_cap = cfg.write_chunk.max(1);
+    for _ in 0..WRITE_PASSES {
+        let Some(front) = c.outq.front() else {
+            c.write_stalled_since = None;
+            return;
+        };
+        let end = (c.out_pos + chunk_cap).min(front.len());
+        match (&c.stream).write(&front[c.out_pos..end]) {
+            Ok(0) => {
+                c.dead = true;
+                return;
+            }
+            Ok(n) => {
+                c.out_pos += n;
+                c.write_stalled_since = None;
+                if metrics {
+                    stats.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                }
+                if c.out_pos == front.len() {
+                    c.outq.pop_front();
+                    c.out_pos = 0;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                c.write_stalled_since.get_or_insert_with(Instant::now);
+                return;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                c.dead = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Execute one request on a compute-pool worker and post the reply (and
+/// any streamed pieces) back to the owning shard.
+fn handle_job(job: Job, shared: &Shared) {
+    let inbox = &shared.inboxes[job.shard];
+    let conn = job.conn;
+    let req_id = job.frame.req_id;
+    let t0 = cc_obs::now_ns();
+    let result = {
+        let mut emit = |bytes: Vec<u8>| {
+            cc_obs::counter_inc("serve.stream.frames");
+            cc_obs::counter_add("serve.op.compress.bytes_out", bytes.len() as u64);
+            inbox.send(ShardMsg::Partial { conn, req_id, bytes });
+        };
+        std::panic::catch_unwind(AssertUnwindSafe(|| {
+            handle_request(&job.frame, shared, &mut emit)
+        }))
+        .unwrap_or_else(|_| {
+            cc_obs::counter_inc("serve.panic");
+            Err((ErrCode::Internal, "request handler panicked".into()))
+        })
+    };
+    cc_obs::observe("serve.req_us", (cc_obs::now_ns().saturating_sub(t0)) / 1_000);
+    cc_obs::counter_inc("serve.requests");
+    let (opcode, payload) = match result {
+        Ok((op, payload)) => (op, payload),
+        Err((code, msg)) => {
+            cc_obs::counter_inc("serve.errors");
+            (OP_ERROR, encode_error(code, &msg))
+        }
+    };
+    inbox.send(ShardMsg::Done { conn, req_id, opcode, payload });
 }
 
 type HandlerResult = Result<(u8, Vec<u8>), (ErrCode, String)>;
 
-fn handle_request(frame: &Frame, shared: &Shared) -> HandlerResult {
+fn handle_request(
+    frame: &Frame,
+    shared: &Shared,
+    emit: &mut dyn FnMut(Vec<u8>),
+) -> HandlerResult {
     let Some(op) = Opcode::from_u8(frame.opcode) else {
         return Err((ErrCode::BadPayload, format!("unknown opcode 0x{:02x}", frame.opcode)));
     };
@@ -317,7 +750,7 @@ fn handle_request(frame: &Frame, shared: &Shared) -> HandlerResult {
     cc_obs::counter_add(&format!("serve.op.{}.bytes_in", op.name()), frame.payload.len() as u64);
     let out: HandlerResult = match op {
         Opcode::Ping => Ok((op.reply(), Vec::new())),
-        Opcode::Compress => handle_compress(&frame.payload).map(|p| (op.reply(), p)),
+        Opcode::Compress => handle_compress(&frame.payload, shared, emit).map(|p| (op.reply(), p)),
         Opcode::Decompress => {
             handle_decompress(&frame.payload, shared).map(|p| (op.reply(), p))
         }
@@ -339,14 +772,33 @@ fn resolve_variant(name: &str) -> Result<Variant, (ErrCode, String)> {
         .ok_or_else(|| (ErrCode::UnknownVariant, format!("unknown codec variant {name:?}")))
 }
 
-fn handle_compress(payload: &[u8]) -> Result<Vec<u8>, (ErrCode, String)> {
+/// Compress, streaming the reply: whenever the accumulated encoded
+/// bytes cross the stream threshold they are emitted as an `OP_STREAM`
+/// piece while later chunks are still compressing. The returned bytes
+/// are the remainder, carried by the terminal reply frame; the
+/// concatenation of pieces + remainder is exactly
+/// `compress_chunked(codec, data, layout, 1)`.
+fn handle_compress(
+    payload: &[u8],
+    shared: &Shared,
+    emit: &mut dyn FnMut(Vec<u8>),
+) -> Result<Vec<u8>, (ErrCode, String)> {
     let req = CompressRequest::decode(payload)
         .map_err(|_| (ErrCode::BadPayload, "malformed Compress payload".into()))?;
     let variant = resolve_variant(&req.variant)?;
     let codec = variant.codec();
-    // Workers = 1: this thread is already a pool worker; concurrency
-    // comes from serving many requests, not from fanning out inside one.
-    Ok(compress_chunked(codec.as_ref(), &req.data, req.layout, 1))
+    let threshold = shared.cfg.stream_threshold.max(1);
+    let mut buf: Vec<u8> = Vec::new();
+    // Sequential chunk encode on this worker (already inside the pool;
+    // the nested-context guard would degrade fan-out anyway) — which is
+    // exactly what makes the emitted byte order the workers=1 reference.
+    compress_chunked_stream(codec.as_ref(), &req.data, req.layout, &mut |piece| {
+        buf.extend_from_slice(piece);
+        if buf.len() >= threshold {
+            emit(std::mem::take(&mut buf));
+        }
+    });
+    Ok(buf)
 }
 
 fn handle_decompress(payload: &[u8], shared: &Shared) -> Result<Vec<u8>, (ErrCode, String)> {

@@ -6,10 +6,18 @@
 //! |---|---|---|
 //! | 0..4 | magic `b"CCW1"` | protocol + major version |
 //! | 4 | version | `1` |
-//! | 5 | opcode | request `0x01..=0x06`, response `op \| 0x80`, `0xFE` Busy, `0xFF` Error |
+//! | 5 | opcode | request `0x01..=0x06`, response `op \| 0x80`, `0xFD` Stream, `0xFE` Busy, `0xFF` Error |
 //! | 6..14 | request id | `u64` LE, echoed verbatim in the response so clients can pipeline |
 //! | 14..18 | payload length | `u32` LE |
 //! | 18.. | payload | opcode-specific |
+//!
+//! Responses larger than the server's stream threshold are split into
+//! zero or more [`OP_STREAM`] continuation frames followed by one
+//! terminal frame (the normal reply opcode, or [`OP_ERROR`]), all
+//! echoing the same request id. The response payload is the
+//! concatenation of every piece in arrival order, so reassembly is pure
+//! concatenation and the result is byte-identical to an unstreamed
+//! reply.
 //!
 //! Frame decode is **total over untrusted bytes**: every read is
 //! bounds-checked, a declared payload length above the connection's cap
@@ -84,7 +92,12 @@ impl Opcode {
     }
 }
 
-/// Response opcode: the server cannot take the request (queue full).
+/// Response opcode: a continuation piece of a streamed reply. Carries
+/// the request id of the response it belongs to; the terminal frame
+/// (normal reply opcode or [`OP_ERROR`]) ends the stream.
+pub const OP_STREAM: u8 = 0xFD;
+/// Response opcode: the server cannot take the request (connection cap
+/// reached).
 pub const OP_BUSY: u8 = 0xFE;
 /// Response opcode: typed error, payload = `u16` code + UTF-8 message.
 pub const OP_ERROR: u8 = 0xFF;
@@ -158,6 +171,8 @@ pub enum WireError {
     },
     /// Stream ended inside a frame.
     Truncated,
+    /// A u8-length-prefixed wire name exceeds 255 bytes (encode-side).
+    NameTooLong(usize),
 }
 
 impl std::fmt::Display for WireError {
@@ -171,6 +186,9 @@ impl std::fmt::Display for WireError {
                 write!(f, "declared payload {declared} exceeds cap {cap}")
             }
             WireError::Truncated => write!(f, "frame truncated"),
+            WireError::NameTooLong(len) => {
+                write!(f, "wire name is {len} bytes, above the 255-byte cap")
+            }
         }
     }
 }
@@ -203,8 +221,19 @@ impl WireError {
     }
 }
 
-/// Encode one frame.
-pub fn encode_frame(opcode: u8, req_id: u64, payload: &[u8]) -> Vec<u8> {
+/// Largest payload one frame can carry: the length field is `u32`.
+pub const MAX_FRAME_PAYLOAD: usize = u32::MAX as usize;
+
+/// Encode one frame, rejecting payloads the `u32` length field cannot
+/// represent — encoding such a payload with a truncated length would
+/// emit a frame whose declared length disagrees with its body.
+pub fn try_encode_frame(opcode: u8, req_id: u64, payload: &[u8]) -> Result<Vec<u8>, WireError> {
+    if payload.len() > MAX_FRAME_PAYLOAD {
+        return Err(WireError::TooLarge {
+            declared: payload.len() as u64,
+            cap: MAX_FRAME_PAYLOAD,
+        });
+    }
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.extend_from_slice(&MAGIC);
     out.push(VERSION);
@@ -212,7 +241,19 @@ pub fn encode_frame(opcode: u8, req_id: u64, payload: &[u8]) -> Vec<u8> {
     out.extend_from_slice(&req_id.to_le_bytes());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(payload);
-    out
+    Ok(out)
+}
+
+/// Encode one frame. Panics if the payload exceeds
+/// [`MAX_FRAME_PAYLOAD`]; callers handling untrusted or unbounded sizes
+/// use [`try_encode_frame`].
+pub fn encode_frame(opcode: u8, req_id: u64, payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_FRAME_PAYLOAD,
+        "frame payload {} exceeds the u32 length field",
+        payload.len()
+    );
+    try_encode_frame(opcode, req_id, payload).expect("length checked")
 }
 
 /// Read exactly `buf.len()` bytes, mapping a zero-byte first read to
@@ -237,13 +278,13 @@ fn read_full(r: &mut dyn Read, buf: &mut [u8], at_boundary: bool) -> Result<(), 
     Ok(())
 }
 
-/// Read one frame. Total over untrusted bytes: the declared payload
-/// length is checked against `max_payload` before any payload
-/// allocation, and the payload buffer grows in [`READ_CHUNK`] steps so
-/// peak allocation tracks bytes actually received.
-pub fn read_frame(r: &mut dyn Read, max_payload: usize) -> Result<Frame, WireError> {
-    let mut header = [0u8; HEADER_LEN];
-    read_full(r, &mut header, true)?;
+/// Validate a raw header and extract `(opcode, req_id, declared_len)`.
+/// The single place header invariants live — [`read_frame`] and
+/// [`FrameDecoder`] both go through it.
+fn parse_header(
+    header: &[u8; HEADER_LEN],
+    max_payload: usize,
+) -> Result<(u8, u64, usize), WireError> {
     if header[0..4] != MAGIC {
         return Err(WireError::BadMagic);
     }
@@ -256,6 +297,17 @@ pub fn read_frame(r: &mut dyn Read, max_payload: usize) -> Result<Frame, WireErr
     if declared > max_payload {
         return Err(WireError::TooLarge { declared: declared as u64, cap: max_payload });
     }
+    Ok((opcode, req_id, declared))
+}
+
+/// Read one frame. Total over untrusted bytes: the declared payload
+/// length is checked against `max_payload` before any payload
+/// allocation, and the payload buffer grows in [`READ_CHUNK`] steps so
+/// peak allocation tracks bytes actually received.
+pub fn read_frame(r: &mut dyn Read, max_payload: usize) -> Result<Frame, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    read_full(r, &mut header, true)?;
+    let (opcode, req_id, declared) = parse_header(&header, max_payload)?;
     let mut payload = Vec::with_capacity(declared.min(READ_CHUNK));
     while payload.len() < declared {
         let take = (declared - payload.len()).min(READ_CHUNK);
@@ -264,6 +316,86 @@ pub fn read_frame(r: &mut dyn Read, max_payload: usize) -> Result<Frame, WireErr
         read_full(r, &mut payload[start..], false)?;
     }
     Ok(Frame { opcode, req_id, payload })
+}
+
+/// Incremental frame decoder for nonblocking sockets: feed whatever
+/// bytes arrived, collect whatever frames completed. Validation is the
+/// same total discipline as [`read_frame`] — the declared length is
+/// checked against the cap as soon as the header completes, before any
+/// payload allocation, and the payload buffer only ever grows by the
+/// bytes actually fed in.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    max_payload: usize,
+    header: [u8; HEADER_LEN],
+    header_filled: usize,
+    /// Parsed header of the frame in flight (None while header bytes
+    /// are still arriving).
+    pending: Option<(u8, u64, usize)>,
+    payload: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// A decoder enforcing `max_payload` on every frame it parses.
+    pub fn new(max_payload: usize) -> FrameDecoder {
+        FrameDecoder {
+            max_payload,
+            header: [0u8; HEADER_LEN],
+            header_filled: 0,
+            pending: None,
+            payload: Vec::new(),
+        }
+    }
+
+    /// True when the decoder sits between frames (no partial input).
+    pub fn at_boundary(&self) -> bool {
+        self.header_filled == 0 && self.pending.is_none()
+    }
+
+    /// Bytes buffered for the frame currently in flight.
+    pub fn buffered(&self) -> usize {
+        self.header_filled + self.payload.len()
+    }
+
+    /// Consume `bytes`, appending every completed frame to `out`. On a
+    /// corrupt header the error is returned after any frames completed
+    /// earlier in the buffer were already pushed; the decoder is then
+    /// poisoned for that connection (frame boundaries are lost after
+    /// damage, so callers must close).
+    pub fn feed(&mut self, mut bytes: &[u8], out: &mut Vec<Frame>) -> Result<(), WireError> {
+        loop {
+            match self.pending {
+                None => {
+                    if bytes.is_empty() {
+                        return Ok(());
+                    }
+                    let take = (HEADER_LEN - self.header_filled).min(bytes.len());
+                    self.header[self.header_filled..self.header_filled + take]
+                        .copy_from_slice(&bytes[..take]);
+                    self.header_filled += take;
+                    bytes = &bytes[take..];
+                    if self.header_filled == HEADER_LEN {
+                        self.pending = Some(parse_header(&self.header, self.max_payload)?);
+                    }
+                }
+                Some((opcode, req_id, declared)) => {
+                    let take = (declared - self.payload.len()).min(bytes.len());
+                    self.payload.extend_from_slice(&bytes[..take]);
+                    bytes = &bytes[take..];
+                    if self.payload.len() < declared {
+                        return Ok(());
+                    }
+                    out.push(Frame {
+                        opcode,
+                        req_id,
+                        payload: std::mem::take(&mut self.payload),
+                    });
+                    self.pending = None;
+                    self.header_filled = 0;
+                }
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -330,11 +462,17 @@ impl<'a> Cursor<'a> {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PayloadError;
 
-fn push_name(out: &mut Vec<u8>, name: &str) {
+/// Append a u8-length-prefixed name. Names above 255 bytes are a hard
+/// error in every build: truncating one would silently change which
+/// variant or variable the peer resolves.
+fn put_name(out: &mut Vec<u8>, name: &str) -> Result<(), WireError> {
     let bytes = name.as_bytes();
-    debug_assert!(bytes.len() <= u8::MAX as usize, "wire names are u8-length-prefixed");
-    out.push(bytes.len().min(u8::MAX as usize) as u8);
-    out.extend_from_slice(&bytes[..bytes.len().min(u8::MAX as usize)]);
+    if bytes.len() > u8::MAX as usize {
+        return Err(WireError::NameTooLong(bytes.len()));
+    }
+    out.push(bytes.len() as u8);
+    out.extend_from_slice(bytes);
+    Ok(())
 }
 
 fn push_layout(out: &mut Vec<u8>, layout: Layout) {
@@ -370,15 +508,17 @@ pub struct CompressRequest {
 }
 
 impl CompressRequest {
-    /// Serialize to a request payload.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Serialize to a request payload. Fails with
+    /// [`WireError::NameTooLong`] when the variant name exceeds the
+    /// u8 length prefix.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
         let mut out = Vec::with_capacity(1 + self.variant.len() + 16 + self.data.len() * 4);
-        push_name(&mut out, &self.variant);
+        put_name(&mut out, &self.variant)?;
         push_layout(&mut out, self.layout);
         for v in &self.data {
             out.extend_from_slice(&v.to_le_bytes());
         }
-        out
+        Ok(out)
     }
 
     /// Parse from an untrusted payload. The field length must match the
@@ -413,13 +553,15 @@ pub struct DecompressRequest {
 }
 
 impl DecompressRequest {
-    /// Serialize to a request payload.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Serialize to a request payload. Fails with
+    /// [`WireError::NameTooLong`] when the variant name exceeds the
+    /// u8 length prefix.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
         let mut out = Vec::with_capacity(1 + self.variant.len() + 16 + self.stream.len());
-        push_name(&mut out, &self.variant);
+        put_name(&mut out, &self.variant)?;
         push_layout(&mut out, self.layout);
         out.extend_from_slice(&self.stream);
-        out
+        Ok(out)
     }
 
     /// Parse from an untrusted payload. The declared layout bounds the
@@ -454,16 +596,18 @@ pub struct EvalRequest {
 }
 
 impl EvalRequest {
-    /// Serialize to a request payload.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Serialize to a request payload. Fails with
+    /// [`WireError::NameTooLong`] when either name exceeds the u8
+    /// length prefix.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
         let mut out = Vec::new();
-        push_name(&mut out, &self.variant);
-        push_name(&mut out, &self.var);
+        put_name(&mut out, &self.variant)?;
+        put_name(&mut out, &self.var)?;
         out.extend_from_slice(&self.members.to_le_bytes());
         out.extend_from_slice(&self.ne.to_le_bytes());
         out.extend_from_slice(&self.nlev.to_le_bytes());
         out.extend_from_slice(&self.seed.to_le_bytes());
-        out
+        Ok(out)
     }
 
     /// Parse from an untrusted payload.
@@ -640,7 +784,7 @@ mod tests {
             layout: Layout::linear(100),
             data: (0..100).map(|i| i as f32).collect(),
         };
-        let payload = req.encode();
+        let payload = req.encode().unwrap();
         assert_eq!(CompressRequest::decode(&payload).unwrap(), req);
         // One trailing byte breaks the exact-length invariant.
         let mut longer = payload.clone();
@@ -652,7 +796,7 @@ mod tests {
     #[test]
     fn degenerate_layouts_rejected() {
         let mut bad = Vec::new();
-        push_name(&mut bad, "fpzip-24");
+        put_name(&mut bad, "fpzip-24").unwrap();
         // nlev = 0.
         for v in [0u32, 10, 4, 4] {
             bad.extend_from_slice(&v.to_le_bytes());
@@ -660,18 +804,115 @@ mod tests {
         assert!(CompressRequest::decode(&bad).is_err());
         // Overflowing nlev × npts.
         let mut huge = Vec::new();
-        push_name(&mut huge, "fpzip-24");
+        put_name(&mut huge, "fpzip-24").unwrap();
         for v in [u32::MAX, u32::MAX, 4, 4] {
             huge.extend_from_slice(&v.to_le_bytes());
         }
         assert!(CompressRequest::decode(&huge).is_err());
         // Embedding smaller than npts.
         let mut small_embed = Vec::new();
-        push_name(&mut small_embed, "fpzip-24");
+        put_name(&mut small_embed, "fpzip-24").unwrap();
         for v in [1u32, 100, 2, 2] {
             small_embed.extend_from_slice(&v.to_le_bytes());
         }
         assert!(DecompressRequest::decode(&small_embed).is_err());
+    }
+
+    #[test]
+    fn oversized_names_are_hard_encode_errors() {
+        let long = "x".repeat(256);
+        let req = CompressRequest {
+            variant: long.clone(),
+            layout: Layout::linear(4),
+            data: vec![0.0; 4],
+        };
+        assert!(matches!(req.encode(), Err(WireError::NameTooLong(256))));
+        let req = DecompressRequest {
+            variant: long.clone(),
+            layout: Layout::linear(4),
+            stream: vec![],
+        };
+        assert!(matches!(req.encode(), Err(WireError::NameTooLong(256))));
+        let req = EvalRequest {
+            variant: "fpzip-24".into(),
+            var: long.clone(),
+            members: 3,
+            ne: 3,
+            nlev: 2,
+            seed: 0,
+        };
+        assert!(matches!(req.encode(), Err(WireError::NameTooLong(256))));
+        // 255 bytes is the boundary and still legal.
+        let mut out = Vec::new();
+        put_name(&mut out, &"y".repeat(255)).unwrap();
+        assert_eq!(out.len(), 256);
+        assert_eq!(out[0], 255);
+    }
+
+    #[test]
+    fn frame_payloads_beyond_u32_are_rejected() {
+        // A 4 GiB buffer is too big to materialize in a test, so check
+        // the guard by contract: the boundary below the cap encodes, a
+        // synthetic length above it is refused before any copy.
+        assert!(try_encode_frame(Opcode::Ping as u8, 1, &[]).is_ok());
+        match try_encode_frame(OP_STREAM, 1, &[0u8; 16]) {
+            Ok(frame) => assert_eq!(frame.len(), HEADER_LEN + 16),
+            Err(e) => panic!("small frame must encode: {e}"),
+        }
+        // The cap itself is pinned so a header-layout change can't
+        // silently widen it past what the length field can carry.
+        assert_eq!(MAX_FRAME_PAYLOAD, u32::MAX as usize);
+    }
+
+    #[test]
+    fn frame_decoder_matches_read_frame_at_any_split() {
+        let frames = [
+            encode_frame(Opcode::Ping as u8, 1, &[]),
+            encode_frame(Opcode::Compress as u8, 2, &[7u8; 300]),
+            encode_frame(OP_STREAM, 3, &[9u8; 64]),
+            encode_frame(Opcode::Shutdown as u8, 4, &[]),
+        ];
+        let stream: Vec<u8> = frames.iter().flatten().copied().collect();
+        // Feed the byte stream at several pathological granularities —
+        // including 1 byte at a time — and require identical framing.
+        for step in [1usize, 2, 7, 17, 18, 19, 1024] {
+            let mut dec = FrameDecoder::new(1 << 20);
+            let mut got = Vec::new();
+            for piece in stream.chunks(step) {
+                dec.feed(piece, &mut got).expect("well-formed stream");
+            }
+            assert!(dec.at_boundary(), "step {step} left partial state");
+            assert_eq!(got.len(), 4, "step {step}");
+            for (frame, bytes) in got.iter().zip(&frames) {
+                assert_eq!(&encode_frame(frame.opcode, frame.req_id, &frame.payload), bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn frame_decoder_rejects_damage_and_oversize() {
+        let mut dec = FrameDecoder::new(1024);
+        let mut out = Vec::new();
+        let mut bad = encode_frame(Opcode::Ping as u8, 1, &[]);
+        bad[0] ^= 0xFF;
+        assert!(matches!(dec.feed(&bad, &mut out), Err(WireError::BadMagic)));
+
+        let mut dec = FrameDecoder::new(1024);
+        let mut oversized = encode_frame(Opcode::Ping as u8, 1, &[]);
+        oversized[14..18].copy_from_slice(&u32::MAX.to_le_bytes());
+        // Drip the header one byte at a time: the error must surface the
+        // moment the header completes, before any payload allocation.
+        let mut result = Ok(());
+        for (i, b) in oversized.iter().enumerate() {
+            result = dec.feed(std::slice::from_ref(b), &mut out);
+            if result.is_err() {
+                assert_eq!(i, HEADER_LEN - 1, "error must land on the final header byte");
+                break;
+            }
+        }
+        assert!(matches!(result, Err(WireError::TooLarge { declared, cap: 1024 })
+            if declared == u32::MAX as u64));
+        assert!(out.is_empty());
     }
 
     #[test]
@@ -684,7 +925,7 @@ mod tests {
             nlev: 4,
             seed: 2014,
         };
-        assert_eq!(EvalRequest::decode(&req.encode()).unwrap(), req);
+        assert_eq!(EvalRequest::decode(&req.encode().unwrap()).unwrap(), req);
         let resp = EvalResponse {
             cr: 0.25,
             pearson_pass: true,

@@ -1,7 +1,7 @@
 //! Concurrency stress: many pipelined clients hammering one server must
 //! produce exactly the bytes of the sequential in-process pipeline at
 //! every worker count, and admission control must answer `Busy` (not
-//! hang, not drop) when the connection queue is full.
+//! hang, not drop) when the connection cap is reached.
 
 use cc_codecs::chunked::compress_chunked;
 use cc_codecs::{Layout, Variant};
@@ -45,6 +45,7 @@ fn sixteen_pipelined_clients_get_sequential_bytes() {
     for workers in [1usize, 2, 8] {
         let server = Server::start(ServerConfig {
             workers,
+            shards: 2,
             queue_depth: CLIENTS * 2,
             ..ServerConfig::default()
         })
@@ -69,7 +70,8 @@ fn sixteen_pipelined_clients_get_sequential_bytes() {
                                     layout,
                                     data: data.clone(),
                                 }
-                                .encode();
+                                .encode()
+                                .expect("encode");
                                 (Opcode::Compress, payload)
                             })
                             .collect();
@@ -93,15 +95,16 @@ fn sixteen_pipelined_clients_get_sequential_bytes() {
     }
 }
 
-/// With one worker and a queue depth of one, a third connection must be
-/// answered with a `Busy` frame and a clean close while the first two
-/// are still alive.
+/// With a connection cap of two, a third connection must be answered
+/// with a `Busy` frame and a clean close while the first two are still
+/// alive. (Under the reactor, `Busy` is the admission-control answer at
+/// the connection cap; a full compute queue merely delays submission.)
 #[test]
-fn queue_full_answers_busy() {
+fn connection_cap_answers_busy() {
     let busy_before = cc_obs::counter_value("serve.busy");
     let server = Server::start(ServerConfig {
         workers: 1,
-        queue_depth: 1,
+        max_conns: 2,
         // Keep idle connections short-lived so the drain at the end of
         // the test does not wait out the default 30s read timeout.
         read_timeout: Duration::from_secs(2),
@@ -110,8 +113,7 @@ fn queue_full_answers_busy() {
     .expect("bind loopback");
     let addr = server.addr().to_string();
 
-    // First connection: popped by the single worker, which then blocks
-    // reading from it. Second connection: parked in the depth-1 queue.
+    // First two connections occupy the whole cap while sitting idle.
     let _occupant = TcpStream::connect(&addr).expect("first connect");
     std::thread::sleep(Duration::from_millis(150));
     let _queued = TcpStream::connect(&addr).expect("second connect");

@@ -37,28 +37,39 @@ fn start(workers: usize) -> (Server, String) {
 }
 
 #[test]
-fn roundtrip_matches_sequential_reference_across_worker_counts() {
+fn roundtrip_matches_sequential_reference_across_shards_and_workers() {
     let (data, layout) = smooth_field(3000, 2);
-    for workers in [1usize, 8] {
-        let (server, addr) = start(workers);
-        let mut client = Client::connect(&addr).expect("connect");
-        // Four variants spanning all families — well above the required
-        // three — each checked for byte equality with the sequential
-        // in-process pipeline.
-        for name in ["fpzip-24", "NetCDF-4", "ISA-0.5", "APAX-4"] {
-            let variant = Variant::by_name(name).expect("known variant");
-            let codec = variant.codec();
-            let reference = compress_chunked(codec.as_ref(), &data, layout, 1);
-            let remote = client.compress(name, layout, &data).expect("remote compress");
-            assert_eq!(remote, reference, "{name} stream differs at {workers} workers");
+    // The full acceptance matrix: shards {1, 2, 4} × workers {1, 8},
+    // four variants spanning all families, each response checked for
+    // byte equality with the sequential in-process pipeline.
+    for shards in [1usize, 2, 4] {
+        for workers in [1usize, 8] {
+            let server =
+                Server::start(ServerConfig { shards, workers, ..ServerConfig::default() })
+                    .expect("bind loopback");
+            let addr = server.addr().to_string();
+            let mut client = Client::connect(&addr).expect("connect");
+            for name in ["fpzip-24", "NetCDF-4", "ISA-0.5", "APAX-4"] {
+                let variant = Variant::by_name(name).expect("known variant");
+                let codec = variant.codec();
+                let reference = compress_chunked(codec.as_ref(), &data, layout, 1);
+                let remote = client.compress(name, layout, &data).expect("remote compress");
+                assert_eq!(
+                    remote, reference,
+                    "{name} stream differs at {shards} shards x {workers} workers"
+                );
 
-            let local = decompress_chunked(codec.as_ref(), &reference, layout, 1)
-                .expect("own stream decodes");
-            let back = client.decompress(name, layout, &remote).expect("remote decompress");
-            assert_eq!(back, local, "{name} reconstruction differs at {workers} workers");
+                let local = decompress_chunked(codec.as_ref(), &reference, layout, 1)
+                    .expect("own stream decodes");
+                let back = client.decompress(name, layout, &remote).expect("remote decompress");
+                assert_eq!(
+                    back, local,
+                    "{name} reconstruction differs at {shards} shards x {workers} workers"
+                );
+            }
+            drop(client);
+            server.shutdown();
         }
-        drop(client);
-        server.shutdown();
     }
 }
 

@@ -14,9 +14,10 @@
 //! ccc profile --var NAME [--ne N] [--nlev N]
 //!     APAX-profiler sweep with a recommended encoding rate.
 //!
-//! ccc serve [--addr A] [--workers N] [--queue-depth N]
-//!     Run the cc-wire/1 compression/evaluation daemon until a remote
-//!     shutdown request drains it.
+//! ccc serve [--addr A] [--shards N] [--workers N] [--queue-depth N]
+//!     Run the cc-wire/1 compression/evaluation daemon (reactor shards
+//!     owning the connections, a compute pool running the requests)
+//!     until a remote shutdown request drains it.
 //!
 //! ccc remote <ping|compress|decompress|eval|stats|shutdown> [--addr A] ...
 //!     Issue one request against a running daemon.
@@ -108,7 +109,8 @@ fn usage() {
          \x20 inspect FILE\n\
          \x20 verify --var NAME [--codec NAME] [--members N] [--ne N] [--nlev N] [--seed S]\n\
          \x20 profile --var NAME [--ne N] [--nlev N] [--seed S]\n\
-         \x20 serve [--addr A] [--workers N] [--queue-depth N] [--max-payload BYTES]\n\
+         \x20 serve [--addr A] [--shards N] [--workers N] [--queue-depth N]\n\
+         \x20       [--max-conns N] [--max-payload BYTES]\n\
          \x20 remote ping|stats|shutdown [--addr A]\n\
          \x20 remote compress --codec NAME --var NAME [--out FILE] [model flags]\n\
          \x20 remote decompress --codec NAME --var NAME --in FILE [model flags]\n\
@@ -274,25 +276,29 @@ fn profile(flags: &HashMap<String, String>) {
 // ---------------------------------------------------------------------
 
 fn serve(flags: &HashMap<String, String>) {
+    let defaults = ServerConfig::default();
     let cfg = ServerConfig {
         addr: flags.get("addr").cloned().unwrap_or_else(|| DEFAULT_ADDR.into()),
-        workers: flag_usize(flags, "workers", 2),
-        queue_depth: flag_usize(flags, "queue-depth", 64),
+        shards: flag_usize(flags, "shards", defaults.shards),
+        workers: flag_usize(flags, "workers", defaults.workers),
+        queue_depth: flag_usize(flags, "queue-depth", defaults.queue_depth),
+        max_conns: flag_usize(flags, "max-conns", defaults.max_conns),
         max_payload: flag_usize(
             flags,
             "max-payload",
             climate_compress::serve::wire::DEFAULT_MAX_PAYLOAD,
         ),
-        ..ServerConfig::default()
+        ..defaults
     };
-    let workers = cfg.workers;
-    let queue_depth = cfg.queue_depth;
+    let (shards, workers, queue_depth) = (cfg.shards, cfg.workers, cfg.queue_depth);
     let server = Server::start(cfg).unwrap_or_else(|e| {
         eprintln!("cannot bind: {e}");
         exit(1);
     });
     let addr = server.addr();
-    println!("serving cc-wire/1 on {addr} (workers={workers}, queue-depth={queue_depth})");
+    println!(
+        "serving cc-wire/1 on {addr} (shards={shards}, workers={workers}, queue-depth={queue_depth})"
+    );
     println!("stop with: ccc remote shutdown --addr {addr}");
     server.join();
     progress!("server drained");

@@ -150,7 +150,8 @@ fn corrupt_frames_never_panic_never_overallocate() {
         layout,
         data: data.clone(),
     }
-    .encode();
+    .encode()
+    .expect("encode");
     let frame = encode_frame(Opcode::Compress as u8, 42, &payload);
 
     let mut corpus = faults::corpus(&frame, 2014);
@@ -203,11 +204,11 @@ fn corrupt_frames_never_panic_never_overallocate() {
     drop(client);
     server.shutdown();
 
-    // Trip serve.busy so the exported trace carries both counters: one
-    // worker, depth-1 queue, two parked connections, third rejected.
+    // Trip serve.busy so the exported trace carries both counters: a
+    // connection cap of two, two parked connections, third rejected.
     let busy_server = Server::start(ServerConfig {
         workers: 1,
-        queue_depth: 1,
+        max_conns: 2,
         read_timeout: Duration::from_secs(2),
         ..ServerConfig::default()
     })
