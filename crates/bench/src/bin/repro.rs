@@ -5,7 +5,7 @@
 //!
 //! EXPERIMENTS  any of: table1 table2 table3 table4 table5 table6 table7
 //!              table8 fig1 fig2 fig3 fig4 scaling calibration ssim
-//!              scorecard bench serve-bench | all |
+//!              scorecard bench serve-bench tune | all |
 //!              focus (tables 2-5 + figs 2-4) |
 //!              sweep (table 6 + fig 1 + tables 7-8) |
 //!              extensions (scaling + calibration + ssim)
@@ -30,6 +30,11 @@
 //! (req/s, p50/p99/p999 latency from the server's own histograms, busy
 //! rate per client count) to that document, bumping its schema
 //! additively to `cc-bench-throughput/4`;
+//! `tune` runs the per-variable auto-tuner — the generalized
+//! enumerate-filter-minimize search over the (family × parameter)
+//! candidate space — over the focus variables, writes a reproducible
+//! table artifact, and appends a `tune` section to that document,
+//! bumping the schema additively to `cc-bench-throughput/5`;
 //! `bench-check FILE` re-validates an existing artifact and exits
 //! non-zero if it does not satisfy the schema — with `--against
 //! BASELINE.json` it additionally compares single-worker throughput per
@@ -86,6 +91,7 @@ fn main() {
             "ssim" => runner.ssim(),
             "bench" => run_bench(&bench_opts),
             "serve-bench" => run_serve_bench(&bench_opts),
+            "tune" => runner.tune(&bench_opts),
             "bench-check" => check_bench(&bench_opts),
             "trace-check" => check_trace(&obs.check_path),
             "scorecard" => {
@@ -945,5 +951,57 @@ impl Runner {
             text.push('\n');
         }
         self.emit("fig4", &text, Some(&csv));
+    }
+
+    /// `tune`: the generalized auto-tuner over the focus variables,
+    /// emitted as a table artifact and appended to `BENCH.json` as the
+    /// `/5` `tune` section.
+    fn tune(&mut self, opts: &BenchOpts) {
+        let preset = if opts.quick { "quick" } else { "default" };
+        let report = {
+            let eval = self.eval();
+            let vars: Vec<usize> = FOCUS
+                .iter()
+                .map(|name| {
+                    eval.model.var_id(name).unwrap_or_else(|| {
+                        eprintln!("unknown focus variable {name}");
+                        std::process::exit(2);
+                    })
+                })
+                .collect();
+            progress!(
+                "    tuning {} variables over the (family x parameter) space ...",
+                vars.len()
+            );
+            cc_core::TuneReport::build(eval, &vars)
+        };
+        let table = report.table();
+        self.emit("tune", &table.render(), Some(&table.to_csv()));
+        // The two tuner invariants the validator re-checks on disk.
+        if !report.all_pass() || !report.never_worse_than_hybrid() {
+            eprintln!("tuner invariant violated (failing choice or CR worse than hybrid)");
+            std::process::exit(1);
+        }
+        let base = std::fs::read_to_string(&opts.path).unwrap_or_else(|e| {
+            eprintln!(
+                "cannot read {}: {e}\ntune appends to an existing artifact — run `repro bench` first",
+                opts.path.display()
+            );
+            std::process::exit(1);
+        });
+        let nvars = report.variables.len();
+        let artifact = cc_bench::tune::TuneArtifact { preset: preset.into(), report };
+        let merged = artifact.merge_into_bench(&base).unwrap_or_else(|errs| {
+            eprintln!("cannot append tune section to {}:", opts.path.display());
+            for e in errs {
+                eprintln!("  - {e}");
+            }
+            std::process::exit(1);
+        });
+        std::fs::write(&opts.path, &merged).expect("write BENCH.json");
+        println!(
+            "appended tune section to {} ({nvars} variables, schema cc-bench-throughput/5)",
+            opts.path.display()
+        );
     }
 }

@@ -2,9 +2,10 @@
 //!
 //! The fault-injection harness (`tests/fault_injection.rs` in the root
 //! package) feeds every decode path in the workspace with streams damaged
-//! four ways: truncation prefixes, seeded bit flips, seeded byte
-//! overwrites, and pure random bytes. All generators are deterministic in
-//! their seed so a failing case reproduces from the test name alone.
+//! five ways: truncation prefixes, seeded bit flips, seeded byte
+//! overwrites, seeded region splices, and pure random bytes. All
+//! generators are deterministic in their seed so a failing case
+//! reproduces from the test name alone.
 
 /// SplitMix64: tiny, seedable, high-quality enough for fault fuzzing.
 #[derive(Debug, Clone)]
@@ -85,6 +86,28 @@ pub fn byte_mutations(stream: &[u8], count: usize, seed: u64) -> Vec<Vec<u8>> {
         .collect()
 }
 
+/// `count` copies of `stream`, each with two seeded regions swapped — a
+/// shape bit flips rarely produce, but one that keeps section headers
+/// plausible while misaligning the payload they describe (the failure
+/// mode that bites multi-section stream formats hardest).
+pub fn spliced_streams(stream: &[u8], count: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SplitMix64::new(seed ^ 0x0591_1CED);
+    (0..count)
+        .map(|_| {
+            let mut s = stream.to_vec();
+            if s.len() >= 4 {
+                let span = 1 + rng.below(s.len() / 2);
+                let a = rng.below(s.len() - span + 1);
+                let b = rng.below(s.len() - span + 1);
+                for i in 0..span {
+                    s.swap(a + i, b + i);
+                }
+            }
+            s
+        })
+        .collect()
+}
+
 /// `count` streams of pure random bytes with lengths in `0..max_len`.
 pub fn random_streams(count: usize, max_len: usize, seed: u64) -> Vec<Vec<u8>> {
     let mut rng = SplitMix64::new(seed ^ 0x5EED_F00D);
@@ -97,12 +120,14 @@ pub fn random_streams(count: usize, max_len: usize, seed: u64) -> Vec<Vec<u8>> {
 }
 
 /// The full corpus the harness runs against one valid `stream`:
-/// truncations, bit flips, byte overwrites, and random bytes, sized so
-/// every decode path sees at least a thousand damaged streams.
+/// truncations, bit flips, byte overwrites, region splices, and random
+/// bytes, sized so every decode path sees well over a thousand damaged
+/// streams.
 pub fn corpus(stream: &[u8], seed: u64) -> Vec<Vec<u8>> {
     let mut all = truncations(stream, 400);
     all.extend(bit_flips(stream, 400, seed));
     all.extend(byte_mutations(stream, 200, seed));
+    all.extend(spliced_streams(stream, 100, seed));
     all.extend(random_streams(100, stream.len().max(64), seed));
     all
 }
@@ -117,6 +142,20 @@ mod tests {
         assert_eq!(bit_flips(&stream, 5, 42), bit_flips(&stream, 5, 42));
         assert_eq!(byte_mutations(&stream, 5, 42), byte_mutations(&stream, 5, 42));
         assert_eq!(random_streams(5, 32, 42), random_streams(5, 32, 42));
+        assert_eq!(spliced_streams(&stream, 5, 42), spliced_streams(&stream, 5, 42));
+    }
+
+    #[test]
+    fn splices_preserve_length_and_multiset() {
+        let stream: Vec<u8> = (0u8..=255).collect();
+        for s in spliced_streams(&stream, 20, 7) {
+            assert_eq!(s.len(), stream.len());
+            let mut a = s.clone();
+            let mut b = stream.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "splice must permute, not alter, bytes");
+        }
     }
 
     #[test]

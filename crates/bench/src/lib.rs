@@ -10,6 +10,7 @@ pub mod faults;
 pub mod scorecard;
 pub mod serve_bench;
 pub mod throughput;
+pub mod tune;
 
 use cc_core::evaluation::{EvalConfig, Evaluation};
 use cc_grid::Resolution;

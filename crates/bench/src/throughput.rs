@@ -405,6 +405,7 @@ pub fn validate(text: &str) -> Result<(), Vec<String>> {
         Some("cc-bench-throughput/2")
             | Some("cc-bench-throughput/3")
             | Some("cc-bench-throughput/4")
+            | Some("cc-bench-throughput/5")
     );
     check(
         &mut errs,
@@ -414,13 +415,22 @@ pub fn validate(text: &str) -> Result<(), Vec<String>> {
                 | Some("cc-bench-throughput/2")
                 | Some("cc-bench-throughput/3")
                 | Some("cc-bench-throughput/4")
+                | Some("cc-bench-throughput/5")
         ),
-        "schema must be \"cc-bench-throughput/1\", \"/2\", \"/3\", or \"/4\"",
+        "schema must be \"cc-bench-throughput/1\" through \"/5\"",
     );
     if schema == Some("cc-bench-throughput/3") {
         validate_serve(&mut errs, doc.get("serve"), false);
     } else if schema == Some("cc-bench-throughput/4") {
         validate_serve(&mut errs, doc.get("serve"), true);
+    } else if schema == Some("cc-bench-throughput/5") {
+        // `/5` adds the required auto-tuning section; an earlier serve
+        // section (either shape) may ride along and is still checked.
+        if let Some(serve) = doc.get("serve") {
+            let v4 = serve.get("client_counts").is_some();
+            validate_serve(&mut errs, Some(serve), v4);
+        }
+        validate_tune(&mut errs, doc.get("tune"));
     }
     check(&mut errs, doc.get("preset").and_then(json::Value::as_str).is_some(), "preset missing");
     let field = doc.get("field");
@@ -595,6 +605,55 @@ fn validate_serve(errs: &mut Vec<String>, serve: Option<&json::Value>, v4: bool)
         }
         if num("busy_rate").map(|v| (0.0..=1.0).contains(&v)) != Some(true) {
             errs.push(format!("serve.runs[{i}]: busy_rate must be in [0, 1]"));
+        }
+    }
+}
+
+/// Check the `tune` section appended by `repro tune` (`/5` documents):
+/// per-variable auto-tuning outcomes. Every chosen config must have
+/// passed all four ensemble tests, and its CR (compressed/raw, smaller
+/// is better) must match or beat the hand-picked hybrid's.
+fn validate_tune(errs: &mut Vec<String>, tune: Option<&json::Value>) {
+    let Some(tune) = tune else {
+        errs.push("tune-schema document must carry a tune section".into());
+        return;
+    };
+    if tune.get("preset").and_then(json::Value::as_str).is_none() {
+        errs.push("tune.preset missing".into());
+    }
+    let vars = tune.get("variables").and_then(json::Value::as_array).unwrap_or_default();
+    if vars.is_empty() {
+        errs.push("tune.variables must be a non-empty array".into());
+    }
+    for (i, v) in vars.iter().enumerate() {
+        let num = |key: &str| v.get(key).and_then(json::Value::as_f64);
+        if v.get("name").and_then(json::Value::as_str).is_none()
+            || v.get("chosen").and_then(json::Value::as_str).is_none()
+            || v.get("hybrid").and_then(json::Value::as_str).is_none()
+        {
+            errs.push(format!("tune.variables[{i}]: name/chosen/hybrid must be strings"));
+        }
+        if v.get("passes") != Some(&json::Value::Bool(true)) {
+            errs.push(format!(
+                "tune.variables[{i}]: chosen config must pass all four tests"
+            ));
+        }
+        match (num("cr"), num("hybrid_cr")) {
+            (Some(cr), Some(hcr)) if cr > 0.0 && cr <= 4.0 && hcr > 0.0 => {
+                if cr > hcr + 1e-9 {
+                    errs.push(format!(
+                        "tune.variables[{i}]: tuned CR {cr} worse than hybrid {hcr}"
+                    ));
+                }
+            }
+            _ => errs.push(format!(
+                "tune.variables[{i}]: cr/hybrid_cr must be positive (cr <= 4)"
+            )),
+        }
+        if num("candidates").map(|c| c >= 1.0) != Some(true)
+            || num("passing").map(|p| p >= 1.0) != Some(true)
+        {
+            errs.push(format!("tune.variables[{i}]: candidates/passing must be >= 1"));
         }
     }
 }

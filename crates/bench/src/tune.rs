@@ -1,0 +1,159 @@
+//! `repro tune`: the per-variable auto-tuning artifact.
+//!
+//! Wraps [`cc_core::TuneReport`] — the generalized enumerate-filter-
+//! minimize search over the (family × parameter) candidate space — in the
+//! same artifact plumbing `serve_bench` uses: serialize the outcomes to a
+//! `tune` JSON section and append it to an existing `BENCH.json`
+//! document, bumping the schema additively to `cc-bench-throughput/5`.
+//! The merged document is re-validated before being returned, so a
+//! schema-less or otherwise broken artifact refuses the merge instead of
+//! producing an invalid file.
+//!
+//! The section is deterministic by construction: the tuner's candidate
+//! order is fixed, CRs come from worker-count-independent chunked
+//! streams, and no timestamps are recorded — two runs at any worker
+//! count produce byte-identical sections.
+
+use cc_core::TuneReport;
+use cc_obs::json::{self, Value};
+
+/// A tune report plus the preset it was produced under, ready to land in
+/// `BENCH.json`.
+#[derive(Debug, Clone)]
+pub struct TuneArtifact {
+    /// Preset label ("quick", "default", ...).
+    pub preset: String,
+    /// The per-variable tuning outcomes.
+    pub report: TuneReport,
+}
+
+impl TuneArtifact {
+    /// The `tune` section as a JSON value.
+    pub fn to_value(&self) -> Value {
+        let vars: Vec<String> = self
+            .report
+            .variables
+            .iter()
+            .map(|v| {
+                format!(
+                    "{{\"name\": {}, \"chosen\": {}, \"cr\": {:.6}, \"passes\": {}, \
+                     \"hybrid\": {}, \"hybrid_cr\": {:.6}, \"candidates\": {}, \
+                     \"passing\": {}}}",
+                    json_str(&v.name),
+                    json_str(&v.chosen.name()),
+                    v.verdict.cr,
+                    v.verdict.all_pass(),
+                    json_str(&v.hybrid_variant.name()),
+                    v.hybrid_cr,
+                    v.candidates,
+                    v.passing
+                )
+            })
+            .collect();
+        let text = format!(
+            "{{\"preset\": {}, \"variables\": [{}]}}",
+            json_str(&self.preset),
+            vars.join(", ")
+        );
+        json::parse(&text).expect("tune section serializes to valid JSON")
+    }
+
+    /// Merge this report into an existing `BENCH.json` document: set the
+    /// `tune` section and bump the schema to `cc-bench-throughput/5`.
+    /// An existing `serve` section rides along unchanged (the `/5`
+    /// validator still checks it). Returns the re-validated document.
+    pub fn merge_into_bench(&self, bench_text: &str) -> Result<String, Vec<String>> {
+        let mut doc = json::parse(bench_text)
+            .map_err(|e| vec![format!("existing BENCH.json is not valid JSON: {e}")])?;
+        if doc.get("schema").and_then(Value::as_str).is_none() {
+            return Err(vec!["existing BENCH.json has no schema field".into()]);
+        }
+        doc.set("schema", Value::Str("cc-bench-throughput/5".into()));
+        doc.set("tune", self.to_value());
+        let merged = doc.to_json();
+        crate::throughput::validate(&merged)?;
+        Ok(merged)
+    }
+}
+
+/// Minimal JSON string encoding (names here are plain ASCII, but quote
+/// and backslash still must not break the document).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_core::evaluation::EvalConfig;
+    use cc_core::Evaluation;
+    use cc_grid::Resolution;
+    use cc_model::Model;
+
+    fn tiny_report() -> TuneReport {
+        let model = Model::new(Resolution::reduced(2, 2), 13);
+        let eval = Evaluation::new(model, EvalConfig::quick(9));
+        let vars = vec![eval.model.var_id("U").unwrap()];
+        TuneReport::build(&eval, &vars)
+    }
+
+    #[test]
+    fn tune_section_merges_into_bench_as_v5() {
+        let report = tiny_report();
+        let artifact = TuneArtifact { preset: "quick".into(), report };
+
+        let base = crate::throughput::run(
+            &crate::throughput::BenchConfig {
+                npts: 2_048,
+                nlev: 1,
+                worker_counts: vec![1, 2],
+                reps: 1,
+                preset: "quick".into(),
+            },
+            &mut |_| {},
+        );
+        let merged = artifact.merge_into_bench(&base.to_json()).expect("merge");
+        crate::throughput::validate(&merged).expect("merged document is /5-valid");
+        let doc = json::parse(&merged).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Value::as_str),
+            Some("cc-bench-throughput/5")
+        );
+        let vars = doc
+            .get("tune")
+            .and_then(|t| t.get("variables"))
+            .and_then(Value::as_array)
+            .expect("tune.variables");
+        assert_eq!(vars.len(), 1);
+        assert_eq!(vars[0].get("name").and_then(Value::as_str), Some("U"));
+        assert_eq!(vars[0].get("passes"), Some(&Value::Bool(true)));
+
+        // A schema-less document refuses the merge.
+        assert!(artifact.merge_into_bench("{}").is_err());
+    }
+
+    #[test]
+    fn tune_section_is_deterministic() {
+        let a = TuneArtifact { preset: "quick".into(), report: tiny_report() };
+        let b = TuneArtifact { preset: "quick".into(), report: tiny_report() };
+        assert_eq!(a.to_value().to_json(), b.to_value().to_json());
+    }
+
+    #[test]
+    fn json_str_escapes() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+}

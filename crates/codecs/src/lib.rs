@@ -27,11 +27,13 @@ pub mod fpzip64;
 pub mod grib2;
 pub mod guard;
 pub mod isabela;
+pub mod sz;
 pub mod wavelet;
 
 mod variant;
 
 pub use obs_wrap::ObsCodec;
+pub use sz::{ErrorBound, Sz};
 pub use variant::{Family, NetCdf4Codec, Variant};
 
 /// Spatial layout of a field handed to a codec.

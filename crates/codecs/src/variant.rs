@@ -13,6 +13,7 @@ use crate::grib2::Grib2;
 use crate::guard::SpecialValueGuard;
 use crate::isabela::Isabela;
 use crate::obs_wrap::ObsCodec;
+use crate::sz::{ErrorBound, Sz};
 use crate::{Codec, CodecError, CodecProperties, Layout};
 
 /// One evaluated configuration; [`Variant::codec`] instantiates it with
@@ -41,6 +42,13 @@ pub enum Variant {
     Isabela {
         /// Relative error bound.
         rel_err: f64,
+    },
+    /// SZ-style error-bounded prediction + quantization with an absolute
+    /// or value-range-relative pointwise bound (the extension sweep and
+    /// the auto-tuner's primary family; not part of the paper's nine).
+    Sz {
+        /// Pointwise error bound.
+        bound: ErrorBound,
     },
     /// NetCDF-4 lossless (shuffle + deflate) — the baseline and the
     /// lossless fallback for methods without a lossless mode.
@@ -88,6 +96,13 @@ impl Variant {
                 Variant::Isabela { rel_err: 0.001 },
                 Variant::NetCdf4,
             ],
+            Family::Sz => vec![
+                Variant::Sz { bound: ErrorBound::Rel(1e-2) },
+                Variant::Sz { bound: ErrorBound::Rel(1e-3) },
+                Variant::Sz { bound: ErrorBound::Rel(1e-4) },
+                Variant::Sz { bound: ErrorBound::Rel(1e-5) },
+                Variant::NetCdf4,
+            ],
         }
     }
 
@@ -112,19 +127,42 @@ impl Variant {
             Variant::Isabela { rel_err } => {
                 Box::new(ObsCodec::new(SpecialValueGuard::new(Isabela::new(rel_err))))
             }
+            Variant::Sz { bound } => {
+                Box::new(ObsCodec::new(SpecialValueGuard::new(Sz::new(bound))))
+            }
             Variant::NetCdf4 => Box::new(ObsCodec::new(NetCdf4Codec)),
         }
     }
 
     /// Resolve a display name (case-insensitive) back to a variant.
-    /// Covers the paper set plus the lossless fallbacks `NetCDF-4` and
-    /// `fpzip-32` — the names `ccc verify --codec` and the `cc-serve`
-    /// wire protocol accept.
+    /// Covers the paper set, the lossless fallbacks `NetCDF-4` and
+    /// `fpzip-32`, and SZ bounds: any `SZ-abs-<e>` / `SZ-rel-<r>` with a
+    /// positive finite parameter parses, so arbitrary bounds travel over
+    /// the `ccc verify --codec` and `cc-serve` wire interfaces.
     pub fn by_name(name: &str) -> Option<Variant> {
+        if let Some(v) = Variant::parse_sz(name) {
+            return Some(v);
+        }
         Variant::paper_set()
             .into_iter()
             .chain([Variant::NetCdf4, Variant::Fpzip { bits: 32 }])
             .find(|v| v.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Parse `SZ-abs-<float>` / `SZ-rel-<float>` (case-insensitive).
+    fn parse_sz(name: &str) -> Option<Variant> {
+        let lower = name.to_ascii_lowercase();
+        let rest = lower.strip_prefix("sz-")?;
+        let (kind, param) = rest
+            .strip_prefix("abs-")
+            .map(|p| (0u8, p))
+            .or_else(|| rest.strip_prefix("rel-").map(|p| (1u8, p)))?;
+        let p: f64 = param.parse().ok()?;
+        if !(p.is_finite() && p > 0.0) {
+            return None;
+        }
+        let bound = if kind == 0 { ErrorBound::Abs(p) } else { ErrorBound::Rel(p) };
+        Some(Variant::Sz { bound })
     }
 
     /// True if this configuration reconstructs bit-exactly.
@@ -142,6 +180,7 @@ impl Variant {
             Variant::Apax { .. } => Some(Family::Apax),
             Variant::Fpzip { .. } => Some(Family::Fpzip),
             Variant::Isabela { .. } => Some(Family::Isabela),
+            Variant::Sz { .. } => Some(Family::Sz),
             Variant::NetCdf4 => None,
         }
     }
@@ -166,12 +205,22 @@ pub enum Family {
     Fpzip,
     /// ISABELA.
     Isabela,
+    /// SZ-style error-bounded prediction (extension; not in the paper).
+    Sz,
 }
 
 impl Family {
-    /// All four families in the paper's column order (Table 7).
+    /// The paper's four families in the column order of Table 7. The SZ
+    /// extension family is deliberately excluded so the paper-pinned
+    /// tables keep their shape; use [`Family::extended`] for sweeps that
+    /// should include it.
     pub fn all() -> [Family; 4] {
         [Family::Grib2, Family::Isabela, Family::Fpzip, Family::Apax]
+    }
+
+    /// The paper's families plus the SZ extension family.
+    pub fn extended() -> [Family; 5] {
+        [Family::Grib2, Family::Isabela, Family::Fpzip, Family::Apax, Family::Sz]
     }
 
     /// Family display name.
@@ -181,6 +230,7 @@ impl Family {
             Family::Isabela => "ISABELA",
             Family::Fpzip => "fpzip",
             Family::Apax => "APAX",
+            Family::Sz => "SZ",
         }
     }
 }
@@ -288,6 +338,52 @@ mod tests {
         assert_eq!(Variant::ladder(Family::Isabela).len(), 4);
         assert_eq!(Variant::ladder(Family::Fpzip).len(), 3);
         assert_eq!(Variant::ladder(Family::Apax).len(), 4);
+    }
+
+    #[test]
+    fn sz_names_roundtrip_by_name() {
+        for v in Variant::ladder(Family::Sz) {
+            assert_eq!(Variant::by_name(&v.name()), Some(v), "{}", v.name());
+        }
+        let abs = Variant::by_name("SZ-abs-0.25").unwrap();
+        assert_eq!(abs, Variant::Sz { bound: ErrorBound::Abs(0.25) });
+        assert_eq!(Variant::by_name("sz-REL-1e-4"), Some(Variant::Sz {
+            bound: ErrorBound::Rel(1e-4),
+        }));
+        assert!(Variant::by_name("SZ-abs-0").is_none());
+        assert!(Variant::by_name("SZ-abs--1").is_none());
+        assert!(Variant::by_name("SZ-abs-inf").is_none());
+        assert!(Variant::by_name("SZ-pct-1").is_none());
+    }
+
+    #[test]
+    fn sz_ladder_ends_lossless_and_variant_handles_fills() {
+        let ladder = Variant::ladder(Family::Sz);
+        assert_eq!(ladder.len(), 5);
+        assert!(ladder.last().unwrap().is_lossless());
+        let (mut data, layout) = smooth_field(2048, 1);
+        for i in (0..2048).step_by(17) {
+            data[i] = 1.0e35;
+        }
+        let v = Variant::Sz { bound: ErrorBound::Rel(1e-3) };
+        let codec = v.codec();
+        assert!(codec.properties().special_values);
+        let (back, _) = roundtrip(codec.as_ref(), &data, layout);
+        for (i, (&a, &b)) in data.iter().zip(&back).enumerate() {
+            if a == 1.0e35 {
+                assert_eq!(b, 1.0e35, "SZ lost fill at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn extended_families_superset_paper_families() {
+        let ext = Family::extended();
+        assert_eq!(ext.len(), 5);
+        for f in Family::all() {
+            assert!(ext.contains(&f));
+        }
+        assert!(ext.contains(&Family::Sz));
     }
 
     #[test]

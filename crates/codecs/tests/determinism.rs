@@ -8,16 +8,20 @@
 //! are exercised, each large enough to span multiple chunks.
 
 use cc_codecs::chunked::{compress_chunked, decompress_chunked, plan};
-use cc_codecs::{Layout, Variant};
+use cc_codecs::{ErrorBound, Layout, Variant};
 
 const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
 
 /// Every variant the determinism guarantee must hold for: the paper's
-/// nine lossy configurations plus the two lossless baselines.
+/// nine lossy configurations, the two lossless baselines, and the SZ
+/// error-bounded extension (absolute and relative bounds).
 fn all_variants() -> Vec<Variant> {
     let mut v = Variant::paper_set();
     v.push(Variant::NetCdf4);
     v.push(Variant::Fpzip { bits: 32 });
+    v.push(Variant::Sz { bound: ErrorBound::Abs(1e-2) });
+    v.push(Variant::Sz { bound: ErrorBound::Rel(1e-3) });
+    v.push(Variant::Sz { bound: ErrorBound::Rel(1e-5) });
     v
 }
 

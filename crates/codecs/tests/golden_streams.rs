@@ -13,7 +13,7 @@
 //! `GOLDEN_DUMP=1 cargo test -p cc-codecs --test golden_streams -- --nocapture`
 
 use cc_codecs::chunked::{compress_chunked, decompress_chunked};
-use cc_codecs::{Layout, Variant};
+use cc_codecs::{ErrorBound, Layout, Variant};
 
 /// FNV-1a 64-bit over the full stream.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -99,6 +99,49 @@ fn single_chunk_streams_are_pinned() {
     }
     if !dump.is_empty() {
         println!("const GOLDEN_SINGLE: &[(&str, u64, u64)] = &[\n{dump}];");
+    }
+}
+
+/// The SZ variants whose stream formats are pinned: two rungs of the
+/// relative-bound tuning ladder plus an absolute bound.
+fn sz_variants() -> Vec<Variant> {
+    vec![
+        Variant::Sz { bound: ErrorBound::Rel(1e-3) },
+        Variant::Sz { bound: ErrorBound::Rel(1e-5) },
+        Variant::Sz { bound: ErrorBound::Abs(1e-2) },
+    ]
+}
+
+/// Captured SZ single-chunk stream hashes: (variant name, 2-D, 3-D).
+const GOLDEN_SZ: &[(&str, u64, u64)] = &[
+    ("SZ-rel-1e-3", 0x45842488f8866edd, 0x985d973b77cc0d5a),
+    ("SZ-rel-1e-5", 0xb16a987feae6fa87, 0x22dc9f06a7dbf5af),
+    ("SZ-abs-1e-2", 0xf31b0b5a69278380, 0xfdfa064ce12b6431),
+];
+
+#[test]
+fn sz_single_chunk_streams_are_pinned() {
+    let data_2d = field(LAYOUT_2D);
+    let data_3d = field(LAYOUT_3D);
+    let mut dump = String::new();
+    for v in sz_variants() {
+        let codec = v.codec();
+        let name = v.name();
+        let h2 = fnv1a(&compress_chunked(codec.as_ref(), &data_2d, LAYOUT_2D, 1));
+        let h3 = fnv1a(&compress_chunked(codec.as_ref(), &data_3d, LAYOUT_3D, 1));
+        if std::env::var("GOLDEN_DUMP").is_ok() {
+            dump.push_str(&format!("    (\"{name}\", {h2:#018x}, {h3:#018x}),\n"));
+            continue;
+        }
+        let (_, g2, g3) = GOLDEN_SZ
+            .iter()
+            .find(|(n, _, _)| *n == name)
+            .unwrap_or_else(|| panic!("no golden entry for {name}"));
+        assert_eq!(h2, *g2, "{name}: 2-D single-chunk stream bytes drifted");
+        assert_eq!(h3, *g3, "{name}: 3-D single-chunk stream bytes drifted");
+    }
+    if !dump.is_empty() {
+        println!("const GOLDEN_SZ: &[(&str, u64, u64)] = &[\n{dump}];");
     }
 }
 

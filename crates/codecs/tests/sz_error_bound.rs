@@ -1,0 +1,214 @@
+//! Property suite for the SZ error-bound guarantee.
+//!
+//! The contract: for every field and every bound, each decoded element
+//! satisfies `|x' − x| ≤ e` (absolute mode) or `|x' − x| ≤ r·(max −
+//! min)` over the stream's finite values (relative mode); non-finite
+//! inputs survive bit-exactly. Fields deliberately include subnormals,
+//! negative zeros, constant runs, and values spanning ~70 orders of
+//! magnitude. A second group asserts decode *totality*: truncated and
+//! mutated streams return `Ok`/`Err`, never panic.
+
+use cc_codecs::sz::Sz;
+use cc_codecs::{Codec, ErrorBound, Layout, Variant};
+use proptest::prelude::*;
+
+/// Climate-plausible values plus the nasty corners: subnormals, signed
+/// zeros, and power-of-ten magnitudes from 1e-35 to 1e34.
+fn wild_field(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    let decades: Vec<f32> = (-35i32..35).map(|ex| 10f32.powi(ex)).collect();
+    let neg_decades: Vec<f32> = decades.iter().map(|v| -v).collect();
+    prop::collection::vec(
+        prop_oneof![
+            6 => -1.0e6f32..1.0e6f32,
+            2 => prop::sample::select(decades),
+            1 => prop::sample::select(neg_decades),
+            1 => prop::sample::select(vec![
+                0.0f32,
+                -0.0,
+                1e-42,
+                -1e-42,
+                f32::MIN_POSITIVE,
+                -f32::MIN_POSITIVE,
+            ]),
+        ],
+        1..max_len,
+    )
+}
+
+/// Bounds swept by the properties, absolute and relative.
+fn bound_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(1.0f64),
+        Just(1e-2),
+        Just(1e-4),
+        Just(1e-6),
+        1e-6f64..1.0f64,
+    ]
+}
+
+fn assert_abs_bound(data: &[f32], back: &[f32], e: f64) {
+    assert_eq!(back.len(), data.len());
+    for (i, (&a, &b)) in data.iter().zip(back).enumerate() {
+        if a.is_finite() {
+            let err = (b as f64 - a as f64).abs();
+            assert!(err <= e, "|{b} - {a}| = {err} > {e} at {i}");
+        } else {
+            assert_eq!(b.to_bits(), a.to_bits(), "non-finite changed at {i}");
+        }
+    }
+}
+
+/// The effective bound the relative mode promises for this data.
+fn rel_effective(data: &[f32], r: f64) -> f64 {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in data {
+        if v.is_finite() {
+            lo = lo.min(v as f64);
+            hi = hi.max(v as f64);
+        }
+    }
+    if hi <= lo {
+        0.0 // degenerate: codec stores exactly
+    } else {
+        r * (hi - lo)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn abs_bound_holds_on_any_field(data in wild_field(1024), e in bound_strategy()) {
+        let codec = Sz::abs(e);
+        let layout = Layout::linear(data.len());
+        let stream = codec.compress(&data, layout);
+        let back = codec.decompress(&stream, layout).unwrap();
+        assert_abs_bound(&data, &back, e);
+    }
+
+    #[test]
+    fn rel_bound_holds_on_any_field(data in wild_field(1024), r in bound_strategy()) {
+        let codec = Sz::rel(r);
+        let layout = Layout::linear(data.len());
+        let stream = codec.compress(&data, layout);
+        let back = codec.decompress(&stream, layout).unwrap();
+        let e = rel_effective(&data, r);
+        if e == 0.0 {
+            // Constant (or single-value) fields must reconstruct exactly.
+            prop_assert_eq!(
+                back.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                data.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        } else {
+            assert_abs_bound(&data, &back, e);
+        }
+    }
+
+    #[test]
+    fn constant_fields_reconstruct_exactly(v in -1.0e30f32..1.0e30f32, n in 1usize..2000) {
+        let data = vec![v; n];
+        let layout = Layout::linear(n);
+        // Relative mode: zero range forces the exact fallback.
+        let codec = Sz::rel(1e-3);
+        let stream = codec.compress(&data, layout);
+        let back = codec.decompress(&stream, layout).unwrap();
+        prop_assert!(back.iter().zip(&data).all(|(b, a)| b.to_bits() == a.to_bits()));
+        // Absolute mode: the tight bound still holds on constants of any
+        // magnitude (huge values take the escape path and come back exact).
+        let codec = Sz::abs(1e-6);
+        let stream = codec.compress(&data, layout);
+        let back = codec.decompress(&stream, layout).unwrap();
+        assert_abs_bound(&data, &back, 1e-6);
+    }
+
+    #[test]
+    fn guarded_variant_honors_bound_and_restores_fills(
+        data in wild_field(1024),
+        fill_every in 5usize..50,
+    ) {
+        let mut data = data;
+        for i in (0..data.len()).step_by(fill_every) {
+            data[i] = 1.0e35;
+        }
+        let e = 1e-2;
+        let v = Variant::Sz { bound: ErrorBound::Abs(e) };
+        let codec = v.codec();
+        let layout = Layout::linear(data.len());
+        let stream = codec.compress(&data, layout);
+        let back = codec.decompress(&stream, layout).unwrap();
+        prop_assert_eq!(back.len(), data.len());
+        for (i, (&a, &b)) in data.iter().zip(&back).enumerate() {
+            if a == 1.0e35 {
+                prop_assert_eq!(b, 1.0e35, "fill lost at {}", i);
+            } else if a.is_finite() && a.abs() < 1.0e30 {
+                let err = (b as f64 - a as f64).abs();
+                prop_assert!(err <= e, "|{} - {}| = {} > {} at {}", b, a, err, e, i);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_is_total_on_truncated_streams(
+        data in wild_field(512),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let codec = Sz::abs(1e-3);
+        let layout = Layout::linear(data.len());
+        let stream = codec.compress(&data, layout);
+        let cut = (stream.len() as f64 * cut_frac) as usize;
+        // Must return Ok or Err, never panic; a proper prefix is Err.
+        let out = codec.decompress(&stream[..cut.min(stream.len())], layout);
+        if cut < stream.len() {
+            prop_assert!(out.is_err(), "truncated stream (cut {}) decoded Ok", cut);
+        }
+    }
+
+    #[test]
+    fn decode_is_total_on_mutated_streams(
+        data in wild_field(512),
+        edits in prop::collection::vec((0usize..100_000, 1u8..=255), 1..8),
+    ) {
+        let codec = Sz::rel(1e-3);
+        let layout = Layout::linear(data.len());
+        let mut stream = codec.compress(&data, layout);
+        for (at, x) in edits {
+            let len = stream.len();
+            stream[at % len] ^= x;
+        }
+        // Ok (damage landed benignly) or Err — never a panic, and any Ok
+        // output still has the layout's length.
+        if let Ok(out) = codec.decompress(&stream, layout) {
+            prop_assert_eq!(out.len(), layout.len());
+        }
+    }
+}
+
+/// Non-proptest companion: the bound survives the multi-chunk parallel
+/// pipeline (each chunk's value range is a subset of the global range,
+/// so per-chunk relative bounds are tighter than the global one).
+#[test]
+fn rel_bound_holds_through_chunked_pipeline() {
+    use cc_codecs::chunked::{compress_chunked, decompress_chunked, plan};
+    let layout = Layout { nlev: 4, npts: 30_000, rows: 174, cols: 174 };
+    assert!(plan(layout).len() >= 2, "field must span chunks");
+    let mut data = Vec::with_capacity(layout.len());
+    for lev in 0..layout.nlev {
+        for p in 0..layout.npts {
+            let x = p as f32 / layout.npts as f32;
+            data.push(200.0 + 80.0 * (9.0 * x).sin() + lev as f32 * 12.0
+                + 0.02 * ((p * 13 + lev * 7) % 89) as f32);
+        }
+    }
+    let r = 1e-4;
+    let e = rel_effective(&data, r);
+    let codec = Variant::Sz { bound: ErrorBound::Rel(r) }.codec();
+    for workers in [1, 2, 8] {
+        let stream = compress_chunked(codec.as_ref(), &data, layout, workers);
+        let back = decompress_chunked(codec.as_ref(), &stream, layout, workers).unwrap();
+        assert_eq!(back.len(), data.len());
+        for (i, (&a, &b)) in data.iter().zip(&back).enumerate() {
+            let err = (b as f64 - a as f64).abs();
+            assert!(err <= e, "workers={workers}: |{b} - {a}| = {err} > {e} at {i}");
+        }
+    }
+}

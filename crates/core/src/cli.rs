@@ -62,6 +62,23 @@ pub fn flag_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> u64
         .unwrap_or(default)
 }
 
+/// Read `--key` as a positive finite f64 if present, exiting with
+/// status 2 on a parse failure or a non-positive / non-finite value
+/// (error bounds and tolerances are always strictly positive).
+pub fn flag_f64_opt(flags: &HashMap<String, String>, key: &str) -> Option<f64> {
+    flags.get(key).map(|v| {
+        let x: f64 = v.parse().unwrap_or_else(|_| {
+            eprintln!("--{key} expects a number, got {v}");
+            exit(2);
+        });
+        if !x.is_finite() || x <= 0.0 {
+            eprintln!("--{key} must be a finite positive number, got {v}");
+            exit(2);
+        }
+        x
+    })
+}
+
 /// Apply `--workers N` to the global pool width, if present.
 pub fn apply_workers(flags: &HashMap<String, String>) {
     if let Some(w) = flags.get("workers") {

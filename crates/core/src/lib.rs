@@ -8,7 +8,8 @@
 //! * [`hybrid`] — the Section-5.4 per-variable customization: walk each
 //!   method family's variant ladder to the best-compressing variant that
 //!   passes all four tests (Tables 7 and 8).
-//! * [`tuning`] — the RMSZ-ensemble-guided GRIB2 decimal-scale search.
+//! * [`tuning`] — the RMSZ-ensemble-guided GRIB2 decimal-scale search and
+//!   the generalized (family × parameter) auto-tuner it grew into.
 //! * [`energy`] — the global energy-budget drift check named as future
 //!   work in the paper's conclusions.
 //! * [`report`] — text/CSV rendering of every table and figure.
@@ -45,4 +46,6 @@ pub mod visual;
 
 pub use evaluation::{EvalConfig, Evaluation, TestTally, VariableContext, VariableVerdict};
 pub use hybrid::{build_hybrid, build_nc_baseline, HybridChoice, HybridResult};
-pub use tuning::{tune_decimal_scale, TunedD};
+pub use tuning::{
+    candidate_space, tune_decimal_scale, tune_variable, TuneReport, TunedD, TunedVariable,
+};

@@ -9,7 +9,9 @@
 //!
 //! ccc verify --var NAME [--codec NAME] [--members N] [--ne N] [--nlev N]
 //!     Run the paper's four acceptance tests for one variable and one or
-//!     all codec variants.
+//!     all codec variants. `--error-bound X` (absolute) or `--rel-bound X`
+//!     (value-range relative) select the SZ error-bounded codec instead
+//!     of a named variant.
 //!
 //! ccc profile --var NAME [--ne N] [--nlev N]
 //!     APAX-profiler sweep with a recommended encoding rate.
@@ -32,8 +34,8 @@
 
 use climate_compress::codecs::apax::Profiler;
 use climate_compress::codecs::chunked::decompress_chunked;
-use climate_compress::codecs::{Layout, Variant};
-use climate_compress::core::cli::{self, flag_u64, flag_usize, ObsCli};
+use climate_compress::codecs::{ErrorBound, Layout, Variant};
+use climate_compress::core::cli::{self, flag_f64_opt, flag_u64, flag_usize, ObsCli};
 use climate_compress::core::evaluation::{verdict_for, EvalConfig, Evaluation};
 use climate_compress::grid::Resolution;
 use climate_compress::model::Model;
@@ -108,6 +110,7 @@ fn usage() {
          \x20 generate --out FILE [--ne N] [--nlev N] [--seed S] [--member M]\n\
          \x20 inspect FILE\n\
          \x20 verify --var NAME [--codec NAME] [--members N] [--ne N] [--nlev N] [--seed S]\n\
+         \x20        [--error-bound X | --rel-bound X]  (SZ error-bounded codec)\n\
          \x20 profile --var NAME [--ne N] [--nlev N] [--seed S]\n\
          \x20 serve [--addr A] [--shards N] [--workers N] [--queue-depth N]\n\
          \x20       [--max-conns N] [--max-payload BYTES]\n\
@@ -119,6 +122,21 @@ fn usage() {
          every command also accepts --workers N (worker-pool width),\n\
          --trace FILE, --metrics, and --quiet"
     );
+}
+
+/// `--error-bound X` (absolute) or `--rel-bound X` (value-range
+/// relative) select the SZ error-bounded codec; they are mutually
+/// exclusive.
+fn sz_bound_from_flags(flags: &HashMap<String, String>) -> Option<ErrorBound> {
+    match (flag_f64_opt(flags, "error-bound"), flag_f64_opt(flags, "rel-bound")) {
+        (Some(_), Some(_)) => {
+            eprintln!("--error-bound and --rel-bound are mutually exclusive");
+            exit(2);
+        }
+        (Some(e), None) => Some(ErrorBound::Abs(e)),
+        (None, Some(r)) => Some(ErrorBound::Rel(r)),
+        (None, None) => None,
+    }
 }
 
 fn model_from_flags(flags: &HashMap<String, String>) -> Model {
@@ -217,15 +235,22 @@ fn verify(flags: &HashMap<String, String>) {
     };
     progress!("building {members}-member ensemble context for {var_name} ...");
     let ctx = eval.context(var);
-    let variants: Vec<Variant> = match flags.get("codec") {
-        Some(name) => match Variant::by_name(name) {
+    let variants: Vec<Variant> = match (sz_bound_from_flags(flags), flags.get("codec")) {
+        (Some(_), Some(_)) => {
+            eprintln!("--error-bound/--rel-bound pick the SZ codec; drop --codec");
+            exit(2);
+        }
+        (Some(bound), None) => vec![Variant::Sz { bound }],
+        (None, Some(name)) => match Variant::by_name(name) {
             Some(v) => vec![v],
             None => {
-                eprintln!("unknown codec {name}; try GRIB2, APAX-4, fpzip-24, ISA-0.5, NetCDF-4");
+                eprintln!(
+                    "unknown codec {name}; try GRIB2, APAX-4, fpzip-24, ISA-0.5, SZ-rel-1e-3, NetCDF-4"
+                );
                 exit(2);
             }
         },
-        None => Variant::paper_set(),
+        (None, None) => Variant::paper_set(),
     };
     println!(
         "{:<10} {:>6} | {:>5} {:>9} {:>10} {:>5} | verdict",
@@ -335,7 +360,9 @@ fn remote_codec(flags: &HashMap<String, String>) -> String {
         exit(2);
     };
     if Variant::by_name(name).is_none() {
-        eprintln!("unknown codec {name}; try GRIB2, APAX-4, fpzip-24, ISA-0.5, NetCDF-4");
+        eprintln!(
+            "unknown codec {name}; try GRIB2, APAX-4, fpzip-24, ISA-0.5, SZ-rel-1e-3, NetCDF-4"
+        );
         exit(2);
     }
     name.clone()

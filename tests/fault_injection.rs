@@ -1,9 +1,10 @@
 //! Corrupt-stream fault injection across every decode path in the
 //! workspace.
 //!
-//! For each decoder a valid stream is damaged four ways — truncation
-//! prefixes, seeded bit flips, seeded byte overwrites, and pure random
-//! bytes (`cc_bench::faults`) — and every damaged stream is decoded. The
+//! For each decoder a valid stream is damaged five ways — truncation
+//! prefixes, seeded bit flips, seeded byte overwrites, seeded region
+//! splices, and pure random bytes (`cc_bench::faults`) — and every
+//! damaged stream is decoded. The
 //! decode must be *total*: return `Ok` or `Err`, never panic, and never
 //! make a single allocation beyond 16× the larger of the input stream and
 //! the original uncompressed data (plus a 64 KiB floor for fixed decoder
@@ -146,6 +147,30 @@ fn isabela_decode_is_total() {
 #[test]
 fn netcdf4_variant_decode_is_total() {
     fuzz_variant(Variant::NetCdf4);
+}
+
+#[test]
+fn sz_decode_is_total() {
+    use cc_codecs::ErrorBound;
+    for bound in [
+        ErrorBound::Abs(1e-2),
+        ErrorBound::Rel(1e-3),
+        ErrorBound::Rel(1e-5),
+    ] {
+        fuzz_variant(Variant::Sz { bound });
+    }
+}
+
+#[test]
+fn sz_chunked_decode_is_total() {
+    use cc_codecs::chunked::{compress_chunked, decompress_chunked};
+    use cc_codecs::ErrorBound;
+    let (data, layout) = smooth_field(40_000, 4);
+    let codec = Variant::Sz { bound: ErrorBound::Rel(1e-3) }.codec();
+    let stream = compress_chunked(codec.as_ref(), &data, layout, 2);
+    fuzz_decoder("chunked/SZ-rel-1e-3", data.len() * 4, &stream, &|bytes| {
+        let _ = decompress_chunked(codec.as_ref(), bytes, layout, 2);
+    });
 }
 
 // ---------------------------------------------------------------------------
