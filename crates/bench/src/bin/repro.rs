@@ -16,6 +16,7 @@
 //!              --against FILE    (bench-check: compare throughput vs baseline)
 //!              --tolerance X     (allowed fractional slowdown, default 0.25)
 //!              --trace FILE  (record spans+metrics, write TRACE.json)
+//!              --profile FILE  (write flamegraph-ready folded stacks)
 //!              --metrics     (record counters/histograms, print table)
 //!              --quiet       (suppress progress lines on stderr)
 //! ```
@@ -27,9 +28,9 @@
 //! schema'd `BENCH.json` (validated before the process exits);
 //! `serve-bench` drives a loopback `cc-serve` daemon with swept counts
 //! of concurrent pipelined clients and appends a `serve` section
-//! (req/s, p50/p99/p999 latency from the server's own histograms, busy
-//! rate per client count) to that document, bumping its schema
-//! additively to `cc-bench-throughput/4`;
+//! (req/s, p50/p99/p999 latency from the server's own histograms —
+//! overall and split per opcode — busy rate per client count) to that
+//! document, bumping its schema additively to `cc-bench-throughput/6`;
 //! `tune` runs the per-variable auto-tuner — the generalized
 //! enumerate-filter-minimize search over the (family × parameter)
 //! candidate space — over the focus variables, writes a reproducible
@@ -224,9 +225,15 @@ fn run_serve_bench(opts: &BenchOpts) {
             "serve workers={:<2} clients={:<4} {:>8.0} req/s  p50 {:>6}us  p99 {:>6}us  p999 {:>6}us  busy rate {:.3}",
             r.workers, r.clients, r.req_per_s, r.p50_us, r.p99_us, r.p999_us, r.busy_rate
         );
+        for o in &r.per_op {
+            println!(
+                "      {:<12} {:>6} reqs  p50 {:>6}us  p99 {:>6}us  p999 {:>6}us",
+                o.op, o.count, o.p50_us, o.p99_us, o.p999_us
+            );
+        }
     }
     println!(
-        "appended serve section to {} (shards {}, clients {:?} x {} requests, schema cc-bench-throughput/4)",
+        "appended serve section to {} (shards {}, clients {:?} x {} requests, schema cc-bench-throughput/6)",
         opts.path.display(),
         config.shards,
         config.client_counts,
@@ -324,6 +331,7 @@ fn parse_args() -> (Vec<String>, RunConfig, BenchOpts, ObsOpts) {
                 bench.tolerance = next_val(&mut args).parse().expect("--tolerance X");
             }
             "--trace" => obs.cli.trace = Some(next_val(&mut args).into()),
+            "--profile" => obs.cli.profile = Some(next_val(&mut args).into()),
             "--metrics" => obs.cli.metrics = true,
             "--quiet" => obs.cli.quiet = true,
             // `repro run table6` reads naturally; `run` itself is a no-op.

@@ -6,9 +6,10 @@
 //! percentiles read from the server's own `serve.req_us` histogram
 //! (log2 buckets, diffed across the run — the same telemetry `--trace`
 //! exports; percentiles are conservative bucket upper bounds via
-//! [`cc_obs::percentile_upper_bound`]). The result merges into an
-//! existing `BENCH.json` as a `serve` section, bumping the schema
-//! additively to `cc-bench-throughput/4`
+//! [`cc_obs::percentile_upper_bound`]). Each run also reports the
+//! per-opcode latency split from the `serve.req_us.{op}` histograms.
+//! The result merges into an existing `BENCH.json` as a `serve`
+//! section, bumping the schema additively to `cc-bench-throughput/6`
 //! (see [`crate::throughput`] for the base document).
 //!
 //! ```json
@@ -17,7 +18,9 @@
 //!   "payload_elems": N, "client_counts": [8, 128, ...],
 //!   "runs": [
 //!     {"workers": 1, "clients": 8, "requests": N, "req_per_s": X,
-//!      "p50_us": N, "p99_us": N, "p999_us": N, "busy_rate": X}, ...
+//!      "p50_us": N, "p99_us": N, "p999_us": N, "busy_rate": X,
+//!      "per_op": [{"op": "compress", "count": N,
+//!                  "p50_us": N, "p99_us": N, "p999_us": N}]}, ...
 //!   ]
 //! }
 //! ```
@@ -82,8 +85,27 @@ impl ServeBenchConfig {
     }
 }
 
+/// Opcodes whose latency histograms the sweep splits out.
+const LATENCY_OPS: &[&str] = &["ping", "compress", "decompress", "evaluate", "stats", "shutdown"];
+
+/// Latency of one opcode over one run, from the server's own
+/// `serve.req_us.{op}` histogram delta.
+#[derive(Debug, Clone)]
+pub struct OpLatency {
+    /// Opcode name.
+    pub op: String,
+    /// Requests of this opcode completed during the run.
+    pub count: u64,
+    /// Median latency, µs (log2-bucket upper bound).
+    pub p50_us: u64,
+    /// 99th-percentile latency, µs.
+    pub p99_us: u64,
+    /// 99.9th-percentile latency, µs.
+    pub p999_us: u64,
+}
+
 /// One (worker count, client count) measurement.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeRun {
     /// Server worker threads.
     pub workers: usize,
@@ -101,6 +123,8 @@ pub struct ServeRun {
     pub p999_us: u64,
     /// `Busy` responses per accepted connection over the run.
     pub busy_rate: f64,
+    /// Per-opcode latency split (opcodes that saw traffic only).
+    pub per_op: Vec<OpLatency>,
 }
 
 /// The full sweep result.
@@ -136,6 +160,10 @@ pub fn run(config: &ServeBenchConfig, progress: &mut dyn FnMut(&str)) -> ServeBe
             let addr = server.addr().to_string();
 
             let hist_before = dense_buckets(&cc_obs::histogram("serve.req_us").snapshot());
+            let per_op_before: Vec<cc_obs::HistogramSnapshot> = LATENCY_OPS
+                .iter()
+                .map(|op| cc_obs::histogram(&format!("serve.req_us.{op}")).snapshot())
+                .collect();
             let busy_before = cc_obs::counter_value("serve.busy");
             let accept_before = cc_obs::counter_value("serve.accept");
 
@@ -176,6 +204,22 @@ pub fn run(config: &ServeBenchConfig, progress: &mut dyn FnMut(&str)) -> ServeBe
             let requests = (clients * config.requests_per_client) as u64;
             let accepts = cc_obs::counter_value("serve.accept").saturating_sub(accept_before);
             let busy = cc_obs::counter_value("serve.busy").saturating_sub(busy_before);
+            let per_op: Vec<OpLatency> = LATENCY_OPS
+                .iter()
+                .zip(&per_op_before)
+                .filter_map(|(op, before)| {
+                    let d = cc_obs::histogram(&format!("serve.req_us.{op}"))
+                        .snapshot()
+                        .delta(before);
+                    (d.count > 0).then(|| OpLatency {
+                        op: op.to_string(),
+                        count: d.count,
+                        p50_us: d.percentile(0.50),
+                        p99_us: d.percentile(0.99),
+                        p999_us: d.percentile(0.999),
+                    })
+                })
+                .collect();
             let run = ServeRun {
                 workers,
                 clients,
@@ -185,12 +229,19 @@ pub fn run(config: &ServeBenchConfig, progress: &mut dyn FnMut(&str)) -> ServeBe
                 p99_us: cc_obs::percentile_upper_bound(&delta, 0.99),
                 p999_us: cc_obs::percentile_upper_bound(&delta, 0.999),
                 busy_rate: busy as f64 / (accepts.max(1)) as f64,
+                per_op,
             };
             progress(&format!(
                 "workers={:<2} clients={:<4} {:>7.0} req/s  p50 {:>6}us  p99 {:>6}us  p999 {:>6}us  busy {:.3}",
                 run.workers, run.clients, run.req_per_s, run.p50_us, run.p99_us, run.p999_us,
                 run.busy_rate
             ));
+            for o in &run.per_op {
+                progress(&format!(
+                    "  {:<12} {:>6} reqs  p50 {:>6}us  p99 {:>6}us  p999 {:>6}us",
+                    o.op, o.count, o.p50_us, o.p99_us, o.p999_us
+                ));
+            }
             runs.push(run);
         }
     }
@@ -204,12 +255,24 @@ impl ServeBenchReport {
             .runs
             .iter()
             .map(|r| {
+                let per_op: Vec<String> = r
+                    .per_op
+                    .iter()
+                    .map(|o| {
+                        format!(
+                            "{{\"op\": \"{}\", \"count\": {}, \"p50_us\": {}, \
+                             \"p99_us\": {}, \"p999_us\": {}}}",
+                            o.op, o.count, o.p50_us, o.p99_us, o.p999_us
+                        )
+                    })
+                    .collect();
                 format!(
                     "{{\"workers\": {}, \"clients\": {}, \"requests\": {}, \
                      \"req_per_s\": {:.3}, \"p50_us\": {}, \"p99_us\": {}, \
-                     \"p999_us\": {}, \"busy_rate\": {:.6}}}",
+                     \"p999_us\": {}, \"busy_rate\": {:.6}, \"per_op\": [{}]}}",
                     r.workers, r.clients, r.requests, r.req_per_s, r.p50_us, r.p99_us, r.p999_us,
-                    r.busy_rate
+                    r.busy_rate,
+                    per_op.join(", ")
                 )
             })
             .collect();
@@ -229,7 +292,7 @@ impl ServeBenchReport {
     }
 
     /// Merge this report into an existing `BENCH.json` document: set the
-    /// `serve` section and bump the schema to `cc-bench-throughput/4`.
+    /// `serve` section and bump the schema to `cc-bench-throughput/6`.
     /// The result is re-validated before being returned, so a document
     /// that cannot legally carry the section (e.g. a pre-telemetry `/1`
     /// artifact) errors instead of producing an invalid file.
@@ -239,7 +302,7 @@ impl ServeBenchReport {
         if doc.get("schema").and_then(Value::as_str).is_none() {
             return Err(vec!["existing BENCH.json has no schema field".into()]);
         }
-        doc.set("schema", Value::Str("cc-bench-throughput/4".into()));
+        doc.set("schema", Value::Str("cc-bench-throughput/6".into()));
         doc.set("serve", self.to_value());
         let merged = doc.to_json();
         crate::throughput::validate(&merged)?;
@@ -271,6 +334,11 @@ mod tests {
             assert!(r.p99_us >= r.p50_us);
             assert!(r.p999_us >= r.p99_us);
             assert!(r.busy_rate >= 0.0);
+            // The sweep issues Compress only, so the per-opcode split
+            // must contain it (counts are process-wide deltas, so >=).
+            let comp = r.per_op.iter().find(|o| o.op == "compress").expect("compress split");
+            assert!(comp.count >= 6);
+            assert!(comp.p99_us >= comp.p50_us && comp.p999_us >= comp.p99_us);
         }
 
         // Merging into a fresh /2 document yields a valid /4 one.
@@ -285,11 +353,11 @@ mod tests {
             &mut |_| {},
         );
         let merged = report.merge_into_bench(&base.to_json()).expect("merge");
-        crate::throughput::validate(&merged).expect("merged document is /4-valid");
+        crate::throughput::validate(&merged).expect("merged document is /6-valid");
         let doc = json::parse(&merged).unwrap();
         assert_eq!(
             doc.get("schema").and_then(Value::as_str),
-            Some("cc-bench-throughput/4")
+            Some("cc-bench-throughput/6")
         );
         assert_eq!(
             doc.get("serve").and_then(|s| s.get("runs")).and_then(Value::as_array).map(|a| a.len()),

@@ -381,12 +381,13 @@ impl BenchReport {
 }
 
 /// Validate a `BENCH.json` document against the
-/// `cc-bench-throughput/4` schema. Earlier schema levels are accepted
+/// `cc-bench-throughput/6` schema. Earlier schema levels are accepted
 /// additively: `/1` documents need no `telemetry` sections, `/1` and
 /// `/2` documents need no `serve` section (that section is appended by
 /// `repro serve-bench`, which also bumps the declared schema — to `/3`
-/// historically, `/4` since the reactor server's client-count sweep).
-/// Returns every violation found.
+/// historically, `/4` since the reactor server's client-count sweep,
+/// `/6` since the per-opcode latency split), `/5` adds the `tune`
+/// section. Returns every violation found.
 pub fn validate(text: &str) -> Result<(), Vec<String>> {
     let doc = match json::parse(text) {
         Ok(v) => v,
@@ -406,6 +407,7 @@ pub fn validate(text: &str) -> Result<(), Vec<String>> {
             | Some("cc-bench-throughput/3")
             | Some("cc-bench-throughput/4")
             | Some("cc-bench-throughput/5")
+            | Some("cc-bench-throughput/6")
     );
     check(
         &mut errs,
@@ -416,21 +418,29 @@ pub fn validate(text: &str) -> Result<(), Vec<String>> {
                 | Some("cc-bench-throughput/3")
                 | Some("cc-bench-throughput/4")
                 | Some("cc-bench-throughput/5")
+                | Some("cc-bench-throughput/6")
         ),
-        "schema must be \"cc-bench-throughput/1\" through \"/5\"",
+        "schema must be \"cc-bench-throughput/1\" through \"/6\"",
     );
     if schema == Some("cc-bench-throughput/3") {
-        validate_serve(&mut errs, doc.get("serve"), false);
+        validate_serve(&mut errs, doc.get("serve"), false, false);
     } else if schema == Some("cc-bench-throughput/4") {
-        validate_serve(&mut errs, doc.get("serve"), true);
+        validate_serve(&mut errs, doc.get("serve"), true, false);
     } else if schema == Some("cc-bench-throughput/5") {
         // `/5` adds the required auto-tuning section; an earlier serve
         // section (either shape) may ride along and is still checked.
         if let Some(serve) = doc.get("serve") {
             let v4 = serve.get("client_counts").is_some();
-            validate_serve(&mut errs, Some(serve), v4);
+            validate_serve(&mut errs, Some(serve), v4, false);
         }
         validate_tune(&mut errs, doc.get("tune"));
+    } else if schema == Some("cc-bench-throughput/6") {
+        // `/6` requires the per-opcode latency split in the serve
+        // section; a tune section may ride along and is still checked.
+        validate_serve(&mut errs, doc.get("serve"), true, true);
+        if doc.get("tune").is_some() {
+            validate_tune(&mut errs, doc.get("tune"));
+        }
     }
     check(&mut errs, doc.get("preset").and_then(json::Value::as_str).is_some(), "preset missing");
     let field = doc.get("field");
@@ -555,8 +565,9 @@ pub fn validate(text: &str) -> Result<(), Vec<String>> {
 /// Check the `serve` section appended by `repro serve-bench`. `/3`
 /// documents (pre-reactor) carry a flat `clients` count and p50/p99;
 /// `/4` documents (`v4`) sweep `client_counts` and add per-run
-/// `clients` and `p999_us`.
-fn validate_serve(errs: &mut Vec<String>, serve: Option<&json::Value>, v4: bool) {
+/// `clients` and `p999_us`; `/6` documents (`v6`) additionally carry a
+/// non-empty `per_op` latency split per run.
+fn validate_serve(errs: &mut Vec<String>, serve: Option<&json::Value>, v4: bool, v6: bool) {
     let Some(serve) = serve else {
         errs.push("serve-schema document must carry a serve section".into());
         return;
@@ -605,6 +616,27 @@ fn validate_serve(errs: &mut Vec<String>, serve: Option<&json::Value>, v4: bool)
         }
         if num("busy_rate").map(|v| (0.0..=1.0).contains(&v)) != Some(true) {
             errs.push(format!("serve.runs[{i}]: busy_rate must be in [0, 1]"));
+        }
+        if v6 {
+            let ops = r.get("per_op").and_then(json::Value::as_array).unwrap_or_default();
+            if ops.is_empty() {
+                errs.push(format!("serve.runs[{i}]: per_op latency split missing"));
+            }
+            for (j, o) in ops.iter().enumerate() {
+                let onum = |key: &str| o.get(key).and_then(json::Value::as_f64);
+                let ok = o.get("op").and_then(json::Value::as_str).is_some()
+                    && onum("count").map(|v| v >= 1.0) == Some(true)
+                    && matches!(
+                        (onum("p50_us"), onum("p99_us"), onum("p999_us")),
+                        (Some(p50), Some(p99), Some(p999))
+                            if p50 >= 0.0 && p99 >= p50 && p999 >= p99
+                    );
+                if !ok {
+                    errs.push(format!(
+                        "serve.runs[{i}].per_op[{j}]: need op, count >= 1, p50 <= p99 <= p999"
+                    ));
+                }
+            }
         }
     }
 }

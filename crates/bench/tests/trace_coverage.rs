@@ -7,10 +7,12 @@
 //! instrumentation site is dropped from any layer, the stage-name
 //! assertions here fail.
 
-use cc_codecs::Variant;
+use cc_codecs::{Layout, Variant};
 use cc_core::evaluation::{verdict_for, EvalConfig, Evaluation};
 use cc_grid::Resolution;
 use cc_model::Model;
+use cc_obs::SpanNode;
+use cc_serve::{Client, Server, ServerConfig};
 
 #[test]
 fn traced_evaluation_covers_all_pipeline_layers() {
@@ -79,4 +81,76 @@ fn traced_evaluation_covers_all_pipeline_layers() {
             report.metrics.counters
         );
     }
+}
+
+/// Depth-first search for the first span with the given name.
+fn find_span<'a>(nodes: &'a [SpanNode], name: &str) -> Option<&'a SpanNode> {
+    for n in nodes {
+        if n.name == name {
+            return Some(n);
+        }
+        if let Some(hit) = find_span(&n.children, name) {
+            return Some(hit);
+        }
+    }
+    None
+}
+
+/// The distributed pin: a traced remote compress against a live server
+/// must come back with the server's span subtree grafted under the
+/// client's own request span — one tree crossing the process boundary,
+/// every stitched stage with nonzero duration, the whole document still
+/// `cc-trace/1`-valid (what `ccc trace-check` runs).
+#[test]
+fn distributed_trace_stitches_server_spans_under_client_request() {
+    cc_obs::enable_all();
+
+    let server = Server::start(ServerConfig { shards: 1, workers: 2, ..ServerConfig::default() })
+        .expect("bind loopback");
+    let addr = server.addr().to_string();
+
+    let layout = Layout::linear(4_096);
+    let data: Vec<f32> =
+        (0..layout.len()).map(|p| 250.0 + (p as f32 * 0.013).sin() * 20.0).collect();
+
+    // Drain spans this thread recorded before the traced request so the
+    // collected report holds exactly the remote round-trip.
+    let _ = cc_obs::trace::TraceReport::collect();
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let stream = client.compress("fpzip-24", layout, &data).expect("traced remote compress");
+    assert!(!stream.is_empty());
+    drop(client);
+    server.shutdown();
+
+    let report = cc_obs::trace::TraceReport::collect();
+    let root = find_span(&report.spans, "client.req.compress")
+        .expect("client request span must be a collected root");
+    assert!(root.dur_ns > 0, "client span must have nonzero duration");
+
+    // The server subtree is stitched *under* the client span.
+    let srv = find_span(&root.children, "srv.request")
+        .expect("server span tree must be grafted under the client span");
+    assert!(srv.dur_ns > 0, "server root span must have nonzero duration");
+    for stage in ["srv.decode", "srv.queue", "srv.compute", "srv.reply.enqueue"] {
+        assert!(
+            find_span(&srv.children, stage).is_some(),
+            "stage {stage:?} missing from stitched server subtree"
+        );
+    }
+    let compute = find_span(&srv.children, "srv.compute").unwrap();
+    assert!(compute.dur_ns > 0, "compute span must have nonzero duration");
+    assert!(
+        find_span(&compute.children, "srv.chunk.encode").is_some(),
+        "per-chunk encode marks missing under srv.compute"
+    );
+
+    // Containment: the stitched subtree stays inside the client span,
+    // and the whole document passes the same validation `ccc
+    // trace-check` applies to a written TRACE.json.
+    assert!(srv.start_ns >= root.start_ns);
+    assert!(srv.end_ns() <= root.end_ns());
+    let text = report.to_json();
+    let stats = cc_obs::trace::validate(&text).expect("stitched trace must self-validate");
+    assert!(stats.spans >= 6, "expected client + server stages, got {} spans", stats.spans);
 }

@@ -12,7 +12,7 @@ use std::path::PathBuf;
 use std::process::exit;
 
 /// Flags that take no value (`--metrics`, not `--metrics true`).
-pub const BOOL_FLAGS: &[&str] = &["metrics", "quiet", "quick"];
+pub const BOOL_FLAGS: &[&str] = &["metrics", "quiet", "quick", "once"];
 
 /// Parse `--key value` pairs (and the valueless [`BOOL_FLAGS`]) into a
 /// map. Positional arguments are ignored — commands that take them read
@@ -90,13 +90,16 @@ pub fn apply_workers(flags: &HashMap<String, String>) {
     }
 }
 
-/// The observability trio, bracketing a CLI run: [`ObsCli::apply`]
+/// The observability flags, bracketing a CLI run: [`ObsCli::apply`]
 /// before the command, [`ObsCli::finish`] after it.
 #[derive(Debug, Default, Clone)]
 pub struct ObsCli {
     /// `--trace FILE`: record spans + metrics, write a `cc-trace/1`
     /// artifact at exit.
     pub trace: Option<PathBuf>,
+    /// `--profile FILE`: record spans, write a flamegraph-ready
+    /// folded-stacks file (`stage;stage;stage self_ns` lines) at exit.
+    pub profile: Option<PathBuf>,
     /// `--metrics`: record counters/histograms, print the table at exit.
     pub metrics: bool,
     /// `--quiet`: suppress progress lines on stderr.
@@ -104,10 +107,11 @@ pub struct ObsCli {
 }
 
 impl ObsCli {
-    /// Read the trio out of a parsed flag map.
+    /// Read the observability flags out of a parsed flag map.
     pub fn from_flags(flags: &HashMap<String, String>) -> Self {
         ObsCli {
             trace: flags.get("trace").map(PathBuf::from),
+            profile: flags.get("profile").map(PathBuf::from),
             metrics: flags.contains_key("metrics"),
             quiet: flags.contains_key("quiet"),
         }
@@ -115,7 +119,7 @@ impl ObsCli {
 
     /// True if anything must be collected and reported at exit.
     pub fn active(&self) -> bool {
-        self.trace.is_some() || self.metrics
+        self.trace.is_some() || self.profile.is_some() || self.metrics
     }
 
     /// Turn the requested recording on (quiet mode, span/metric gates).
@@ -123,31 +127,49 @@ impl ObsCli {
         if self.quiet {
             cc_obs::progress::set_quiet(true);
         }
-        if self.trace.is_some() {
+        if self.trace.is_some() || self.profile.is_some() {
             cc_obs::enable_all();
         } else if self.metrics {
             cc_obs::set_metrics_enabled(true);
         }
     }
 
-    /// Collect the trace report, write the artifact (exiting with status
-    /// 1 on an I/O or validation failure), and print the summary and
-    /// metrics tables. A no-op unless [`ObsCli::active`].
+    /// Collect the trace report, write the artifacts (exiting with
+    /// status 1 on an I/O or validation failure), and print the summary
+    /// and metrics tables. A no-op unless [`ObsCli::active`].
     pub fn finish(&self) {
         if !self.active() {
             return;
         }
         let report = cc_obs::trace::TraceReport::collect();
+        let summary = report.summary();
         if let Some(path) = &self.trace {
             if let Err(e) = report.write(path) {
                 eprintln!("{e}");
                 exit(1);
             }
             cc_obs::progress!("wrote trace to {}", path.display());
-            let summary = report.summary();
             if !summary.is_empty() {
                 println!("{}", crate::report::trace_summary_table(&summary).render());
             }
+        }
+        if let Some(path) = &self.profile {
+            let folded = cc_obs::trace::folded_stacks(&report.spans);
+            if folded.is_empty() {
+                eprintln!("--profile recorded no spans; nothing to write");
+                exit(1);
+            }
+            if let Err(e) = std::fs::write(path, &folded) {
+                eprintln!("cannot write {}: {e}", path.display());
+                exit(1);
+            }
+            cc_obs::progress!("wrote folded stacks to {}", path.display());
+        }
+        if self.metrics && self.trace.is_none() && !summary.is_empty() {
+            // `--trace` already printed the full per-stage table; for
+            // bare `--metrics`/`--profile` runs show where the time
+            // actually went.
+            println!("{}", crate::report::self_time_table(&summary).render());
         }
         println!("{}", crate::report::metrics_table(&report.metrics).render());
     }

@@ -106,6 +106,28 @@ impl Table {
     }
 }
 
+/// Per-stage self-time table: where the wall clock actually went,
+/// sorted by descending self time (the flamegraph ordering). `share`
+/// is each stage's fraction of the total self time.
+pub fn self_time_table(summary: &[cc_obs::trace::StageSummary]) -> Table {
+    let total: u64 = summary.iter().map(|r| r.self_ns).sum();
+    let mut rows: Vec<&cc_obs::trace::StageSummary> = summary.iter().collect();
+    rows.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(&b.name)));
+    let mut t = Table::new(
+        "Self time (per stage)",
+        &["stage", "calls", "self ms", "share"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.name.clone(),
+            r.calls.to_string(),
+            format!("{:.3}", r.self_ns as f64 / 1e6),
+            format!("{:.1}%", r.self_ns as f64 / total.max(1) as f64 * 100.0),
+        ]);
+    }
+    t
+}
+
 /// Render a trace's per-stage aggregate — wall time, self time, call
 /// counts — as an aligned table, the human-readable companion of the
 /// `TRACE.json` artifact. Rows arrive sorted by descending wall time

@@ -303,6 +303,20 @@ impl Histogram {
         self.sum.fetch_add(value, Ordering::Relaxed);
     }
 
+    /// Fold a snapshot's buckets into this histogram — the per-shard
+    /// aggregation primitive: each shard keeps its own histogram and a
+    /// collector merges their snapshots into one. Out-of-range bucket
+    /// indices in a hostile snapshot clamp into the saturated last
+    /// bucket rather than panicking.
+    pub fn merge(&self, snap: &HistogramSnapshot) {
+        for &(idx, n) in &snap.buckets {
+            let idx = (idx as usize).min(HIST_BUCKETS - 1);
+            self.buckets[idx].fetch_add(n, Ordering::Relaxed);
+        }
+        self.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.sum.fetch_add(snap.sum, Ordering::Relaxed);
+    }
+
     /// Consistent-enough snapshot (relaxed loads; exact once recording
     /// has quiesced).
     pub fn snapshot(&self) -> HistogramSnapshot {
@@ -342,6 +356,61 @@ impl HistogramSnapshot {
             0.0
         } else {
             self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Expand the sparse pairs into the dense [`HIST_BUCKETS`]-wide
+    /// layout [`percentile_upper_bound`] reads. Out-of-range indices
+    /// clamp into the saturated last bucket.
+    pub fn dense(&self) -> Vec<u64> {
+        let mut dense = vec![0u64; HIST_BUCKETS];
+        for &(idx, n) in &self.buckets {
+            dense[(idx as usize).min(HIST_BUCKETS - 1)] += n;
+        }
+        dense
+    }
+
+    /// Conservative `q`-percentile of this snapshot (bucket upper
+    /// bound; see [`percentile_upper_bound`]).
+    pub fn percentile(&self, q: f64) -> u64 {
+        percentile_upper_bound(&self.dense(), q)
+    }
+
+    /// Sum two snapshots bucket-wise — aggregating one metric across
+    /// shards. Totals add exactly: `merge` preserves `count` and `sum`.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut dense = self.dense();
+        for (slot, v) in dense.iter_mut().zip(other.dense()) {
+            *slot += v;
+        }
+        HistogramSnapshot {
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+            buckets: dense
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &n)| (n > 0).then_some((i as u32, n)))
+                .collect(),
+        }
+    }
+
+    /// Subtract an earlier snapshot of the same histogram, bucket-wise —
+    /// the interval view `ccc top` renders between two polls. Counts
+    /// saturate at zero, so a snapshot pair from different server
+    /// incarnations degrades to a partial delta instead of panicking.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut dense = self.dense();
+        for (slot, v) in dense.iter_mut().zip(earlier.dense()) {
+            *slot = slot.saturating_sub(v);
+        }
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            buckets: dense
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &n)| (n > 0).then_some((i as u32, n)))
+                .collect(),
         }
     }
 }
@@ -482,6 +551,65 @@ impl MetricsSnapshot {
             .iter()
             .find(|(n, _)| n == name)
             .map_or(0, |(_, v)| *v)
+    }
+
+    /// The histogram snapshot under `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Union of two snapshots: counters add, histograms bucket-merge,
+    /// names sort. Merging shard-local snapshots into a process view.
+    pub fn merge(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut counters: BTreeMap<&str, u64> = BTreeMap::new();
+        for (n, v) in self.counters.iter().chain(&other.counters) {
+            *counters.entry(n).or_insert(0) += v;
+        }
+        let mut histograms: BTreeMap<&str, HistogramSnapshot> = BTreeMap::new();
+        for (n, h) in self.histograms.iter().chain(&other.histograms) {
+            match histograms.get_mut(n.as_str()) {
+                Some(acc) => *acc = acc.merge(h),
+                None => {
+                    histograms.insert(n, h.clone());
+                }
+            }
+        }
+        MetricsSnapshot {
+            counters: counters.into_iter().map(|(n, v)| (n.to_string(), v)).collect(),
+            histograms: histograms
+                .into_iter()
+                .map(|(n, h)| (n.to_string(), h))
+                .collect(),
+        }
+    }
+
+    /// Interval view: this snapshot minus an `earlier` one of the same
+    /// process. Counters saturate at zero (a restarted server resets
+    /// its counters; the first delta after a restart is then partial,
+    /// never a panic). Names present only in `earlier` are dropped —
+    /// they recorded nothing this interval.
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(n, v)| (n.clone(), v.saturating_sub(earlier.counter(n))))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(n, h)| {
+                    let d = match earlier.histogram(n) {
+                        Some(e) => h.delta(e),
+                        None => h.clone(),
+                    };
+                    (n.clone(), d)
+                })
+                .collect(),
+        }
     }
 }
 

@@ -161,6 +161,59 @@ impl TraceReport {
     }
 }
 
+/// Aggregate a span forest into flamegraph-ready folded stacks: one
+/// line per distinct root-to-node path, `a;b;c <self_ns>`, values in
+/// nanoseconds so even sub-microsecond stages survive the export.
+/// Self time (wall minus direct children) is attributed to the node's
+/// own stack, so the flamegraph's widths decompose exactly: a parent
+/// frame's width is its children's widths plus its own line. Names are
+/// sanitized (`;` and whitespace become `_` — both are structural in
+/// the folded format), identical stacks merge, and lines sort
+/// lexicographically so the export is deterministic.
+pub fn folded_stacks(spans: &[SpanNode]) -> String {
+    fn sanitize(name: &str) -> String {
+        name.chars()
+            .map(|c| if c == ';' || c.is_whitespace() { '_' } else { c })
+            .collect()
+    }
+    fn walk(node: &SpanNode, prefix: &str, acc: &mut BTreeMap<String, u64>) {
+        let stack = if prefix.is_empty() {
+            sanitize(node.name)
+        } else {
+            format!("{prefix};{}", sanitize(node.name))
+        };
+        *acc.entry(stack.clone()).or_insert(0) += node.self_ns();
+        for c in &node.children {
+            walk(c, &stack, acc);
+        }
+    }
+    let mut acc = BTreeMap::new();
+    for root in spans {
+        walk(root, "", &mut acc);
+    }
+    let mut out = String::new();
+    for (stack, self_ns) in acc {
+        let _ = writeln!(out, "{stack} {self_ns}");
+    }
+    out
+}
+
+/// Clamp a span subtree into the closed window `[lo, hi]`: starts and
+/// ends move inward (never outward), and children are re-clamped into
+/// their clamped parent. Used when adopting a span tree recorded on
+/// another process's clock — after shifting into the local timeline,
+/// clamping guarantees the containment invariant [`validate`] enforces
+/// even under clock skew.
+pub fn clamp_into(node: &mut SpanNode, lo: u64, hi: u64) {
+    let start = node.start_ns.clamp(lo, hi);
+    let end = node.end_ns().clamp(start, hi);
+    node.start_ns = start;
+    node.dur_ns = end - start;
+    for c in &mut node.children {
+        clamp_into(c, start, end);
+    }
+}
+
 fn write_span(out: &mut String, s: &SpanNode, depth: usize) {
     let pad = "  ".repeat(depth);
     let _ = write!(
@@ -468,5 +521,52 @@ mod tests {
     fn empty_report_validates() {
         let report = TraceReport::default();
         validate(&report.to_json()).unwrap();
+    }
+
+    #[test]
+    fn folded_stacks_attribute_self_time_per_stack() {
+        let report = sample_report();
+        let folded = folded_stacks(&report.spans);
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "eval.verdict 200",
+                "eval.verdict;chunked.decode 400",
+                "eval.verdict;chunked.encode 50",
+                "eval.verdict;chunked.encode;fpzip.encode 250",
+            ]
+        );
+        // Line-parseable: every line is "stack <u64>", and total value
+        // equals the roots' wall time (self times partition the tree).
+        let total: u64 = lines
+            .iter()
+            .map(|l| l.rsplit_once(' ').unwrap().1.parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total, 900);
+    }
+
+    #[test]
+    fn folded_stacks_merge_and_sanitize() {
+        let spans = vec![
+            node("a b;c", 0, 10, vec![]),
+            node("a b;c", 20, 5, vec![]),
+        ];
+        assert_eq!(folded_stacks(&spans), "a_b_c 15\n");
+    }
+
+    #[test]
+    fn clamp_into_restores_containment() {
+        let mut tree = node(
+            "srv.request",
+            50,
+            1000,
+            vec![node("srv.compute", 10, 2000, vec![node("srv.chunk", 900, 5000, vec![])])],
+        );
+        clamp_into(&mut tree, 100, 400);
+        let report = TraceReport { spans: vec![tree.clone()], metrics: MetricsSnapshot::default() };
+        validate(&report.to_json()).expect("clamped tree must validate");
+        assert_eq!(tree.start_ns, 100);
+        assert_eq!(tree.end_ns(), 400);
     }
 }

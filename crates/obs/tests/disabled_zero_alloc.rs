@@ -42,12 +42,22 @@ fn disabled_recording_allocates_nothing() {
     // (the epoch Instant, the registry mutex poisoning check).
     cc_obs::now_ns();
 
+    // The dynamic-name span path (what `Client` uses per request) must
+    // bail on the gate *before* interning — interning leaks, which
+    // would show up here as an allocation. The name is built outside
+    // the measured window; the gate check never looks at it.
+    let dyn_name = String::from("zero_alloc.dyn.section");
+
     let before = ALLOCS.load(Ordering::Relaxed);
     for i in 0..10_000u64 {
         let _s = cc_obs::span("zero_alloc.section");
+        let _d = cc_obs::span_dyn(&dyn_name);
         cc_obs::counter_add("zero_alloc.counter", i);
         cc_obs::counter_inc("zero_alloc.counter");
         cc_obs::observe("zero_alloc.hist", i);
+        // Per-opcode latency recording is the same gated entry point
+        // under a second name — still one relaxed load when off.
+        cc_obs::observe("zero_alloc.req_us.ping", i);
     }
     let after = ALLOCS.load(Ordering::Relaxed);
     assert_eq!(
@@ -74,4 +84,24 @@ fn enabled_recording_still_works_under_counting_allocator() {
     let roots = cc_obs::take_local_roots();
     assert!(roots.iter().any(|r| r.name == "zero_alloc.live"));
     assert_eq!(cc_obs::counter_value("zero_alloc.live_counter"), 1);
+}
+
+#[test]
+fn aggregation_apis_work_under_counting_allocator() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    // The snapshot algebra (`Histogram::merge`, snapshot `delta`) backs
+    // `ccc top` and the stats body; it runs off the hot path and is
+    // allowed to allocate, but must stay correct under this allocator
+    // and must not depend on the recording gates at all.
+    cc_obs::set_spans_enabled(false);
+    cc_obs::set_metrics_enabled(false);
+
+    let h = cc_obs::histogram("zero_alloc.agg");
+    let before = h.snapshot();
+    h.merge(&cc_obs::HistogramSnapshot { count: 3, sum: 12, buckets: vec![(2, 3)] });
+    let after = h.snapshot();
+    let d = after.delta(&before);
+    assert_eq!(d.count, 3);
+    assert_eq!(d.sum, 12);
+    assert_eq!(d.dense()[2], 3);
 }

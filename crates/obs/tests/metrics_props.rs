@@ -1,0 +1,132 @@
+//! Property tests for the histogram aggregation algebra behind
+//! per-shard merging and `ccc top` interval deltas: `merge` preserves
+//! totals exactly, `delta` inverts `merge`, and the conservative
+//! percentile is monotone — in the quantile and in added bucket mass.
+
+use cc_obs::{HistogramSnapshot, MetricsSnapshot, HIST_BUCKETS};
+use proptest::prelude::*;
+
+/// Build an internally-consistent snapshot from sparse `(bucket, mass)`
+/// pairs: duplicates collapse, `count` equals the total bucket mass.
+fn snapshot_from(pairs: &[(u32, u64)], sum: u64) -> HistogramSnapshot {
+    let mut dense = vec![0u64; HIST_BUCKETS];
+    for &(i, n) in pairs {
+        dense[i as usize] += n;
+    }
+    let buckets: Vec<(u32, u64)> = dense
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &n)| (n > 0).then_some((i as u32, n)))
+        .collect();
+    let count = buckets.iter().map(|&(_, n)| n).sum();
+    HistogramSnapshot { count, sum, buckets }
+}
+
+/// The raw-parts strategy a snapshot is built from (the vendored
+/// proptest has no `prop_map`, so construction happens in the test body).
+fn arb_parts() -> impl Strategy<Value = (Vec<(u32, u64)>, u64)> {
+    (
+        prop::collection::vec((0u32..HIST_BUCKETS as u32, 1u64..1_000), 0..12),
+        0u64..1_000_000,
+    )
+}
+
+proptest! {
+    #[test]
+    fn merge_preserves_totals(pa in arb_parts(), pb in arb_parts()) {
+        let (a, b) = (snapshot_from(&pa.0, pa.1), snapshot_from(&pb.0, pb.1));
+        let m = a.merge(&b);
+        prop_assert_eq!(m.count, a.count + b.count);
+        prop_assert_eq!(m.sum, a.sum + b.sum);
+        let (da, db, dm) = (a.dense(), b.dense(), m.dense());
+        for i in 0..HIST_BUCKETS {
+            prop_assert_eq!(dm[i], da[i] + db[i]);
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative(pa in arb_parts(), pb in arb_parts()) {
+        let (a, b) = (snapshot_from(&pa.0, pa.1), snapshot_from(&pb.0, pb.1));
+        prop_assert_eq!(a.merge(&b), b.merge(&a));
+    }
+
+    #[test]
+    fn delta_inverts_merge(pa in arb_parts(), pb in arb_parts()) {
+        let (a, b) = (snapshot_from(&pa.0, pa.1), snapshot_from(&pb.0, pb.1));
+        let d = a.merge(&b).delta(&a);
+        prop_assert_eq!(d.dense(), b.dense());
+        prop_assert_eq!(d.count, b.count);
+        prop_assert_eq!(d.sum, b.sum);
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_q(
+        pa in arb_parts(),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let a = snapshot_from(&pa.0, pa.1);
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(a.percentile(lo) <= a.percentile(hi));
+        // The closed top of the quantile range rides along explicitly
+        // (the vendored proptest only generates half-open float ranges).
+        prop_assert!(a.percentile(hi) <= a.percentile(1.0));
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_bucket_mass(
+        pa in arb_parts(),
+        idx in 0u32..HIST_BUCKETS as u32,
+        add in 1u64..1_000,
+        q in 0.0f64..1.0,
+    ) {
+        // Adding mass never moves the q-bound outside the bracket formed
+        // by the two parts' own bounds.
+        let a = snapshot_from(&pa.0, pa.1);
+        prop_assume!(a.count > 0);
+        let extra = HistogramSnapshot { count: add, sum: 0, buckets: vec![(idx, add)] };
+        let m = a.merge(&extra);
+        let (pa, pe, pm) = (a.percentile(q), extra.percentile(q), m.percentile(q));
+        prop_assert!(pm >= pa.min(pe), "merged {pm} below both parts ({pa}, {pe})");
+        prop_assert!(pm <= pa.max(pe), "merged {pm} above both parts ({pa}, {pe})");
+    }
+
+    #[test]
+    fn metrics_snapshot_delta_inverts_merge(
+        p1 in arb_parts(),
+        p2 in arb_parts(),
+        c1 in 0u64..1_000_000,
+        c2 in 0u64..1_000_000,
+    ) {
+        let (h1, h2) = (snapshot_from(&p1.0, p1.1), snapshot_from(&p2.0, p2.1));
+        let a = MetricsSnapshot {
+            counters: vec![("reqs".into(), c1)],
+            histograms: vec![("lat".into(), h1)],
+        };
+        let b = MetricsSnapshot {
+            counters: vec![("reqs".into(), c2)],
+            histograms: vec![("lat".into(), h2.clone())],
+        };
+        let d = a.merge(&b).delta(&a);
+        prop_assert_eq!(d.counter("reqs"), c2);
+        let dl = d.histogram("lat").expect("lat survives");
+        prop_assert_eq!(dl.dense(), h2.dense());
+    }
+}
+
+/// The atomic-side fold: merging a snapshot into a live [`cc_obs::Histogram`]
+/// adds totals exactly (the per-shard aggregation step).
+#[test]
+fn histogram_merge_folds_snapshot_into_atomics() {
+    let h = cc_obs::histogram("test.metrics_props.fold");
+    let before = h.snapshot();
+    let snap = HistogramSnapshot { count: 7, sum: 300, buckets: vec![(0, 2), (5, 4), (63, 1)] };
+    h.merge(&snap);
+    let after = h.snapshot();
+    assert_eq!(after.count, before.count + 7);
+    assert_eq!(after.sum, before.sum + 300);
+    let (db, da) = (before.dense(), after.dense());
+    assert_eq!(da[0], db[0] + 2);
+    assert_eq!(da[5], db[5] + 4);
+    assert_eq!(da[63], db[63] + 1);
+}

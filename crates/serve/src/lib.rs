@@ -1,7 +1,7 @@
 //! `cc-serve`: the compression/evaluation service layer.
 //!
 //! A dependency-free (`std::net`) TCP daemon speaking the framed binary
-//! protocol **cc-wire/1** ([`wire`]), with an acceptor → reactor shards
+//! protocol **cc-wire/2** ([`wire`]), with an acceptor → reactor shards
 //! → compute pool core ([`server`], backed by `cc_par::Mailbox` /
 //! `BoundedQueue` / `run_pool`) and a blocking client library
 //! ([`client`]). Each reactor shard owns its connections via
@@ -33,5 +33,5 @@ pub mod client;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientConfig, ClientError};
+pub use client::{Client, ClientConfig, ClientError, StatsReport};
 pub use server::{EvalLimits, Server, ServerConfig};

@@ -60,10 +60,13 @@
 //! through the usual `--trace` / `TRACE.json` path.
 
 use crate::wire::{
-    self, encode_error, encode_frame, try_encode_frame, CompressRequest, DecompressRequest,
-    ErrCode, EvalRequest, EvalResponse, Frame, FrameDecoder, Opcode, WireError, OP_BUSY,
-    OP_ERROR, OP_STREAM,
+    self, encode_error, encode_frame_v, encode_span_tree, try_encode_frame_v, CompressRequest,
+    DecompressRequest, ErrCode, EvalRequest, EvalResponse, Frame, FrameDecoder, Opcode,
+    TraceContext, WireError, MAX_TELEMETRY_NODES, OP_BUSY, OP_ERROR, OP_STREAM, OP_TELEMETRY,
+    VERSION_MIN,
 };
+use cc_obs::SpanNode;
+use std::cell::RefCell;
 use cc_codecs::chunked::{compress_chunked_stream, decompress_chunked};
 use cc_codecs::Variant;
 use cc_core::evaluation::{verdict_for, EvalConfig, Evaluation};
@@ -171,6 +174,7 @@ pub const STAT_COUNTERS: &[&str] = &[
     "serve.panic",
     "serve.queue_full_retry",
     "serve.stream.frames",
+    "serve.traced_requests",
     "serve.op.ping.bytes_in",
     "serve.op.compress.bytes_in",
     "serve.op.compress.bytes_out",
@@ -180,11 +184,35 @@ pub const STAT_COUNTERS: &[&str] = &[
     "serve.op.stats.bytes_out",
 ];
 
+/// Timing context a traced request accumulates on its way to the pool
+/// (all on [`cc_obs::now_ns`]'s clock).
+struct JobTrace {
+    /// The client's trace extension (echoed for the server's records;
+    /// stitching itself happens client-side).
+    #[allow(dead_code)]
+    ctx: TraceContext,
+    /// Socket read of the frame began (decoder left a boundary).
+    read_start_ns: u64,
+    /// The frame completed decoding.
+    decoded_ns: u64,
+    /// The request entered the compute queue.
+    enqueued_ns: u64,
+}
+
 /// One parsed request travelling to the compute pool.
 struct Job {
     shard: usize,
     conn: u64,
     frame: Frame,
+    trace: Option<JobTrace>,
+}
+
+/// Server-side span tree parts for one traced request, posted with the
+/// terminal reply; the shard closes the root after enqueueing the
+/// reply so the tree also covers reply encode + enqueue.
+struct ReqTelemetry {
+    root_start_ns: u64,
+    children: Vec<SpanNode>,
 }
 
 /// Messages a reactor shard drains from its inbox each tick.
@@ -194,7 +222,7 @@ enum ShardMsg {
     /// A piece of a streaming reply, to go out as an `OP_STREAM` frame.
     Partial { conn: u64, req_id: u64, bytes: Vec<u8> },
     /// The terminal reply for a request; clears the in-flight slot.
-    Done { conn: u64, req_id: u64, opcode: u8, payload: Vec<u8> },
+    Done { conn: u64, req_id: u64, opcode: u8, payload: Vec<u8>, telemetry: Option<ReqTelemetry> },
 }
 
 struct Shared {
@@ -203,6 +231,7 @@ struct Shared {
     queue: BoundedQueue<Job>,
     inboxes: Vec<Arc<Mailbox<ShardMsg>>>,
     conns: AtomicUsize,
+    started: Instant,
 }
 
 impl Shared {
@@ -234,6 +263,12 @@ impl Server {
     /// of its contract, not an opt-in).
     pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
         cc_obs::set_metrics_enabled(true);
+        // Pre-register the contract counters so `cc-stats/1` bodies
+        // (built from the registry, unlike the fixed-list text form)
+        // list them even before first increment.
+        for name in STAT_COUNTERS {
+            cc_obs::counter(name);
+        }
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -246,6 +281,7 @@ impl Server {
             stop: AtomicBool::new(false),
             inboxes,
             conns: AtomicUsize::new(0),
+            started: Instant::now(),
         });
 
         let acceptor = {
@@ -338,7 +374,9 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
                     cc_obs::counter_inc("serve.busy");
                     let _ = stream.set_write_timeout(Some(cfg.write_timeout));
                     let mut stream = stream;
-                    let _ = stream.write_all(&encode_frame(OP_BUSY, 0, &[]));
+                    // The peer has not spoken yet, so its version is
+                    // unknown; v1 bytes parse under every version.
+                    let _ = stream.write_all(&encode_frame_v(VERSION_MIN, OP_BUSY, 0, &[]));
                     continue;
                 }
                 if stream.set_nonblocking(true).is_err() {
@@ -383,12 +421,26 @@ impl ShardStats {
     }
 }
 
+/// A parsed request waiting for compute-pool submission, with the
+/// decode-side timestamps a traced request carries into its span tree.
+struct Pending {
+    frame: Frame,
+    read_start_ns: u64,
+    decoded_ns: u64,
+}
+
 /// One connection owned by a reactor shard.
 struct Conn {
     stream: TcpStream,
     dec: FrameDecoder,
+    /// Version of the most recent request frame: replies echo it, so a
+    /// `cc-wire/1` client sees byte-identical `/1` replies.
+    wire_version: u8,
+    /// When the decoder last left a frame boundary (the decode span's
+    /// start for traced requests).
+    read_start_ns: u64,
     /// Parsed requests not yet submitted to the compute pool.
-    pending: VecDeque<Frame>,
+    pending: VecDeque<Pending>,
     /// A request of this connection is in the pool or queue (at most
     /// one — this is what keeps responses in request order).
     inflight: bool,
@@ -418,6 +470,8 @@ impl Conn {
         Conn {
             stream,
             dec: FrameDecoder::new(max_payload),
+            wire_version: VERSION_MIN,
+            read_start_ns: 0,
             pending: VecDeque::new(),
             inflight: false,
             outq: VecDeque::new(),
@@ -479,16 +533,19 @@ fn shard_loop(idx: usize, shared: &Shared) {
                         // A streamed piece: encode and queue immediately
                         // so it starts flowing before the terminal frame
                         // (or even the next piece) exists.
-                        c.outq.push_back(encode_frame(OP_STREAM, req_id, &bytes));
+                        c.outq.push_back(encode_frame_v(c.wire_version, OP_STREAM, req_id, &bytes));
                     }
                 }
-                ShardMsg::Done { conn, req_id, opcode, payload } => {
+                ShardMsg::Done { conn, req_id, opcode, payload, telemetry } => {
                     if let Some(c) = conns.get_mut(&conn) {
                         c.inflight = false;
                         c.last_progress = Instant::now();
-                        let frame = try_encode_frame(opcode, req_id, &payload)
+                        let recv_ns = cc_obs::now_ns();
+                        let version = c.wire_version;
+                        let frame = try_encode_frame_v(version, None, opcode, req_id, &payload)
                             .unwrap_or_else(|_| {
-                                encode_frame(
+                                encode_frame_v(
+                                    version,
                                     OP_ERROR,
                                     req_id,
                                     &encode_error(
@@ -498,6 +555,35 @@ fn shard_loop(idx: usize, shared: &Shared) {
                                 )
                             });
                         c.outq.push_back(frame);
+                        if let Some(t) = telemetry {
+                            // Close the request's span tree around the
+                            // reply enqueue and send it as one trailing
+                            // telemetry frame, after the terminal reply.
+                            let mut children = t.children;
+                            let end_ns = cc_obs::now_ns();
+                            children.push(SpanNode {
+                                name: "srv.reply.enqueue",
+                                start_ns: recv_ns,
+                                dur_ns: end_ns.saturating_sub(recv_ns),
+                                children: Vec::new(),
+                            });
+                            let mut root = SpanNode {
+                                name: "srv.request",
+                                start_ns: t.root_start_ns,
+                                dur_ns: end_ns.saturating_sub(t.root_start_ns),
+                                children,
+                            };
+                            // Thread-to-thread timestamp handoffs can be
+                            // momentarily inconsistent; clamping restores
+                            // the containment invariant cheaply.
+                            cc_obs::trace::clamp_into(&mut root, t.root_start_ns, end_ns);
+                            c.outq.push_back(encode_frame_v(
+                                version,
+                                OP_TELEMETRY,
+                                req_id,
+                                &encode_span_tree(&root),
+                            ));
+                        }
                     }
                 }
             }
@@ -520,15 +606,25 @@ fn shard_loop(idx: usize, shared: &Shared) {
             // Submit the next pending request unless one is already in
             // flight. A full queue is backpressure — retry next tick.
             while !c.inflight && !c.dead {
-                let Some(frame) = c.pending.pop_front() else { break };
-                match shared.queue.try_push(Job { shard: idx, conn: id, frame }) {
+                let Some(p) = c.pending.pop_front() else { break };
+                let trace = p.frame.trace.map(|ctx| JobTrace {
+                    ctx,
+                    read_start_ns: p.read_start_ns,
+                    decoded_ns: p.decoded_ns,
+                    enqueued_ns: cc_obs::now_ns(),
+                });
+                match shared.queue.try_push(Job { shard: idx, conn: id, frame: p.frame, trace }) {
                     Ok(depth) => {
                         cc_obs::observe("serve.queue_depth", depth as u64);
                         c.inflight = true;
                     }
                     Err(job) => {
                         cc_obs::counter_inc("serve.queue_full_retry");
-                        c.pending.push_front(job.frame);
+                        c.pending.push_front(Pending {
+                            read_start_ns: job.trace.as_ref().map_or(0, |t| t.read_start_ns),
+                            decoded_ns: job.trace.as_ref().map_or(0, |t| t.decoded_ns),
+                            frame: job.frame,
+                        });
                         break;
                     }
                 }
@@ -590,6 +686,7 @@ fn step_read(
         if c.pending.len() >= PENDING_CAP {
             break;
         }
+        let at_boundary = c.dec.at_boundary();
         match (&c.stream).read(scratch) {
             Ok(0) => {
                 c.read_closed = true;
@@ -597,7 +694,8 @@ fn step_read(
                     // EOF inside a frame: same truncation error the
                     // blocking path reported.
                     cc_obs::counter_inc("serve.frame_corrupt");
-                    c.fatal = Some(encode_frame(
+                    c.fatal = Some(encode_frame_v(
+                        c.wire_version,
                         OP_ERROR,
                         0,
                         &encode_error(ErrCode::BadPayload, &WireError::Truncated.to_string()),
@@ -606,6 +704,11 @@ fn step_read(
                 break;
             }
             Ok(n) => {
+                if at_boundary {
+                    // A new frame starts in this read: the decode span
+                    // of any traced request it carries opens here.
+                    c.read_start_ns = cc_obs::now_ns();
+                }
                 if metrics {
                     stats.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
                 }
@@ -616,7 +719,8 @@ fn step_read(
                         // answer one well-formed error frame (after any
                         // requests completed earlier) and close.
                         cc_obs::counter_inc("serve.frame_corrupt");
-                        c.fatal = Some(encode_frame(
+                        c.fatal = Some(encode_frame_v(
+                            c.wire_version,
                             OP_ERROR,
                             0,
                             &encode_error(ErrCode::BadPayload, &e.to_string()),
@@ -648,7 +752,8 @@ fn step_read(
         c.served += 1;
         if c.served > cfg.max_requests_per_conn {
             cc_obs::counter_inc("serve.request_cap_hit");
-            c.fatal = Some(encode_frame(
+            c.fatal = Some(encode_frame_v(
+                frame.version,
                 OP_ERROR,
                 frame.req_id,
                 &encode_error(ErrCode::RequestCap, "per-connection request cap reached"),
@@ -656,7 +761,11 @@ fn step_read(
             c.closing = true;
             break;
         }
-        c.pending.push_back(frame);
+        // Per-frame version negotiation: replies echo the version of
+        // the request they answer.
+        c.wire_version = frame.version;
+        let decoded_ns = if frame.trace.is_some() { cc_obs::now_ns() } else { 0 };
+        c.pending.push_back(Pending { read_start_ns: c.read_start_ns, decoded_ns, frame });
     }
     frames.clear();
 }
@@ -703,6 +812,40 @@ fn step_write(c: &mut Conn, cfg: &ServerConfig, stats: &ShardStats, metrics: boo
     }
 }
 
+/// Most worker-side child spans one traced request may record (chunk
+/// encodes, stream emits) — keeps a huge streamed compress within the
+/// telemetry frame's decode budget ([`MAX_TELEMETRY_NODES`]).
+const SPAN_REC_CAP: usize = MAX_TELEMETRY_NODES - 8;
+
+/// Sequential child-span recorder for one traced request on a pool
+/// worker: `mark(name)` closes a span from the previous mark (or the
+/// compute start) to now. Marks never overlap, so the children
+/// partition the compute interval and self-time attribution in the
+/// stitched flamegraph stays exact.
+struct SpanRec {
+    spans: Vec<SpanNode>,
+    last_ns: u64,
+}
+
+impl SpanRec {
+    fn new(start_ns: u64) -> SpanRec {
+        SpanRec { spans: Vec::new(), last_ns: start_ns }
+    }
+
+    fn mark(&mut self, name: &'static str) {
+        let now = cc_obs::now_ns();
+        if self.spans.len() < SPAN_REC_CAP {
+            self.spans.push(SpanNode {
+                name,
+                start_ns: self.last_ns,
+                dur_ns: now.saturating_sub(self.last_ns),
+                children: Vec::new(),
+            });
+        }
+        self.last_ns = now;
+    }
+}
+
 /// Execute one request on a compute-pool worker and post the reply (and
 /// any streamed pieces) back to the owning shard.
 fn handle_job(job: Job, shared: &Shared) {
@@ -710,21 +853,31 @@ fn handle_job(job: Job, shared: &Shared) {
     let conn = job.conn;
     let req_id = job.frame.req_id;
     let t0 = cc_obs::now_ns();
+    let rec = job.trace.as_ref().map(|_| RefCell::new(SpanRec::new(t0)));
     let result = {
+        let rec = rec.as_ref();
         let mut emit = |bytes: Vec<u8>| {
             cc_obs::counter_inc("serve.stream.frames");
             cc_obs::counter_add("serve.op.compress.bytes_out", bytes.len() as u64);
             inbox.send(ShardMsg::Partial { conn, req_id, bytes });
+            if let Some(r) = rec {
+                r.borrow_mut().mark("srv.stream.emit");
+            }
         };
         std::panic::catch_unwind(AssertUnwindSafe(|| {
-            handle_request(&job.frame, shared, &mut emit)
+            handle_request(&job.frame, shared, &mut emit, rec)
         }))
         .unwrap_or_else(|_| {
             cc_obs::counter_inc("serve.panic");
             Err((ErrCode::Internal, "request handler panicked".into()))
         })
     };
-    cc_obs::observe("serve.req_us", (cc_obs::now_ns().saturating_sub(t0)) / 1_000);
+    let t_end = cc_obs::now_ns();
+    let req_us = t_end.saturating_sub(t0) / 1_000;
+    cc_obs::observe("serve.req_us", req_us);
+    if let Some(op) = Opcode::from_u8(job.frame.opcode) {
+        cc_obs::observe(op.latency_histogram(), req_us);
+    }
     cc_obs::counter_inc("serve.requests");
     let (opcode, payload) = match result {
         Ok((op, payload)) => (op, payload),
@@ -733,7 +886,34 @@ fn handle_job(job: Job, shared: &Shared) {
             (OP_ERROR, encode_error(code, &msg))
         }
     };
-    inbox.send(ShardMsg::Done { conn, req_id, opcode, payload });
+    let telemetry = job.trace.map(|t| {
+        cc_obs::counter_inc("serve.traced_requests");
+        let children = vec![
+            SpanNode {
+                name: "srv.decode",
+                start_ns: t.read_start_ns,
+                dur_ns: t.decoded_ns.saturating_sub(t.read_start_ns),
+                children: Vec::new(),
+            },
+            SpanNode {
+                name: "srv.queue",
+                start_ns: t.decoded_ns,
+                dur_ns: t0.saturating_sub(t.decoded_ns),
+                children: Vec::new(),
+            },
+            SpanNode {
+                name: "srv.compute",
+                start_ns: t0,
+                dur_ns: t_end.saturating_sub(t0),
+                children: rec.map(|r| r.into_inner().spans).unwrap_or_default(),
+            },
+        ];
+        // enqueued_ns sits inside the srv.queue interval; it is not its
+        // own span — queue wait is what the client cares about.
+        let _ = t.enqueued_ns;
+        ReqTelemetry { root_start_ns: t.read_start_ns, children }
+    });
+    inbox.send(ShardMsg::Done { conn, req_id, opcode, payload, telemetry });
 }
 
 type HandlerResult = Result<(u8, Vec<u8>), (ErrCode, String)>;
@@ -742,6 +922,7 @@ fn handle_request(
     frame: &Frame,
     shared: &Shared,
     emit: &mut dyn FnMut(Vec<u8>),
+    rec: Option<&RefCell<SpanRec>>,
 ) -> HandlerResult {
     let Some(op) = Opcode::from_u8(frame.opcode) else {
         return Err((ErrCode::BadPayload, format!("unknown opcode 0x{:02x}", frame.opcode)));
@@ -750,12 +931,14 @@ fn handle_request(
     cc_obs::counter_add(&format!("serve.op.{}.bytes_in", op.name()), frame.payload.len() as u64);
     let out: HandlerResult = match op {
         Opcode::Ping => Ok((op.reply(), Vec::new())),
-        Opcode::Compress => handle_compress(&frame.payload, shared, emit).map(|p| (op.reply(), p)),
+        Opcode::Compress => {
+            handle_compress(&frame.payload, shared, emit, rec).map(|p| (op.reply(), p))
+        }
         Opcode::Decompress => {
             handle_decompress(&frame.payload, shared).map(|p| (op.reply(), p))
         }
         Opcode::Evaluate => handle_evaluate(&frame.payload, shared).map(|p| (op.reply(), p)),
-        Opcode::Stats => Ok((op.reply(), stats_text().into_bytes())),
+        Opcode::Stats => Ok((op.reply(), stats_body(frame, shared))),
         Opcode::Shutdown => {
             shared.begin_shutdown();
             Ok((op.reply(), Vec::new()))
@@ -782,6 +965,7 @@ fn handle_compress(
     payload: &[u8],
     shared: &Shared,
     emit: &mut dyn FnMut(Vec<u8>),
+    rec: Option<&RefCell<SpanRec>>,
 ) -> Result<Vec<u8>, (ErrCode, String)> {
     let req = CompressRequest::decode(payload)
         .map_err(|_| (ErrCode::BadPayload, "malformed Compress payload".into()))?;
@@ -793,6 +977,9 @@ fn handle_compress(
     // the nested-context guard would degrade fan-out anyway) — which is
     // exactly what makes the emitted byte order the workers=1 reference.
     compress_chunked_stream(codec.as_ref(), &req.data, req.layout, &mut |piece| {
+        if let Some(r) = rec {
+            r.borrow_mut().mark("srv.chunk.encode");
+        }
         buf.extend_from_slice(piece);
         if buf.len() >= threshold {
             emit(std::mem::take(&mut buf));
@@ -862,9 +1049,9 @@ fn handle_evaluate(payload: &[u8], shared: &Shared) -> Result<Vec<u8>, (ErrCode,
     .encode())
 }
 
-/// The `Stats` response body: one `name value` line per counter in
-/// [`STAT_COUNTERS`] (reads are ungated, so this works even when metric
-/// recording was toggled off after start).
+/// The legacy `Stats` response body: one `name value` line per counter
+/// in [`STAT_COUNTERS`] (reads are ungated, so this works even when
+/// metric recording was toggled off after start).
 pub fn stats_text() -> String {
     let mut out = String::new();
     for name in STAT_COUNTERS {
@@ -874,4 +1061,69 @@ pub fn stats_text() -> String {
         out.push('\n');
     }
     out
+}
+
+/// The `cc-stats/1` structured `Stats` body: every registered counter
+/// and histogram (full sparse log2 buckets) plus server uptime. Shapes
+/// match the `counters`/`histograms` sections of `cc-trace/1` so the
+/// same readers work on both.
+pub fn stats_json(uptime_us: u64) -> String {
+    let snap = cc_obs::metrics_snapshot();
+    let mut out = String::new();
+    out.push_str("{\"schema\":\"cc-stats/1\",\"uptime_us\":");
+    out.push_str(&uptime_us.to_string());
+    out.push_str(",\"counters\":[");
+    for (i, (name, value)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        out.push_str(&cc_obs::json::escape(name));
+        out.push_str("\",\"value\":");
+        out.push_str(&value.to_string());
+        out.push('}');
+    }
+    out.push_str("],\"histograms\":[");
+    for (i, (name, h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        out.push_str(&cc_obs::json::escape(name));
+        out.push_str("\",\"count\":");
+        out.push_str(&h.count.to_string());
+        out.push_str(",\"sum\":");
+        out.push_str(&h.sum.to_string());
+        out.push_str(",\"buckets\":[");
+        for (j, (idx, n)) in h.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            out.push_str(&idx.to_string());
+            out.push(',');
+            out.push_str(&n.to_string());
+            out.push(']');
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Select the `Stats` body for one request. Explicit payloads force a
+/// form (`b"json"` / `b"text"`); an empty payload keeps cc-wire/1
+/// clients on the legacy text dump and gives cc-wire/2 clients the
+/// structured `cc-stats/1` JSON.
+fn stats_body(frame: &Frame, shared: &Shared) -> Vec<u8> {
+    let want_text = match frame.payload.as_slice() {
+        b"text" => true,
+        b"json" => false,
+        _ => frame.version < 2,
+    };
+    if want_text {
+        stats_text().into_bytes()
+    } else {
+        stats_json(shared.started.elapsed().as_micros() as u64).into_bytes()
+    }
 }

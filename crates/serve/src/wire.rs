@@ -1,15 +1,26 @@
-//! The `cc-wire/1` framed binary protocol.
+//! The `cc-wire/2` framed binary protocol (version-negotiated; `/1`
+//! peers are still served).
 //!
 //! Every message — request or response — is one frame:
 //!
 //! | bytes | field | notes |
 //! |---|---|---|
-//! | 0..4 | magic `b"CCW1"` | protocol + major version |
-//! | 4 | version | `1` |
-//! | 5 | opcode | request `0x01..=0x06`, response `op \| 0x80`, `0xFD` Stream, `0xFE` Busy, `0xFF` Error |
+//! | 0..4 | magic `b"CCW1"` | protocol identity (unchanged across minor versions) |
+//! | 4 | version | low 7 bits: `1` or `2`; bit 7 ([`FLAG_TRACE`], v2 only): trace extension present |
+//! | 5 | opcode | request `0x01..=0x06`, response `op \| 0x80`, `0xFC` Telemetry, `0xFD` Stream, `0xFE` Busy, `0xFF` Error |
 //! | 6..14 | request id | `u64` LE, echoed verbatim in the response so clients can pipeline |
-//! | 14..18 | payload length | `u32` LE |
-//! | 18.. | payload | opcode-specific |
+//! | 14..18 | payload length | `u32` LE, excludes the trace extension |
+//! | 18..42 | trace extension | **only if [`FLAG_TRACE`]**: 128-bit trace id + 64-bit parent span id, LE |
+//! | …   | payload | opcode-specific |
+//!
+//! Version negotiation is per frame and implicit: the server accepts
+//! versions 1 and 2 and answers each request with the version the
+//! request carried, so a `cc-wire/1` client sees byte-identical `/1`
+//! replies. A v2 frame without the trace flag is byte-identical to the
+//! v1 layout except for the version byte — tracing off costs zero
+//! extra bytes. When the flag is set, a traced request additionally
+//! receives one trailing [`OP_TELEMETRY`] frame after its terminal
+//! reply, carrying the server-side span subtree for stitching.
 //!
 //! Responses larger than the server's stream threshold are split into
 //! zero or more [`OP_STREAM`] continuation frames followed by one
@@ -31,8 +42,15 @@ use std::io::Read;
 
 /// Frame magic: `cc-wire`, major version 1.
 pub const MAGIC: [u8; 4] = *b"CCW1";
-/// Protocol version carried in every frame.
-pub const VERSION: u8 = 1;
+/// Current protocol version (`cc-wire/2`).
+pub const VERSION: u8 = 2;
+/// Oldest version still accepted.
+pub const VERSION_MIN: u8 = 1;
+/// Version-byte flag: a [`TRACE_EXT_LEN`]-byte trace-context extension
+/// follows the header. Only legal with version 2.
+pub const FLAG_TRACE: u8 = 0x80;
+/// Trace extension length: 128-bit trace id + 64-bit parent span id.
+pub const TRACE_EXT_LEN: usize = 24;
 /// Fixed header length (magic, version, opcode, request id, payload len).
 pub const HEADER_LEN: usize = 18;
 /// Payload read granularity: buffers grow by at most this much per read,
@@ -90,8 +108,26 @@ impl Opcode {
             Opcode::Shutdown => "shutdown",
         }
     }
+
+    /// Static per-opcode request-latency histogram name (microseconds).
+    /// Static so the observe path stays allocation-free per request.
+    pub fn latency_histogram(self) -> &'static str {
+        match self {
+            Opcode::Ping => "serve.req_us.ping",
+            Opcode::Compress => "serve.req_us.compress",
+            Opcode::Decompress => "serve.req_us.decompress",
+            Opcode::Evaluate => "serve.req_us.evaluate",
+            Opcode::Stats => "serve.req_us.stats",
+            Opcode::Shutdown => "serve.req_us.shutdown",
+        }
+    }
 }
 
+/// Response opcode: server-side telemetry for one traced request,
+/// sent as one trailing frame after the terminal reply. Payload is the
+/// serialized span subtree ([`encode_span_tree`]). Only ever sent for
+/// requests that carried the trace extension.
+pub const OP_TELEMETRY: u8 = 0xFC;
 /// Response opcode: a continuation piece of a streamed reply. Carries
 /// the request id of the response it belongs to; the terminal frame
 /// (normal reply opcode or [`OP_ERROR`]) ends the stream.
@@ -140,13 +176,42 @@ impl ErrCode {
     }
 }
 
+/// The trace-context extension a traced request carries: which
+/// distributed trace this request belongs to, and which client-side
+/// span is the parent of the server's work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// 128-bit trace id, chosen by the originating client.
+    pub trace_id: u128,
+    /// The client-side span the server subtree will be stitched under.
+    pub parent_span: u64,
+}
+
+impl TraceContext {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.trace_id.to_le_bytes());
+        out.extend_from_slice(&self.parent_span.to_le_bytes());
+    }
+
+    fn decode(ext: &[u8; TRACE_EXT_LEN]) -> TraceContext {
+        TraceContext {
+            trace_id: u128::from_le_bytes(ext[0..16].try_into().expect("16 bytes")),
+            parent_span: u64::from_le_bytes(ext[16..24].try_into().expect("8 bytes")),
+        }
+    }
+}
+
 /// One decoded frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
+    /// Negotiated version this frame was encoded under (1 or 2).
+    pub version: u8,
     /// Raw opcode byte (requests validate via [`Opcode::from_u8`]).
     pub opcode: u8,
     /// Request id, echoed in responses.
     pub req_id: u64,
+    /// Trace-context extension, if the frame carried one (v2 only).
+    pub trace: Option<TraceContext>,
     /// Opcode-specific payload.
     pub payload: Vec<u8>,
 }
@@ -224,36 +289,76 @@ impl WireError {
 /// Largest payload one frame can carry: the length field is `u32`.
 pub const MAX_FRAME_PAYLOAD: usize = u32::MAX as usize;
 
-/// Encode one frame, rejecting payloads the `u32` length field cannot
+/// Encode one frame under an explicit version with an optional trace
+/// extension, rejecting payloads the `u32` length field cannot
 /// represent — encoding such a payload with a truncated length would
-/// emit a frame whose declared length disagrees with its body.
-pub fn try_encode_frame(opcode: u8, req_id: u64, payload: &[u8]) -> Result<Vec<u8>, WireError> {
+/// emit a frame whose declared length disagrees with its body. A trace
+/// context forces version 2 (v1 has no extension slot).
+pub fn try_encode_frame_v(
+    version: u8,
+    trace: Option<TraceContext>,
+    opcode: u8,
+    req_id: u64,
+    payload: &[u8],
+) -> Result<Vec<u8>, WireError> {
+    debug_assert!((VERSION_MIN..=VERSION).contains(&version), "bad wire version {version}");
     if payload.len() > MAX_FRAME_PAYLOAD {
         return Err(WireError::TooLarge {
             declared: payload.len() as u64,
             cap: MAX_FRAME_PAYLOAD,
         });
     }
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    let ext = if trace.is_some() { TRACE_EXT_LEN } else { 0 };
+    let mut out = Vec::with_capacity(HEADER_LEN + ext + payload.len());
     out.extend_from_slice(&MAGIC);
-    out.push(VERSION);
+    out.push(if trace.is_some() { VERSION | FLAG_TRACE } else { version });
     out.push(opcode);
     out.extend_from_slice(&req_id.to_le_bytes());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    if let Some(ctx) = trace {
+        ctx.encode_into(&mut out);
+    }
     out.extend_from_slice(payload);
     Ok(out)
+}
+
+/// Encode one current-version frame without a trace extension.
+pub fn try_encode_frame(opcode: u8, req_id: u64, payload: &[u8]) -> Result<Vec<u8>, WireError> {
+    try_encode_frame_v(VERSION, None, opcode, req_id, payload)
 }
 
 /// Encode one frame. Panics if the payload exceeds
 /// [`MAX_FRAME_PAYLOAD`]; callers handling untrusted or unbounded sizes
 /// use [`try_encode_frame`].
 pub fn encode_frame(opcode: u8, req_id: u64, payload: &[u8]) -> Vec<u8> {
+    encode_frame_v(VERSION, opcode, req_id, payload)
+}
+
+/// Encode one frame under an explicit version (replies echo the
+/// version of the request they answer, so v1 clients keep seeing v1
+/// bytes). Panics on an oversized payload, like [`encode_frame`].
+pub fn encode_frame_v(version: u8, opcode: u8, req_id: u64, payload: &[u8]) -> Vec<u8> {
     assert!(
         payload.len() <= MAX_FRAME_PAYLOAD,
         "frame payload {} exceeds the u32 length field",
         payload.len()
     );
-    try_encode_frame(opcode, req_id, payload).expect("length checked")
+    try_encode_frame_v(version, None, opcode, req_id, payload).expect("length checked")
+}
+
+/// Encode one traced request frame (v2 + [`FLAG_TRACE`] + extension).
+pub fn encode_frame_traced(
+    opcode: u8,
+    req_id: u64,
+    trace: TraceContext,
+    payload: &[u8],
+) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_FRAME_PAYLOAD,
+        "frame payload {} exceeds the u32 length field",
+        payload.len()
+    );
+    try_encode_frame_v(VERSION, Some(trace), opcode, req_id, payload).expect("length checked")
 }
 
 /// Read exactly `buf.len()` bytes, mapping a zero-byte first read to
@@ -278,18 +383,30 @@ fn read_full(r: &mut dyn Read, buf: &mut [u8], at_boundary: bool) -> Result<(), 
     Ok(())
 }
 
-/// Validate a raw header and extract `(opcode, req_id, declared_len)`.
-/// The single place header invariants live — [`read_frame`] and
-/// [`FrameDecoder`] both go through it.
-fn parse_header(
-    header: &[u8; HEADER_LEN],
-    max_payload: usize,
-) -> Result<(u8, u64, usize), WireError> {
+/// A validated frame header.
+#[derive(Debug, Clone, Copy)]
+struct Header {
+    version: u8,
+    traced: bool,
+    opcode: u8,
+    req_id: u64,
+    declared: usize,
+}
+
+/// Validate a raw header. The single place header invariants live —
+/// [`read_frame`] and [`FrameDecoder`] both go through it. Accepts
+/// versions [`VERSION_MIN`]..=[`VERSION`]; the [`FLAG_TRACE`] bit is
+/// only legal on version 2 (v1 has no extension slot, so a flagged v1
+/// byte is damage, not negotiation).
+fn parse_header(header: &[u8; HEADER_LEN], max_payload: usize) -> Result<Header, WireError> {
     if header[0..4] != MAGIC {
         return Err(WireError::BadMagic);
     }
-    if header[4] != VERSION {
-        return Err(WireError::BadVersion(header[4]));
+    let raw = header[4];
+    let version = raw & !FLAG_TRACE;
+    let traced = raw & FLAG_TRACE != 0;
+    if !(VERSION_MIN..=VERSION).contains(&version) || (traced && version != VERSION) {
+        return Err(WireError::BadVersion(raw));
     }
     let opcode = header[5];
     let req_id = u64::from_le_bytes(header[6..14].try_into().expect("8 bytes"));
@@ -297,7 +414,7 @@ fn parse_header(
     if declared > max_payload {
         return Err(WireError::TooLarge { declared: declared as u64, cap: max_payload });
     }
-    Ok((opcode, req_id, declared))
+    Ok(Header { version, traced, opcode, req_id, declared })
 }
 
 /// Read one frame. Total over untrusted bytes: the declared payload
@@ -307,15 +424,22 @@ fn parse_header(
 pub fn read_frame(r: &mut dyn Read, max_payload: usize) -> Result<Frame, WireError> {
     let mut header = [0u8; HEADER_LEN];
     read_full(r, &mut header, true)?;
-    let (opcode, req_id, declared) = parse_header(&header, max_payload)?;
-    let mut payload = Vec::with_capacity(declared.min(READ_CHUNK));
-    while payload.len() < declared {
-        let take = (declared - payload.len()).min(READ_CHUNK);
+    let h = parse_header(&header, max_payload)?;
+    let trace = if h.traced {
+        let mut ext = [0u8; TRACE_EXT_LEN];
+        read_full(r, &mut ext, false)?;
+        Some(TraceContext::decode(&ext))
+    } else {
+        None
+    };
+    let mut payload = Vec::with_capacity(h.declared.min(READ_CHUNK));
+    while payload.len() < h.declared {
+        let take = (h.declared - payload.len()).min(READ_CHUNK);
         let start = payload.len();
         payload.resize(start + take, 0);
         read_full(r, &mut payload[start..], false)?;
     }
-    Ok(Frame { opcode, req_id, payload })
+    Ok(Frame { version: h.version, opcode: h.opcode, req_id: h.req_id, trace, payload })
 }
 
 /// Incremental frame decoder for nonblocking sockets: feed whatever
@@ -331,7 +455,9 @@ pub struct FrameDecoder {
     header_filled: usize,
     /// Parsed header of the frame in flight (None while header bytes
     /// are still arriving).
-    pending: Option<(u8, u64, usize)>,
+    pending: Option<Header>,
+    ext: [u8; TRACE_EXT_LEN],
+    ext_filled: usize,
     payload: Vec<u8>,
 }
 
@@ -343,6 +469,8 @@ impl FrameDecoder {
             header: [0u8; HEADER_LEN],
             header_filled: 0,
             pending: None,
+            ext: [0u8; TRACE_EXT_LEN],
+            ext_filled: 0,
             payload: Vec::new(),
         }
     }
@@ -354,7 +482,7 @@ impl FrameDecoder {
 
     /// Bytes buffered for the frame currently in flight.
     pub fn buffered(&self) -> usize {
-        self.header_filled + self.payload.len()
+        self.header_filled + self.ext_filled + self.payload.len()
     }
 
     /// Consume `bytes`, appending every completed frame to `out`. On a
@@ -378,20 +506,34 @@ impl FrameDecoder {
                         self.pending = Some(parse_header(&self.header, self.max_payload)?);
                     }
                 }
-                Some((opcode, req_id, declared)) => {
-                    let take = (declared - self.payload.len()).min(bytes.len());
+                Some(h) => {
+                    if h.traced && self.ext_filled < TRACE_EXT_LEN {
+                        let take = (TRACE_EXT_LEN - self.ext_filled).min(bytes.len());
+                        self.ext[self.ext_filled..self.ext_filled + take]
+                            .copy_from_slice(&bytes[..take]);
+                        self.ext_filled += take;
+                        bytes = &bytes[take..];
+                        if self.ext_filled < TRACE_EXT_LEN {
+                            return Ok(());
+                        }
+                        continue;
+                    }
+                    let take = (h.declared - self.payload.len()).min(bytes.len());
                     self.payload.extend_from_slice(&bytes[..take]);
                     bytes = &bytes[take..];
-                    if self.payload.len() < declared {
+                    if self.payload.len() < h.declared {
                         return Ok(());
                     }
                     out.push(Frame {
-                        opcode,
-                        req_id,
+                        version: h.version,
+                        opcode: h.opcode,
+                        req_id: h.req_id,
+                        trace: h.traced.then(|| TraceContext::decode(&self.ext)),
                         payload: std::mem::take(&mut self.payload),
                     });
                     self.pending = None;
                     self.header_filled = 0;
+                    self.ext_filled = 0;
                 }
             }
         }
@@ -677,6 +819,81 @@ impl EvalResponse {
     }
 }
 
+// ---------------------------------------------------------------------
+// Telemetry span-tree codec (OP_TELEMETRY payloads).
+// ---------------------------------------------------------------------
+
+/// Cap on nodes in one decoded telemetry tree. Server request trees
+/// are a handful of spans plus one per streamed chunk; anything past
+/// this is hostile or broken.
+pub const MAX_TELEMETRY_NODES: usize = 4096;
+/// Cap on telemetry tree depth (recursion bound for the total decoder).
+pub const MAX_TELEMETRY_DEPTH: usize = 64;
+
+/// Serialize a span subtree for an [`OP_TELEMETRY`] payload. Preorder,
+/// per node: u8-length-prefixed name (truncated at 255 bytes — span
+/// names are short static strings), `start_ns` u64 LE, `dur_ns` u64
+/// LE, child count u16 LE, then the children. Times are on the
+/// **server's** clock; the client rebases them while stitching.
+pub fn encode_span_tree(root: &cc_obs::SpanNode) -> Vec<u8> {
+    fn put(out: &mut Vec<u8>, node: &cc_obs::SpanNode) {
+        let name = &node.name.as_bytes()[..node.name.len().min(u8::MAX as usize)];
+        out.push(name.len() as u8);
+        out.extend_from_slice(name);
+        out.extend_from_slice(&node.start_ns.to_le_bytes());
+        out.extend_from_slice(&node.dur_ns.to_le_bytes());
+        let n = node.children.len().min(u16::MAX as usize);
+        out.extend_from_slice(&(n as u16).to_le_bytes());
+        for c in &node.children[..n] {
+            put(out, c);
+        }
+    }
+    let mut out = Vec::new();
+    put(&mut out, root);
+    out
+}
+
+/// Decode an [`OP_TELEMETRY`] payload back into a span tree. Total
+/// over untrusted bytes: bounds-checked cursor reads, a global
+/// [`MAX_TELEMETRY_NODES`] budget, a [`MAX_TELEMETRY_DEPTH`] recursion
+/// cap, and trailing garbage is rejected. Names are interned (the
+/// span-tree node type carries `&'static str`).
+pub fn decode_span_tree(payload: &[u8]) -> Result<cc_obs::SpanNode, PayloadError> {
+    fn node(
+        c: &mut Cursor,
+        budget: &mut usize,
+        depth: usize,
+    ) -> Result<cc_obs::SpanNode, PayloadError> {
+        if depth > MAX_TELEMETRY_DEPTH || *budget == 0 {
+            return Err(PayloadError);
+        }
+        *budget -= 1;
+        let name = c.name()?;
+        if name.is_empty() {
+            return Err(PayloadError);
+        }
+        let start_ns = c.u64()?;
+        let dur_ns = c.u64()?;
+        start_ns.checked_add(dur_ns).ok_or(PayloadError)?;
+        let n_children = c.u16()? as usize;
+        if n_children > *budget {
+            return Err(PayloadError);
+        }
+        let mut children = Vec::with_capacity(n_children);
+        for _ in 0..n_children {
+            children.push(node(c, budget, depth + 1)?);
+        }
+        Ok(cc_obs::SpanNode { name: cc_obs::intern(&name), start_ns, dur_ns, children })
+    }
+    let mut c = Cursor::new(payload);
+    let mut budget = MAX_TELEMETRY_NODES;
+    let root = node(&mut c, &mut budget, 1)?;
+    if !c.rest().is_empty() {
+        return Err(PayloadError);
+    }
+    Ok(root)
+}
+
 /// Encode an [`OP_ERROR`] payload.
 pub fn encode_error(code: ErrCode, message: &str) -> Vec<u8> {
     let mut out = Vec::with_capacity(2 + message.len());
@@ -936,6 +1153,133 @@ mod tests {
         let back = EvalResponse::decode(&resp.encode()).unwrap();
         assert_eq!(back, resp);
         assert!(!back.all_pass());
+    }
+
+    #[test]
+    fn both_wire_versions_decode_and_survive_reencode() {
+        for version in [1u8, 2] {
+            let bytes = encode_frame_v(version, Opcode::Ping as u8, 11, &[3, 4]);
+            assert_eq!(bytes[4], version);
+            let frame = read_frame(&mut bytes.as_slice(), 1024).unwrap();
+            assert_eq!(frame.version, version);
+            assert_eq!(frame.trace, None);
+            assert_eq!(
+                encode_frame_v(frame.version, frame.opcode, frame.req_id, &frame.payload),
+                bytes,
+                "v{version} frames must re-encode byte-identically"
+            );
+        }
+    }
+
+    #[test]
+    fn untraced_v2_frame_costs_zero_extra_bytes() {
+        // The disabled-path wire pin: v2 without the trace flag is the
+        // v1 layout with a different version byte — same length, and
+        // byte-identical everywhere but byte 4.
+        let payload = [9u8; 37];
+        let v1 = encode_frame_v(1, Opcode::Compress as u8, 5, &payload);
+        let v2 = encode_frame(Opcode::Compress as u8, 5, &payload);
+        assert_eq!(v2.len(), HEADER_LEN + payload.len());
+        assert_eq!(v1.len(), v2.len());
+        for (i, (a, b)) in v1.iter().zip(&v2).enumerate() {
+            if i == 4 {
+                assert_eq!((*a, *b), (1, 2));
+            } else {
+                assert_eq!(a, b, "byte {i} differs between v1 and v2");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_extension_roundtrips_at_any_split() {
+        let ctx = TraceContext { trace_id: 0x0123_4567_89ab_cdef_1122_3344_5566_7788, parent_span: 42 };
+        let bytes = encode_frame_traced(Opcode::Evaluate as u8, 77, ctx, &[1, 2, 3]);
+        assert_eq!(bytes.len(), HEADER_LEN + TRACE_EXT_LEN + 3);
+        assert_eq!(bytes[4], VERSION | FLAG_TRACE);
+        let frame = read_frame(&mut bytes.as_slice(), 1024).unwrap();
+        assert_eq!(frame.version, VERSION);
+        assert_eq!(frame.trace, Some(ctx));
+        assert_eq!(frame.payload, vec![1, 2, 3]);
+        // The incremental decoder must agree at every granularity,
+        // including splits inside the extension.
+        for step in [1usize, 5, 18, 23, 41, 1024] {
+            let mut dec = FrameDecoder::new(1024);
+            let mut got = Vec::new();
+            for piece in bytes.chunks(step) {
+                dec.feed(piece, &mut got).expect("well-formed");
+            }
+            assert!(dec.at_boundary(), "step {step}");
+            assert_eq!(got.len(), 1, "step {step}");
+            assert_eq!(got[0], frame, "step {step}");
+        }
+    }
+
+    #[test]
+    fn trace_flag_on_v1_is_damage() {
+        let mut bytes = encode_frame_v(1, Opcode::Ping as u8, 1, &[]);
+        bytes[4] = 1 | FLAG_TRACE;
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice(), 1024),
+            Err(WireError::BadVersion(v)) if v == 1 | FLAG_TRACE
+        ));
+    }
+
+    #[test]
+    fn span_tree_codec_roundtrips() {
+        let tree = cc_obs::SpanNode {
+            name: "srv.request",
+            start_ns: 100,
+            dur_ns: 900,
+            children: vec![
+                cc_obs::SpanNode { name: "srv.decode", start_ns: 100, dur_ns: 40, children: vec![] },
+                cc_obs::SpanNode {
+                    name: "srv.compute",
+                    start_ns: 200,
+                    dur_ns: 700,
+                    children: vec![cc_obs::SpanNode {
+                        name: "srv.chunk.encode",
+                        start_ns: 220,
+                        dur_ns: 300,
+                        children: vec![],
+                    }],
+                },
+            ],
+        };
+        let payload = encode_span_tree(&tree);
+        let back = decode_span_tree(&payload).expect("roundtrip");
+        assert_eq!(back, tree);
+        // Trailing garbage and truncation are both rejected.
+        let mut longer = payload.clone();
+        longer.push(0);
+        assert!(decode_span_tree(&longer).is_err());
+        assert!(decode_span_tree(&payload[..payload.len() - 1]).is_err());
+        assert!(decode_span_tree(&[]).is_err());
+    }
+
+    #[test]
+    fn span_tree_decode_is_bounded() {
+        // A node claiming u16::MAX children with no bytes behind the
+        // claim must fail fast on the node budget, not allocate wildly.
+        let mut hostile = Vec::new();
+        hostile.push(1u8);
+        hostile.push(b'x');
+        hostile.extend_from_slice(&0u64.to_le_bytes());
+        hostile.extend_from_slice(&1u64.to_le_bytes());
+        hostile.extend_from_slice(&u16::MAX.to_le_bytes());
+        assert!(decode_span_tree(&hostile).is_err());
+        // A deep chain past MAX_TELEMETRY_DEPTH is rejected.
+        let mut deep = Vec::new();
+        for _ in 0..(MAX_TELEMETRY_DEPTH + 2) {
+            deep.push(1u8);
+            deep.push(b'd');
+            deep.extend_from_slice(&0u64.to_le_bytes());
+            deep.extend_from_slice(&1u64.to_le_bytes());
+            deep.extend_from_slice(&1u16.to_le_bytes());
+        }
+        // Terminate the chain so only depth can fail it.
+        deep.truncate(deep.len() - 2);
+        deep.extend_from_slice(&0u16.to_le_bytes());
+        assert!(decode_span_tree(&deep).is_err());
     }
 
     #[test]

@@ -153,11 +153,15 @@ fn stats_and_remote_shutdown_work() {
     client.ping().expect("ping");
     let stats = client.stats().expect("stats");
     for needle in ["serve.accept", "serve.requests", "serve.busy", "serve.frame_corrupt"] {
-        assert!(stats.contains(needle), "stats must list {needle}:\n{stats}");
+        assert!(
+            stats.metrics.counters.iter().any(|(n, _)| n == needle),
+            "stats must list {needle}:\n{stats:?}"
+        );
     }
-    // The counters are process-wide, so only sanity-check shape: every
-    // line is `name value`.
-    for line in stats.lines() {
+    // The legacy text form is still served on request: every line is
+    // `name value`.
+    let text = client.stats_text().expect("stats text");
+    for line in text.lines() {
         let mut parts = line.split(' ');
         assert!(parts.next().is_some());
         parts.next().expect("value").parse::<u64>().expect("numeric value");

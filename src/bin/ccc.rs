@@ -17,20 +17,28 @@
 //!     APAX-profiler sweep with a recommended encoding rate.
 //!
 //! ccc serve [--addr A] [--shards N] [--workers N] [--queue-depth N]
-//!     Run the cc-wire/1 compression/evaluation daemon (reactor shards
+//!     Run the cc-wire/2 compression/evaluation daemon (reactor shards
 //!     owning the connections, a compute pool running the requests)
 //!     until a remote shutdown request drains it.
 //!
 //! ccc remote <ping|compress|decompress|eval|stats|shutdown> [--addr A] ...
 //!     Issue one request against a running daemon.
 //!
+//! ccc top [--addr A] [--interval MS] [--once]
+//!     Live server metrics: poll Stats and render the interval delta —
+//!     req/s, per-opcode latency percentiles, queue depth, busy/retry
+//!     rates, per-shard traffic.
+//!
 //! ccc trace-check [FILE]
 //!     Validate a TRACE.json artifact (default TRACE.json).
 //! ```
 //!
 //! Every command also accepts `--trace FILE` (record spans + metrics and
-//! write a `cc-trace/1` artifact), `--metrics` (print the counter table
-//! at exit), and `--quiet` (suppress progress lines).
+//! write a `cc-trace/1` artifact), `--profile FILE` (write flamegraph
+//! folded stacks), `--metrics` (print the counter table at exit), and
+//! `--quiet` (suppress progress lines). With `--trace` or `--profile`,
+//! `remote` requests carry a cc-wire/2 trace context and the server's
+//! span subtree is stitched into the local artifact.
 
 use climate_compress::codecs::apax::Profiler;
 use climate_compress::codecs::chunked::decompress_chunked;
@@ -46,6 +54,7 @@ use climate_compress::serve::{Client, Server, ServerConfig};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::exit;
+use std::time::Duration;
 
 /// Default daemon address for `serve` and `remote`.
 const DEFAULT_ADDR: &str = "127.0.0.1:4014";
@@ -69,6 +78,7 @@ fn main() {
             "profile" => profile(&flags),
             "serve" => serve(&flags),
             "remote" => remote(rest, &flags),
+            "top" => top(&flags),
             "trace-check" => trace_check(rest),
             "help" | "--help" | "-h" => usage(),
             other => {
@@ -118,9 +128,10 @@ fn usage() {
          \x20 remote compress --codec NAME --var NAME [--out FILE] [model flags]\n\
          \x20 remote decompress --codec NAME --var NAME --in FILE [model flags]\n\
          \x20 remote eval --codec NAME --var NAME [--members N] [model flags]\n\
+         \x20 top [--addr A] [--interval MS] [--once]\n\
          \x20 trace-check [FILE]\n\
          every command also accepts --workers N (worker-pool width),\n\
-         --trace FILE, --metrics, and --quiet"
+         --trace FILE, --profile FILE, --metrics, and --quiet"
     );
 }
 
@@ -322,7 +333,7 @@ fn serve(flags: &HashMap<String, String>) {
     });
     let addr = server.addr();
     println!(
-        "serving cc-wire/1 on {addr} (shards={shards}, workers={workers}, queue-depth={queue_depth})"
+        "serving cc-wire/2 on {addr} (shards={shards}, workers={workers}, queue-depth={queue_depth})"
     );
     println!("stop with: ccc remote shutdown --addr {addr}");
     server.join();
@@ -468,7 +479,7 @@ fn remote(args: &[String], flags: &HashMap<String, String>) {
         }
         "stats" => {
             let mut client = connect(flags);
-            let text = client.stats().unwrap_or_else(|e| {
+            let text = client.stats_text().unwrap_or_else(|e| {
                 eprintln!("remote stats failed: {e}");
                 exit(1);
             });
@@ -487,4 +498,120 @@ fn remote(args: &[String], flags: &HashMap<String, String>) {
             exit(2);
         }
     }
+}
+
+/// `ccc top`: poll the server's `cc-stats/1` metrics and render the
+/// interval delta between consecutive polls — request rates, per-opcode
+/// latency percentiles, queue depth, busy/retry rates, per-shard
+/// connection counts. `--once` renders one interval and exits.
+fn top(flags: &HashMap<String, String>) {
+    let interval = Duration::from_millis(flag_u64(flags, "interval", 1000).max(1));
+    let once = flags.contains_key("once");
+    let mut client = connect(flags);
+    let mut prev = match client.stats() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("stats poll failed: {e}");
+            exit(1);
+        }
+    };
+    loop {
+        std::thread::sleep(interval);
+        let cur = match client.stats() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("stats poll failed: {e}");
+                exit(1);
+            }
+        };
+        let frame = top_frame(&prev, &cur);
+        if !once {
+            // Home + clear-to-end keeps a live view without scrollback spam.
+            print!("\x1b[H\x1b[2J");
+        }
+        print!("{frame}");
+        if once {
+            return;
+        }
+        prev = cur;
+    }
+}
+
+/// Render one `ccc top` interval: the delta between two consecutive
+/// [`StatsReport`]s. Split from the poll loop so the arithmetic is
+/// testable without a live server.
+fn top_frame(
+    prev: &climate_compress::serve::StatsReport,
+    cur: &climate_compress::serve::StatsReport,
+) -> String {
+    use climate_compress::core::report::Table;
+    // Server-side interval length; the server clock also stamps the
+    // counters, so rates stay honest even if the client poll jitters.
+    let dt_s = (cur.uptime_us.saturating_sub(prev.uptime_us) as f64 / 1e6).max(1e-9);
+    let d = cur.metrics.delta(&prev.metrics);
+    let rate = |name: &str| d.counter(name) as f64 / dt_s;
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "cc-serve — up {:.0}s — interval {:.1}s\n\
+         req/s {:.1} | err/s {:.1} | busy/s {:.1} | retry/s {:.1} | stream-frames/s {:.1} | traced/s {:.1}\n",
+        cur.uptime_us as f64 / 1e6,
+        dt_s,
+        rate("serve.requests"),
+        rate("serve.errors"),
+        rate("serve.busy"),
+        rate("serve.queue_full_retry"),
+        rate("serve.stream.frames"),
+        rate("serve.traced_requests"),
+    ));
+    if let Some(q) = d.histogram("serve.queue_depth") {
+        if q.count > 0 {
+            out.push_str(&format!(
+                "queue depth: mean {:.1}, p99 <= {}\n",
+                q.sum as f64 / q.count as f64,
+                q.percentile(0.99)
+            ));
+        }
+    }
+
+    let mut lat = Table::new(
+        "Latency (interval)",
+        &["opcode", "req/s", "p50 us", "p99 us", "p999 us"],
+    );
+    for op in ["ping", "compress", "decompress", "evaluate", "stats", "shutdown"] {
+        let Some(h) = d.histogram(&format!("serve.req_us.{op}")) else { continue };
+        if h.count == 0 {
+            continue;
+        }
+        lat.row(vec![
+            op.to_string(),
+            format!("{:.1}", h.count as f64 / dt_s),
+            format!("<= {}", h.percentile(0.50)),
+            format!("<= {}", h.percentile(0.99)),
+            format!("<= {}", h.percentile(0.999)),
+        ]);
+    }
+    out.push_str(&lat.render());
+    out.push('\n');
+
+    let mut shards = Table::new(
+        "Shards (interval)",
+        &["shard", "conns", "frames", "bytes in", "bytes out"],
+    );
+    for i in 0.. {
+        let prefix = format!("serve.shard{i}.");
+        if cur.metrics.counters.iter().all(|(n, _)| !n.starts_with(&prefix)) {
+            break;
+        }
+        shards.row(vec![
+            i.to_string(),
+            d.counter(&format!("{prefix}conns")).to_string(),
+            d.counter(&format!("{prefix}frames")).to_string(),
+            d.counter(&format!("{prefix}bytes_in")).to_string(),
+            d.counter(&format!("{prefix}bytes_out")).to_string(),
+        ]);
+    }
+    out.push_str(&shards.render());
+    out.push('\n');
+    out
 }

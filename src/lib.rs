@@ -20,7 +20,7 @@
 //!   per-variable customization of Section 5.
 //! * [`obs`] — structured tracing spans, atomic metrics, and the
 //!   `TRACE.json` exporter behind the `--trace` / `--metrics` flags.
-//! * [`serve`] — the cc-wire/1 TCP service daemon and blocking client:
+//! * [`serve`] — the cc-wire/2 TCP service daemon and blocking client:
 //!   compression, decompression, and quick-scale evaluation over the
 //!   network with bounded-queue backpressure.
 //!
