@@ -5,7 +5,7 @@
 //!
 //! EXPERIMENTS  any of: table1 table2 table3 table4 table5 table6 table7
 //!              table8 fig1 fig2 fig3 fig4 scaling calibration ssim
-//!              scorecard bench serve-bench tune | all |
+//!              scorecard bench serve-bench tune eval-bench eval-check | all |
 //!              focus (tables 2-5 + figs 2-4) |
 //!              sweep (table 6 + fig 1 + tables 7-8) |
 //!              extensions (scaling + calibration + ssim)
@@ -36,12 +36,19 @@
 //! candidate space — over the focus variables, writes a reproducible
 //! table artifact, and appends a `tune` section to that document,
 //! bumping the schema additively to `cc-bench-throughput/5`;
+//! `eval-bench` runs the same sweep through the pipelined verification
+//! engine with span recording on and appends an `eval` section (member
+//! synthesis and verdict rates, per-variable tune wall, per-stage
+//! self-time profile), bumping the schema to `cc-bench-throughput/7`;
+//! `eval-check` re-runs the sweep at worker counts 1 and 4 and exits
+//! non-zero unless the tune reports are byte-identical;
 //! `bench-check FILE` re-validates an existing artifact and exits
 //! non-zero if it does not satisfy the schema — with `--against
 //! BASELINE.json` it additionally compares single-worker throughput per
-//! codec and fails when any rate drops below `(1 - tolerance)` of the
-//! baseline. `trace-check [FILE]` does the same for a `TRACE.json`
-//! artifact (default `TRACE.json`).
+//! codec (and, when both documents carry an `eval` section, the
+//! verification-engine rates) and fails when any rate drops below
+//! `(1 - tolerance)` of the baseline. `trace-check [FILE]` does the
+//! same for a `TRACE.json` artifact (default `TRACE.json`).
 //!
 //! `scorecard` re-reads the CSV artifacts of earlier experiments and
 //! machine-checks the paper's shape claims (exits non-zero on a required
@@ -56,7 +63,7 @@
 
 use cc_bench::{RunConfig, FOCUS};
 use cc_codecs::{Codec, Variant};
-use cc_core::evaluation::{verdict_for, Evaluation, VariableContext};
+use cc_core::evaluation::{verdict_for, verdicts_for, EvalConfig, Evaluation, VariableContext};
 use cc_core::report::{cr_fmt, render_boxplot, render_histogram, sci, BoxStats, Table};
 use cc_core::{build_hybrid, build_nc_baseline, HybridResult};
 use cc_grid::Resolution;
@@ -93,6 +100,8 @@ fn main() {
             "bench" => run_bench(&bench_opts),
             "serve-bench" => run_serve_bench(&bench_opts),
             "tune" => runner.tune(&bench_opts),
+            "eval-bench" => runner.eval_bench(&bench_opts),
+            "eval-check" => runner.eval_check(),
             "bench-check" => check_bench(&bench_opts),
             "trace-check" => check_trace(&obs.check_path),
             "scorecard" => {
@@ -274,6 +283,18 @@ fn check_bench(opts: &BenchOpts) {
         if fails > 0 {
             eprintln!("{fails} codec(s) regressed beyond tolerance");
             std::process::exit(1);
+        }
+        // Verification-engine rates gate too, when both documents carry
+        // an eval section (appended by `repro eval-bench`).
+        if let Some(rows) =
+            cc_bench::throughput::compare_eval(&text, &baseline, opts.tolerance)
+        {
+            let (table, fails) = cc_bench::throughput::render_eval_compare(&rows);
+            println!("eval rates vs baseline:\n{table}");
+            if fails > 0 {
+                eprintln!("{fails} eval rate(s) regressed beyond tolerance");
+                std::process::exit(1);
+            }
         }
     }
 }
@@ -594,23 +615,28 @@ impl Runner {
             "Table 6: Number of passes for all compression methods on 170 variables",
             &["Method", "rho", "RMSZ ens.", "Enmax ens.", "bias", "all"],
         );
-        let nvars = { self.eval().model.registry().len() };
         let variants = Variant::paper_set();
-        // One context per variable, scored against all variants, streamed.
+        // One context per variable scored against all variants at once —
+        // the next variable's context builds while this one is scored.
         let mut tallies: Vec<[usize; 5]> = vec![[0; 5]; variants.len()];
-        for var in 0..nvars {
-            let ctx = { self.eval().context(var) };
-            if var % 17 == 0 {
-                progress!("    table6: variable {var}/{nvars} ({})", ctx.spec.name);
-            }
-            for (vi, &variant) in variants.iter().enumerate() {
-                let v = verdict_for(&ctx, variant);
-                tallies[vi][0] += v.pearson_pass as usize;
-                tallies[vi][1] += v.rmsz_pass as usize;
-                tallies[vi][2] += v.enmax_pass as usize;
-                tallies[vi][3] += v.bias_pass as usize;
-                tallies[vi][4] += v.all_pass() as usize;
-            }
+        {
+            let eval = self.eval();
+            let nvars = eval.model.registry().len();
+            let vars: Vec<usize> = (0..nvars).collect();
+            let mut done = 0usize;
+            eval.map_contexts(&vars, |ctx| {
+                if done.is_multiple_of(17) {
+                    progress!("    table6: variable {done}/{nvars} ({})", ctx.spec.name);
+                }
+                done += 1;
+                for (vi, v) in verdicts_for(ctx, &variants).iter().enumerate() {
+                    tallies[vi][0] += v.pearson_pass as usize;
+                    tallies[vi][1] += v.rmsz_pass as usize;
+                    tallies[vi][2] += v.enmax_pass as usize;
+                    tallies[vi][3] += v.bias_pass as usize;
+                    tallies[vi][4] += v.all_pass() as usize;
+                }
+            });
         }
         for (vi, variant) in variants.iter().enumerate() {
             t.row(vec![
@@ -1010,6 +1036,101 @@ impl Runner {
         println!(
             "appended tune section to {} ({nvars} variables, schema cc-bench-throughput/5)",
             opts.path.display()
+        );
+    }
+
+    /// `eval-bench`: verification-engine throughput over the focus
+    /// variables, appended to `BENCH.json` as the `/7` `eval` section.
+    fn eval_bench(&mut self, opts: &BenchOpts) {
+        let preset = if opts.quick { "quick" } else { "default" };
+        let artifact = {
+            let eval = self.eval();
+            let vars: Vec<usize> = FOCUS
+                .iter()
+                .map(|name| {
+                    eval.model.var_id(name).unwrap_or_else(|| {
+                        eprintln!("unknown focus variable {name}");
+                        std::process::exit(2);
+                    })
+                })
+                .collect();
+            progress!(
+                "    measuring verification-engine throughput over {} variables ...",
+                vars.len()
+            );
+            cc_bench::evalbench::run(eval, &vars, preset)
+        };
+        for v in &artifact.variables {
+            println!("eval {:8}  tune wall {:8.3}s", v.name, v.tune_wall_s);
+        }
+        println!(
+            "eval workers={} members={}  synthesis {:.1} members/s  verdicts {:.1}/s  total {:.2}s",
+            artifact.workers,
+            artifact.members,
+            artifact.synth_members_per_s,
+            artifact.verdicts_per_s,
+            artifact.tune_wall_s
+        );
+        for s in artifact.stages.iter().take(8) {
+            println!("      {:24} {:>7} calls  {:>10.1} ms self", s.name, s.calls, s.self_ms);
+        }
+        let base = std::fs::read_to_string(&opts.path).unwrap_or_else(|e| {
+            eprintln!(
+                "cannot read {}: {e}\neval-bench appends to an existing artifact — run `repro bench` first",
+                opts.path.display()
+            );
+            std::process::exit(1);
+        });
+        let merged = artifact.merge_into_bench(&base).unwrap_or_else(|errs| {
+            eprintln!("cannot append eval section to {}:", opts.path.display());
+            for e in errs {
+                eprintln!("  - {e}");
+            }
+            std::process::exit(1);
+        });
+        std::fs::write(&opts.path, &merged).expect("write BENCH.json");
+        println!(
+            "appended eval section to {} ({} variables, schema cc-bench-throughput/7)",
+            opts.path.display(),
+            artifact.variables.len()
+        );
+    }
+
+    /// `eval-check`: runtime determinism gate — the tuning sweep must
+    /// produce byte-identical reports at worker counts 1 and 4.
+    fn eval_check(&mut self) {
+        let run = |workers: usize| -> String {
+            let model = cc_model::Model::new(self.cfg.resolution, self.cfg.seed);
+            let mut config = EvalConfig::quick(self.cfg.members);
+            config.workers = workers;
+            let eval = Evaluation::new(model, config);
+            let vars: Vec<usize> = FOCUS
+                .iter()
+                .map(|name| {
+                    eval.model.var_id(name).unwrap_or_else(|| {
+                        eprintln!("unknown focus variable {name}");
+                        std::process::exit(2);
+                    })
+                })
+                .collect();
+            let report = cc_core::TuneReport::build(&eval, &vars);
+            format!("{}\n{:?}", report.table().render(), report.variables)
+        };
+        progress!("    re-running the tuning sweep at workers 1 and 4 ...");
+        let one = run(1);
+        let four = run(4);
+        if one != four {
+            eprintln!(
+                "eval-check FAILED: tune reports diverge between workers 1 and 4 \
+                 ({} vs {} bytes)",
+                one.len(),
+                four.len()
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "eval-check: tune reports byte-identical at workers {{1, 4}} ({} bytes)",
+            one.len()
         );
     }
 }

@@ -381,13 +381,15 @@ impl BenchReport {
 }
 
 /// Validate a `BENCH.json` document against the
-/// `cc-bench-throughput/6` schema. Earlier schema levels are accepted
+/// `cc-bench-throughput/7` schema. Earlier schema levels are accepted
 /// additively: `/1` documents need no `telemetry` sections, `/1` and
 /// `/2` documents need no `serve` section (that section is appended by
 /// `repro serve-bench`, which also bumps the declared schema — to `/3`
 /// historically, `/4` since the reactor server's client-count sweep,
 /// `/6` since the per-opcode latency split), `/5` adds the `tune`
-/// section. Returns every violation found.
+/// section, and `/7` adds the `eval` section (verification-engine
+/// throughput, appended by `repro eval-bench`; serve and tune sections
+/// of either shape ride along). Returns every violation found.
 pub fn validate(text: &str) -> Result<(), Vec<String>> {
     let doc = match json::parse(text) {
         Ok(v) => v,
@@ -408,6 +410,7 @@ pub fn validate(text: &str) -> Result<(), Vec<String>> {
             | Some("cc-bench-throughput/4")
             | Some("cc-bench-throughput/5")
             | Some("cc-bench-throughput/6")
+            | Some("cc-bench-throughput/7")
     );
     check(
         &mut errs,
@@ -419,8 +422,9 @@ pub fn validate(text: &str) -> Result<(), Vec<String>> {
                 | Some("cc-bench-throughput/4")
                 | Some("cc-bench-throughput/5")
                 | Some("cc-bench-throughput/6")
+                | Some("cc-bench-throughput/7")
         ),
-        "schema must be \"cc-bench-throughput/1\" through \"/6\"",
+        "schema must be \"cc-bench-throughput/1\" through \"/7\"",
     );
     if schema == Some("cc-bench-throughput/3") {
         validate_serve(&mut errs, doc.get("serve"), false, false);
@@ -438,6 +442,24 @@ pub fn validate(text: &str) -> Result<(), Vec<String>> {
         // `/6` requires the per-opcode latency split in the serve
         // section; a tune section may ride along and is still checked.
         validate_serve(&mut errs, doc.get("serve"), true, true);
+        if doc.get("tune").is_some() {
+            validate_tune(&mut errs, doc.get("tune"));
+        }
+    } else if schema == Some("cc-bench-throughput/7") {
+        // `/7` adds the required verification-engine section; serve and
+        // tune sections of either shape may ride along and are still
+        // checked (the serve shape is sniffed from its own keys).
+        validate_eval(&mut errs, doc.get("eval"));
+        if let Some(serve) = doc.get("serve") {
+            let v4 = serve.get("client_counts").is_some();
+            let v6 = serve
+                .get("runs")
+                .and_then(json::Value::as_array)
+                .and_then(|a| a.first())
+                .map(|r| r.get("per_op").is_some())
+                == Some(true);
+            validate_serve(&mut errs, Some(serve), v4, v6);
+        }
         if doc.get("tune").is_some() {
             validate_tune(&mut errs, doc.get("tune"));
         }
@@ -688,6 +710,124 @@ fn validate_tune(errs: &mut Vec<String>, tune: Option<&json::Value>) {
             errs.push(format!("tune.variables[{i}]: candidates/passing must be >= 1"));
         }
     }
+}
+
+/// Check the `eval` section appended by `repro eval-bench` (`/7`
+/// documents): verification-engine throughput — member-synthesis and
+/// verdict rates, per-variable tune wall time, and the per-stage
+/// self-time profile the run exported.
+fn validate_eval(errs: &mut Vec<String>, eval: Option<&json::Value>) {
+    let Some(eval) = eval else {
+        errs.push("eval-schema document must carry an eval section".into());
+        return;
+    };
+    if eval.get("preset").and_then(json::Value::as_str).is_none() {
+        errs.push("eval.preset missing".into());
+    }
+    let num = |key: &str| eval.get(key).and_then(json::Value::as_f64);
+    for key in ["workers", "members"] {
+        if num(key).map(|v| v >= 1.0) != Some(true) {
+            errs.push(format!("eval.{key} must be >= 1"));
+        }
+    }
+    for key in ["synth_members_per_s", "verdicts_per_s", "tune_wall_s"] {
+        if num(key).map(|v| v > 0.0) != Some(true) {
+            errs.push(format!("eval.{key} must be positive"));
+        }
+    }
+    let vars = eval.get("variables").and_then(json::Value::as_array).unwrap_or_default();
+    if vars.is_empty() {
+        errs.push("eval.variables must be a non-empty array".into());
+    }
+    for (i, v) in vars.iter().enumerate() {
+        let ok = v.get("name").and_then(json::Value::as_str).is_some()
+            && v.get("tune_wall_s").and_then(json::Value::as_f64).map(|w| w > 0.0)
+                == Some(true);
+        if !ok {
+            errs.push(format!("eval.variables[{i}]: need name and positive tune_wall_s"));
+        }
+    }
+    let stages = eval.get("stages").and_then(json::Value::as_array).unwrap_or_default();
+    if stages.is_empty() {
+        errs.push("eval.stages must be a non-empty per-stage self-time profile".into());
+    }
+    for (i, st) in stages.iter().enumerate() {
+        let snum = |key: &str| st.get(key).and_then(json::Value::as_f64);
+        let ok = st.get("name").and_then(json::Value::as_str).is_some()
+            && snum("calls").map(|c| c >= 1.0) == Some(true)
+            && snum("self_ms").map(|s| s >= 0.0) == Some(true);
+        if !ok {
+            errs.push(format!("eval.stages[{i}]: need name, calls >= 1, self_ms >= 0"));
+        }
+    }
+}
+
+/// One row of an eval-rate baseline comparison.
+#[derive(Debug, Clone)]
+pub struct EvalCompareRow {
+    /// Rate label (`synth members/s`, `verdicts/s`).
+    pub name: String,
+    /// Baseline rate.
+    pub base: f64,
+    /// Current rate.
+    pub cur: f64,
+    /// Current rate at or above `(1 - tolerance) ×` baseline.
+    pub pass: bool,
+}
+
+/// Compare the `eval` sections of two documents, when both carry one.
+/// Rates (higher is better) are held to the same tolerance floor as the
+/// codec comparison; wall times are machine-dependent and not gated.
+/// Returns `None` when either document lacks an eval section.
+pub fn compare_eval(
+    current: &str,
+    baseline: &str,
+    tolerance: f64,
+) -> Option<Vec<EvalCompareRow>> {
+    let rate = |text: &str, key: &str| -> Option<f64> {
+        json::parse(text).ok()?.get("eval")?.get(key)?.as_f64()
+    };
+    let floor = 1.0 - tolerance;
+    let mut rows = Vec::new();
+    for (label, key) in
+        [("synth members/s", "synth_members_per_s"), ("verdicts/s", "verdicts_per_s")]
+    {
+        let base = rate(baseline, key)?;
+        let cur = rate(current, key)?;
+        rows.push(EvalCompareRow {
+            name: label.to_string(),
+            base,
+            cur,
+            pass: cur >= base * floor,
+        });
+    }
+    Some(rows)
+}
+
+/// Render eval comparison rows; returns the rendering and the number of
+/// failing rates.
+pub fn render_eval_compare(rows: &[EvalCompareRow]) -> (String, usize) {
+    let mut s = format!("{:<18} {:>12} {:>12} {:>7}  {}\n", "eval rate", "base", "now", "Δ", "status");
+    let mut fails = 0;
+    for r in rows {
+        if !r.pass {
+            fails += 1;
+        }
+        let pct = if r.base > 0.0 {
+            format!("{:+.0}%", (r.cur / r.base - 1.0) * 100.0)
+        } else {
+            "n/a".into()
+        };
+        s.push_str(&format!(
+            "{:<18} {:>12.1} {:>12.1} {:>7}  {}\n",
+            r.name,
+            r.base,
+            r.cur,
+            pct,
+            if r.pass { "ok" } else { "REGRESSED" },
+        ));
+    }
+    (s, fails)
 }
 
 /// One row of a baseline comparison: single-worker encode/decode rates

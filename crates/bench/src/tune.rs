@@ -60,16 +60,16 @@ impl TuneArtifact {
 
     /// Merge this report into an existing `BENCH.json` document: set the
     /// `tune` section and bump the schema to `cc-bench-throughput/5`
-    /// (a `/6` document keeps its level — `/6` validates a riding tune
-    /// section too). An existing `serve` section rides along unchanged.
-    /// Returns the re-validated document.
+    /// (`/6` and `/7` documents keep their level — both validate a riding
+    /// tune section too). An existing `serve` section rides along
+    /// unchanged. Returns the re-validated document.
     pub fn merge_into_bench(&self, bench_text: &str) -> Result<String, Vec<String>> {
         let mut doc = json::parse(bench_text)
             .map_err(|e| vec![format!("existing BENCH.json is not valid JSON: {e}")])?;
         let Some(schema) = doc.get("schema").and_then(Value::as_str) else {
             return Err(vec!["existing BENCH.json has no schema field".into()]);
         };
-        if schema != "cc-bench-throughput/6" {
+        if schema != "cc-bench-throughput/6" && schema != "cc-bench-throughput/7" {
             doc.set("schema", Value::Str("cc-bench-throughput/5".into()));
         }
         doc.set("tune", self.to_value());

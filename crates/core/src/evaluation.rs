@@ -104,10 +104,16 @@ impl VariableContext {
         let npts = layout.len();
 
         let members: Vec<usize> = (0..config.members).collect();
+        // One synthesis plan serves the whole ensemble: the mixing
+        // matrix, climatological pattern, and land mask are
+        // member-independent (and `model.member` caches the dynamics, so
+        // sweeping several variables integrates each member once).
+        let plan = model.synth_plan(var);
         let fields: Vec<Vec<f32>> = par_map_with(config.workers, &members, |&m| {
             let _m = cc_obs::span("eval.member_synth");
             let member = model.member(m);
-            model.synthesize(&member, var).data
+            let mut scratch = cc_model::synth::SynthScratch::new();
+            model.synthesize_with(&plan, &member, &mut scratch).data
         });
 
         let mut stats = EnsembleStats::new(npts);
@@ -154,8 +160,12 @@ pub struct VariableVerdict {
     pub variant: Variant,
     /// Compression ratio (compressed / original), averaged over samples.
     pub cr: f64,
-    /// Error metrics averaged over the sampled members (`None` for a
-    /// degenerate/constant field).
+    /// Aggregate error metrics over the sampled members (`None` for a
+    /// degenerate/constant field). This is a *conservative* aggregate,
+    /// not a plain mean: `e_max`, `e_nmax`, `rmse`, and `nrmse` are
+    /// averaged, but `psnr` and `pearson` are the worst case (minimum)
+    /// over the samples, so the verdict never reports better fidelity
+    /// than its worst sampled member.
     pub metrics: Option<ErrorMetrics>,
     /// Test 1: Pearson ρ ≥ 0.99999 on every sampled member.
     pub pearson_pass: bool,
@@ -180,114 +190,274 @@ impl VariableVerdict {
     }
 }
 
-/// Score one variant against a prepared variable context.
-pub fn verdict_for(ctx: &VariableContext, variant: Variant) -> VariableVerdict {
-    let _s = cc_obs::span("eval.verdict");
-    let codec = variant.codec();
-    let layout = ctx.layout;
+/// One sampled member's measurements for one candidate, produced on the
+/// pool by [`verdicts_for`] phase 1.
+struct SampleOutcome {
+    /// Compressed size (counted towards CR even when the decode fails).
+    nbytes: usize,
+    /// False when the codec failed to decode its own stream.
+    decode_ok: bool,
+    /// Metrics (`None` for a degenerate/incomparable field).
+    em: Option<ErrorMetrics>,
+    /// `(zo, zr, passed)` of the RMSZ ensemble test.
+    rmsz: Option<(f64, f64, bool)>,
+    /// `(e_nmax, passed)` of the E_nmax ensemble test.
+    enmax: Option<(f64, bool)>,
+    /// Pearson ρ within threshold (vacuously true when degenerate).
+    pearson_ok: bool,
+    /// Reconstruction, retained for lossy candidates so the bias phase
+    /// does not recompress the sampled members.
+    recon: Option<Vec<f32>>,
+}
 
-    // --- Per-sample metrics and tests (ρ, RMSZ, E_nmax, CR). -----------
-    let mut pearson_pass = true;
-    let mut rmsz_pass = true;
-    let mut enmax_pass = true;
-    let mut cr_sum = 0.0;
-    let mut sample_rmsz = Vec::new();
-    let mut sample_enmax = Vec::new();
-    let mut metric_acc: Vec<ErrorMetrics> = Vec::new();
-
-    // Sampled members run at the context's worker count: the chunked
-    // codec path parallelizes over blocks inside this otherwise-serial
-    // loop. Nested pool contexts degrade to workers = 1 automatically.
-    for &m in &ctx.sample_idx {
-        let _sample = cc_obs::span("eval.sample");
-        let orig = &ctx.fields[m];
-        let bytes = compress_chunked(codec.as_ref(), orig, layout, ctx.workers);
-        cr_sum += bytes.len() as f64 / ctx.raw_bytes() as f64;
-        let recon = decompress_chunked(codec.as_ref(), &bytes, layout, ctx.workers)
-            .expect("own stream decodes");
-
-        if let Some(em) = ErrorMetrics::compare(orig, &recon) {
-            if em.pearson < PEARSON_THRESHOLD && !em.is_exact() {
-                pearson_pass = false;
-            }
-            {
-                let _t = cc_obs::span("eval.test.rmsz");
-                let zo = ctx.stats.rmsz_excluding(orig, orig).unwrap_or(0.0);
-                let zr = ctx.stats.rmsz_excluding(orig, &recon).unwrap_or(zo);
-                sample_rmsz.push((zo, zr));
-                if !rmsz_test(&ctx.rmsz_orig, zo, zr).passed() {
-                    rmsz_pass = false;
-                }
-            }
-            {
-                let _t = cc_obs::span("eval.test.enmax");
-                sample_enmax.push(em.e_nmax);
-                if !enmax_test(&ctx.enmax_dist, em.e_nmax).passed() {
-                    enmax_pass = false;
-                }
-            }
-            metric_acc.push(em);
-        }
-        // Degenerate fields (no comparable points / zero range) have
-        // nothing to distinguish: tests vacuously pass.
-    }
-    let n_samples = ctx.sample_idx.len().max(1) as f64;
-    let cr = cr_sum / n_samples;
-
-    // --- Bias test over the full reconstructed ensemble. ---------------
-    // Reconstruct every member, build the reconstructed-ensemble stats Ẽ,
-    // score each reconstruction against Ẽ, and regress on the original
-    // scores (Section 4.3's procedure for Figure 4).
-    let (bias, bias_pass) = if variant.is_lossless() {
-        // Bit-exact reconstruction: slope exactly 1, trivially unbiased.
-        (None, true)
-    } else {
-        let _t = cc_obs::span("eval.test.bias");
-        // Parallel over members; the inner chunked calls pass workers = 1
-        // so the per-member fan-out is not multiplied by a per-block one.
-        let recons: Vec<Vec<f32>> = par_map_with(ctx.workers, &ctx.fields, |orig| {
-            let _m = cc_obs::span("eval.member_recon");
-            let bytes = compress_chunked(codec.as_ref(), orig, layout, 1);
-            decompress_chunked(codec.as_ref(), &bytes, layout, 1).expect("own stream decodes")
-        });
-        let mut recon_stats = EnsembleStats::new(layout.len());
-        for r in &recons {
-            recon_stats.add_member(r);
-        }
-        let y: Vec<f64> = recons
-            .iter()
-            .map(|r| recon_stats.rmsz_excluding(r, r).unwrap_or(0.0))
-            .collect();
-        let x = ctx.rmsz_orig.scores().to_vec();
-        let spread = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-            - x.iter().cloned().fold(f64::INFINITY, f64::min);
-        if spread <= 1e-9 {
-            // Degenerate: no variance to regress on.
-            (None, true)
-        } else {
-            let reg = BiasRegression::fit(&x, &y);
-            let pass = reg.passes();
-            (Some(reg), pass)
+/// Compress/decompress one sampled member and run the per-member tests.
+fn score_sample(
+    ctx: &VariableContext,
+    codec: &dyn cc_codecs::Codec,
+    m: usize,
+    keep_recon: bool,
+) -> SampleOutcome {
+    let _sample = cc_obs::span("eval.sample");
+    let orig = &ctx.fields[m];
+    let bytes = compress_chunked(codec, orig, ctx.layout, ctx.workers);
+    let nbytes = bytes.len();
+    let recon = match decompress_chunked(codec, &bytes, ctx.layout, ctx.workers) {
+        Ok(r) => r,
+        Err(_) => {
+            // A codec that cannot decode its own stream is a codec bug;
+            // surface it as a failed verdict, not a worker panic.
+            cc_obs::counter_inc("eval.self_decode_fail");
+            return SampleOutcome {
+                nbytes,
+                decode_ok: false,
+                em: None,
+                rmsz: None,
+                enmax: None,
+                pearson_ok: false,
+                recon: None,
+            };
         }
     };
+    let mut out = SampleOutcome {
+        nbytes,
+        decode_ok: true,
+        em: None,
+        rmsz: None,
+        enmax: None,
+        pearson_ok: true,
+        recon: None,
+    };
+    if let Some(em) = ErrorMetrics::compare(orig, &recon) {
+        if em.pearson < PEARSON_THRESHOLD && !em.is_exact() {
+            out.pearson_ok = false;
+        }
+        {
+            let _t = cc_obs::span("eval.test.rmsz");
+            // The member's original score was computed identically at
+            // context build time; reuse it instead of re-deriving.
+            let zo = ctx.rmsz_orig.scores()[m];
+            let zr = ctx.stats.rmsz_excluding(orig, &recon).unwrap_or(zo);
+            out.rmsz = Some((zo, zr, rmsz_test(&ctx.rmsz_orig, zo, zr).passed()));
+        }
+        {
+            let _t = cc_obs::span("eval.test.enmax");
+            out.enmax = Some((em.e_nmax, enmax_test(&ctx.enmax_dist, em.e_nmax).passed()));
+        }
+        out.em = Some(em);
+    }
+    // Degenerate fields (no comparable points / zero range) have
+    // nothing to distinguish: tests vacuously pass.
+    if keep_recon {
+        out.recon = Some(recon);
+    }
+    out
+}
 
-    let metrics = average_metrics(&metric_acc);
-    VariableVerdict {
-        var: ctx.var,
-        name: ctx.spec.name.to_string(),
-        variant,
-        cr,
-        metrics,
-        pearson_pass,
-        rmsz_pass,
-        enmax_pass,
-        bias_pass,
-        bias,
-        sample_rmsz,
-        sample_enmax,
+/// How one member's reconstruction reached the bias phase.
+enum ReconSlot {
+    /// Sampled member: phase 1 already holds its reconstruction.
+    Reused,
+    /// Reconstructed here.
+    Fresh(Vec<f32>),
+    /// The codec failed to decode its own stream.
+    Failed,
+}
+
+/// Bias regression over the full reconstructed ensemble (Section 4.3's
+/// procedure for Figure 4): reconstruct every member, build the
+/// reconstructed-ensemble stats Ẽ, score each reconstruction against Ẽ,
+/// and regress on the original scores.
+fn bias_for(
+    ctx: &VariableContext,
+    variant: Variant,
+    sample_recons: Vec<(usize, Vec<f32>)>,
+    x: &[f64],
+    spread: f64,
+) -> (Option<BiasRegression>, bool) {
+    let _t = cc_obs::span("eval.test.bias");
+    let codec = variant.codec();
+    let layout = ctx.layout;
+    let mut slots: Vec<Option<Vec<f32>>> = (0..ctx.fields.len()).map(|_| None).collect();
+    for (m, r) in sample_recons {
+        slots[m] = Some(r);
+    }
+    let members: Vec<usize> = (0..ctx.fields.len()).collect();
+    // Parallel over members; the inner chunked calls pass workers = 1 so
+    // the per-member fan-out is not multiplied by a per-block one. The
+    // sampled members reuse their phase-1 reconstruction — the chunked
+    // stream is worker-count invariant, so the bytes (and the decode)
+    // are identical to recompressing here.
+    let fresh: Vec<ReconSlot> = par_map_with(ctx.workers, &members, |&m| {
+        if slots[m].is_some() {
+            return ReconSlot::Reused;
+        }
+        let _m = cc_obs::span("eval.member_recon");
+        let orig = &ctx.fields[m];
+        let bytes = compress_chunked(codec.as_ref(), orig, layout, 1);
+        match decompress_chunked(codec.as_ref(), &bytes, layout, 1) {
+            Ok(r) => ReconSlot::Fresh(r),
+            Err(_) => {
+                cc_obs::counter_inc("eval.self_decode_fail");
+                ReconSlot::Failed
+            }
+        }
+    });
+    let mut recons: Vec<Vec<f32>> = Vec::with_capacity(ctx.fields.len());
+    for (m, slot) in fresh.into_iter().enumerate() {
+        match slot {
+            ReconSlot::Reused => recons.push(slots[m].take().expect("sampled recon retained")),
+            ReconSlot::Fresh(r) => recons.push(r),
+            ReconSlot::Failed => return (None, false),
+        }
+    }
+    // Order-sensitive f64 accumulation: members must enter in index order.
+    let mut recon_stats = EnsembleStats::new(layout.len());
+    for r in &recons {
+        recon_stats.add_member(r);
+    }
+    let y: Vec<f64> = par_map_with(ctx.workers, &recons, |r| {
+        recon_stats.rmsz_excluding(r, r).unwrap_or(0.0)
+    });
+    if spread <= 1e-9 {
+        // Degenerate: no variance to regress on.
+        (None, true)
+    } else {
+        let reg = BiasRegression::fit(x, &y);
+        let pass = reg.passes();
+        (Some(reg), pass)
     }
 }
 
+/// Score a batch of variants against one prepared context.
+///
+/// This is the pool-wide schedule of the parallel verification engine:
+/// phase 1 flattens (candidate × sampled member) into a single
+/// [`par_map_with`] fan-out sharing one context, then each lossy
+/// candidate's bias phase fans the remaining ensemble members out in
+/// turn. Per-candidate folds run on the calling thread in sample order,
+/// so every verdict is bit-identical to the sequential reference at any
+/// worker count.
+pub fn verdicts_for(ctx: &VariableContext, variants: &[Variant]) -> Vec<VariableVerdict> {
+    let _s = cc_obs::span("eval.verdict");
+    if variants.is_empty() {
+        return Vec::new();
+    }
+    let nsamp = ctx.sample_idx.len();
+
+    // --- Phase 1: per-sample metrics and tests (ρ, RMSZ, E_nmax, CR),
+    // all candidates at once. ------------------------------------------
+    let units: Vec<(usize, usize)> = variants
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, _)| ctx.sample_idx.iter().map(move |&m| (ci, m)))
+        .collect();
+    let outcomes = par_map_with(ctx.workers, &units, |&(ci, m)| {
+        let variant = variants[ci];
+        score_sample(ctx, variant.codec().as_ref(), m, !variant.is_lossless())
+    });
+
+    // Shared across candidates: the original scores and their spread.
+    let x = ctx.rmsz_orig.scores().to_vec();
+    let spread = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - x.iter().cloned().fold(f64::INFINITY, f64::min);
+
+    let mut rest = outcomes.into_iter();
+    let mut verdicts = Vec::with_capacity(variants.len());
+    for &variant in variants {
+        let mut pearson_pass = true;
+        let mut rmsz_pass = true;
+        let mut enmax_pass = true;
+        let mut decode_ok = true;
+        let mut cr_sum = 0.0;
+        let mut sample_rmsz = Vec::new();
+        let mut sample_enmax = Vec::new();
+        let mut metric_acc: Vec<ErrorMetrics> = Vec::new();
+        let mut sample_recons: Vec<(usize, Vec<f32>)> = Vec::new();
+        // Fold in sample order — identical accumulation to a serial loop.
+        for (si, o) in rest.by_ref().take(nsamp).enumerate() {
+            cr_sum += o.nbytes as f64 / ctx.raw_bytes() as f64;
+            decode_ok &= o.decode_ok;
+            pearson_pass &= o.pearson_ok;
+            if let Some((zo, zr, ok)) = o.rmsz {
+                sample_rmsz.push((zo, zr));
+                rmsz_pass &= ok;
+            }
+            if let Some((e, ok)) = o.enmax {
+                sample_enmax.push(e);
+                enmax_pass &= ok;
+            }
+            if let Some(em) = o.em {
+                metric_acc.push(em);
+            }
+            if let Some(r) = o.recon {
+                sample_recons.push((ctx.sample_idx[si], r));
+            }
+        }
+        let cr = cr_sum / ctx.sample_idx.len().max(1) as f64;
+
+        // --- Phase 2: bias test over the full reconstructed ensemble. --
+        let (bias, bias_pass) = if !decode_ok {
+            (None, false)
+        } else if variant.is_lossless() {
+            // Bit-exact reconstruction: slope exactly 1, trivially unbiased.
+            (None, true)
+        } else {
+            bias_for(ctx, variant, sample_recons, &x, spread)
+        };
+        if !decode_ok {
+            rmsz_pass = false;
+            enmax_pass = false;
+        }
+
+        verdicts.push(VariableVerdict {
+            var: ctx.var,
+            name: ctx.spec.name.to_string(),
+            variant,
+            cr,
+            metrics: average_metrics(&metric_acc),
+            pearson_pass,
+            rmsz_pass,
+            enmax_pass,
+            bias_pass,
+            bias,
+            sample_rmsz,
+            sample_enmax,
+        });
+    }
+    verdicts
+}
+
+/// Score one variant against a prepared variable context.
+pub fn verdict_for(ctx: &VariableContext, variant: Variant) -> VariableVerdict {
+    verdicts_for(ctx, std::slice::from_ref(&variant))
+        .pop()
+        .expect("one variant in, one verdict out")
+}
+
+/// Conservative aggregate of per-sample metrics: mean-like quantities
+/// (`e_max`, `e_nmax`, `rmse`, `nrmse`) are averaged, while `psnr` and
+/// `pearson` take the worst case (minimum) over the samples — a variant
+/// is only as good as its worst sampled member.
 fn average_metrics(ms: &[ErrorMetrics]) -> Option<ErrorMetrics> {
     if ms.is_empty() {
         return None;
@@ -323,19 +493,27 @@ impl Evaluation {
         VariableContext::build(&self.model, &self.config, var)
     }
 
+    /// Build each variable's context and apply `f`, prefetching the next
+    /// variable's context (member synthesis — the dominant stage) on a
+    /// helper thread while `f` runs on the current one. Peak residency is
+    /// bounded at two contexts, and `f` runs on the calling thread in
+    /// `vars` order, so order-sensitive consumers see the sequential
+    /// schedule.
+    pub fn map_contexts<R>(
+        &self,
+        vars: &[usize],
+        mut f: impl FnMut(&VariableContext) -> R,
+    ) -> Vec<R> {
+        crate::par::prefetch_map(vars, |&v| self.context(v), |ctx, _| f(&ctx))
+    }
+
     /// Evaluate one variant over every registry variable (Table 6 row).
-    /// Contexts are built per variable and dropped immediately, so memory
-    /// stays bounded by one variable's ensemble.
+    /// Contexts are built one variable ahead of the verdict computation
+    /// and dropped immediately after scoring, so at most two variables'
+    /// ensembles are ever resident.
     pub fn evaluate_all(&self, variant: Variant) -> Vec<VariableVerdict> {
         let vars: Vec<usize> = (0..self.model.registry().len()).collect();
-        // Parallelism lives inside context building (over members); the
-        // outer loop stays sequential to bound memory.
-        vars.iter()
-            .map(|&v| {
-                let ctx = self.context(v);
-                verdict_for(&ctx, variant)
-            })
-            .collect()
+        self.map_contexts(&vars, |ctx| verdict_for(ctx, variant))
     }
 
     /// Tally a Table 6 row: passes per test plus the all-four count.

@@ -44,7 +44,10 @@ pub mod timeseries;
 pub mod tuning;
 pub mod visual;
 
-pub use evaluation::{EvalConfig, Evaluation, TestTally, VariableContext, VariableVerdict};
+pub use evaluation::{
+    verdict_for, verdicts_for, EvalConfig, Evaluation, TestTally, VariableContext,
+    VariableVerdict,
+};
 pub use hybrid::{build_hybrid, build_nc_baseline, HybridChoice, HybridResult};
 pub use tuning::{
     candidate_space, tune_decimal_scale, tune_variable, TuneReport, TunedD, TunedVariable,

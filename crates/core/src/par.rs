@@ -7,4 +7,6 @@
 //! workers — without a dependency cycle through `cc-core`. Existing
 //! `cc_core::par::...` paths keep working.
 
-pub use cc_par::{default_workers, in_pool_worker, par_map, par_map_with, set_global_workers};
+pub use cc_par::{
+    default_workers, in_pool_worker, par_map, par_map_with, prefetch_map, set_global_workers,
+};

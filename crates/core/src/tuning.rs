@@ -18,7 +18,7 @@
 //! in a fixed order and ties keep the earlier candidate, so the resulting
 //! [`TuneReport`] renders byte-identically across runs and worker counts.
 
-use crate::evaluation::{verdict_for, Evaluation, VariableContext, VariableVerdict};
+use crate::evaluation::{verdict_for, verdicts_for, Evaluation, VariableContext, VariableVerdict};
 use crate::report::{cr_fmt, Table};
 use cc_codecs::{grib2::Grib2, Family, Variant};
 use cc_metrics::FieldStats;
@@ -131,18 +131,25 @@ pub fn candidate_space(ctx: &VariableContext) -> Vec<Variant> {
 /// variable context.
 pub fn tune_variable(ctx: &VariableContext) -> TunedVariable {
     let cands = candidate_space(ctx);
-    // Evaluate each distinct candidate once; the cache also serves the
-    // hand-picked-hybrid walk below (every ladder rung is a candidate).
-    let mut cache: BTreeMap<String, VariableVerdict> = BTreeMap::new();
+    // Evaluate each distinct candidate once, as a single batched sweep:
+    // `verdicts_for` fans (candidate × sampled member) over the pool
+    // against this one context instead of rebuilding per-candidate
+    // state. The cache also serves the hand-picked-hybrid walk below
+    // (every ladder rung is a candidate).
     let mut order: Vec<(String, Variant)> = Vec::new();
     let mut seen = BTreeSet::new();
     for &v in &cands {
         let name = v.name();
         if seen.insert(name.clone()) {
-            cache.insert(name.clone(), verdict_for(ctx, v));
             order.push((name, v));
         }
     }
+    let distinct: Vec<Variant> = order.iter().map(|(_, v)| *v).collect();
+    let cache: BTreeMap<String, VariableVerdict> = order
+        .iter()
+        .map(|(name, _)| name.clone())
+        .zip(verdicts_for(ctx, &distinct))
+        .collect();
 
     let mut best: Option<(Variant, &VariableVerdict)> = None;
     let mut passing = 0usize;
@@ -203,12 +210,12 @@ pub struct TuneReport {
 
 impl TuneReport {
     /// Tune the named variables of an evaluation, in the given order.
+    /// Each variable's context is prefetched on a helper thread while
+    /// the previous variable's candidate sweep runs (at most two
+    /// contexts resident); sweeps execute in request order, so the
+    /// report is identical to a sequential build.
     pub fn build(eval: &Evaluation, vars: &[usize]) -> TuneReport {
-        let variables = vars
-            .iter()
-            .map(|&var| tune_variable(&eval.context(var)))
-            .collect();
-        TuneReport { variables }
+        TuneReport { variables: eval.map_contexts(vars, tune_variable) }
     }
 
     /// Tuner invariant: every chosen config passed all four tests.

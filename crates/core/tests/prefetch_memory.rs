@@ -1,0 +1,94 @@
+//! Peak-memory regression test for the prefetching evaluation driver.
+//!
+//! `Evaluation::map_contexts` builds the next variable's context on a
+//! helper thread while the current one is processed; the contract is at
+//! most **two** contexts resident at once. A counting global allocator
+//! tracks live heap bytes across all threads; sweeping six same-shape
+//! 3-D variables must never grow the heap by more than ~2.5 contexts'
+//! worth (an unbounded prefetcher would reach ~6).
+
+use std::alloc::{GlobalAlloc, Layout as AllocLayout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use cc_core::evaluation::{EvalConfig, Evaluation};
+use cc_grid::Resolution;
+use cc_model::Model;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+struct LiveAlloc;
+
+unsafe impl GlobalAlloc for LiveAlloc {
+    unsafe fn alloc(&self, layout: AllocLayout) -> *mut u8 {
+        let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+        PEAK.fetch_max(live, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: AllocLayout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: AllocLayout, new_size: usize) -> *mut u8 {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        let live = LIVE.fetch_add(new_size, Ordering::Relaxed) + new_size;
+        PEAK.fetch_max(live, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: LiveAlloc = LiveAlloc;
+
+fn live() -> usize {
+    LIVE.load(Ordering::Relaxed)
+}
+
+#[test]
+fn prefetch_keeps_at_most_two_contexts_resident() {
+    let model = Model::new(Resolution::reduced(4, 4), 13);
+    let mut config = EvalConfig::quick(24);
+    config.workers = 2;
+    let eval = Evaluation::new(model, config);
+    // Six same-shape 3-D variables so every context costs about the same.
+    let vars: Vec<usize> = (0..eval.model.registry().len())
+        .filter(|&v| eval.model.var_nlev(v) > 1)
+        .take(6)
+        .collect();
+    assert_eq!(vars.len(), 6);
+
+    // Warm the caches that allocate once (spin-up state, member features,
+    // grid/basis are already built) so they don't count against the sweep.
+    drop(eval.context(vars[0]));
+
+    // One context's live-heap footprint, measured while holding it.
+    let base = live();
+    let ctx = eval.context(vars[0]);
+    let one = live().saturating_sub(base);
+    drop(ctx);
+    assert!(
+        one > 100 << 10,
+        "context footprint implausibly small ({one} B); the bound below would be vacuous"
+    );
+
+    let start = live();
+    PEAK.store(start, Ordering::Relaxed);
+    let sizes = eval.map_contexts(&vars, |ctx| {
+        // Linger so the prefetcher finishes building the next context
+        // while this one is still held — the worst legal case.
+        std::thread::sleep(std::time::Duration::from_millis(25));
+        ctx.fields.len()
+    });
+    let growth = PEAK.load(Ordering::Relaxed).saturating_sub(start);
+    assert_eq!(sizes, vec![24; 6]);
+
+    // Two resident contexts plus transient scratch; three would trip it.
+    let bound = one * 5 / 2 + (512 << 10);
+    assert!(
+        growth <= bound,
+        "peak heap growth {growth} B exceeds two-context bound {bound} B \
+         (one context ≈ {one} B): prefetch is holding too many contexts"
+    );
+}

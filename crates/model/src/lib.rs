@@ -101,6 +101,10 @@ pub struct Model {
     /// Cached post-spin-up dynamics state (identical for every member),
     /// shared across clones so 101 `member()` calls pay for one spin-up.
     spun_up: Arc<std::sync::OnceLock<L96Cascade>>,
+    /// Cached member feature vectors, shared across clones: the dynamics
+    /// are variable-independent, so sweeping V variables over the same
+    /// ensemble pays for each member's integration once, not V times.
+    members: Arc<std::sync::Mutex<std::collections::BTreeMap<usize, Member>>>,
 }
 
 impl Model {
@@ -115,6 +119,7 @@ impl Model {
             registry: Arc::new(registry()),
             seed,
             spun_up: Arc::new(std::sync::OnceLock::new()),
+            members: Arc::new(std::sync::Mutex::new(std::collections::BTreeMap::new())),
         }
     }
 
@@ -157,6 +162,9 @@ impl Model {
     /// the CESM-PVT recipe (Section 4.3).
     pub fn member(&self, m: usize) -> Member {
         assert!(m < ENSEMBLE_SIZE, "member index {m} out of range");
+        if let Some(cached) = self.members.lock().unwrap().get(&m) {
+            return cached.clone();
+        }
         // Spin up onto the attractor once (identical for every member).
         let base = self.spun_up.get_or_init(|| {
             let mut sys = L96Cascade::new(self.seed, L96Params::default());
@@ -169,7 +177,11 @@ impl Model {
         // Integrate past the decorrelation horizon: with λ ≈ 1.7 the gap
         // ln(1e14)/λ ≈ 19 time units; run 24 to be safely decorrelated.
         sys.run(24.0, 0.005);
-        Member { index: m, epoch: m as u64, features: sys.features() }
+        let member = Member { index: m, epoch: m as u64, features: sys.features() };
+        // The integration is deterministic, so a racing duplicate insert
+        // stores the same value; last write wins harmlessly.
+        self.members.lock().unwrap().insert(m, member.clone());
+        member
     }
 
     /// Stable per-variable seed for mixing matrices and noise.
@@ -182,27 +194,63 @@ impl Model {
         h
     }
 
-    /// Synthesize one variable for one member.
-    pub fn synthesize(&self, member: &Member, var: usize) -> Field {
-        let spec = &self.registry[var];
-        let nlev = self.var_nlev(var);
+    /// Precompute the member-independent synthesis state for one variable.
+    /// Build it once per variable and pass it to [`Model::synthesize_with`]
+    /// for every member of an ensemble sweep.
+    pub fn synth_plan(&self, var: usize) -> synth::SynthPlan {
+        // The feature length is a property of the dynamics configuration;
+        // read it off the spun-up base state without integrating a member.
+        let base = self.spun_up.get_or_init(|| {
+            let mut sys = L96Cascade::new(self.seed, L96Params::default());
+            sys.run(4.0, 0.005);
+            sys
+        });
+        let nfeat = base.features().len();
+        synth::SynthPlan::build(
+            &self.grid,
+            &self.registry[var],
+            self.var_seed(var),
+            self.var_nlev(var),
+            nfeat,
+        )
+    }
+
+    /// Synthesize one variable for one member against a prepared plan,
+    /// reusing `scratch` across levels (and across calls). Bit-identical
+    /// to [`Model::synthesize`].
+    pub fn synthesize_with(
+        &self,
+        plan: &synth::SynthPlan,
+        member: &Member,
+        scratch: &mut synth::SynthScratch,
+    ) -> Field {
+        let nlev = plan.nlev();
         let npts = self.grid.len();
         let mut data = vec![0.0f32; nlev * npts];
-        let vseed = self.var_seed(var);
         for lev in 0..nlev {
-            synth::synthesize_level(
-                &self.grid,
+            synth::synthesize_level_planned(
                 &self.basis,
-                spec,
-                vseed,
+                plan,
                 member.epoch,
                 &member.features,
                 lev,
-                nlev,
+                scratch,
                 &mut data[lev * npts..(lev + 1) * npts],
             );
         }
-        Field { name: spec.name.to_string(), data, nlev, npts }
+        Field { name: plan.spec().name.to_string(), data, nlev, npts }
+    }
+
+    /// Synthesize one variable for one member.
+    pub fn synthesize(&self, member: &Member, var: usize) -> Field {
+        let plan = synth::SynthPlan::build(
+            &self.grid,
+            &self.registry[var],
+            self.var_seed(var),
+            self.var_nlev(var),
+            member.features.len(),
+        );
+        self.synthesize_with(&plan, member, &mut synth::SynthScratch::new())
     }
 
     /// Convenience: run the dynamics and synthesize in one call.
@@ -367,6 +415,40 @@ mod tests {
         let member = m.member(3);
         let v = m.var_id("FSDSC").unwrap();
         assert_eq!(m.synthesize(&member, v).data, m.synthesize(&member, v).data);
+    }
+
+    #[test]
+    fn planned_synthesis_bit_identical_to_reference() {
+        // The plan path must reproduce the plan-free reference kernel
+        // exactly, across every distribution family, the ocean mask, and
+        // shared-scratch reuse between variables and members.
+        let m = small_model();
+        let members = [m.member(0), m.member(3)];
+        let mut scratch = synth::SynthScratch::new();
+        for name in ["U", "SST", "CCN3", "CLDTOT", "FSDSC"] {
+            let var = m.var_id(name).unwrap();
+            let plan = m.synth_plan(var);
+            let nlev = m.var_nlev(var);
+            let npts = m.grid().len();
+            for member in &members {
+                let planned = m.synthesize_with(&plan, member, &mut scratch);
+                let mut reference = vec![0.0f32; nlev * npts];
+                for lev in 0..nlev {
+                    synth::synthesize_level(
+                        m.grid(),
+                        &m.basis,
+                        &m.registry()[var],
+                        m.var_seed(var),
+                        member.epoch,
+                        member.features(),
+                        lev,
+                        nlev,
+                        &mut reference[lev * npts..(lev + 1) * npts],
+                    );
+                }
+                assert_eq!(planned.data, reference, "{name} diverged from reference");
+            }
+        }
     }
 
     #[test]

@@ -118,7 +118,188 @@ pub fn level_amplitudes(
     }
 }
 
+/// Member-independent synthesis state for one variable, precomputed once
+/// and shared across an ensemble sweep.
+///
+/// Every entry is a pure function of (variable, grid): the
+/// (basis × feature) mixing matrix, the per-mode phase of the vertical
+/// modulation, the climatological pattern at every horizontal point, and
+/// the land mask for ocean-only variables. [`synthesize_level_planned`]
+/// consumes exactly the same `f64` values in exactly the same order as
+/// [`synthesize_level`] recomputes them, so planned synthesis is
+/// bit-identical to the reference path — the plan only moves
+/// member-invariant work out of the per-member loop.
+#[derive(Debug, Clone)]
+pub struct SynthPlan {
+    spec: VariableSpec,
+    var_seed: u64,
+    nlev: usize,
+    nfeat: usize,
+    /// Mixing-matrix weights, `mix[k * nfeat + j]` = [`mix_weight`].
+    mix: Vec<f64>,
+    /// Per-mode phase of the vertical sinusoidal modulation.
+    theta: [f64; NBASIS],
+    /// `pattern_value(spec.pattern, lat, lon)` per horizontal point.
+    pattern: Vec<f64>,
+    /// `is_land` per horizontal point (empty unless ocean-masked).
+    land: Vec<bool>,
+}
+
+impl SynthPlan {
+    /// Precompute the plan for one variable on `grid`. `nfeat` is the
+    /// length of the member feature vectors the plan will be applied to.
+    pub fn build(
+        grid: &Grid,
+        spec: &VariableSpec,
+        var_seed: u64,
+        nlev: usize,
+        nfeat: usize,
+    ) -> Self {
+        let mut mix = Vec::with_capacity(NBASIS * nfeat);
+        for k in 0..NBASIS {
+            for j in 0..nfeat {
+                mix.push(mix_weight(var_seed, k, j, nfeat));
+            }
+        }
+        let mut theta = [0.0f64; NBASIS];
+        for (k, t) in theta.iter_mut().enumerate() {
+            *t = 2.0
+                * std::f64::consts::PI
+                * crate::rng::unit_f64(hash_coords(&[var_seed, 0x7E7A, k as u64]));
+        }
+        let pattern: Vec<f64> = (0..grid.len())
+            .map(|p| pattern_value(spec.pattern, grid.lat(p), grid.lon(p)))
+            .collect();
+        let land: Vec<bool> = if spec.mask == Mask::OceanOnly {
+            (0..grid.len()).map(|p| is_land(grid.lat(p), grid.lon(p))).collect()
+        } else {
+            Vec::new()
+        };
+        SynthPlan { spec: spec.clone(), var_seed, nlev, nfeat, mix, theta, pattern, land }
+    }
+
+    /// Number of vertical levels the planned variable occupies.
+    pub fn nlev(&self) -> usize {
+        self.nlev
+    }
+
+    /// The planned variable's spec.
+    pub fn spec(&self) -> &VariableSpec {
+        &self.spec
+    }
+
+    /// [`level_amplitudes`] against the precomputed mixing matrix and
+    /// phases: the same multiply-accumulate in the same order.
+    fn amplitudes(&self, features: &[f64], zeta: f64, amps: &mut [f64; NBASIS]) {
+        assert_eq!(features.len(), self.nfeat, "feature length mismatch");
+        for (k, amp) in amps.iter_mut().enumerate() {
+            let mut a = 0.0;
+            let row = &self.mix[k * self.nfeat..(k + 1) * self.nfeat];
+            for (w, &f) in row.iter().zip(features) {
+                a += w * f;
+            }
+            *amp = a
+                * (1.0 + 0.4 * (2.0 * std::f64::consts::PI * zeta + self.theta[k]).sin());
+        }
+    }
+}
+
+/// Reusable scratch for planned synthesis: the `f64` chaos accumulator
+/// and the per-level smooth-noise anchor values. One scratch serves any
+/// number of (member, level) sweeps — the buffers are sized on first use
+/// and reused after, instead of reallocated per level.
+#[derive(Debug, Default)]
+pub struct SynthScratch {
+    chaos: Vec<f64>,
+    anchors: Vec<f64>,
+}
+
+impl SynthScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// [`synthesize_level`] against a prepared [`SynthPlan`]: bit-identical
+/// output with the member-independent work (mixing matrix, pattern,
+/// mask) looked up instead of recomputed, and each smooth-noise anchor's
+/// Box-Muller transform evaluated once per level instead of up to
+/// `2 · NOISE_GRAIN` times by the per-point interpolation.
+pub fn synthesize_level_planned(
+    basis: &BasisSet,
+    plan: &SynthPlan,
+    member: u64,
+    features: &[f64],
+    lev: usize,
+    scratch: &mut SynthScratch,
+    out: &mut [f32],
+) {
+    let npts = plan.pattern.len();
+    assert_eq!(out.len(), npts);
+    let nlev = plan.nlev;
+    let zeta = if nlev <= 1 { 1.0 } else { lev as f64 / (nlev - 1) as f64 };
+    let spec = &plan.spec;
+    let amp = match spec.dist {
+        Distribution::Linear { amp, .. } => amp,
+        _ => 1.0,
+    };
+    let (aoff, vscale) = vertical_modifiers(spec.vertical, zeta, amp);
+
+    let mut amps = [0.0f64; NBASIS];
+    plan.amplitudes(features, zeta, &mut amps);
+    scratch.chaos.clear();
+    scratch.chaos.resize(npts, 0.0);
+    basis.accumulate(&amps, &mut scratch.chaos);
+
+    let var_seed = plan.var_seed;
+    let n_anchors = (npts - 1) / NOISE_GRAIN + 2;
+    scratch.anchors.clear();
+    scratch.anchors.extend((0..n_anchors as u64).map(|a| {
+        normal_f64(
+            hash_coords(&[var_seed, member, lev as u64, a, 21]),
+            hash_coords(&[var_seed, member, lev as u64, a, 23]),
+        )
+    }));
+
+    let masked = !plan.land.is_empty();
+    for (p, o) in out.iter_mut().enumerate() {
+        if masked && plan.land[p] {
+            *o = cc_metrics_fill();
+            continue;
+        }
+        let white = normal_f64(
+            hash_coords(&[var_seed, member, lev as u64, p as u64, 11]),
+            hash_coords(&[var_seed, member, lev as u64, p as u64, 13]),
+        );
+        let anchor = p / NOISE_GRAIN;
+        let t = (p % NOISE_GRAIN) as f64 / NOISE_GRAIN as f64;
+        let smooth = (1.0 - t) * scratch.anchors[anchor] + t * scratch.anchors[anchor + 1];
+        let noise = 0.45 * white + 0.9 * smooth;
+        let g = plan.pattern[p]
+            + spec.variability * scratch.chaos[p]
+            + spec.noise * NOISE_CALIBRATION * noise;
+        let value = match spec.dist {
+            Distribution::Linear { offset, amp } => offset + aoff + amp * vscale * g,
+            Distribution::Log { mid, spread } => 10f64.powf(mid + aoff + spread * vscale * g),
+            Distribution::Fraction => {
+                let shift = if spec.vertical == Vertical::MidBump {
+                    -1.2 + 1.6 * vscale
+                } else {
+                    0.0
+                };
+                1.0 / (1.0 + (-(1.6 * g + shift)).exp())
+            }
+        };
+        *o = value as f32;
+    }
+}
+
 /// Synthesize one level of one variable into `out` (length = grid points).
+///
+/// This is the reference (plan-free) path; ensemble sweeps go through
+/// [`SynthPlan`] + [`synthesize_level_planned`], which produces
+/// bit-identical output without redoing the member-independent work.
 #[allow(clippy::too_many_arguments)]
 pub fn synthesize_level(
     grid: &Grid,

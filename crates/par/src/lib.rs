@@ -161,6 +161,63 @@ where
     results.into_iter().map(|r| r.expect("all slots filled")).collect()
 }
 
+/// One-slot prefetch pipeline: `build` the next item's state on a helper
+/// thread while the caller `process`es the current one.
+///
+/// The evaluation sweep is a chain of expensive `build` (ensemble
+/// context synthesis) → `process` (verdict computation) pairs; running
+/// them strictly in sequence leaves the pool idle during whichever half
+/// is cheaper. This helper overlaps `build(items[i + 1])` with
+/// `process(state_i, i)` while keeping two invariants:
+///
+/// * **Bounded residency** — at most two built states exist at once: the
+///   one being processed and the one being prefetched. The prefetch slot
+///   is one deep by construction (there is a single helper in flight).
+/// * **Deterministic order** — `process` runs on the calling thread in
+///   input order, so order-sensitive accumulation behaves exactly as a
+///   sequential loop. Span trees recorded during a prefetched `build`
+///   are adopted into the caller's tree *before* that item's `process`
+///   spans, preserving the sequential trace shape.
+///
+/// The helper thread is *not* marked as a pool worker: a `build` that
+/// fans out over [`par_map_with`] still gets its requested workers.
+pub fn prefetch_map<T, C, R, B, F>(items: &[T], build: B, mut process: F) -> Vec<R>
+where
+    T: Sync,
+    C: Send,
+    B: Fn(&T) -> C + Sync,
+    F: FnMut(C, usize) -> R,
+{
+    let n = items.len();
+    let mut out = Vec::with_capacity(n);
+    if n == 0 {
+        return out;
+    }
+    let record_spans = cc_obs::spans_enabled();
+    let build = &build;
+    std::thread::scope(|s| {
+        let task = |i: usize| {
+            move || {
+                let state = build(&items[i]);
+                let spans =
+                    if record_spans { cc_obs::take_local_roots() } else { Vec::new() };
+                (state, spans)
+            }
+        };
+        let mut pending = Some(s.spawn(task(0)));
+        for i in 0..n {
+            let (state, spans) =
+                pending.take().expect("slot filled").join().expect("prefetch build panicked");
+            cc_obs::adopt(spans);
+            if i + 1 < n {
+                pending = Some(s.spawn(task(i + 1)));
+            }
+            out.push(process(state, i));
+        }
+    });
+    out
+}
+
 // ---------------------------------------------------------------------
 // Bounded work queue + persistent worker pool (the `cc-serve` substrate).
 // ---------------------------------------------------------------------
@@ -532,6 +589,68 @@ mod tests {
         });
         assert_eq!(SUM.load(Ordering::SeqCst), (0..64).sum());
         assert_eq!(NESTED_WORKERS.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn prefetch_map_matches_sequential_in_order() {
+        let items: Vec<usize> = (0..20).collect();
+        let mut seen = Vec::new();
+        let out = prefetch_map(
+            &items,
+            |&i| i * 10,
+            |state, idx| {
+                seen.push(idx);
+                state + idx
+            },
+        );
+        assert_eq!(seen, (0..20).collect::<Vec<_>>(), "process order must be sequential");
+        assert_eq!(out, (0..20).map(|i| i * 11).collect::<Vec<_>>());
+        assert!(prefetch_map(&[] as &[usize], |&i| i, |s, _| s).is_empty());
+    }
+
+    #[test]
+    fn prefetch_map_keeps_at_most_two_states_resident() {
+        // Guard type counting live built states: one being processed plus
+        // one in the prefetch slot is the contract.
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        static PEAK: AtomicUsize = AtomicUsize::new(0);
+        struct Guard(usize);
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                LIVE.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let items: Vec<usize> = (0..32).collect();
+        let out = prefetch_map(
+            &items,
+            |&i| {
+                let live = LIVE.fetch_add(1, Ordering::SeqCst) + 1;
+                PEAK.fetch_max(live, Ordering::SeqCst);
+                Guard(i)
+            },
+            |state, _| {
+                // Linger with the state held so the prefetcher has every
+                // chance to run ahead if it (wrongly) could.
+                std::thread::sleep(Duration::from_millis(1));
+                state.0
+            },
+        );
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
+        assert_eq!(LIVE.load(Ordering::SeqCst), 0);
+        assert!(
+            PEAK.load(Ordering::SeqCst) <= 2,
+            "prefetch ran more than one state ahead: peak {}",
+            PEAK.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn prefetch_map_builds_can_use_the_pool() {
+        // The prefetch helper thread must not carry the in-pool flag:
+        // context building fans out over par_map internally.
+        let items: Vec<usize> = (0..4).collect();
+        let flags = prefetch_map(&items, |_| in_pool_worker(), |f, _| f);
+        assert_eq!(flags, vec![false; 4]);
     }
 
     #[test]
