@@ -1,0 +1,72 @@
+//! Byte sources the reader can fetch ranges from.
+//!
+//! The whole point of the footer index is that a reader touches only the
+//! byte ranges it needs, so the source abstraction is range reads, not
+//! streams. In-memory slices serve tests and the wire path; [`FileSource`]
+//! serves the archive directory behind `cc-serve`.
+
+use std::io::{Read, Seek, SeekFrom};
+
+use crate::ArchiveError;
+
+/// Random-access byte source.
+pub trait SliceSource {
+    /// Total size in bytes.
+    fn len(&self) -> u64;
+
+    /// Whether the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read exactly `len` bytes at `offset`. Ranges outside the source
+    /// are an error, never a short read.
+    fn read_at(&mut self, offset: u64, len: usize) -> Result<Vec<u8>, ArchiveError>;
+}
+
+impl SliceSource for &[u8] {
+    fn len(&self) -> u64 {
+        <[u8]>::len(self) as u64
+    }
+
+    fn read_at(&mut self, offset: u64, len: usize) -> Result<Vec<u8>, ArchiveError> {
+        let start = usize::try_from(offset)
+            .map_err(|_| ArchiveError::Corrupt("read offset exceeds source"))?;
+        let end = start
+            .checked_add(len)
+            .filter(|&e| e <= <[u8]>::len(self))
+            .ok_or(ArchiveError::Corrupt("read range exceeds source"))?;
+        Ok(self[start..end].to_vec())
+    }
+}
+
+/// A file-backed source for server-side archive directories.
+pub struct FileSource {
+    file: std::fs::File,
+    len: u64,
+}
+
+impl FileSource {
+    /// Open a file and capture its current size.
+    pub fn open(path: &std::path::Path) -> Result<Self, ArchiveError> {
+        let file = std::fs::File::open(path)?;
+        let len = file.metadata()?.len();
+        Ok(FileSource { file, len })
+    }
+}
+
+impl SliceSource for FileSource {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn read_at(&mut self, offset: u64, len: usize) -> Result<Vec<u8>, ArchiveError> {
+        if offset.checked_add(len as u64).filter(|&e| e <= self.len).is_none() {
+            return Err(ArchiveError::Corrupt("read range exceeds source"));
+        }
+        self.file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len];
+        self.file.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+}

@@ -5,7 +5,8 @@
 //!
 //! EXPERIMENTS  any of: table1 table2 table3 table4 table5 table6 table7
 //!              table8 fig1 fig2 fig3 fig4 scaling calibration ssim
-//!              scorecard bench serve-bench tune eval-bench eval-check | all |
+//!              scorecard bench serve-bench tune eval-bench eval-check
+//!              archive-bench | all |
 //!              focus (tables 2-5 + figs 2-4) |
 //!              sweep (table 6 + fig 1 + tables 7-8) |
 //!              extensions (scaling + calibration + ssim)
@@ -42,13 +43,19 @@
 //! self-time profile), bumping the schema to `cc-bench-throughput/7`;
 //! `eval-check` re-runs the sweep at worker counts 1 and 4 and exits
 //! non-zero unless the tune reports are byte-identical;
+//! `archive-bench` archives a correlated model run per focus variable
+//! (`cc-arch/1` keyframes + bounded delta frames) and appends an
+//! `archive` section (archive CR vs per-timestep CR, random-slice
+//! p50/p99 fetch latency), bumping the schema to `cc-bench-throughput/8`;
 //! `bench-check FILE` re-validates an existing artifact and exits
 //! non-zero if it does not satisfy the schema — with `--against
 //! BASELINE.json` it additionally compares single-worker throughput per
 //! codec (and, when both documents carry an `eval` section, the
-//! verification-engine rates) and fails when any rate drops below
-//! `(1 - tolerance)` of the baseline. `trace-check [FILE]` does the
-//! same for a `TRACE.json` artifact (default `TRACE.json`).
+//! verification-engine rates; when both carry an `archive` section, the
+//! archive CRs and slice p99 latency, which are smaller-is-better and
+//! gated at the mirror-image tolerance) and fails when any metric falls
+//! beyond `(1 - tolerance)` of the baseline. `trace-check [FILE]` does
+//! the same for a `TRACE.json` artifact (default `TRACE.json`).
 //!
 //! `scorecard` re-reads the CSV artifacts of earlier experiments and
 //! machine-checks the paper's shape claims (exits non-zero on a required
@@ -72,6 +79,16 @@ use cc_ncdf::{DType, Dataset, FilterPipeline};
 use cc_obs::progress;
 use std::collections::BTreeMap;
 use std::time::Instant;
+
+/// Every experiment `repro` understands, in the order the doc comment
+/// lists them. The unknown-experiment hint is generated from this one
+/// table so it can never drift behind newly added subcommands again.
+const EXPERIMENTS: &[&str] = &[
+    "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "fig1",
+    "fig2", "fig3", "fig4", "scaling", "calibration", "ssim", "scorecard", "bench",
+    "serve-bench", "tune", "eval-bench", "eval-check", "archive-bench", "bench-check",
+    "trace-check",
+];
 
 fn main() {
     let (experiments, cfg, bench_opts, obs) = parse_args();
@@ -102,6 +119,7 @@ fn main() {
             "tune" => runner.tune(&bench_opts),
             "eval-bench" => runner.eval_bench(&bench_opts),
             "eval-check" => runner.eval_check(),
+            "archive-bench" => run_archive_bench(&bench_opts),
             "bench-check" => check_bench(&bench_opts),
             "trace-check" => check_trace(&obs.check_path),
             "scorecard" => {
@@ -116,6 +134,8 @@ fn main() {
             }
             other => {
                 eprintln!("unknown experiment: {other}");
+                eprintln!("known experiments: {}", EXPERIMENTS.join(" "));
+                eprintln!("groups: all focus sweep extensions");
                 std::process::exit(2);
             }
         }
@@ -250,6 +270,46 @@ fn run_serve_bench(opts: &BenchOpts) {
     );
 }
 
+/// `archive-bench`: temporal-archive CR vs the per-timestep workflow
+/// plus random-slice latency, appended to `BENCH.json` as the
+/// `archive` section (schema bumps to `cc-bench-throughput/8`).
+fn run_archive_bench(opts: &BenchOpts) {
+    let config = if opts.quick {
+        cc_bench::archive_bench::ArchiveBenchConfig::quick()
+    } else {
+        cc_bench::archive_bench::ArchiveBenchConfig::default_scale()
+    };
+    let base = std::fs::read_to_string(&opts.path).unwrap_or_else(|e| {
+        eprintln!(
+            "cannot read {}: {e}\narchive-bench appends to an existing artifact — run `repro bench` first",
+            opts.path.display()
+        );
+        std::process::exit(1);
+    });
+    let artifact = cc_bench::archive_bench::run(&config, &mut |line| progress!("    {line}"));
+    let merged = artifact.merge_into_bench(&base).unwrap_or_else(|errs| {
+        eprintln!("cannot append archive section to {}:", opts.path.display());
+        for e in errs {
+            eprintln!("  - {e}");
+        }
+        std::process::exit(1);
+    });
+    std::fs::write(&opts.path, &merged).expect("write BENCH.json");
+    for v in &artifact.variables {
+        println!(
+            "{:8} {:>4} frames  archive CR {:.4}  per-timestep CR {:.4}  slice p50 {:>5}us  p99 {:>5}us",
+            v.name, v.frames, v.archive_cr, v.per_timestep_cr, v.slice_p50_us, v.slice_p99_us
+        );
+    }
+    println!(
+        "appended archive section to {} ({} variables, {} timesteps, keyframe every {}, schema cc-bench-throughput/8)",
+        opts.path.display(),
+        artifact.variables.len(),
+        config.timesteps,
+        config.keyframe_every
+    );
+}
+
 fn check_bench(opts: &BenchOpts) {
     let text = std::fs::read_to_string(&opts.path).unwrap_or_else(|e| {
         eprintln!("cannot read {}: {e}", opts.path.display());
@@ -293,6 +353,21 @@ fn check_bench(opts: &BenchOpts) {
             println!("eval rates vs baseline:\n{table}");
             if fails > 0 {
                 eprintln!("{fails} eval rate(s) regressed beyond tolerance");
+                std::process::exit(1);
+            }
+        }
+        // Archive CR and slice latency gate too, when both documents
+        // carry an archive section (appended by `repro archive-bench`).
+        // Both metrics are smaller-is-better, so the tolerance applies
+        // mirrored: current may exceed baseline by at most the same
+        // fraction the throughput floor allows rates to drop.
+        if let Some(rows) =
+            cc_bench::throughput::compare_archive(&text, &baseline, opts.tolerance)
+        {
+            let (table, fails) = cc_bench::throughput::render_archive_compare(&rows);
+            println!("archive metrics vs baseline:\n{table}");
+            if fails > 0 {
+                eprintln!("{fails} archive metric(s) regressed beyond tolerance");
                 std::process::exit(1);
             }
         }

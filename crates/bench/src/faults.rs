@@ -132,6 +132,111 @@ pub fn corpus(stream: &[u8], seed: u64) -> Vec<Vec<u8>> {
     all
 }
 
+/// `count` copies of `stream`, each with 1..=4 seeded byte overwrites
+/// confined to `region` — targeted damage for section-structured
+/// formats whose interesting bytes (an index, a header) occupy a known
+/// range that whole-stream mutation rarely hits.
+pub fn region_mutations(
+    stream: &[u8],
+    region: std::ops::Range<usize>,
+    count: usize,
+    seed: u64,
+) -> Vec<Vec<u8>> {
+    let mut rng = SplitMix64::new(seed ^ 0x1DE2_C0DE);
+    let span = region.end.min(stream.len()).saturating_sub(region.start);
+    (0..count)
+        .map(|_| {
+            let mut s = stream.to_vec();
+            if span > 0 {
+                for _ in 0..1 + rng.below(4) {
+                    let at = region.start + rng.below(span);
+                    s[at] = rng.next_u64() as u8;
+                }
+            }
+            s
+        })
+        .collect()
+}
+
+/// `count` copies of `stream`, each with two seeded spans *inside
+/// `region`* swapped — index splices that keep every byte plausible
+/// while rewiring what the entries describe.
+pub fn region_splices(
+    stream: &[u8],
+    region: std::ops::Range<usize>,
+    count: usize,
+    seed: u64,
+) -> Vec<Vec<u8>> {
+    let mut rng = SplitMix64::new(seed ^ 0x5911_CE5F);
+    let start = region.start;
+    let span_total = region.end.min(stream.len()).saturating_sub(start);
+    (0..count)
+        .map(|_| {
+            let mut s = stream.to_vec();
+            if span_total >= 4 {
+                let span = 1 + rng.below(span_total / 2);
+                let a = start + rng.below(span_total - span + 1);
+                let b = start + rng.below(span_total - span + 1);
+                for i in 0..span {
+                    s.swap(a + i, b + i);
+                }
+            }
+            s
+        })
+        .collect()
+}
+
+/// `count` copies of `stream`, each with one aligned-width little-endian
+/// integer field inside `region` overwritten with a huge value — the
+/// "oversized declared range" shape (lengths, offsets, counts pointing
+/// far past the file) that cap-before-allocation decoding must reject.
+pub fn huge_field_patches(
+    stream: &[u8],
+    region: std::ops::Range<usize>,
+    count: usize,
+    seed: u64,
+) -> Vec<Vec<u8>> {
+    let mut rng = SplitMix64::new(seed ^ 0xB16F_1E1D);
+    let huge64: [u64; 4] = [u64::MAX, 1 << 62, (stream.len() as u64) << 20, 1 << 33];
+    let huge32: [u32; 4] = [u32::MAX, 1 << 30, (stream.len() as u32) << 8, 1 << 24];
+    (0..count)
+        .map(|i| {
+            let mut s = stream.to_vec();
+            let wide = i % 2 == 0;
+            let width = if wide { 8 } else { 4 };
+            let span = region.end.min(stream.len()).saturating_sub(region.start);
+            if span >= width {
+                let at = region.start + rng.below(span - width + 1);
+                if wide {
+                    s[at..at + 8].copy_from_slice(&huge64[rng.below(4)].to_le_bytes());
+                } else {
+                    s[at..at + 4].copy_from_slice(&huge32[rng.below(4)].to_le_bytes());
+                }
+            }
+            s
+        })
+        .collect()
+}
+
+/// The corpus for one valid `cc-arch/1` container: generic damage
+/// (truncations, bit flips, splices) plus index-targeted shapes —
+/// byte overwrites and splices confined to the index section at
+/// `[index_offset, len)` (where the footer also lives, so chain
+/// pointers, declared ranges, counts, and the index offset itself all
+/// get rewritten) and huge-integer field patches that declare oversized
+/// ranges. Sized to stay comfortably above a thousand damaged archives.
+pub fn archive_corpus(archive: &[u8], index_offset: usize, seed: u64) -> Vec<Vec<u8>> {
+    let index = index_offset.min(archive.len())..archive.len();
+    let mut all = truncations(archive, 300);
+    all.extend(bit_flips(archive, 200, seed));
+    all.extend(byte_mutations(archive, 100, seed));
+    all.extend(region_mutations(archive, index.clone(), 200, seed));
+    all.extend(region_splices(archive, index.clone(), 150, seed));
+    all.extend(huge_field_patches(archive, index, 100, seed));
+    all.extend(random_streams(50, archive.len().max(64), seed));
+    all
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,5 +283,35 @@ mod tests {
     fn corpus_is_at_least_a_thousand() {
         let stream = vec![7u8; 2048];
         assert!(corpus(&stream, 1).len() >= 1000);
+    }
+
+    #[test]
+    fn archive_corpus_is_at_least_a_thousand() {
+        let stream = vec![7u8; 4096];
+        assert!(archive_corpus(&stream, 3000, 1).len() >= 1000);
+    }
+
+    #[test]
+    fn targeted_generators_damage_only_the_region() {
+        let stream: Vec<u8> = (0..512).map(|i| (i % 251) as u8).collect();
+        let region = 300..stream.len();
+        let mut cases = region_mutations(&stream, region.clone(), 50, 9);
+        cases.extend(region_splices(&stream, region.clone(), 50, 9));
+        cases.extend(huge_field_patches(&stream, region.clone(), 50, 9));
+        for s in &cases {
+            assert_eq!(s.len(), stream.len());
+            assert_eq!(&s[..region.start], &stream[..region.start], "frame region must stay intact");
+        }
+        // And at least some cases actually differ inside the region.
+        assert!(cases.iter().any(|s| s[region.start..] != stream[region.start..]));
+        // Determinism.
+        assert_eq!(
+            region_mutations(&stream, region.clone(), 5, 42),
+            region_mutations(&stream, region.clone(), 5, 42)
+        );
+        assert_eq!(
+            huge_field_patches(&stream, region.clone(), 5, 42),
+            huge_field_patches(&stream, region, 5, 42)
+        );
     }
 }

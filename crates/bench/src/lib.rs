@@ -6,6 +6,7 @@
 //! 101-member ensemble on a reduced grid, and `paper-scale` for the actual
 //! ne=30 grid (48,602 horizontal points — budget accordingly).
 
+pub mod archive_bench;
 pub mod evalbench;
 pub mod faults;
 pub mod scorecard;

@@ -299,10 +299,12 @@ impl ServeBenchReport {
     pub fn merge_into_bench(&self, bench_text: &str) -> Result<String, Vec<String>> {
         let mut doc = json::parse(bench_text)
             .map_err(|e| vec![format!("existing BENCH.json is not valid JSON: {e}")])?;
-        if doc.get("schema").and_then(Value::as_str).is_none() {
+        let Some(schema) = doc.get("schema").and_then(Value::as_str) else {
             return Err(vec!["existing BENCH.json has no schema field".into()]);
+        };
+        if schema != "cc-bench-throughput/7" && schema != "cc-bench-throughput/8" {
+            doc.set("schema", Value::Str("cc-bench-throughput/6".into()));
         }
-        doc.set("schema", Value::Str("cc-bench-throughput/6".into()));
         doc.set("serve", self.to_value());
         let merged = doc.to_json();
         crate::throughput::validate(&merged)?;

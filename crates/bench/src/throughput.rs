@@ -381,15 +381,18 @@ impl BenchReport {
 }
 
 /// Validate a `BENCH.json` document against the
-/// `cc-bench-throughput/7` schema. Earlier schema levels are accepted
+/// `cc-bench-throughput/8` schema. Earlier schema levels are accepted
 /// additively: `/1` documents need no `telemetry` sections, `/1` and
 /// `/2` documents need no `serve` section (that section is appended by
 /// `repro serve-bench`, which also bumps the declared schema — to `/3`
 /// historically, `/4` since the reactor server's client-count sweep,
 /// `/6` since the per-opcode latency split), `/5` adds the `tune`
-/// section, and `/7` adds the `eval` section (verification-engine
+/// section, `/7` adds the `eval` section (verification-engine
 /// throughput, appended by `repro eval-bench`; serve and tune sections
-/// of either shape ride along). Returns every violation found.
+/// of either shape ride along), and `/8` adds the `archive` section
+/// (temporal-archive CR vs per-timestep CR plus random-slice latency,
+/// appended by `repro archive-bench`; serve, tune, and eval sections
+/// ride along). Returns every violation found.
 pub fn validate(text: &str) -> Result<(), Vec<String>> {
     let doc = match json::parse(text) {
         Ok(v) => v,
@@ -411,6 +414,7 @@ pub fn validate(text: &str) -> Result<(), Vec<String>> {
             | Some("cc-bench-throughput/5")
             | Some("cc-bench-throughput/6")
             | Some("cc-bench-throughput/7")
+            | Some("cc-bench-throughput/8")
     );
     check(
         &mut errs,
@@ -423,8 +427,9 @@ pub fn validate(text: &str) -> Result<(), Vec<String>> {
                 | Some("cc-bench-throughput/5")
                 | Some("cc-bench-throughput/6")
                 | Some("cc-bench-throughput/7")
+                | Some("cc-bench-throughput/8")
         ),
-        "schema must be \"cc-bench-throughput/1\" through \"/7\"",
+        "schema must be \"cc-bench-throughput/1\" through \"/8\"",
     );
     if schema == Some("cc-bench-throughput/3") {
         validate_serve(&mut errs, doc.get("serve"), false, false);
@@ -450,6 +455,27 @@ pub fn validate(text: &str) -> Result<(), Vec<String>> {
         // tune sections of either shape may ride along and are still
         // checked (the serve shape is sniffed from its own keys).
         validate_eval(&mut errs, doc.get("eval"));
+        if let Some(serve) = doc.get("serve") {
+            let v4 = serve.get("client_counts").is_some();
+            let v6 = serve
+                .get("runs")
+                .and_then(json::Value::as_array)
+                .and_then(|a| a.first())
+                .map(|r| r.get("per_op").is_some())
+                == Some(true);
+            validate_serve(&mut errs, Some(serve), v4, v6);
+        }
+        if doc.get("tune").is_some() {
+            validate_tune(&mut errs, doc.get("tune"));
+        }
+    } else if schema == Some("cc-bench-throughput/8") {
+        // `/8` adds the required temporal-archive section; eval, serve,
+        // and tune sections may ride along and are still checked (the
+        // serve shape is sniffed from its own keys).
+        validate_archive(&mut errs, doc.get("archive"));
+        if doc.get("eval").is_some() {
+            validate_eval(&mut errs, doc.get("eval"));
+        }
         if let Some(serve) = doc.get("serve") {
             let v4 = serve.get("client_counts").is_some();
             let v6 = serve
@@ -760,6 +786,156 @@ fn validate_eval(errs: &mut Vec<String>, eval: Option<&json::Value>) {
             errs.push(format!("eval.stages[{i}]: need name, calls >= 1, self_ms >= 0"));
         }
     }
+}
+
+/// Check the `archive` section appended by `repro archive-bench` (`/8`
+/// documents): per-variable temporal-archive compression versus the
+/// per-timestep workflow, plus random-slice fetch latency. The archive
+/// must actually exploit temporal correlation — its CR (smaller is
+/// better) must match or beat the per-timestep CR for every variable.
+fn validate_archive(errs: &mut Vec<String>, archive: Option<&json::Value>) {
+    let Some(archive) = archive else {
+        errs.push("archive-schema document must carry an archive section".into());
+        return;
+    };
+    if archive.get("preset").and_then(json::Value::as_str).is_none() {
+        errs.push("archive.preset missing".into());
+    }
+    let num = |key: &str| archive.get(key).and_then(json::Value::as_f64);
+    if num("timesteps").map(|v| v >= 2.0) != Some(true) {
+        errs.push("archive.timesteps must be >= 2".into());
+    }
+    for key in ["keyframe_every", "fetches"] {
+        if num(key).map(|v| v >= 1.0) != Some(true) {
+            errs.push(format!("archive.{key} must be >= 1"));
+        }
+    }
+    let vars = archive.get("variables").and_then(json::Value::as_array).unwrap_or_default();
+    if vars.is_empty() {
+        errs.push("archive.variables must be a non-empty array".into());
+    }
+    for (i, v) in vars.iter().enumerate() {
+        let vnum = |key: &str| v.get(key).and_then(json::Value::as_f64);
+        if v.get("name").and_then(json::Value::as_str).is_none()
+            || v.get("codec").and_then(json::Value::as_str).is_none()
+        {
+            errs.push(format!("archive.variables[{i}]: name/codec must be strings"));
+        }
+        for key in ["frames", "raw_bytes", "archive_bytes", "per_timestep_bytes"] {
+            if vnum(key).map(|b| b >= 1.0) != Some(true) {
+                errs.push(format!("archive.variables[{i}]: {key} must be >= 1"));
+            }
+        }
+        match (vnum("archive_cr"), vnum("per_timestep_cr")) {
+            (Some(acr), Some(pcr)) if acr > 0.0 && pcr > 0.0 => {
+                if acr > pcr + 1e-9 {
+                    errs.push(format!(
+                        "archive.variables[{i}]: archive CR {acr} worse than per-timestep {pcr}"
+                    ));
+                }
+            }
+            _ => errs.push(format!(
+                "archive.variables[{i}]: archive_cr/per_timestep_cr must be positive"
+            )),
+        }
+        match (vnum("slice_p50_us"), vnum("slice_p99_us")) {
+            (Some(p50), Some(p99)) if p50 >= 0.0 && p99 >= p50 => {}
+            _ => errs.push(format!(
+                "archive.variables[{i}]: need slice_p50_us <= slice_p99_us"
+            )),
+        }
+    }
+}
+
+/// One row of an archive baseline comparison.
+#[derive(Debug, Clone)]
+pub struct ArchiveCompareRow {
+    /// Metric label (`<var> archive CR`, `<var> slice p99 µs`).
+    pub name: String,
+    /// Baseline value.
+    pub base: f64,
+    /// Current value.
+    pub cur: f64,
+    /// Current value at or below `baseline / (1 - tolerance)`.
+    pub pass: bool,
+}
+
+/// Compare the `archive` sections of two documents, when both carry
+/// one. Archive CR and slice p99 latency are both smaller-is-better, so
+/// the tolerance floor flips: the current value passes when shrinking
+/// it by the tolerance would put it at or below the baseline
+/// (`cur * (1 - tolerance) <= base`) — the mirror image of the
+/// rate-floor used for throughput. Variables present in only one
+/// document are ignored. Returns `None` when either document lacks an
+/// archive section.
+pub fn compare_archive(
+    current: &str,
+    baseline: &str,
+    tolerance: f64,
+) -> Option<Vec<ArchiveCompareRow>> {
+    let vars = |text: &str| -> Option<Vec<(String, f64, f64)>> {
+        let doc = json::parse(text).ok()?;
+        let list = doc.get("archive")?.get("variables")?.as_array()?;
+        let mut out = Vec::new();
+        for v in list {
+            out.push((
+                v.get("name")?.as_str()?.to_string(),
+                v.get("archive_cr")?.as_f64()?,
+                v.get("slice_p99_us")?.as_f64()?,
+            ));
+        }
+        Some(out)
+    };
+    let cur = vars(current)?;
+    let base = vars(baseline)?;
+    let shrink = 1.0 - tolerance;
+    let mut rows = Vec::new();
+    for (name, bcr, bp99) in base {
+        if let Some((_, ccr, cp99)) = cur.iter().find(|(n, _, _)| *n == name) {
+            rows.push(ArchiveCompareRow {
+                name: format!("{name} archive CR"),
+                base: bcr,
+                cur: *ccr,
+                pass: ccr * shrink <= bcr,
+            });
+            rows.push(ArchiveCompareRow {
+                name: format!("{name} slice p99 µs"),
+                base: bp99,
+                cur: *cp99,
+                pass: cp99 * shrink <= bp99,
+            });
+        }
+    }
+    Some(rows)
+}
+
+/// Render archive comparison rows; returns the rendering and the number
+/// of failing metrics.
+pub fn render_archive_compare(rows: &[ArchiveCompareRow]) -> (String, usize) {
+    let mut s = format!(
+        "{:<22} {:>12} {:>12} {:>7}  {}\n",
+        "archive metric", "base", "now", "Δ", "status"
+    );
+    let mut fails = 0;
+    for r in rows {
+        if !r.pass {
+            fails += 1;
+        }
+        let pct = if r.base > 0.0 {
+            format!("{:+.0}%", (r.cur / r.base - 1.0) * 100.0)
+        } else {
+            "n/a".into()
+        };
+        s.push_str(&format!(
+            "{:<22} {:>12.4} {:>12.4} {:>7}  {}\n",
+            r.name,
+            r.base,
+            r.cur,
+            pct,
+            if r.pass { "ok" } else { "REGRESSED" },
+        ));
+    }
+    (s, fails)
 }
 
 /// One row of an eval-rate baseline comparison.

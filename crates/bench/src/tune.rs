@@ -69,7 +69,10 @@ impl TuneArtifact {
         let Some(schema) = doc.get("schema").and_then(Value::as_str) else {
             return Err(vec!["existing BENCH.json has no schema field".into()]);
         };
-        if schema != "cc-bench-throughput/6" && schema != "cc-bench-throughput/7" {
+        if schema != "cc-bench-throughput/6"
+            && schema != "cc-bench-throughput/7"
+            && schema != "cc-bench-throughput/8"
+        {
             doc.set("schema", Value::Str("cc-bench-throughput/5".into()));
         }
         doc.set("tune", self.to_value());

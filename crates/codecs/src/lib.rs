@@ -28,6 +28,7 @@ pub mod grib2;
 pub mod guard;
 pub mod isabela;
 pub mod sz;
+pub mod varint;
 pub mod wavelet;
 
 mod variant;

@@ -33,6 +33,7 @@
 //! ranges) fall back to an exact mode that stores the raw bits through
 //! the shuffled lossless path.
 
+use crate::varint::{push_varint, read_varint, unzigzag, varint_len, zigzag};
 use crate::{Codec, CodecError, CodecProperties, Layout};
 
 /// The user-specified error bound.
@@ -66,6 +67,30 @@ impl ErrorBound {
             ErrorBound::Abs(e) => *e,
             ErrorBound::Rel(r) => *r,
         }
+    }
+
+    /// The effective absolute bound this bound implies for `data`, or
+    /// `None` when a stream must use an exact fallback (no finite values,
+    /// zero range under a relative bound). Shared by the SZ codec and the
+    /// archive delta frames so both quantize on the identical lattice.
+    pub fn effective(&self, data: &[f32]) -> Option<f64> {
+        let e = match self {
+            ErrorBound::Abs(e) => *e,
+            ErrorBound::Rel(r) => {
+                let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                for &v in data {
+                    if v.is_finite() {
+                        lo = lo.min(v as f64);
+                        hi = hi.max(v as f64);
+                    }
+                }
+                if hi <= lo {
+                    return None; // constant or no finite values
+                }
+                r * (hi - lo)
+            }
+        };
+        (e.is_finite() && e > 0.0).then_some(e)
     }
 }
 
@@ -118,73 +143,7 @@ impl Sz {
     /// stream must use the exact fallback (no finite values, zero range
     /// under a relative bound).
     fn effective_bound(&self, data: &[f32]) -> Option<f64> {
-        let e = match self.bound {
-            ErrorBound::Abs(e) => e,
-            ErrorBound::Rel(r) => {
-                let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
-                for &v in data {
-                    if v.is_finite() {
-                        lo = lo.min(v as f64);
-                        hi = hi.max(v as f64);
-                    }
-                }
-                if hi <= lo {
-                    return None; // constant or no finite values
-                }
-                r * (hi - lo)
-            }
-        };
-        (e.is_finite() && e > 0.0).then_some(e)
-    }
-}
-
-#[inline]
-fn zigzag(v: i64) -> u64 {
-    ((v << 1) ^ (v >> 63)) as u64
-}
-
-#[inline]
-fn unzigzag(v: u64) -> i64 {
-    ((v >> 1) as i64) ^ -((v & 1) as i64)
-}
-
-/// LEB128 length of a token (1..=5 bytes for our token range).
-#[inline]
-fn varint_len(mut v: u64) -> usize {
-    let mut n = 1;
-    while v >= 0x80 {
-        v >>= 7;
-        n += 1;
-    }
-    n
-}
-
-#[inline]
-fn push_varint(out: &mut Vec<u8>, mut v: u64) {
-    while v >= 0x80 {
-        out.push((v & 0x7F) as u8 | 0x80);
-        v >>= 7;
-    }
-    out.push(v as u8);
-}
-
-/// Read one LEB128 token; rejects truncation and tokens over 35 bits
-/// (honest tokens are `zigzag(|q| ≤ 2^30) + 1`).
-#[inline]
-fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
-    let mut v = 0u64;
-    let mut shift = 0u32;
-    loop {
-        let &b = bytes.get(*pos).ok_or(CodecError::Corrupt("truncated sz code stream"))?;
-        *pos += 1;
-        v |= ((b & 0x7F) as u64) << shift;
-        if b & 0x80 == 0 {
-            return Ok(v);
-        }
-        shift += 7;
-        if shift > 35 {
-            return Err(CodecError::Corrupt("sz code out of range"));
-        }
+        self.bound.effective(data)
     }
 }
 

@@ -11,7 +11,7 @@
 
 use cc_codecs::{CodecError, Layout, Variant};
 use cc_model::Model;
-use cc_ncdf::{AttrValue, DType, Dataset, FilterPipeline};
+use cc_ncdf::{DType, Dataset, FilterPipeline};
 
 /// Write `nslices` time slices of `var` from member `m`'s trajectory into
 /// a per-variable time-series dataset, compressing each slice with
@@ -83,10 +83,7 @@ impl std::fmt::Display for TsError {
 impl std::error::Error for TsError {}
 
 fn attr_f64(ds: &Dataset, name: &'static str) -> Result<f64, TsError> {
-    match ds.attr(None, name) {
-        Some(AttrValue::F64(v)) => Ok(*v),
-        _ => Err(TsError::Meta(name)),
-    }
+    ds.attr_f64(None, name).ok_or(TsError::Meta(name))
 }
 
 /// Read one slice back from a time-series dataset written by
@@ -104,10 +101,9 @@ pub fn read_slice(
         .var_id(&format!("slice{t}"))
         .ok_or(TsError::Meta("slice index out of range"))?;
     let words = ds.get_i32(v).map_err(TsError::Container)?;
-    let nbytes = match ds.attr(Some(v), "stream_bytes") {
-        Some(AttrValue::F64(b)) => *b as usize,
-        _ => return Err(TsError::Meta("stream_bytes")),
-    };
+    let nbytes = ds
+        .attr_f64(Some(v), "stream_bytes")
+        .ok_or(TsError::Meta("stream_bytes"))? as usize;
     let mut stream: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
     if nbytes > stream.len() {
         return Err(TsError::Meta("stream_bytes exceeds payload"));

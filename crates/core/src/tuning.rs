@@ -253,6 +253,87 @@ impl TuneReport {
     }
 }
 
+/// Candidate keyframe intervals for the archive tuner (`--keyframe-every
+/// auto`). Ascending, so ties keep the shortest chain.
+pub const KEYFRAME_CANDIDATES: [usize; 5] = [4, 8, 16, 32, 64];
+
+/// Outcome of the per-variable keyframe-interval search.
+#[derive(Debug, Clone)]
+pub struct TunedInterval {
+    /// Variable name.
+    pub name: String,
+    /// Chosen interval.
+    pub interval: usize,
+    /// Compressed frame bytes at the chosen interval.
+    pub bytes: u64,
+    /// Intervals enumerated.
+    pub candidates: usize,
+    /// Intervals that survived the filter.
+    pub passing: usize,
+}
+
+/// Per-variable keyframe-interval search for the temporal archive,
+/// following the same enumerate-filter-minimize discipline as
+/// [`tune_variable`]: enumerate [`KEYFRAME_CANDIDATES`], filter to
+/// intervals whose archive round-trips (and, in bounded mode, satisfies
+/// the pointwise bound on every frame — keyframes included), and pick the
+/// smallest compressed size; ties keep the earlier (smaller) interval so
+/// random-access chains stay short. Deterministic: no timing, no
+/// randomness, and archive bytes are worker-count independent. When no
+/// candidate passes, falls back to `opts.keyframe_every` with
+/// `passing == 0`.
+pub fn tune_keyframe_interval(
+    name: &str,
+    frames: &[Vec<f32>],
+    layout: cc_codecs::Layout,
+    opts: &cc_archive::ArchiveOptions,
+) -> TunedInterval {
+    let _s = cc_obs::span("tune.keyframe_interval");
+    let mut best: Option<(usize, u64)> = None;
+    let mut passing = 0usize;
+    for &interval in KEYFRAME_CANDIDATES.iter() {
+        let o = opts.clone().with_keyframe_every(interval);
+        let mut w = cc_archive::ArchiveWriter::new();
+        let Ok(summary) = w.add_variable(name, layout, frames, &o) else {
+            continue;
+        };
+        let bytes = w.finish();
+        let Ok(mut r) = cc_archive::ArchiveReader::open(bytes.as_slice()) else {
+            continue;
+        };
+        let Ok(decoded) = r.decode_variable(name) else {
+            continue;
+        };
+        if let Some(bound) = opts.bound {
+            let within = frames.iter().zip(&decoded).all(|(orig, back)| {
+                let e = bound.effective(orig);
+                orig.iter().zip(back).all(|(x, y)| {
+                    if !x.is_finite() {
+                        return x.to_bits() == y.to_bits();
+                    }
+                    match e {
+                        Some(e) => (*x as f64 - *y as f64).abs() <= e,
+                        None => x.to_bits() == y.to_bits(),
+                    }
+                })
+            });
+            if !within {
+                continue;
+            }
+        }
+        passing += 1;
+        let better = match best {
+            None => true,
+            Some((_, b)) => summary.bytes < b,
+        };
+        if better {
+            best = Some((interval, summary.bytes));
+        }
+    }
+    let (interval, bytes) = best.unwrap_or((opts.keyframe_every, 0));
+    TunedInterval { name: name.to_string(), interval, bytes, candidates: KEYFRAME_CANDIDATES.len(), passing }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,6 +407,26 @@ mod tests {
         let one = build(1);
         assert_eq!(one, build(1), "same-config runs must render identically");
         assert_eq!(one, build(4), "worker count must not change the report");
+    }
+
+    #[test]
+    fn keyframe_interval_tuner_is_deterministic_and_filters() {
+        let model = Model::new(Resolution::reduced(2, 2), 7);
+        let id = model.var_id("U").unwrap();
+        let members = model.trajectory(2, 20, 0.05);
+        let frames: Vec<Vec<f32>> =
+            members.iter().map(|m| model.synthesize(m, id).data).collect();
+        let layout = cc_codecs::Layout::for_grid(model.grid(), model.var_nlev(id));
+        let opts = cc_archive::ArchiveOptions::new(Variant::Sz {
+            bound: cc_codecs::ErrorBound::Rel(1e-3),
+        })
+        .with_bound(cc_codecs::ErrorBound::Rel(1e-3));
+        let a = tune_keyframe_interval("U", &frames, layout, &opts);
+        let b = tune_keyframe_interval("U", &frames, layout, &opts);
+        assert_eq!(a.interval, b.interval, "tuner must be deterministic");
+        assert_eq!(a.bytes, b.bytes);
+        assert!(a.passing >= 1, "SZ keyframes at the same bound must pass");
+        assert!(KEYFRAME_CANDIDATES.contains(&a.interval));
     }
 
     #[test]

@@ -235,6 +235,19 @@ fn write_block(w: &mut BitWriter, tokens: &[Token], raw: &[u8], is_final: bool) 
 
 /// Decompress a stream produced by [`compress`].
 pub fn decompress(data: &[u8]) -> Result<Vec<u8>, Error> {
+    decompress_with_cap(data, usize::MAX)
+}
+
+/// Like [`decompress`], but rejects any stream whose declared output
+/// length exceeds `max_out` *before* allocating. Callers that know the
+/// exact size a section must decode to (the archive reader, for one)
+/// pass it here so a damaged length field can never cost an oversized
+/// allocation, independent of the generic expansion heuristics below.
+pub fn decompress_capped(data: &[u8], max_out: usize) -> Result<Vec<u8>, Error> {
+    decompress_with_cap(data, max_out)
+}
+
+fn decompress_with_cap(data: &[u8], max_out: usize) -> Result<Vec<u8>, Error> {
     let _s = cc_obs::span("deflate.decode");
     let mut r = BitReader::new(data);
     let lo = r.read_bits(32)?;
@@ -245,6 +258,9 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, Error> {
     // expands beyond 258 bytes per input bit (2064 per byte).
     if total > data.len().saturating_mul(2064) {
         return Err(Error::Corrupt("declared length exceeds maximum expansion"));
+    }
+    if total > max_out {
+        return Err(Error::Corrupt("declared length exceeds caller cap"));
     }
     // Pre-allocation from the (still untrusted) header is capped at 16x
     // the input; growth past that only follows actually-decoded content.

@@ -30,7 +30,7 @@ pub mod range;
 pub mod shuffle;
 
 pub use bwt::{bwt_compress, bwt_decompress};
-pub use deflate::{compress, decompress, Level};
+pub use deflate::{compress, decompress, decompress_capped, Level};
 pub use shuffle::{shuffle, unshuffle};
 
 /// Error type for decoding failures.

@@ -298,6 +298,15 @@ impl Dataset {
         attrs.iter().find(|a| a.name == name).map(|a| &a.value)
     }
 
+    /// Read a numeric attribute by name; `None` when absent or not `F64`.
+    /// (The time-series and archive bridges key their metadata on these.)
+    pub fn attr_f64(&self, var: Option<usize>, name: &str) -> Option<f64> {
+        match self.attr(var, name) {
+            Some(AttrValue::F64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
     fn store(&mut self, var: usize, raw: &[u8]) -> Result<(), Error> {
         let _s = cc_obs::span("ncdf.store");
         let expect = self.var_len(var) * self.vars[var].dtype.size();

@@ -34,9 +34,10 @@
 //! request itself.
 
 use crate::wire::{
-    self, decode_error, decode_span_tree, read_frame, try_encode_frame_v, CompressRequest,
-    DecompressRequest, ErrCode, EvalRequest, EvalResponse, Frame, Opcode, TraceContext,
-    WireError, OP_BUSY, OP_ERROR, OP_STREAM, OP_TELEMETRY, VERSION,
+    self, decode_error, decode_span_tree, read_frame, try_encode_frame_v, ArchivePutRequest,
+    ArchivePutResponse, CompressRequest, DecompressRequest, ErrCode, EvalRequest, EvalResponse,
+    FetchSliceRequest, Frame, Opcode, TraceContext, WireError, OP_BUSY, OP_ERROR, OP_STREAM,
+    OP_TELEMETRY, VERSION,
 };
 use cc_codecs::Layout;
 use cc_obs::{HistogramSnapshot, MetricsSnapshot, SpanNode};
@@ -387,6 +388,42 @@ impl Client {
         let payload = self.call(Opcode::Evaluate, &payload)?;
         EvalResponse::decode(&payload)
             .map_err(|_| ClientError::Protocol("malformed Evaluate response".into()))
+    }
+
+    /// Upload a complete `cc-arch/1` archive for server-side storage
+    /// under `name`; returns the server's acceptance summary.
+    pub fn archive_put(
+        &mut self,
+        name: &str,
+        bytes: &[u8],
+    ) -> Result<ArchivePutResponse, ClientError> {
+        let req = ArchivePutRequest { name: name.to_string(), bytes: bytes.to_vec() };
+        let payload = req.encode().map_err(ClientError::Wire)?;
+        let payload = self.call(Opcode::ArchivePut, &payload)?;
+        ArchivePutResponse::decode(&payload)
+            .map_err(|_| ClientError::Protocol("malformed ArchivePut response".into()))
+    }
+
+    /// Fetch one (variable, timestep, level) slice from a stored
+    /// archive. The server decodes only that slice's keyframe chain;
+    /// large slices arrive as `OP_STREAM` pieces and reassemble here.
+    pub fn fetch_slice(
+        &mut self,
+        name: &str,
+        var: &str,
+        t: u32,
+        lev: u32,
+    ) -> Result<Vec<f32>, ClientError> {
+        let req = FetchSliceRequest {
+            name: name.to_string(),
+            var: var.to_string(),
+            t,
+            lev,
+        };
+        let payload = req.encode().map_err(ClientError::Wire)?;
+        let payload = self.call(Opcode::FetchSlice, &payload)?;
+        wire::decode_f32_payload(&payload)
+            .map_err(|_| ClientError::Protocol("odd-length f32 response".into()))
     }
 
     /// Fetch the server's metrics as a typed [`StatsReport`] parsed

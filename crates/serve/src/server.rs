@@ -60,11 +60,12 @@
 //! through the usual `--trace` / `TRACE.json` path.
 
 use crate::wire::{
-    self, encode_error, encode_frame_v, encode_span_tree, try_encode_frame_v, CompressRequest,
-    DecompressRequest, ErrCode, EvalRequest, EvalResponse, Frame, FrameDecoder, Opcode,
-    TraceContext, WireError, MAX_TELEMETRY_NODES, OP_BUSY, OP_ERROR, OP_STREAM, OP_TELEMETRY,
-    VERSION_MIN,
+    self, encode_error, encode_frame_v, encode_span_tree, try_encode_frame_v, ArchivePutRequest,
+    ArchivePutResponse, CompressRequest, DecompressRequest, ErrCode, EvalRequest, EvalResponse,
+    FetchSliceRequest, Frame, FrameDecoder, Opcode, TraceContext, WireError,
+    MAX_TELEMETRY_NODES, OP_BUSY, OP_ERROR, OP_STREAM, OP_TELEMETRY, VERSION_MIN,
 };
+use cc_archive::{ArchiveError, ArchiveReader, FileSource};
 use cc_obs::SpanNode;
 use std::cell::RefCell;
 use cc_codecs::chunked::{compress_chunked_stream, decompress_chunked};
@@ -77,6 +78,7 @@ use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -132,6 +134,9 @@ pub struct ServerConfig {
     pub write_chunk: usize,
     /// Caps on `Evaluate` work.
     pub eval_limits: EvalLimits,
+    /// Directory holding stored `cc-arch/1` archives (`<name>.ccarch`).
+    /// `None` disables `ArchivePut`/`FetchSlice` with a typed error.
+    pub archive_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -149,6 +154,7 @@ impl Default for ServerConfig {
             stream_threshold: 256 << 10,
             write_chunk: 64 << 10,
             eval_limits: EvalLimits::default(),
+            archive_dir: None,
         }
     }
 }
@@ -182,6 +188,8 @@ pub const STAT_COUNTERS: &[&str] = &[
     "serve.op.decompress.bytes_out",
     "serve.op.evaluate.bytes_in",
     "serve.op.stats.bytes_out",
+    "serve.op.archive-put.bytes_in",
+    "serve.op.fetch-slice.bytes_out",
 ];
 
 /// Timing context a traced request accumulates on its way to the pool
@@ -938,6 +946,12 @@ fn handle_request(
             handle_decompress(&frame.payload, shared).map(|p| (op.reply(), p))
         }
         Opcode::Evaluate => handle_evaluate(&frame.payload, shared).map(|p| (op.reply(), p)),
+        Opcode::ArchivePut => {
+            handle_archive_put(&frame.payload, shared).map(|p| (op.reply(), p))
+        }
+        Opcode::FetchSlice => {
+            handle_fetch_slice(&frame.payload, shared, emit).map(|p| (op.reply(), p))
+        }
         Opcode::Stats => Ok((op.reply(), stats_body(frame, shared))),
         Opcode::Shutdown => {
             shared.begin_shutdown();
@@ -1047,6 +1061,76 @@ fn handle_evaluate(payload: &[u8], shared: &Shared) -> Result<Vec<u8>, (ErrCode,
         bias_pass: v.bias_pass,
     }
     .encode())
+}
+
+/// Resolve a validated archive name against the configured archive
+/// directory, or reject when the server runs without one.
+fn archive_path(shared: &Shared, name: &str) -> Result<PathBuf, (ErrCode, String)> {
+    let Some(dir) = &shared.cfg.archive_dir else {
+        return Err((
+            ErrCode::BadPayload,
+            "server has no archive directory (start with --archive-dir)".into(),
+        ));
+    };
+    Ok(dir.join(format!("{name}.ccarch")))
+}
+
+/// Map an archive-layer failure onto the wire error vocabulary: lookups
+/// that miss become `NotFound`, everything structural is `Codec`.
+fn archive_err(e: ArchiveError) -> (ErrCode, String) {
+    match &e {
+        ArchiveError::NoSuchVariable(_) | ArchiveError::BadRequest(_) => {
+            (ErrCode::NotFound, e.to_string())
+        }
+        ArchiveError::Io(_) => (ErrCode::Internal, e.to_string()),
+        _ => (ErrCode::Codec, e.to_string()),
+    }
+}
+
+/// Validate and store a client-supplied archive. The container is fully
+/// parsed (footer, index, chain invariants) *before* anything touches
+/// disk, so the archive directory only ever holds well-formed files.
+fn handle_archive_put(payload: &[u8], shared: &Shared) -> Result<Vec<u8>, (ErrCode, String)> {
+    let req = ArchivePutRequest::decode(payload)
+        .map_err(|_| (ErrCode::BadPayload, "malformed ArchivePut payload".into()))?;
+    let path = archive_path(shared, &req.name)?;
+    let reader = ArchiveReader::open(req.bytes.as_slice())
+        .map_err(|e| (ErrCode::BadPayload, format!("invalid archive: {e}")))?;
+    let vars = reader.index().vars.len() as u32;
+    let frames: u32 = reader.index().vars.iter().map(|v| v.frames.len() as u32).sum();
+    std::fs::write(&path, &req.bytes)
+        .map_err(|e| (ErrCode::Internal, format!("archive store failed: {e}")))?;
+    Ok(ArchivePutResponse { bytes: req.bytes.len() as u64, vars, frames }.encode())
+}
+
+/// Fetch one (variable, timestep, level) slice from a stored archive,
+/// decoding only the keyframe chain the footer index points at. Large
+/// slices stream as `OP_STREAM` pieces like `Compress` replies.
+fn handle_fetch_slice(
+    payload: &[u8],
+    shared: &Shared,
+    emit: &mut dyn FnMut(Vec<u8>),
+) -> Result<Vec<u8>, (ErrCode, String)> {
+    let req = FetchSliceRequest::decode(payload)
+        .map_err(|_| (ErrCode::BadPayload, "malformed FetchSlice payload".into()))?;
+    let path = archive_path(shared, &req.name)?;
+    let src = FileSource::open(&path)
+        .map_err(|_| (ErrCode::NotFound, format!("no archive named {:?}", req.name)))?;
+    // Workers = 1: already inside a pool worker (the nested-context
+    // guard would force it anyway).
+    let mut reader = ArchiveReader::open(src).map_err(archive_err)?;
+    let slice = reader
+        .fetch_slice(&req.var, req.t as usize, req.lev as usize)
+        .map_err(archive_err)?;
+    let mut encoded = wire::encode_f32_payload(&slice);
+    let threshold = shared.cfg.stream_threshold.max(1);
+    // Same reassembly contract as streamed Compress replies: the
+    // concatenation of pieces + remainder is the whole payload.
+    while encoded.len() >= threshold * 2 {
+        let rest = encoded.split_off(threshold);
+        emit(std::mem::replace(&mut encoded, rest));
+    }
+    Ok(encoded)
 }
 
 /// The legacy `Stats` response body: one `name value` line per counter

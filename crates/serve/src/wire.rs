@@ -76,6 +76,13 @@ pub enum Opcode {
     Stats = 0x05,
     /// Graceful drain: stop accepting, finish queued work, exit.
     Shutdown = 0x06,
+    /// Store a `cc-arch/1` archive in the server's archive directory:
+    /// [`ArchivePutRequest`] → [`ArchivePutResponse`].
+    ArchivePut = 0x07,
+    /// Random-access read of one (variable, timestep, level) slice from
+    /// a stored archive: [`FetchSliceRequest`] → f32 LE slice (streamed
+    /// via [`OP_STREAM`] when large).
+    FetchSlice = 0x08,
 }
 
 impl Opcode {
@@ -88,6 +95,8 @@ impl Opcode {
             0x04 => Some(Opcode::Evaluate),
             0x05 => Some(Opcode::Stats),
             0x06 => Some(Opcode::Shutdown),
+            0x07 => Some(Opcode::ArchivePut),
+            0x08 => Some(Opcode::FetchSlice),
             _ => None,
         }
     }
@@ -106,6 +115,8 @@ impl Opcode {
             Opcode::Evaluate => "evaluate",
             Opcode::Stats => "stats",
             Opcode::Shutdown => "shutdown",
+            Opcode::ArchivePut => "archive-put",
+            Opcode::FetchSlice => "fetch-slice",
         }
     }
 
@@ -119,6 +130,8 @@ impl Opcode {
             Opcode::Evaluate => "serve.req_us.evaluate",
             Opcode::Stats => "serve.req_us.stats",
             Opcode::Shutdown => "serve.req_us.shutdown",
+            Opcode::ArchivePut => "serve.req_us.archive_put",
+            Opcode::FetchSlice => "serve.req_us.fetch_slice",
         }
     }
 }
@@ -158,6 +171,8 @@ pub enum ErrCode {
     ShuttingDown = 7,
     /// Handler panicked or hit an unexpected condition.
     Internal = 8,
+    /// Named archive (or archive variable/timestep/level) not found.
+    NotFound = 9,
 }
 
 impl ErrCode {
@@ -171,6 +186,7 @@ impl ErrCode {
             5 => ErrCode::TooLarge,
             6 => ErrCode::RequestCap,
             7 => ErrCode::ShuttingDown,
+            9 => ErrCode::NotFound,
             _ => ErrCode::Internal,
         }
     }
@@ -816,6 +832,131 @@ impl EvalResponse {
             enmax_pass: flags & 4 != 0,
             bias_pass: flags & 8 != 0,
         })
+    }
+}
+
+/// Whether a client-supplied archive name is safe to use as a file stem
+/// in the server's archive directory: 1..=128 bytes of `[A-Za-z0-9._-]`,
+/// at least one alphanumeric, no leading dot. Rules out path separators,
+/// `.`/`..`, and hidden files by construction.
+pub fn archive_name_ok(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 128
+        && !name.starts_with('.')
+        && name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+        && name.bytes().any(|b| b.is_ascii_alphanumeric())
+}
+
+/// `ArchivePut` request: archive name + complete `cc-arch/1` bytes. The
+/// server validates the container before storing it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchivePutRequest {
+    /// Archive name ([`archive_name_ok`]); the server stores the file as
+    /// `<name>.ccarch`.
+    pub name: String,
+    /// The full archive byte stream.
+    pub bytes: Vec<u8>,
+}
+
+impl ArchivePutRequest {
+    /// Serialize to a request payload.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let mut out = Vec::with_capacity(1 + self.name.len() + self.bytes.len());
+        put_name(&mut out, &self.name)?;
+        out.extend_from_slice(&self.bytes);
+        Ok(out)
+    }
+
+    /// Parse from an untrusted payload. The name must satisfy
+    /// [`archive_name_ok`]; the archive bytes themselves are validated
+    /// by the handler via `ArchiveReader::open`.
+    pub fn decode(payload: &[u8]) -> Result<ArchivePutRequest, PayloadError> {
+        let mut c = Cursor::new(payload);
+        let name = c.name()?;
+        if !archive_name_ok(&name) {
+            return Err(PayloadError);
+        }
+        Ok(ArchivePutRequest { name, bytes: c.rest().to_vec() })
+    }
+}
+
+/// `ArchivePut` response: what the server accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchivePutResponse {
+    /// Stored file size in bytes.
+    pub bytes: u64,
+    /// Variables in the archive.
+    pub vars: u32,
+    /// Total frames across variables.
+    pub frames: u32,
+}
+
+impl ArchivePutResponse {
+    /// Serialize to a response payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(&self.bytes.to_le_bytes());
+        out.extend_from_slice(&self.vars.to_le_bytes());
+        out.extend_from_slice(&self.frames.to_le_bytes());
+        out
+    }
+
+    /// Parse from an untrusted payload.
+    pub fn decode(payload: &[u8]) -> Result<ArchivePutResponse, PayloadError> {
+        let mut c = Cursor::new(payload);
+        let bytes = c.u64()?;
+        let vars = c.u32()?;
+        let frames = c.u32()?;
+        if !c.rest().is_empty() {
+            return Err(PayloadError);
+        }
+        Ok(ArchivePutResponse { bytes, vars, frames })
+    }
+}
+
+/// `FetchSlice` request: one (variable, timestep, level) slice from a
+/// stored archive. The response payload is the raw f32 LE slice
+/// (`npts` elements), streamed via [`OP_STREAM`] when large.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchSliceRequest {
+    /// Archive name ([`archive_name_ok`]).
+    pub name: String,
+    /// Variable name inside the archive.
+    pub var: String,
+    /// Timestep index.
+    pub t: u32,
+    /// Vertical level index.
+    pub lev: u32,
+}
+
+impl FetchSliceRequest {
+    /// Serialize to a request payload.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let mut out = Vec::new();
+        put_name(&mut out, &self.name)?;
+        put_name(&mut out, &self.var)?;
+        out.extend_from_slice(&self.t.to_le_bytes());
+        out.extend_from_slice(&self.lev.to_le_bytes());
+        Ok(out)
+    }
+
+    /// Parse from an untrusted payload.
+    pub fn decode(payload: &[u8]) -> Result<FetchSliceRequest, PayloadError> {
+        let mut c = Cursor::new(payload);
+        let name = c.name()?;
+        if !archive_name_ok(&name) {
+            return Err(PayloadError);
+        }
+        let var = c.name()?;
+        if var.is_empty() {
+            return Err(PayloadError);
+        }
+        let t = c.u32()?;
+        let lev = c.u32()?;
+        if !c.rest().is_empty() {
+            return Err(PayloadError);
+        }
+        Ok(FetchSliceRequest { name, var, t, lev })
     }
 }
 

@@ -1,0 +1,145 @@
+//! Archive ops against a live server: `ArchivePut` validates and
+//! stores, `FetchSlice` answers slices byte-identical to a local
+//! sequential full decode (including when the reply streams as
+//! `OP_STREAM` pieces), and the error paths come back as typed frames.
+
+use cc_archive::{ArchiveOptions, ArchiveReader, ArchiveWriter};
+use cc_codecs::sz::ErrorBound;
+use cc_codecs::{Layout, Variant};
+use cc_grid::Resolution;
+use cc_model::Model;
+use cc_serve::wire::ErrCode;
+use cc_serve::{Client, ClientError, Server, ServerConfig};
+use std::path::PathBuf;
+
+fn temp_archive_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cc-archive-wire-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create archive dir");
+    dir
+}
+
+/// A short correlated model run archived with SZ keyframes + bounded
+/// deltas, plus the raw frames for reference decoding.
+fn build_archive(nslices: usize) -> (Vec<u8>, Vec<Vec<f32>>, Layout) {
+    let model = Model::new(Resolution::reduced(2, 3), 7);
+    let id = model.var_id("T").expect("known variable");
+    let layout = Layout::for_grid(model.grid(), model.var_nlev(id));
+    let frames: Vec<Vec<f32>> = model
+        .trajectory(0, nslices, 0.05)
+        .iter()
+        .map(|m| model.synthesize(m, id).data)
+        .collect();
+    let opts = ArchiveOptions::new(Variant::Sz { bound: ErrorBound::Abs(1e-2) })
+        .with_bound(ErrorBound::Abs(1e-2))
+        .with_keyframe_every(6);
+    let mut w = ArchiveWriter::new();
+    w.add_variable("T", layout, &frames, &opts).expect("encode archive");
+    (w.finish(), frames, layout)
+}
+
+#[test]
+fn fetched_slices_match_local_sequential_decode_over_the_wire() {
+    let dir = temp_archive_dir("roundtrip");
+    let (bytes, _, layout) = build_archive(20);
+
+    // Local reference: sequential full decode of every frame.
+    let mut local = ArchiveReader::open(bytes.as_slice()).expect("local open");
+    let reference = local.decode_variable("T").expect("local decode");
+
+    // Tiny stream threshold so every slice reply exercises the
+    // OP_STREAM reassembly path too.
+    let server = Server::start(ServerConfig {
+        archive_dir: Some(dir.clone()),
+        stream_threshold: 512,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+
+    let summary = client.archive_put("run1", &bytes).expect("archive accepted");
+    assert_eq!(summary.bytes, bytes.len() as u64);
+    assert_eq!(summary.vars, 1);
+    assert_eq!(summary.frames, 20);
+    assert!(dir.join("run1.ccarch").is_file(), "server stored the archive");
+
+    for t in [0usize, 1, 5, 6, 11, 19] {
+        for lev in 0..layout.nlev {
+            let remote = client.fetch_slice("run1", "T", t as u32, lev as u32).expect("fetch");
+            let expect = &reference[t][lev * layout.npts..(lev + 1) * layout.npts];
+            assert_eq!(
+                remote.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                expect.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "slice (t={t}, lev={lev}) differs over the wire"
+            );
+        }
+    }
+    drop(client);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn archive_error_paths_come_back_typed() {
+    let dir = temp_archive_dir("errors");
+    let (bytes, _, _) = build_archive(8);
+    let server = Server::start(ServerConfig {
+        archive_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+
+    // Corrupt container is rejected before it ever reaches disk.
+    let mut bad = bytes.clone();
+    let n = bad.len();
+    bad[n - 1] ^= 0xFF;
+    match client.archive_put("mangled", &bad) {
+        Err(ClientError::Server(ErrCode::BadPayload, _)) => {}
+        other => panic!("corrupt archive accepted: {other:?}"),
+    }
+    assert!(!dir.join("mangled.ccarch").exists(), "rejected archive must not be stored");
+
+    client.archive_put("run1", &bytes).expect("good archive accepted");
+
+    // Missing archive name → NotFound.
+    match client.fetch_slice("nope", "T", 0, 0) {
+        Err(ClientError::Server(ErrCode::NotFound, _)) => {}
+        other => panic!("missing archive not NotFound: {other:?}"),
+    }
+    // Unknown variable / out-of-range timestep and level → NotFound.
+    match client.fetch_slice("run1", "PSL", 0, 0) {
+        Err(ClientError::Server(ErrCode::NotFound, _)) => {}
+        other => panic!("unknown variable not NotFound: {other:?}"),
+    }
+    match client.fetch_slice("run1", "T", 999, 0) {
+        Err(ClientError::Server(ErrCode::NotFound, _)) => {}
+        other => panic!("timestep out of range not NotFound: {other:?}"),
+    }
+    match client.fetch_slice("run1", "T", 0, 999) {
+        Err(ClientError::Server(ErrCode::NotFound, _)) => {}
+        other => panic!("level out of range not NotFound: {other:?}"),
+    }
+    drop(client);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn archive_ops_require_a_configured_directory() {
+    let (bytes, _, _) = build_archive(8);
+    let server = Server::start(ServerConfig::default()).expect("bind loopback");
+    let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+    match client.archive_put("run1", &bytes) {
+        Err(ClientError::Server(ErrCode::BadPayload, msg)) => {
+            assert!(msg.contains("archive directory"), "unhelpful message: {msg}");
+        }
+        other => panic!("put without archive dir: {other:?}"),
+    }
+    match client.fetch_slice("run1", "T", 0, 0) {
+        Err(ClientError::Server(ErrCode::BadPayload, _)) => {}
+        other => panic!("fetch without archive dir: {other:?}"),
+    }
+    drop(client);
+    server.shutdown();
+}

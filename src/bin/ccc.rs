@@ -17,12 +17,23 @@
 //!     APAX-profiler sweep with a recommended encoding rate.
 //!
 //! ccc serve [--addr A] [--shards N] [--workers N] [--queue-depth N]
+//!     [--archive-dir DIR]
 //!     Run the cc-wire/2 compression/evaluation daemon (reactor shards
 //!     owning the connections, a compute pool running the requests)
-//!     until a remote shutdown request drains it.
+//!     until a remote shutdown request drains it. `--archive-dir`
+//!     enables the ArchivePut/FetchSlice opcodes against that directory.
 //!
-//! ccc remote <ping|compress|decompress|eval|stats|shutdown> [--addr A] ...
+//! ccc remote <ping|compress|decompress|eval|stats|shutdown|
+//!             archive-put|fetch-slice> [--addr A] ...
 //!     Issue one request against a running daemon.
+//!
+//! ccc archive create --out FILE --var NAMES --timesteps N [...]
+//! ccc archive info FILE
+//! ccc archive fetch --in FILE --var NAME --t N --lev N
+//!     Build, inspect, and randomly access cc-arch/1 temporal archives
+//!     (keyframes + error-bounded delta frames); `--keyframe-every
+//!     N|auto` picks the keyframe interval, `auto` via the per-variable
+//!     tuning verdict loop.
 //!
 //! ccc top [--addr A] [--interval MS] [--once]
 //!     Live server metrics: poll Stats and render the interval delta —
@@ -40,6 +51,7 @@
 //! `remote` requests carry a cc-wire/2 trace context and the server's
 //! span subtree is stitched into the local artifact.
 
+use climate_compress::archive::{ArchiveOptions, ArchiveReader, ArchiveWriter, FileSource};
 use climate_compress::codecs::apax::Profiler;
 use climate_compress::codecs::chunked::decompress_chunked;
 use climate_compress::codecs::{ErrorBound, Layout, Variant};
@@ -58,6 +70,20 @@ use std::time::Duration;
 
 /// Default daemon address for `serve` and `remote`.
 const DEFAULT_ADDR: &str = "127.0.0.1:4014";
+
+/// Every `ccc remote` subcommand. The usage text and both hint messages
+/// are generated from this one table so they can never drift behind
+/// newly added opcodes again.
+const REMOTE_SUBCOMMANDS: &[&str] = &[
+    "ping",
+    "compress",
+    "decompress",
+    "eval",
+    "stats",
+    "shutdown",
+    "archive-put",
+    "fetch-slice",
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -78,6 +104,7 @@ fn main() {
             "profile" => profile(&flags),
             "serve" => serve(&flags),
             "remote" => remote(rest, &flags),
+            "archive" => archive(rest, &flags),
             "top" => top(&flags),
             "trace-check" => trace_check(rest),
             "help" | "--help" | "-h" => usage(),
@@ -123,15 +150,23 @@ fn usage() {
          \x20        [--error-bound X | --rel-bound X]  (SZ error-bounded codec)\n\
          \x20 profile --var NAME [--ne N] [--nlev N] [--seed S]\n\
          \x20 serve [--addr A] [--shards N] [--workers N] [--queue-depth N]\n\
-         \x20       [--max-conns N] [--max-payload BYTES]\n\
-         \x20 remote ping|stats|shutdown [--addr A]\n\
+         \x20       [--max-conns N] [--max-payload BYTES] [--archive-dir DIR]\n\
+         \x20 remote {}  [--addr A]\n\
          \x20 remote compress --codec NAME --var NAME [--out FILE] [model flags]\n\
          \x20 remote decompress --codec NAME --var NAME --in FILE [model flags]\n\
          \x20 remote eval --codec NAME --var NAME [--members N] [model flags]\n\
+         \x20 remote archive-put --in FILE --name NAME [--addr A]\n\
+         \x20 remote fetch-slice --name NAME --var NAME --t N --lev N [--out FILE]\n\
+         \x20 archive create --out FILE --var NAMES --timesteps N [--interval X]\n\
+         \x20         [--keyframe-every N|auto] [--codec NAME] [--error-bound X | --rel-bound X]\n\
+         \x20         [model flags]\n\
+         \x20 archive info FILE\n\
+         \x20 archive fetch --in FILE --var NAME --t N --lev N [--out FILE]\n\
          \x20 top [--addr A] [--interval MS] [--once]\n\
          \x20 trace-check [FILE]\n\
          every command also accepts --workers N (worker-pool width),\n\
-         --trace FILE, --profile FILE, --metrics, and --quiet"
+         --trace FILE, --profile FILE, --metrics, and --quiet",
+        REMOTE_SUBCOMMANDS.join("|")
     );
 }
 
@@ -324,8 +359,15 @@ fn serve(flags: &HashMap<String, String>) {
             "max-payload",
             climate_compress::serve::wire::DEFAULT_MAX_PAYLOAD,
         ),
+        archive_dir: flags.get("archive-dir").map(PathBuf::from),
         ..defaults
     };
+    if let Some(dir) = &cfg.archive_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+            eprintln!("cannot create archive dir {}: {e}", dir.display());
+            exit(1);
+        });
+    }
     let (shards, workers, queue_depth) = (cfg.shards, cfg.workers, cfg.queue_depth);
     let server = Server::start(cfg).unwrap_or_else(|e| {
         eprintln!("cannot bind: {e}");
@@ -381,7 +423,7 @@ fn remote_codec(flags: &HashMap<String, String>) -> String {
 
 fn remote(args: &[String], flags: &HashMap<String, String>) {
     let Some(sub) = args.iter().find(|a| !a.starts_with("--")) else {
-        eprintln!("remote needs a subcommand: ping|compress|decompress|eval|stats|shutdown");
+        eprintln!("remote needs a subcommand: {}", REMOTE_SUBCOMMANDS.join("|"));
         exit(2);
     };
     match sub.as_str() {
@@ -493,10 +535,300 @@ fn remote(args: &[String], flags: &HashMap<String, String>) {
             });
             println!("server draining");
         }
+        "archive-put" => {
+            let Some(input) = flags.get("in") else {
+                eprintln!("remote archive-put needs --in FILE (a cc-arch/1 archive)");
+                exit(2);
+            };
+            let Some(name) = flags.get("name") else {
+                eprintln!("remote archive-put needs --name NAME (the server-side key)");
+                exit(2);
+            };
+            let bytes = std::fs::read(input).unwrap_or_else(|e| {
+                eprintln!("cannot read {input}: {e}");
+                exit(1);
+            });
+            let mut client = connect(flags);
+            let resp = client.archive_put(name, &bytes).unwrap_or_else(|e| {
+                eprintln!("remote archive-put failed: {e}");
+                exit(1);
+            });
+            println!(
+                "stored {name}: {} bytes, {} variables, {} frames",
+                resp.bytes, resp.vars, resp.frames
+            );
+        }
+        "fetch-slice" => {
+            let (name, var, t, lev) = fetch_slice_flags(flags, "remote fetch-slice needs --name NAME");
+            let mut client = connect(flags);
+            let slice = client.fetch_slice(&name, &var, t, lev).unwrap_or_else(|e| {
+                eprintln!("remote fetch-slice failed: {e}");
+                exit(1);
+            });
+            print_slice(&slice, &var, t, lev, flags.get("out"));
+        }
         other => {
             eprintln!("unknown remote subcommand: {other}");
+            eprintln!("known subcommands: {}", REMOTE_SUBCOMMANDS.join("|"));
             exit(2);
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Temporal archives (cc-arch/1).
+// ---------------------------------------------------------------------
+
+/// Shared flag parsing for `archive fetch` and `remote fetch-slice`:
+/// the archive key (`--name` remotely, `--in` locally handled by the
+/// caller), variable, timestep, and level.
+fn fetch_slice_flags(
+    flags: &HashMap<String, String>,
+    name_hint: &str,
+) -> (String, String, u32, u32) {
+    let Some(name) = flags.get("name") else {
+        eprintln!("{name_hint}");
+        exit(2);
+    };
+    let Some(var) = flags.get("var") else {
+        eprintln!("fetch-slice needs --var NAME");
+        exit(2);
+    };
+    let t = flag_usize(flags, "t", 0) as u32;
+    let lev = flag_usize(flags, "lev", 0) as u32;
+    (name.clone(), var.clone(), t, lev)
+}
+
+/// Print a fetched slice's shape and value range; `--out FILE` also
+/// writes the raw little-endian f32 bytes.
+fn print_slice(slice: &[f32], var: &str, t: u32, lev: u32, out: Option<&String>) {
+    let finite = slice.iter().filter(|v| v.is_finite());
+    let min = finite.clone().cloned().fold(f32::INFINITY, f32::min);
+    let max = finite.cloned().fold(f32::NEG_INFINITY, f32::max);
+    println!("{var} t={t} lev={lev}: {} values, range [{min:.6}, {max:.6}]", slice.len());
+    if let Some(out) = out {
+        let bytes: Vec<u8> = slice.iter().flat_map(|v| v.to_le_bytes()).collect();
+        std::fs::write(out, &bytes).unwrap_or_else(|e| {
+            eprintln!("cannot write {out}: {e}");
+            exit(1);
+        });
+        println!("wrote {} bytes (raw f32 LE) to {out}", slice.len() * 4);
+    }
+}
+
+/// `ccc archive create|info|fetch`: build a temporal archive from a
+/// synthetic run, inspect its index, or random-access one slice.
+fn archive(args: &[String], flags: &HashMap<String, String>) {
+    let Some(sub) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("archive needs a subcommand: create|info|fetch");
+        exit(2);
+    };
+    match sub.as_str() {
+        "create" => archive_create(flags),
+        "info" => {
+            // Positional FILE after `info`, or --in FILE.
+            let path = args
+                .iter()
+                .filter(|a| !a.starts_with("--"))
+                .nth(1)
+                .cloned()
+                .or_else(|| flags.get("in").cloned())
+                .unwrap_or_else(|| {
+                    eprintln!("archive info needs a FILE");
+                    exit(2);
+                });
+            archive_info(&path);
+        }
+        "fetch" => {
+            let Some(input) = flags.get("in") else {
+                eprintln!("archive fetch needs --in FILE");
+                exit(2);
+            };
+            let Some(var) = flags.get("var") else {
+                eprintln!("archive fetch needs --var NAME");
+                exit(2);
+            };
+            let t = flag_usize(flags, "t", 0);
+            let lev = flag_usize(flags, "lev", 0);
+            let src = FileSource::open(std::path::Path::new(input)).unwrap_or_else(|e| {
+                eprintln!("cannot open {input}: {e}");
+                exit(1);
+            });
+            let file_len = {
+                use climate_compress::archive::SliceSource;
+                src.len()
+            };
+            let mut reader = ArchiveReader::open(src).unwrap_or_else(|e| {
+                eprintln!("cannot read archive {input}: {e}");
+                exit(1);
+            });
+            let slice = reader.fetch_slice(var, t, lev).unwrap_or_else(|e| {
+                eprintln!("fetch failed: {e}");
+                exit(1);
+            });
+            print_slice(&slice, var, t as u32, lev as u32, flags.get("out"));
+            println!(
+                "read {} of {} file bytes (keyframe chain + index only)",
+                reader.bytes_read(),
+                file_len
+            );
+        }
+        other => {
+            eprintln!("unknown archive subcommand: {other} (create|info|fetch)");
+            exit(2);
+        }
+    }
+}
+
+fn archive_create(flags: &HashMap<String, String>) {
+    let Some(out) = flags.get("out") else {
+        eprintln!("archive create needs --out FILE");
+        exit(2);
+    };
+    let Some(var_list) = flags.get("var") else {
+        eprintln!("archive create needs --var NAME[,NAME...]");
+        exit(2);
+    };
+    let timesteps = flag_usize(flags, "timesteps", 100);
+    if timesteps == 0 {
+        eprintln!("--timesteps must be >= 1");
+        exit(2);
+    }
+    let interval = flag_f64_opt(flags, "interval").unwrap_or(0.02);
+    let model = model_from_flags(flags);
+    let member = flag_usize(flags, "member", 0);
+    let trajectory = model.trajectory(member, timesteps, interval);
+
+    // Keyframe codec: --codec NAME, or an SZ bound via
+    // --error-bound/--rel-bound (default rel 1e-4). A bound also turns
+    // on bounded delta frames; a plain --codec keeps exact XOR deltas.
+    let base_opts = match (sz_bound_from_flags(flags), flags.get("codec")) {
+        (Some(_), Some(_)) => {
+            eprintln!("--error-bound/--rel-bound pick the SZ codec; drop --codec");
+            exit(2);
+        }
+        (Some(bound), None) => {
+            ArchiveOptions::new(Variant::Sz { bound }).with_bound(bound)
+        }
+        (None, Some(name)) => match Variant::by_name(name) {
+            Some(v) => ArchiveOptions::new(v),
+            None => {
+                eprintln!(
+                    "unknown codec {name}; try GRIB2, APAX-4, fpzip-24, ISA-0.5, SZ-rel-1e-3, NetCDF-4"
+                );
+                exit(2);
+            }
+        },
+        (None, None) => {
+            let bound = ErrorBound::Rel(1e-4);
+            ArchiveOptions::new(Variant::Sz { bound }).with_bound(bound)
+        }
+    };
+    // `--keyframe-every N` pins the interval; `auto` searches the
+    // tuning verdict loop's candidate set per variable.
+    let keyframe_flag = flags.get("keyframe-every").map(String::as_str);
+    let auto_tune = keyframe_flag == Some("auto");
+    let fixed_every = match keyframe_flag {
+        Some("auto") | None => None,
+        Some(text) => match text.parse::<usize>() {
+            Ok(n) if n >= 1 => Some(n),
+            _ => {
+                eprintln!("--keyframe-every needs a positive integer or `auto`");
+                exit(2);
+            }
+        },
+    };
+
+    let mut writer = ArchiveWriter::new();
+    let mut rows = Vec::new();
+    for var_name in var_list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let Some(var) = model.var_id(var_name) else {
+            eprintln!("unknown variable {var_name}");
+            exit(2);
+        };
+        let layout = Layout::for_grid(model.grid(), model.var_nlev(var));
+        progress!(
+            "archiving {var_name}: {timesteps} timesteps x {} elements ...",
+            layout.len()
+        );
+        let frames: Vec<Vec<f32>> = trajectory
+            .iter()
+            .map(|m| model.synthesize(m, var).data)
+            .collect();
+        let opts = if auto_tune {
+            let tuned = climate_compress::core::tuning::tune_keyframe_interval(
+                var_name,
+                &frames,
+                layout,
+                &base_opts,
+            );
+            progress!(
+                "  tuned keyframe interval for {var_name}: {} ({} candidates, {} passing)",
+                tuned.interval,
+                tuned.candidates,
+                tuned.passing
+            );
+            base_opts.clone().with_keyframe_every(tuned.interval)
+        } else {
+            match fixed_every {
+                Some(n) => base_opts.clone().with_keyframe_every(n),
+                None => base_opts.clone(),
+            }
+        };
+        let summary = writer.add_variable(var_name, layout, &frames, &opts).unwrap_or_else(|e| {
+            eprintln!("cannot archive {var_name}: {e}");
+            exit(1);
+        });
+        rows.push((var_name.to_string(), opts.keyframe_every, summary));
+    }
+    let bytes = writer.finish();
+    std::fs::write(out, &bytes).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        exit(1);
+    });
+    for (name, every, s) in &rows {
+        println!(
+            "{:<12} {:>4} frames ({} keyframes, every {every}) {} -> {} bytes (CR {:.4})",
+            name,
+            s.frames,
+            s.keyframes,
+            s.raw_bytes,
+            s.bytes,
+            s.bytes as f64 / s.raw_bytes as f64
+        );
+    }
+    println!("wrote {out}: {} bytes, {} variables, {timesteps} timesteps", bytes.len(), rows.len());
+}
+
+fn archive_info(path: &str) {
+    use climate_compress::archive::FrameKind;
+    let src = FileSource::open(std::path::Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        exit(1);
+    });
+    let reader = ArchiveReader::open(src).unwrap_or_else(|e| {
+        eprintln!("cannot read archive {path}: {e}");
+        exit(1);
+    });
+    let index = reader.index();
+    println!(
+        "{path}: cc-arch/1, {} variables, frame section [8, {}), index+footer {} bytes",
+        index.vars.len(),
+        index.index_offset,
+        index.index_bytes
+    );
+    for v in &index.vars {
+        let keyframes = v.frames.iter().filter(|f| f.kind == FrameKind::Key).count();
+        let bytes: u64 = v.frames.iter().map(|f| f.len).sum();
+        println!(
+            "  {:<12} {:>4} frames ({keyframes} keyframes, every {}) codec {} delta {} {} blob bytes",
+            v.name,
+            v.frames.len(),
+            v.keyframe_every,
+            v.codec,
+            v.delta.label(),
+            bytes
+        );
     }
 }
 
@@ -578,7 +910,16 @@ fn top_frame(
         "Latency (interval)",
         &["opcode", "req/s", "p50 us", "p99 us", "p999 us"],
     );
-    for op in ["ping", "compress", "decompress", "evaluate", "stats", "shutdown"] {
+    for op in [
+        "ping",
+        "compress",
+        "decompress",
+        "evaluate",
+        "stats",
+        "shutdown",
+        "archive_put",
+        "fetch_slice",
+    ] {
         let Some(h) = d.histogram(&format!("serve.req_us.{op}")) else { continue };
         if h.count == 0 {
             continue;

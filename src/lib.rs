@@ -23,9 +23,13 @@
 //! * [`serve`] — the cc-wire/2 TCP service daemon and blocking client:
 //!   compression, decompression, and quick-scale evaluation over the
 //!   network with bounded-queue backpressure.
+//! * [`archive`] — the cc-arch/1 temporal container: keyframe + delta
+//!   timestep sequences with random (variable, timestep, level) access
+//!   through a footer index.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
+pub use cc_archive as archive;
 pub use cc_codecs as codecs;
 pub use cc_obs as obs;
 pub use cc_core as core;

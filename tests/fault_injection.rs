@@ -64,6 +64,18 @@ static ALLOC: PeakAlloc = PeakAlloc;
 fn fuzz_decoder(path: &str, base_bytes: usize, stream: &[u8], decode: &dyn Fn(&[u8])) {
     let seed = 0xC0FFEE ^ stream.len() as u64;
     let cases = cc_bench::faults::corpus(stream, seed);
+    fuzz_cases(path, base_bytes, stream, &cases, decode);
+}
+
+/// The case loop of [`fuzz_decoder`], for callers that build their own
+/// damage corpus (the archive corpus targets the index section).
+fn fuzz_cases(
+    path: &str,
+    base_bytes: usize,
+    stream: &[u8],
+    cases: &[Vec<u8>],
+    decode: &dyn Fn(&[u8]),
+) {
     assert!(cases.len() >= 1000, "{path}: corpus too small ({})", cases.len());
     for (i, case) in cases.iter().enumerate() {
         PEAK.with(|p| p.set(0));
@@ -291,6 +303,94 @@ fn chunked_frame_damage_is_rejected() {
     assert!(decode(&bad).is_err(), "trailing byte must be rejected");
     // Pristine stream still decodes.
     assert_eq!(decode(&good).unwrap().len(), data.len());
+}
+
+// ---------------------------------------------------------------------------
+// Temporal archive container (cc-arch/1).
+// ---------------------------------------------------------------------------
+
+/// A small multi-variable archive of a correlated synthetic run, plus
+/// its index offset (read back from the footer) and raw byte count.
+fn build_archive() -> (Vec<u8>, usize, usize) {
+    use cc_archive::{ArchiveOptions, ArchiveWriter};
+    use cc_codecs::ErrorBound;
+    let (data, layout) = smooth_field(1500, 2);
+    let frames: Vec<Vec<f32>> = (0..12)
+        .map(|t| data.iter().map(|v| v + (t as f32) * 0.01 * v.cos()).collect())
+        .collect();
+    let mut w = ArchiveWriter::new();
+    let bounded = ArchiveOptions::new(Variant::Sz { bound: ErrorBound::Rel(1e-4) })
+        .with_bound(ErrorBound::Rel(1e-4))
+        .with_keyframe_every(4);
+    w.add_variable("T", layout, &frames, &bounded).expect("bounded variable");
+    let exact = ArchiveOptions::new(Variant::NetCdf4).with_keyframe_every(4);
+    w.add_variable("Q", layout, &frames, &exact).expect("xor variable");
+    let bytes = w.finish();
+    let n = bytes.len();
+    let index_offset = u64::from_le_bytes(bytes[n - 16..n - 8].try_into().unwrap()) as usize;
+    (bytes, index_offset, frames.len() * layout.len() * 4 * 2)
+}
+
+#[test]
+fn archive_decode_is_total() {
+    let (bytes, index_offset, raw_bytes) = build_archive();
+    let seed = 0xA2C41 ^ bytes.len() as u64;
+    // The archive corpus aims damage at the index section (splices,
+    // chain-pointer rewrites, oversized declared ranges) on top of the
+    // generic shapes.
+    let cases = cc_bench::faults::archive_corpus(&bytes, index_offset, seed);
+    fuzz_cases("cc-archive/container", raw_bytes, &bytes, &cases, &|case| {
+        if let Ok(mut reader) = cc_archive::ArchiveReader::open(case) {
+            let _ = reader.fetch_slice("T", 7, 1);
+            let _ = reader.decode_variable("Q");
+        }
+    });
+}
+
+#[test]
+fn archive_index_crafts_are_rejected_with_typed_errors() {
+    use cc_archive::{ArchiveError, ArchiveReader};
+    let (bytes, index_offset, _) = build_archive();
+
+    // Walk the index wire format to the first variable's frame entries:
+    // n_vars u32 | name_len u16 | name | layout 4xu32 | codec_len u16 |
+    // codec | mode u8 kind u8 param f64 | keyframe_every u32 |
+    // n_frames u32 | entries (kind u8, parent u32, offset u64, len u64).
+    let u16_at = |at: usize| u16::from_le_bytes(bytes[at..at + 2].try_into().unwrap()) as usize;
+    let mut at = index_offset + 4;
+    at += 2 + u16_at(at); // name
+    at += 16; // layout
+    at += 2 + u16_at(at); // codec
+    at += 10 + 4 + 4; // delta mode/bound, keyframe_every, n_frames
+    let entry = |i: usize| at + i * 21;
+
+    // Frame 1 is a delta (keyframe_every 4); pointing its parent at
+    // itself must be rejected as a chain cycle, not walked forever.
+    let mut cycled = bytes.clone();
+    cycled[entry(1) + 1..entry(1) + 5].copy_from_slice(&1u32.to_le_bytes());
+    match ArchiveReader::open(cycled.as_slice()) {
+        Err(ArchiveError::Corrupt(msg)) => {
+            assert!(msg.contains("cycle"), "wrong rejection: {msg}")
+        }
+        other => panic!("chain cycle accepted: {:?}", other.map(|_| ())),
+    }
+
+    // An oversized declared range (frame 0 len = u64::MAX) must be
+    // rejected by the index bounds check before any allocation.
+    let mut oversized = bytes.clone();
+    oversized[entry(0) + 13..entry(0) + 21].copy_from_slice(&u64::MAX.to_le_bytes());
+    match ArchiveReader::open(oversized.as_slice()) {
+        Err(ArchiveError::Corrupt(msg)) => {
+            assert!(msg.contains("frame range"), "wrong rejection: {msg}")
+        }
+        other => panic!("oversized range accepted: {:?}", other.map(|_| ())),
+    }
+
+    // The pristine container still opens and serves both variables.
+    let mut reader = ArchiveReader::open(bytes.as_slice()).expect("pristine archive");
+    assert_eq!(reader.index().vars.len(), 2);
+    reader.fetch_slice("T", 7, 1).expect("bounded fetch");
+    reader.fetch_slice("Q", 11, 0).expect("xor fetch");
 }
 
 // ---------------------------------------------------------------------------
